@@ -1,0 +1,86 @@
+// Ablation for Observation 2: the exact-match flow cache's effect on
+// throughput. With the EMC disabled every packet walks the wildcard rule
+// table (we pad it with 48 non-matching rules, a realistic policy size);
+// the per-packet labeling cost rises ~10x and the achievable packet rate
+// collapses accordingly.
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "core/flowvalve.h"
+#include "exp/scenarios.h"
+#include "host/probes.h"
+#include "np/flowvalve_processor.h"
+#include "np/nic_pipeline.h"
+#include "sim/simulator.h"
+#include "stats/stats.h"
+
+namespace flowvalve {
+namespace {
+
+double run(bool cache_enabled, unsigned dummy_rules, std::uint64_t seed,
+           double* hit_rate) {
+  sim::Simulator sim;
+  np::NpConfig nic = np::agilio_cx_40g();
+  nic.num_vfs = 4;
+
+  // Pad the filter table with high-priority rules that never match (an
+  // unused destination ip), then the real per-VF rules.
+  std::ostringstream script;
+  script << "fv qdisc add dev nic0 root handle 1: htb rate 40gbit\n";
+  for (unsigned i = 0; i < 4; ++i)
+    script << "fv class add dev nic0 parent 1: classid 1:1" << i << " name app" << i
+           << " weight 1\n";
+  for (unsigned i = 0; i < dummy_rules; ++i)
+    script << "fv filter add dev nic0 pref " << 100 + i
+           << " dst 192.168.200.200/32 dport " << 700 + i << " classid 1:10\n";
+  for (unsigned i = 0; i < 4; ++i)
+    script << "fv filter add dev nic0 pref " << 500 + i << " vf " << i
+           << " classid 1:1" << i << "\n";
+
+  core::FlowValveEngine engine(np::engine_options_for(nic));
+  const std::string err = engine.configure(script.str());
+  if (!err.empty()) std::exit(1);
+  engine.classifier().set_cache_enabled(cache_enabled);
+
+  np::FlowValveProcessor processor(engine);
+  np::NicPipeline pipeline(sim, nic, processor);
+  traffic::IdAllocator ids;
+  traffic::FlowRouter router(pipeline);
+  host::SaturationLoad::Config cfg;
+  cfg.num_flows = 64;
+  cfg.wire_bytes = 64;
+  cfg.offered = nic.wire_rate;
+  cfg.num_vfs = 4;
+  host::SaturationLoad load(sim, router, ids, cfg, sim::Rng(seed));
+  load.start();
+  sim.run_until(sim::milliseconds(20));
+  load.begin_measurement();
+  sim.run_until(sim::milliseconds(60));
+  if (hit_rate) *hit_rate = engine.classifier().cache().stats().hit_rate();
+  return load.delivered_mpps(sim::milliseconds(60));
+}
+
+}  // namespace
+}  // namespace flowvalve
+
+int main(int argc, char** argv) {
+  using namespace flowvalve;
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+
+  std::printf("=== Ablation (Observation 2): exact-match flow cache, 64B @40G ===\n\n");
+  stats::TablePrinter tp({"labeling path", "rules", "Mpps", "cache hit rate"});
+  double hr = 0.0;
+  const double with_cache = run(true, 48, seed, &hr);
+  tp.add_row({"EMC + rule walk on miss", "52", stats::TablePrinter::fmt(with_cache),
+              stats::TablePrinter::fmt(hr * 100.0, 1) + "%"});
+  const double without = run(false, 48, seed, nullptr);
+  tp.add_row({"rule walk every packet", "52", stats::TablePrinter::fmt(without), "off"});
+  const double small_table = run(false, 0, seed, nullptr);
+  tp.add_row({"rule walk, tiny table", "4", stats::TablePrinter::fmt(small_table), "off"});
+  tp.print();
+  std::printf("\nExpected: disabling the EMC against a realistic rule table costs a\n"
+              "large fraction of the achievable packet rate (the paper cites ~10x\n"
+              "faster lookups via the Netronome EMC's dedicated engines).\n");
+  return 0;
+}

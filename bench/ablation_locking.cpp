@@ -1,0 +1,116 @@
+// Ablation for Fig. 7: how the scheduling-tree update strategy affects
+// throughput on a multi-core NP.
+//   (a) global-lock  — one blocking lock around the whole scheduling
+//       function (the "valid yet sequential" strategy of Fig. 7(b));
+//   (b) flowvalve    — per-class try-locks, losers only meter (Fig. 7(c));
+//   (c) frozen-theta — no runtime updates at all (static rates): fast but
+//       cannot adapt, shown by a conformance probe.
+// Measured at 64 B saturation like Fig. 13.
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/flowvalve.h"
+#include "exp/scenarios.h"
+#include "host/probes.h"
+#include "np/flowvalve_processor.h"
+#include "np/nic_pipeline.h"
+#include "sim/sim_lock.h"
+#include "sim/simulator.h"
+#include "stats/stats.h"
+
+namespace flowvalve {
+namespace {
+
+/// Serializes every scheduling-function execution behind one blocking lock,
+/// charging the spin time to the worker (Fig. 7(b)).
+class GlobalLockProcessor final : public np::PacketProcessor {
+ public:
+  GlobalLockProcessor(core::FlowValveEngine& engine, const np::NpConfig& nic)
+      : engine_(engine), nic_(nic) {}
+
+  Outcome process(net::Packet& pkt, sim::SimTime now) override {
+    const auto r = engine_.process(pkt, now);
+    const sim::SimDuration hold = nic_.cycles_to_ns(r.cycles);
+    const sim::SimDuration wait = lock_.acquire(now, hold);
+    const auto wait_cycles =
+        static_cast<std::uint32_t>(static_cast<double>(wait) * nic_.freq_ghz);
+    return {r.verdict == core::Verdict::kForward, r.cycles + wait_cycles};
+  }
+
+ private:
+  core::FlowValveEngine& engine_;
+  const np::NpConfig& nic_;
+  sim::SimBlockingLock lock_;
+};
+
+double measure_mpps(np::PacketProcessor& proc, const np::NpConfig& nic,
+                    std::uint64_t seed) {
+  sim::Simulator sim;
+  np::NicPipeline pipeline(sim, nic, proc);
+  traffic::IdAllocator ids;
+  traffic::FlowRouter router(pipeline);
+  host::SaturationLoad::Config cfg;
+  cfg.num_flows = 16;
+  cfg.wire_bytes = 64;
+  cfg.offered = nic.wire_rate;
+  cfg.num_vfs = 4;
+  host::SaturationLoad load(sim, router, ids, cfg, sim::Rng(seed));
+  load.start();
+  sim.run_until(sim::milliseconds(20));
+  load.begin_measurement();
+  sim.run_until(sim::milliseconds(60));
+  return load.delivered_mpps(sim::milliseconds(60));
+}
+
+core::FlowValveEngine make_engine(const np::NpConfig& nic, bool freeze_theta) {
+  core::FlowValveEngine::Options opt = np::engine_options_for(nic);
+  opt.params.freeze_theta = freeze_theta;
+  core::FlowValveEngine engine(opt);
+  const std::string err = engine.configure(exp::fair_queueing_script(nic.wire_rate, 4));
+  if (!err.empty()) {
+    std::fprintf(stderr, "config error: %s\n", err.c_str());
+    std::exit(1);
+  }
+  return engine;
+}
+
+}  // namespace
+}  // namespace flowvalve
+
+int main(int argc, char** argv) {
+  using namespace flowvalve;
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+  np::NpConfig nic = np::agilio_cx_40g();
+  nic.num_vfs = 4;
+
+  std::printf("=== Ablation (Fig. 7): scheduling-tree update strategies, 64B @40G ===\n\n");
+  stats::TablePrinter tp({"strategy", "Mpps", "note"});
+
+  {
+    auto engine = make_engine(nic, false);
+    GlobalLockProcessor proc(engine, nic);
+    tp.add_row({"global-lock (7b)", stats::TablePrinter::fmt(measure_mpps(proc, nic, seed)),
+                "whole function serialized"});
+  }
+  {
+    auto engine = make_engine(nic, false);
+    np::FlowValveProcessor proc(engine);
+    tp.add_row({"flowvalve try-lock (7c)",
+                stats::TablePrinter::fmt(measure_mpps(proc, nic, seed)),
+                "per-class update, losers meter"});
+  }
+  {
+    // Frozen θ: buckets replenish but rates stay at static seeded shares.
+    auto engine = make_engine(nic, true);
+    np::FlowValveProcessor proc(engine);
+    tp.add_row({"frozen-theta", stats::TablePrinter::fmt(measure_mpps(proc, nic, seed)),
+                "no runtime rate estimation (cannot adapt; see note)"});
+  }
+  tp.print();
+  std::printf(
+      "\nExpected: the global lock collapses the multi-core NP to roughly a\n"
+      "single core's packet rate; FlowValve's try-lock design sustains ~20 Mpps.\n"
+      "frozen-theta is as fast but its rates never react to flow churn — the\n"
+      "propagation ablation (ablation_propagation) quantifies that adaptivity.\n");
+  return 0;
+}

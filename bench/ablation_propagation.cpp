@@ -1,0 +1,117 @@
+// Ablation for Fig. 10 (§IV-D): token-rate propagation delay down a strict
+// priority chain A0 > A1 > A2. A0's demand steps down at t=50 ms; A1 reacts
+// one update epoch later, A2 one more epoch after that. We sample each
+// class's θ from the shared scheduling tree to measure the delays.
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/flowvalve.h"
+#include "np/flowvalve_processor.h"
+#include "np/nic_pipeline.h"
+#include "sim/simulator.h"
+#include "stats/stats.h"
+#include "traffic/generators.h"
+
+int main(int argc, char** argv) {
+  using namespace flowvalve;
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+  sim::Simulator simulator;
+  np::NpConfig nic = np::agilio_cx_40g();
+
+  // Strict priority chain as siblings with ascending prio levels.
+  std::string script =
+      "fv qdisc add dev nic0 root handle 1: htb rate 10gbit\n"
+      "fv class add dev nic0 parent 1: classid 1:10 name A0 prio 0 weight 1\n"
+      "fv class add dev nic0 parent 1: classid 1:11 name A1 prio 1 weight 1\n"
+      "fv class add dev nic0 parent 1: classid 1:12 name A2 prio 2 weight 1\n"
+      "fv filter add dev nic0 pref 10 vf 0 classid 1:10\n"
+      "fv filter add dev nic0 pref 11 vf 1 classid 1:11\n"
+      "fv filter add dev nic0 pref 12 vf 2 classid 1:12\n";
+
+  core::FlowValveEngine engine(np::engine_options_for(nic));
+  const std::string err = engine.configure(script);
+  if (!err.empty()) {
+    std::fprintf(stderr, "config error: %s\n", err.c_str());
+    return 1;
+  }
+  np::FlowValveProcessor processor(engine);
+  np::NicPipeline pipeline(simulator, nic, processor);
+
+  sim::Rng rng(seed);
+  traffic::IdAllocator ids;
+  traffic::FlowRouter router(pipeline);
+  auto make_cbr = [&](std::uint32_t app, double gbps) {
+    traffic::FlowSpec spec;
+    spec.flow_id = ids.next_flow_id();
+    spec.app_id = app;
+    spec.vf_port = static_cast<std::uint16_t>(app);
+    spec.wire_bytes = 1518;
+    spec.tuple.src_ip = 0x0a000030 + app;
+    spec.tuple.dst_ip = 0x0a000002;
+    spec.tuple.src_port = static_cast<std::uint16_t>(24000 + app);
+    spec.tuple.dst_port = 5001;
+    return std::make_unique<traffic::CbrFlow>(simulator, router, ids, spec,
+                                              sim::Rate::gigabits_per_sec(gbps),
+                                              rng.split(app), 0.02);
+  };
+  auto a0 = make_cbr(0, 8.0);
+  auto a1 = make_cbr(1, 4.0);
+  auto a2 = make_cbr(2, 9.0);
+  a0->start();
+  a1->start();
+  a2->start();
+
+  // Sample θ of A1/A2 every 100 µs.
+  const auto& tree = engine.tree();
+  const auto id1 = tree.find("A1");
+  const auto id2 = tree.find("A2");
+  struct Sample {
+    double t_ms;
+    double th1, th2;
+  };
+  std::vector<Sample> samples;
+  sim::PeriodicTimer sampler(simulator, sim::microseconds(100), [&] {
+    samples.push_back({sim::to_millis(simulator.now()), tree.at(id1).theta.gbps(),
+                       tree.at(id2).theta.gbps()});
+  });
+  sampler.start();
+
+  // A0 steps from 8G down to 1G at t=50 ms.
+  simulator.schedule_at(sim::milliseconds(50), [&] {
+    a0->set_rate(sim::Rate::gigabits_per_sec(1.0));
+  });
+  simulator.run_until(sim::milliseconds(80));
+
+  std::printf("=== Ablation (Fig. 10): θ propagation after A0 steps 8G→1G @50ms ===\n");
+  std::printf("seed=%llu, update_interval=%.0fus\n\n",
+              static_cast<unsigned long long>(seed),
+              sim::to_micros(engine.tree().params().update_interval));
+
+  // Detect when each class's θ first rises 30% above its pre-step value.
+  double pre1 = 0, pre2 = 0;
+  for (const auto& s : samples)
+    if (s.t_ms > 45 && s.t_ms <= 50) {
+      pre1 = s.th1;
+      pre2 = s.th2;
+    }
+  double t1 = -1, t2 = -1;
+  for (const auto& s : samples) {
+    if (s.t_ms <= 50) continue;
+    if (t1 < 0 && s.th1 > pre1 + 1.0) t1 = s.t_ms;
+    if (t2 < 0 && s.th2 > pre2 + 1.0) t2 = s.t_ms;
+  }
+  std::printf("pre-step: θ_A1=%.2fG θ_A2=%.2fG (residual shares under A0@8G)\n", pre1,
+              pre2);
+  std::printf("ΔD_A1 = %.2f ms, ΔD_A2 = %.2f ms (A2 adjusts after A1 — Fig. 10's\n"
+              "cascade; both within a few update epochs + Γ smoothing)\n\n",
+              t1 - 50, t2 - 50);
+
+  std::printf("θ trace around the step (ms: θ_A1 θ_A2):\n");
+  for (const auto& s : samples) {
+    if (s.t_ms < 48 || s.t_ms > 62) continue;
+    if (static_cast<int>(s.t_ms * 10) % 5 != 0) continue;  // every 0.5 ms
+    std::printf("  %6.1f: %5.2f %5.2f\n", s.t_ms, s.th1, s.th2);
+  }
+  return 0;
+}

@@ -1,0 +1,84 @@
+// §VI "Higher Line rate": the paper argues FlowValve's ~20 Mpps headroom
+// already saturates 100GbE with MTU frames (8.33 Mpps at 1500 B), and that
+// higher-end NPs (more micro-engines / higher clocks) raise the packet-rate
+// ceiling further. This bench projects FlowValve onto a 100GbE NP model and
+// sweeps the micro-engine provisioning.
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/flowvalve.h"
+#include "exp/scenarios.h"
+#include "host/probes.h"
+#include "np/flowvalve_processor.h"
+#include "np/nic_pipeline.h"
+#include "sim/simulator.h"
+#include "stats/stats.h"
+
+namespace {
+
+using namespace flowvalve;
+
+double run(np::NpConfig nic, std::uint32_t frame_bytes, std::uint64_t seed) {
+  sim::Simulator sim;
+  nic.num_vfs = 4;
+  core::FlowValveEngine engine(np::engine_options_for(nic));
+  const std::string err = engine.configure(exp::fair_queueing_script(nic.wire_rate, 4));
+  if (!err.empty()) std::exit(1);
+  np::FlowValveProcessor proc(engine);
+  np::NicPipeline pipeline(sim, nic, proc);
+  traffic::IdAllocator ids;
+  traffic::FlowRouter router(pipeline);
+  host::SaturationLoad::Config cfg;
+  cfg.num_flows = 16;
+  cfg.wire_bytes = frame_bytes;
+  cfg.offered = nic.wire_rate;
+  cfg.num_vfs = 4;
+  host::SaturationLoad load(sim, router, ids, cfg, sim::Rng(seed));
+  load.start();
+  sim.run_until(sim::milliseconds(20));
+  load.begin_measurement();
+  sim.run_until(sim::milliseconds(60));
+  return load.delivered_mpps(sim::milliseconds(60));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace flowvalve;
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+
+  std::printf("=== Discussion §VI: porting FlowValve to 100GbE ===\n\n");
+  stats::TablePrinter tp({"platform", "frame(B)", "line(Mpps)", "achieved(Mpps)",
+                          "wire-limited?"});
+
+  struct Platform {
+    const char* name;
+    unsigned workers;
+    double freq;
+  };
+  const Platform platforms[] = {
+      {"Agilio-CX-40G (50ME@1.2G)", 50, 1.2},
+      {"100G NP, same silicon", 50, 1.2},
+      {"100G NP, 80ME@1.2G", 80, 1.2},
+      {"100G NP, 80ME@1.6G", 80, 1.6},
+  };
+  for (std::size_t p = 0; p < 4; ++p) {
+    np::NpConfig nic = np::agilio_cx_40g();
+    nic.num_workers = platforms[p].workers;
+    nic.freq_ghz = platforms[p].freq;
+    if (p > 0) nic.wire_rate = sim::Rate::gigabits_per_sec(100);
+    for (std::uint32_t frame : {1518u, 512u, 64u}) {
+      const double line = net::line_rate_pps(nic.wire_rate, frame) / 1e6;
+      const double got = run(nic, frame, seed);
+      tp.add_row({platforms[p].name, std::to_string(frame),
+                  stats::TablePrinter::fmt(line), stats::TablePrinter::fmt(got),
+                  got > 0.97 * line ? "yes" : "no (NP-bound)"});
+    }
+  }
+  tp.print();
+  std::printf(
+      "\nThe paper's point: 100GbE at 1500 B needs only 8.33 Mpps — well within\n"
+      "the 40G card's ~20 Mpps budget — and more/faster micro-engines push the\n"
+      "small-frame ceiling up roughly linearly.\n");
+  return 0;
+}

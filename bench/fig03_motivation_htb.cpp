@@ -1,0 +1,41 @@
+// Reproduces Fig. 3: Linux traffic control (HTB with kernel artifacts) fails
+// to enforce the motivation-example policy on a 10 Gbps ceiling:
+//   1. NC cannot reach the policy rate even alone (sender-core + qdisc-lock
+//      costs cap a single flow below 10G);
+//   2. the 10G root ceiling measures ≈12G on the wire (rate-table
+//      undercharging);
+//   3. the KVS/ML priority is ignored — they split bandwidth equally
+//      (priority-blind DRR borrowing under contention).
+#include <cstdio>
+#include <cstdlib>
+
+#include "exp/scenarios.h"
+#include "stats/series_export.h"
+
+int main(int argc, char** argv) {
+  using namespace flowvalve;
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+
+  std::printf("=== Fig. 3: Linux HTB, motivation example @10G ceiling ===\n");
+  std::printf("seed=%llu\n\n", static_cast<unsigned long long>(seed));
+  auto r = exp::run_fig3_htb_motivation(seed);
+
+  std::printf("%s\n", r.table(sim::seconds(5)).c_str());
+  std::printf("%s\n", r.ascii_chart(sim::Rate::gigabits_per_sec(13)).c_str());
+
+  std::printf("Misbehaviour checkpoints (paper's observations):\n");
+  std::printf("  1. NC 5-15s : %6.2f Gbps  — below the 10G it should get alone\n",
+              r.mean_rate("NC", 5, 15).gbps());
+  std::printf("  2. total 20-42s: %6.2f Gbps — exceeds the 10G root ceiling (~12G)\n",
+              r.total_rate(20, 42).gbps());
+  std::printf("  3. KVS 20-30s: %5.2f vs ML 20-30s: %5.2f — equal despite KVS prio\n",
+              r.mean_rate("KVS", 20, 30).gbps(), r.mean_rate("ML", 20, 30).gbps());
+  std::printf("  host CPU cores consumed by stack+scheduling: %.2f\n",
+              r.host_cores_used);
+  if (argc > 2) {
+    // argv[2]: CSV output path with the full 100 ms-binned series.
+    if (stats::write_series_csv(argv[2], r.named_series(), r.horizon))
+      std::printf("\nwrote %s\n", argv[2]);
+  }
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Reproduces Fig. 13: maximum throughput (Mpps) of FlowValve vs the DPDK
+// QoS Scheduler when enforcing fair queueing over fixed-size frames at
+// 40GbE, plus the CPU cores each consumes. Paper reference points:
+// FlowValve 3.23 / 4.75 / 19.69 Mpps at 1518/1024/64 B with ~0 host cores;
+// DPDK 2.25 Mpps on one core at 1518 B, 9.06 Mpps on four cores at 64 B.
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "exp/scenarios.h"
+#include "stats/stats.h"
+
+int main(int argc, char** argv) {
+  using namespace flowvalve;
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+
+  std::printf("=== Fig. 13: maximum throughput, fair queueing @40GbE ===\n");
+  std::printf("seed=%llu (cores column: host CPU consumed by the scheduler)\n\n",
+              static_cast<unsigned long long>(seed));
+
+  const std::vector<std::uint32_t> sizes = {64, 128, 256, 512, 1024, 1518};
+  stats::TablePrinter tp({"size(B)", "line(Mpps)", "FlowValve(Mpps)", "FV cores",
+                          "DPDK(Mpps)", "DPDK cores", "DPDK@8c(Mpps)"});
+  for (std::uint32_t size : sizes) {
+    const auto row = exp::run_fig13_row(size, seed);
+    tp.add_row({std::to_string(size), stats::TablePrinter::fmt(row.line_mpps),
+                stats::TablePrinter::fmt(row.fv_mpps),
+                stats::TablePrinter::fmt(row.fv_host_cores),
+                stats::TablePrinter::fmt(row.dpdk_mpps),
+                std::to_string(row.dpdk_cores),
+                stats::TablePrinter::fmt(row.dpdk_mpps_8core)});
+  }
+  tp.print();
+  std::printf(
+      "\nShape to check against the paper: FlowValve saturates the wire for\n"
+      "large frames and peaks near ~20 Mpps at 64 B using no host cores; the\n"
+      "DPDK QoS Scheduler needs ~1 core per 2.25 Mpps and still trails\n"
+      "FlowValve at 64 B even with 8 cores.\n");
+  return 0;
+}

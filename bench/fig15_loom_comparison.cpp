@@ -1,0 +1,127 @@
+// Reproduces Fig. 15: the qualitative FlowValve-vs-Loom comparison — and
+// extends it quantitatively by running the same weighted policy through
+// (a) FlowValve's schedule-before-queueing tail-drop valve and (b) a
+// PIFO/STFQ scheduler (the primitive Loom builds on). Both enforce the
+// shares; the difference is deployability: the PIFO needs rank-insertable
+// queue hardware, FlowValve runs on shipping FIFO-based NPs.
+#include <cstdio>
+#include <cstdlib>
+
+#include "baseline/pifo.h"
+#include "core/flowvalve.h"
+#include "np/flowvalve_processor.h"
+#include "np/nic_pipeline.h"
+#include "sim/simulator.h"
+#include "stats/stats.h"
+#include "traffic/generators.h"
+
+namespace {
+
+using namespace flowvalve;
+
+struct Shares {
+  double a, b, c;  // delivered Gbps for weights 5:3:2 on a 10G port
+};
+
+/// Drive three CBR flows (6G each, weights 5:3:2) for 2 s; return shares.
+template <typename MakeDevice>
+Shares measure(MakeDevice&& make_device, std::uint64_t seed) {
+  sim::Simulator sim;
+  net::EgressDevice& dev = make_device(sim);
+  sim::Rng rng(seed);
+  traffic::IdAllocator ids;
+  traffic::FlowRouter router(dev);
+  std::uint64_t bytes[3] = {};
+  dev.set_on_delivered([&](const net::Packet& p) { bytes[p.app_id % 3] += p.wire_bytes; });
+
+  std::vector<std::unique_ptr<traffic::CbrFlow>> flows;
+  for (std::uint16_t i = 0; i < 3; ++i) {
+    traffic::FlowSpec spec;
+    spec.flow_id = ids.next_flow_id();
+    spec.app_id = i;
+    spec.vf_port = i;
+    spec.wire_bytes = 1518;
+    spec.tuple.src_ip = 0x0a000001u + i;
+    spec.tuple.src_port = static_cast<std::uint16_t>(42000 + i);
+    flows.push_back(std::make_unique<traffic::CbrFlow>(
+        sim, router, ids, spec, sim::Rate::gigabits_per_sec(6), rng.split(i), 0.02));
+    flows.back()->start();
+  }
+  sim.run_until(sim::seconds(2));
+  const double to_gbps = 8.0 / 2e9;
+  return {bytes[0] * to_gbps, bytes[1] * to_gbps, bytes[2] * to_gbps};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace flowvalve;
+  using flowvalve::stats::TablePrinter;
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+
+  std::printf("=== Fig. 15: FlowValve vs Loom ===\n\n");
+  TablePrinter tp({"dimension", "FlowValve", "Loom"});
+  tp.add_row({"Programming target", "Multi-core Network Processor",
+              "Sequential Match-Action Table Pipeline"});
+  tp.add_row({"Scheduling primitives", "Hierarchical Token Buckets",
+              "Push-In-First-Out queues"});
+  tp.add_row({"Ease of deployment", "Runs on shipping NP SmartNICs (P4+Micro-C)",
+              "Requires a new NIC ASIC design"});
+  tp.add_row({"Packet buffering", "Schedules before queueing (tail-drop valve)",
+              "Queues before scheduling (PIFO ranks)"});
+  tp.add_row({"Policy hierarchy", "Arbitrary class trees + runtime conditions",
+              "Fixed by the programmed PIFO tree"});
+  tp.add_row({"Work conservation", "Shadow-bucket borrowing (Eq. 6)",
+              "Inherent in PIFO ordering"});
+  tp.print();
+
+  // Quantitative supplement: same 5:3:2 policy, both mechanisms.
+  std::unique_ptr<core::FlowValveEngine> engine;
+  std::unique_ptr<np::FlowValveProcessor> proc;
+  std::unique_ptr<np::NicPipeline> pipeline;
+  const Shares fv = measure(
+      [&](sim::Simulator& sim) -> net::EgressDevice& {
+        np::NpConfig nic = np::agilio_cx_40g();
+        engine = std::make_unique<core::FlowValveEngine>(np::engine_options_for(nic));
+        const std::string err = engine->configure(
+            "fv qdisc add dev nic0 root handle 1: htb rate 10gbit\n"
+            "fv class add dev nic0 parent 1: classid 1:10 name a weight 5\n"
+            "fv class add dev nic0 parent 1: classid 1:11 name b weight 3\n"
+            "fv class add dev nic0 parent 1: classid 1:12 name c weight 2\n"
+            "fv filter add dev nic0 pref 1 vf 0 classid 1:10\n"
+            "fv filter add dev nic0 pref 2 vf 1 classid 1:11\n"
+            "fv filter add dev nic0 pref 3 vf 2 classid 1:12\n");
+        if (!err.empty()) std::exit(1);
+        proc = std::make_unique<np::FlowValveProcessor>(*engine);
+        pipeline = std::make_unique<np::NicPipeline>(sim, nic, *proc);
+        return *pipeline;
+      },
+      seed);
+
+  std::unique_ptr<baseline::PifoScheduler> pifo;
+  const Shares ps = measure(
+      [&](sim::Simulator& sim) -> net::EgressDevice& {
+        baseline::PifoConfig cfg;
+        cfg.port_rate = sim::Rate::gigabits_per_sec(10);
+        pifo = std::make_unique<baseline::PifoScheduler>(sim, cfg);
+        pifo->add_class("a", 5);
+        pifo->add_class("b", 3);
+        pifo->add_class("c", 2);
+        pifo->set_classifier(
+            [](const net::Packet& p) { return static_cast<int>(p.app_id % 3); });
+        return *pifo;
+      },
+      seed);
+
+  std::printf("\nQuantitative supplement — 10G port, weights 5:3:2, 6G offered each:\n");
+  TablePrinter q({"mechanism", "a(Gbps)", "b(Gbps)", "c(Gbps)", "how"});
+  q.add_row({"FlowValve tail-drop valve", TablePrinter::fmt(fv.a), TablePrinter::fmt(fv.b),
+             TablePrinter::fmt(fv.c), "drops excess before the FIFO"});
+  q.add_row({"PIFO / STFQ (Loom-style)", TablePrinter::fmt(ps.a), TablePrinter::fmt(ps.b),
+             TablePrinter::fmt(ps.c), "reorders a rank-insertable queue"});
+  q.print();
+  std::printf("\nBoth enforce 5:3:2 (expect ≈5.0/3.0/2.0); the deployment story in the\n"
+              "table above is the paper's point. See fig13/fig14 for the performance\n"
+              "side of this repo's reproduction.\n");
+  return 0;
+}

@@ -1,0 +1,248 @@
+// Google-benchmark microbenchmarks for the core data structures: token
+// buckets, the scheduling tree's update/θ-derivation, the classifier with
+// and without flow-cache hits, header parsing, the event queue, and the
+// HTB baseline's hot paths. These are wall-clock benchmarks of the
+// *implementation* (the figure benches measure virtual-time behaviour).
+#include <benchmark/benchmark.h>
+
+#include "baseline/htb.h"
+#include "core/flowvalve.h"
+#include "exp/scenarios.h"
+#include "net/headers.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace flowvalve;
+
+void BM_TokenBucketMeter(benchmark::State& state) {
+  core::TokenBucket bucket(1e9, 1e9);
+  std::uint64_t green = 0;
+  for (auto _ : state) {
+    bucket.add(1538.0);
+    green += bucket.meter(1538) == core::MeterColor::kGreen;
+  }
+  benchmark::DoNotOptimize(green);
+}
+BENCHMARK(BM_TokenBucketMeter);
+
+void BM_SchedTreeUpdate(benchmark::State& state) {
+  core::SchedulingTree tree;
+  const auto root = tree.add_root("root", sim::Rate::gigabits_per_sec(10));
+  core::NodePolicy p;
+  const auto a = tree.add_class("a", root, p);
+  p.prio = 1;
+  tree.add_class("b", root, p);
+  tree.finalize();
+  sim::SimTime now = 0;
+  for (auto _ : state) {
+    now += 200'000;
+    tree.update_class(a, now);
+  }
+  benchmark::DoNotOptimize(tree.at(a).theta);
+}
+BENCHMARK(BM_SchedTreeUpdate);
+
+void BM_ComputeThetaDeepTree(benchmark::State& state) {
+  core::SchedulingTree tree;
+  auto parent = tree.add_root("root", sim::Rate::gigabits_per_sec(40));
+  core::ClassId leaf = parent;
+  for (int d = 0; d < 4; ++d) {
+    core::NodePolicy p;
+    p.weight = 2.0;
+    leaf = tree.add_class("c" + std::to_string(d), parent, p);
+    core::NodePolicy q;
+    q.prio = 1;
+    tree.add_class("s" + std::to_string(d), parent, q);
+    parent = leaf;
+  }
+  tree.finalize();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.compute_theta(leaf, 1'000'000));
+  }
+}
+BENCHMARK(BM_ComputeThetaDeepTree);
+
+core::FlowValveEngine& shared_engine() {
+  static core::FlowValveEngine* engine = [] {
+    auto* e = new core::FlowValveEngine();
+    const std::string err =
+        e->configure(exp::fair_queueing_script(sim::Rate::gigabits_per_sec(40), 4));
+    if (!err.empty()) std::abort();
+    return e;
+  }();
+  return *engine;
+}
+
+void BM_EngineProcessCacheHit(benchmark::State& state) {
+  auto& engine = shared_engine();
+  net::Packet pkt;
+  pkt.vf_port = 1;
+  pkt.wire_bytes = 1518;
+  pkt.tuple.src_ip = 0x0a000001;
+  pkt.tuple.dst_ip = 0x0a000002;
+  pkt.tuple.src_port = 999;
+  pkt.tuple.dst_port = 80;
+  sim::SimTime now = 0;
+  for (auto _ : state) {
+    now += 1000;
+    benchmark::DoNotOptimize(engine.process(pkt, now));
+  }
+}
+BENCHMARK(BM_EngineProcessCacheHit);
+
+void BM_ClassifierMiss(benchmark::State& state) {
+  auto& engine = shared_engine();
+  net::Packet pkt;
+  pkt.vf_port = 2;
+  pkt.wire_bytes = 64;
+  pkt.tuple.dst_port = 80;
+  std::uint32_t ip = 0;
+  std::uint64_t tick = 0;
+  for (auto _ : state) {
+    pkt.tuple.src_ip = ++ip;  // new flow every packet → cache miss+insert
+    benchmark::DoNotOptimize(engine.classifier().classify(pkt, ++tick));
+  }
+}
+BENCHMARK(BM_ClassifierMiss);
+
+void BM_ParseTcpFrame(benchmark::State& state) {
+  net::FiveTuple t;
+  t.src_ip = 0x0a000001;
+  t.dst_ip = 0x0a000002;
+  t.src_port = 1234;
+  t.dst_port = 80;
+  const auto frame = net::build_frame_for_tuple(t, 256);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::parse_frame(frame));
+  }
+}
+BENCHMARK(BM_ParseTcpFrame);
+
+void BM_EventQueueChurn(benchmark::State& state) {
+  sim::Simulator sim;
+  sim::Rng rng(7);
+  // Keep a standing population of 1024 events; each handler re-arms itself.
+  std::uint64_t fired = 0;
+  std::function<void()> rearm = [&] {
+    ++fired;
+    sim.schedule_after(static_cast<sim::SimDuration>(rng.next_below(10'000) + 1), rearm);
+  };
+  for (int i = 0; i < 1024; ++i)
+    sim.schedule_after(static_cast<sim::SimDuration>(rng.next_below(10'000) + 1), rearm);
+  for (auto _ : state) {
+    sim.step();
+  }
+  benchmark::DoNotOptimize(fired);
+}
+BENCHMARK(BM_EventQueueChurn);
+
+void BM_HtbEnqueueDequeue(benchmark::State& state) {
+  baseline::HtbQdisc htb(sim::Rate::gigabits_per_sec(10), sim::Rate::gigabits_per_sec(10));
+  for (int i = 0; i < 4; ++i) {
+    baseline::HtbClassConfig c;
+    c.name = "c" + std::to_string(i);
+    c.rate = sim::Rate::gigabits_per_sec(2.5);
+    c.ceil = sim::Rate::gigabits_per_sec(10);
+    htb.add_class(c);
+  }
+  htb.set_classifier(
+      [](const net::Packet& p) { return "c" + std::to_string(p.app_id % 4); });
+  net::Packet pkt;
+  pkt.wire_bytes = 1518;
+  sim::SimTime now = 0;
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    now += 1230;
+    pkt.app_id = i++;
+    htb.enqueue(pkt, now);
+    benchmark::DoNotOptimize(htb.dequeue(now));
+  }
+}
+BENCHMARK(BM_HtbEnqueueDequeue);
+
+void BM_FiveTupleHash(benchmark::State& state) {
+  net::FiveTuple t;
+  t.src_ip = 0x0a000001;
+  t.dst_ip = 0x0a000002;
+  t.src_port = 1234;
+  t.dst_port = 80;
+  for (auto _ : state) {
+    ++t.src_port;
+    benchmark::DoNotOptimize(t.hash());
+  }
+}
+BENCHMARK(BM_FiveTupleHash);
+
+void BM_RngNextU64(benchmark::State& state) {
+  sim::Rng rng(42);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.next_u64());
+}
+BENCHMARK(BM_RngNextU64);
+
+}  // namespace
+
+// ---- appended: PIFO vs Eiffel-style bucket queue, MAT, Carousel ----------
+
+#include "baseline/bucket_queue.h"
+#include "baseline/pifo.h"
+#include "np/mat.h"
+
+namespace {
+
+using namespace flowvalve;
+
+void BM_MultisetPifoChurn(benchmark::State& state) {
+  // The PIFO comparator's std::multiset under steady push/pop.
+  std::multiset<std::pair<double, std::uint64_t>> heap;
+  sim::Rng rng(3);
+  std::uint64_t seq = 0;
+  for (int i = 0; i < 1024; ++i) heap.emplace(rng.next_double() * 4096.0, seq++);
+  for (auto _ : state) {
+    heap.emplace(rng.next_double() * 4096.0, seq++);
+    heap.erase(heap.begin());
+  }
+  benchmark::DoNotOptimize(heap.size());
+}
+BENCHMARK(BM_MultisetPifoChurn);
+
+void BM_BucketQueueChurn(benchmark::State& state) {
+  // Eiffel-style FFS bucket queue on the same workload (quantized ranks).
+  baseline::BucketQueue<std::uint64_t> q(4096);
+  sim::Rng rng(3);
+  std::uint64_t seq = 0;
+  for (int i = 0; i < 1024; ++i)
+    q.push(static_cast<std::size_t>(rng.next_below(4096)), seq++);
+  for (auto _ : state) {
+    q.push(static_cast<std::size_t>(rng.next_below(4096)), seq++);
+    benchmark::DoNotOptimize(q.pop_min());
+  }
+}
+BENCHMARK(BM_BucketQueueChurn);
+
+void BM_MatProgramApply(benchmark::State& state) {
+  np::mat::MatProgram prog;
+  np::mat::MatTable table("labeling");
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    np::mat::TableEntry e;
+    e.match = {np::mat::MatchSpec::exact(np::mat::Field::kVfPort, i)};
+    e.priority = i;
+    e.action = np::mat::Action::set_label(i);
+    table.add_entry(e);
+  }
+  table.set_default_action(np::mat::Action::drop());
+  prog.add_table(std::move(table));
+  net::Packet pkt;
+  pkt.wire_bytes = 300;
+  std::uint16_t vf = 0;
+  for (auto _ : state) {
+    pkt.vf_port = vf++ % 16;
+    benchmark::DoNotOptimize(prog.run(pkt));
+  }
+}
+BENCHMARK(BM_MatProgramApply);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,171 @@
+// Related-work comparison (§VII "Efficient packet scheduling"): the same
+// 4-class weighted policy (4:3:2:1 of 10G, every class offered 4G CBR)
+// enforced by four mechanisms:
+//   - FlowValve on the simulated NP (scheduling offloaded, drop-based)
+//   - Carousel-style timing wheel (host software, timestamp-based) [4]
+//   - DPDK QoS Scheduler (host software, queue-based)
+//   - kernel HTB via the kernel host model (scheduling artifacts off, but
+//     per-MTU skbs — no GSO — so the qdisc-lock packet-rate ceiling shows)
+// Reported: per-class delivered rate, worst-case conformance error, and the
+// host CPU cores each consumes — the offloading argument in one table.
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "baseline/carousel.h"
+#include "baseline/dpdk_sched.h"
+#include "baseline/htb.h"
+#include "baseline/kernel_host.h"
+#include "core/flowvalve.h"
+#include "np/flowvalve_processor.h"
+#include "np/nic_pipeline.h"
+#include "sim/simulator.h"
+#include "stats/stats.h"
+#include "traffic/generators.h"
+
+namespace {
+
+using namespace flowvalve;
+
+constexpr double kSharesG[4] = {4.0, 3.0, 2.0, 1.0};
+constexpr sim::SimTime kFrom = sim::milliseconds(200);
+constexpr sim::SimTime kTo = sim::milliseconds(900);
+constexpr sim::SimTime kEnd = sim::seconds(1);
+
+struct Outcome {
+  double gbps[4] = {};
+  double max_err_pct = 0.0;
+  double cores = 0.0;
+};
+
+/// Drive 4 CBR classes at 4G each through `device`; measure steady window.
+Outcome drive(sim::Simulator& sim, net::EgressDevice& device, std::uint64_t seed,
+              double cores) {
+  sim::Rng rng(seed);
+  traffic::IdAllocator ids;
+  traffic::FlowRouter router(device);
+  Outcome out;
+  out.cores = cores;
+  std::uint64_t bytes[4] = {};
+  device.set_on_delivered([&](const net::Packet& p) {
+    if (p.wire_tx_done >= kFrom && p.wire_tx_done < kTo)
+      bytes[p.app_id % 4] += p.wire_bytes;
+  });
+  std::vector<std::unique_ptr<traffic::CbrFlow>> flows;
+  for (std::uint16_t i = 0; i < 4; ++i) {
+    traffic::FlowSpec spec;
+    spec.flow_id = ids.next_flow_id();
+    spec.app_id = i;
+    spec.vf_port = i;
+    spec.wire_bytes = 1518;
+    spec.tuple.src_ip = 0x0a000001u + i;
+    spec.tuple.src_port = static_cast<std::uint16_t>(43000 + i);
+    flows.push_back(std::make_unique<traffic::CbrFlow>(
+        sim, router, ids, spec, sim::Rate::gigabits_per_sec(4), rng.split(i), 0.02));
+    flows.back()->start();
+  }
+  sim.run_until(kEnd);
+  for (int i = 0; i < 4; ++i) {
+    out.gbps[i] = static_cast<double>(bytes[i]) * 8.0 / static_cast<double>(kTo - kFrom);
+    out.max_err_pct = std::max(
+        out.max_err_pct, std::abs(out.gbps[i] - kSharesG[i]) / kSharesG[i] * 100.0);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace flowvalve;
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+  std::printf("=== Related work: one 4:3:2:1 policy, four mechanisms @10G ===\n");
+  std::printf("Each class offered 4G CBR against shares of 4/3/2/1 G.\n\n");
+
+  stats::TablePrinter tp({"mechanism", "c0(G)", "c1(G)", "c2(G)", "c3(G)",
+                          "max err", "host cores"});
+  auto add = [&](const char* name, const Outcome& o) {
+    tp.add_row({name, stats::TablePrinter::fmt(o.gbps[0]),
+                stats::TablePrinter::fmt(o.gbps[1]), stats::TablePrinter::fmt(o.gbps[2]),
+                stats::TablePrinter::fmt(o.gbps[3]),
+                stats::TablePrinter::fmt(o.max_err_pct, 1) + "%",
+                stats::TablePrinter::fmt(o.cores)});
+  };
+
+  {  // FlowValve on the NP.
+    sim::Simulator sim;
+    np::NpConfig nic = np::agilio_cx_40g();
+    core::FlowValveEngine engine(np::engine_options_for(nic));
+    std::string script = "fv qdisc add dev nic0 root handle 1: htb rate 10gbit\n";
+    for (int i = 0; i < 4; ++i) {
+      script += "fv class add dev nic0 parent 1: classid 1:1" + std::to_string(i) +
+                " name c" + std::to_string(i) + " weight " + std::to_string(4 - i) +
+                "\n";
+      script += "fv filter add dev nic0 pref " + std::to_string(10 + i) + " vf " +
+                std::to_string(i) + " classid 1:1" + std::to_string(i) + "\n";
+    }
+    if (!engine.configure(script).empty()) return 1;
+    np::FlowValveProcessor proc(engine);
+    np::NicPipeline pipeline(sim, nic, proc);
+    add("FlowValve (NP offload)", drive(sim, pipeline, seed, 0.02));
+  }
+  {  // Carousel.
+    sim::Simulator sim;
+    baseline::CarouselConfig cfg;
+    baseline::CarouselShaper shaper(sim, cfg);
+    shaper.set_rate_policy([](const net::Packet& p) {
+      return sim::Rate::gigabits_per_sec(kSharesG[p.app_id % 4]);
+    });
+    shaper.start();
+    Outcome o = drive(sim, shaper, seed, 0.0);
+    o.cores = shaper.cores_used(sim.now());
+    add("Carousel timing wheel", o);
+  }
+  {  // DPDK QoS.
+    sim::Simulator sim;
+    baseline::DpdkQosConfig cfg;
+    cfg.port_rate = sim::Rate::gigabits_per_sec(10);
+    baseline::DpdkQosScheduler sched(sim, cfg);
+    for (int i = 0; i < 4; ++i) {
+      baseline::DpdkPipeConfig pipe;
+      pipe.name = "c" + std::to_string(i);
+      pipe.rate = sim::Rate::gigabits_per_sec(kSharesG[i]);
+      pipe.queues.push_back({"q", 0, 1.0});
+      sched.add_pipe(pipe);
+    }
+    sched.set_classifier([](const net::Packet& p) {
+      return "c" + std::to_string(p.app_id % 4) + "/q";
+    });
+    sched.start();
+    Outcome o = drive(sim, sched, seed, sched.cores_used());
+    add("DPDK QoS Scheduler (1c)", o);
+  }
+  {  // Idealized kernel HTB (artifacts off).
+    sim::Simulator sim;
+    auto htb = std::make_unique<baseline::HtbQdisc>(sim::Rate::gigabits_per_sec(10),
+                                                    sim::Rate::gigabits_per_sec(10));
+    for (int i = 0; i < 4; ++i) {
+      baseline::HtbClassConfig c;
+      c.name = "c" + std::to_string(i);
+      c.rate = sim::Rate::gigabits_per_sec(kSharesG[i]);
+      c.ceil = sim::Rate::gigabits_per_sec(kSharesG[i]);
+      c.queue_limit = 128;
+      htb->add_class(c);
+    }
+    htb->set_classifier(
+        [](const net::Packet& p) { return "c" + std::to_string(p.app_id % 4); });
+    baseline::KernelHostConfig host;
+    host.wire_rate = sim::Rate::gigabits_per_sec(40);
+    baseline::KernelHostDevice device(sim, host, std::move(htb));
+    Outcome o = drive(sim, device, seed, 0.0);
+    o.cores = device.cores_used(kEnd);
+    add("kernel HTB (per-MTU skbs)", o);
+  }
+  tp.print();
+  std::printf(
+      "\nFlowValve, Carousel and DPDK all enforce the shares on CBR traffic; the\n"
+      "differentiators are where the CPU burns (host cores column) and behaviour\n"
+      "under TCP/jitter (figs. 3, 11, 14). The kernel row collapses because\n"
+      "per-MTU skbs hit the global qdisc lock's ~0.9 Mpps ceiling — the locking\n"
+      "overhead [23] the paper cites as the root cause of kernel inaccuracy.\n");
+  return 0;
+}

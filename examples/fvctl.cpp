@@ -1,0 +1,147 @@
+// fvctl — a command-line harness around the FlowValve library: load an fv
+// policy script from a file, attach greedy TCP apps to VF ports, run the
+// simulated SmartNIC, and print per-app throughput over time.
+//
+// Usage:
+//   fvctl POLICY.fv [--apps N] [--seconds S] [--conns C] [--wire GBPS]
+//                    [--seed SEED] [--csv out.csv]
+//
+// Example policy file (see README for the grammar):
+//   fv qdisc add dev nic0 root handle 1: htb rate 10gbit
+//   fv class add dev nic0 parent 1: classid 1:10 name gold weight 2
+//   fv class add dev nic0 parent 1: classid 1:11 name silver weight 1
+//   fv filter add dev nic0 pref 1 vf 0 classid 1:10
+//   fv filter add dev nic0 pref 2 vf 1 classid 1:11
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/flowvalve.h"
+#include "core/introspect.h"
+#include "exp/scenarios.h"
+#include "np/flowvalve_processor.h"
+#include "np/nic_pipeline.h"
+#include "sim/simulator.h"
+#include "stats/series_export.h"
+#include "traffic/app.h"
+
+using namespace flowvalve;
+
+namespace {
+
+struct Args {
+  std::string policy_path;
+  unsigned apps = 2;
+  double seconds = 5.0;
+  unsigned conns = 1;
+  double wire_gbps = 40.0;
+  std::uint64_t seed = 42;
+  std::string csv_path;
+};
+
+bool parse_args(int argc, char** argv, Args* out) {
+  if (argc < 2) return false;
+  out->policy_path = argv[1];
+  for (int i = 2; i + 1 < argc; i += 2) {
+    const std::string key = argv[i];
+    const char* val = argv[i + 1];
+    if (key == "--apps") out->apps = static_cast<unsigned>(std::atoi(val));
+    else if (key == "--seconds") out->seconds = std::atof(val);
+    else if (key == "--conns") out->conns = static_cast<unsigned>(std::atoi(val));
+    else if (key == "--wire") out->wire_gbps = std::atof(val);
+    else if (key == "--seed") out->seed = std::strtoull(val, nullptr, 10);
+    else if (key == "--csv") out->csv_path = val;
+    else return false;
+  }
+  return out->apps > 0 && out->seconds > 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parse_args(argc, argv, &args)) {
+    std::fprintf(stderr,
+                 "usage: %s POLICY.fv [--apps N] [--seconds S] [--conns C]\n"
+                 "          [--wire GBPS] [--seed SEED] [--csv out.csv]\n",
+                 argv[0]);
+    return 2;
+  }
+
+  std::ifstream policy_file(args.policy_path);
+  if (!policy_file) {
+    std::fprintf(stderr, "cannot open policy file '%s'\n", args.policy_path.c_str());
+    return 1;
+  }
+  std::stringstream policy;
+  policy << policy_file.rdbuf();
+
+  sim::Simulator simulator;
+  np::NpConfig nic = np::agilio_cx_40g();
+  nic.wire_rate = sim::Rate::gigabits_per_sec(args.wire_gbps);
+
+  core::FlowValveEngine engine(exp::superpacket_engine_options(nic));
+  try {
+    const std::string err = engine.configure(policy.str());
+    if (!err.empty()) {
+      std::fprintf(stderr, "policy error: %s\n", err.c_str());
+      return 1;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "policy parse error: %s\n", e.what());
+    return 1;
+  }
+
+  np::FlowValveProcessor processor(engine);
+  np::NicPipeline pipeline(simulator, nic, processor);
+  sim::Rng rng(args.seed);
+  traffic::IdAllocator ids;
+  traffic::FlowRouter router(pipeline);
+
+  std::vector<std::unique_ptr<stats::ThroughputSeries>> series;
+  std::vector<std::unique_ptr<traffic::AppProcess>> apps;
+  std::vector<stats::NamedSeries> named;
+  for (unsigned i = 0; i < args.apps; ++i) {
+    series.push_back(std::make_unique<stats::ThroughputSeries>(sim::milliseconds(100)));
+    router.track_app(i, series.back().get());
+    traffic::AppConfig cfg;
+    cfg.name = "app" + std::to_string(i);
+    cfg.app_id = i;
+    cfg.vf_port = static_cast<std::uint16_t>(i);
+    cfg.num_connections = args.conns;
+    cfg.wire_bytes = exp::kSuperPacketBytes;
+    cfg.tcp.max_rate = nic.wire_rate * 1.4;
+    cfg.tcp.additive_increase = nic.wire_rate * 0.02;
+    cfg.tcp.md_factor = 0.9;
+    auto app = std::make_unique<traffic::AppProcess>(simulator, router, ids, cfg,
+                                                     rng.split(cfg.name));
+    app->start();
+    named.push_back({cfg.name, series.back().get()});
+    apps.push_back(std::move(app));
+  }
+
+  const sim::SimTime horizon = sim::seconds_f(args.seconds);
+  simulator.run_until(horizon);
+
+  std::printf("fvctl — %s | %u apps × %u conns | wire %.0fG | %.1fs | seed %llu\n\n",
+              args.policy_path.c_str(), args.apps, args.conns, args.wire_gbps,
+              args.seconds, static_cast<unsigned long long>(args.seed));
+  std::printf("%s\n",
+              stats::series_to_table(named, horizon, sim::seconds_f(args.seconds / 10.0))
+                  .c_str());
+
+  std::printf("fv class show (%s):\n%s\n",
+              core::render_engine_summary(engine).c_str(),
+              core::render_class_show(engine.tree()).c_str());
+
+  if (!args.csv_path.empty()) {
+    if (stats::write_series_csv(args.csv_path, named, horizon))
+      std::printf("\nwrote %s\n", args.csv_path.c_str());
+    else
+      std::fprintf(stderr, "\nfailed to write %s\n", args.csv_path.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Jitter-sensitive workloads: the paper's §V-B observation that FlowValve
+// "almost causes no variations in delay ... making it suitable for
+// scheduling jitter-sensitive workloads, e.g., the video traffic."
+//
+// A 30 Mbps "video" stream shares the egress with four greedy TCP apps,
+// once through kernel HTB and once through NP-offloaded FlowValve. We
+// report the video stream's one-way delay distribution under both.
+#include <cstdio>
+
+#include "exp/scenarios.h"
+
+using namespace flowvalve;
+
+int main() {
+  std::printf("Jitter-sensitive video stream under fair-queueing load @10G\n\n");
+
+  const auto htb = exp::run_fig14_htb(/*seed=*/3);
+  const auto fv = exp::run_fig14_flowvalve(sim::Rate::gigabits_per_sec(10), /*seed=*/3);
+
+  auto report = [](const exp::DelayResult& r) {
+    std::printf("  %-16s mean %7.2f us   stddev %6.2f us   p50 %7.2f   p99 %7.2f\n",
+                r.label.c_str(), r.mean_us, r.stddev_us, r.p50_us, r.p99_us);
+  };
+  report(htb);
+  report(fv);
+
+  const double jitter_ratio = htb.stddev_us / (fv.stddev_us > 0 ? fv.stddev_us : 1e-9);
+  std::printf("\nDelay variation under the kernel scheduler is %.1fx FlowValve's.\n",
+              jitter_ratio);
+  std::printf(
+      "Why: the kernel path batches GSO-sized bursts through a contended qdisc\n"
+      "lock, so the video packets' wait varies with whatever burst is in front\n"
+      "of them. FlowValve never queues per class — admitted packets go straight\n"
+      "into a shallow wire FIFO, so delay is dominated by fixed pipeline\n"
+      "constants. For a 33 ms video frame budget, p99 jitter is what causes\n"
+      "visible stutter — compare the p99 columns above.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Multi-tenant isolation: the paper's motivating datacenter scenario
+// (Fig. 2) — a host runs two guest VMs plus a management controller, each
+// sending through its own SR-IOV virtual function, with a nested QoS policy
+// enforced entirely on the SmartNIC.
+//
+// Shows: hierarchical weights, strict priority for the controller, a
+// bandwidth guarantee for the ML service, and work-conserving borrowing as
+// tenants come and go.
+#include <cstdio>
+
+#include "exp/scenarios.h"
+
+using namespace flowvalve;
+
+int main() {
+  // The motivation policy and a staged tenant timeline are packaged in the
+  // experiment library; this example runs them and narrates the result.
+  std::printf("Multi-tenant isolation on a 10G budget (NP-offloaded FlowValve)\n");
+  std::printf("Policy: NC strictly prior (ceil 7.5G, may borrow);\n");
+  std::printf("        vm1 (KVS+ML) : vm2 (WS) = 2 : 1;\n");
+  std::printf("        KVS prior over ML; ML guaranteed 2 Gbps.\n");
+  std::printf("Timeline: NC 0-15s | KVS 15-45s | ML 15-60s | WS 30-60s\n\n");
+
+  const auto result = exp::run_fig11a_fv_motivation(/*seed=*/7);
+
+  std::printf("%s\n", result.table(sim::seconds(5)).c_str());
+  std::printf("%s\n", result.ascii_chart(sim::Rate::gigabits_per_sec(10)).c_str());
+
+  struct Check {
+    const char* what;
+    double got;
+    double want;
+  };
+  const Check checks[] = {
+      {"NC alone reaches the full budget (ceil + borrowing)",
+       result.mean_rate("NC", 5, 15).gbps(), 10.0},
+      {"ML never starves below its 2G guarantee (KVS greedy)",
+       result.mean_rate("ML", 20, 30).gbps(), 2.0},
+      {"WS takes its 1/3 share when it joins", result.mean_rate("WS", 35, 45).gbps(),
+       3.3},
+      {"ML absorbs KVS's share after it leaves", result.mean_rate("ML", 50, 60).gbps(),
+       6.6},
+  };
+  std::printf("Isolation checkpoints (measured vs intended):\n");
+  for (const auto& c : checks)
+    std::printf("  %-52s %5.2f / %4.1f Gbps\n", c.what, c.got, c.want);
+  std::printf("\nHost CPU spent on scheduling: %.2f cores (fully offloaded)\n",
+              result.host_cores_used);
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Quickstart: configure FlowValve with a tc-style fv script, run traffic
+// through the simulated NP SmartNIC, and read back per-class results.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/flowvalve.h"
+#include "np/flowvalve_processor.h"
+#include "np/nic_pipeline.h"
+#include "sim/simulator.h"
+#include "stats/stats.h"
+#include "traffic/generators.h"
+
+using namespace flowvalve;
+
+int main() {
+  // 1. A discrete-event clock drives everything.
+  sim::Simulator simulator;
+
+  // 2. Describe the NIC: a Netronome-style 40GbE NP SmartNIC.
+  np::NpConfig nic = np::agilio_cx_40g();
+
+  // 3. Declare QoS policy exactly as an admin would with the fv CLI:
+  //    two tenants share a 10 Gbps budget 2:1; "gold" may borrow whatever
+  //    "silver" leaves unused (and vice versa). Filters classify by the
+  //    SR-IOV virtual function a packet arrives on.
+  core::FlowValveEngine engine(np::engine_options_for(nic));
+  const std::string err = engine.configure(R"(
+    fv qdisc add dev nic0 root handle 1: htb rate 10gbit
+    fv class add dev nic0 parent 1: classid 1:10 name gold   weight 2
+    fv class add dev nic0 parent 1: classid 1:11 name silver weight 1
+    fv borrow add dev nic0 classid 1:10 from 1:11
+    fv borrow add dev nic0 classid 1:11 from 1:10
+    fv filter add dev nic0 pref 10 vf 0 classid 1:10
+    fv filter add dev nic0 pref 11 vf 1 classid 1:11
+  )");
+  if (!err.empty()) {
+    std::fprintf(stderr, "fv config error: %s\n", err.c_str());
+    return 1;
+  }
+
+  // 4. Plug the engine into the NIC's worker micro-engines.
+  np::FlowValveProcessor processor(engine);
+  np::NicPipeline pipeline(simulator, nic, processor);
+
+  // 5. Offer more traffic than each tenant is entitled to: 8 Gbps each
+  //    against shares of 6.67 / 3.33 Gbps.
+  sim::Rng rng(1);
+  traffic::IdAllocator ids;
+  traffic::FlowRouter router(pipeline);
+  auto make_flow = [&](std::uint16_t vf) {
+    traffic::FlowSpec spec;
+    spec.flow_id = ids.next_flow_id();
+    spec.app_id = vf;
+    spec.vf_port = vf;
+    spec.wire_bytes = 1518;
+    spec.tuple.src_ip = 0x0a000001u + vf;
+    spec.tuple.dst_ip = 0x0a000002;
+    spec.tuple.src_port = static_cast<std::uint16_t>(40000 + vf);
+    spec.tuple.dst_port = 5001;
+    return std::make_unique<traffic::CbrFlow>(simulator, router, ids, spec,
+                                              sim::Rate::gigabits_per_sec(8),
+                                              rng.split(vf), 0.02);
+  };
+  auto gold = make_flow(0);
+  auto silver = make_flow(1);
+  gold->start();
+  silver->start();
+
+  // 6. Run one virtual second.
+  simulator.run_until(sim::seconds(1));
+
+  // 7. Inspect the scheduling tree: θ (token rate), Γ (measured consumption),
+  //    forwarded bytes and the drops FlowValve performed instead of queueing.
+  std::printf("FlowValve quickstart — 10G policy, gold:silver = 2:1, 8G offered each\n\n");
+  stats::TablePrinter table({"class", "theta(Gbps)", "gamma(Gbps)", "delivered(Gbps)",
+                             "drops"});
+  const auto& tree = engine.tree();
+  for (core::ClassId id = 0; id < tree.size(); ++id) {
+    const auto& c = tree.at(id);
+    table.add_row({c.name, stats::TablePrinter::fmt(c.theta.gbps()),
+                   stats::TablePrinter::fmt(c.gamma().gbps()),
+                   stats::TablePrinter::fmt(static_cast<double>(c.fwd_bytes) * 8.0 / 1e9),
+                   std::to_string(c.drop_packets)});
+  }
+  table.print();
+
+  std::printf("\nExpect gold ≈ 6.6 Gbps and silver ≈ 3.3 Gbps: the 2:1 policy, "
+              "enforced by\nper-class token buckets on the NIC — no host CPU, no "
+              "deep NIC queues.\n");
+  std::printf("Flow cache hit rate: %.1f%%\n",
+              engine.classifier().cache().stats().hit_rate() * 100.0);
+  return 0;
+}

@@ -1,0 +1,103 @@
+#include "baseline/carousel.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace flowvalve::baseline {
+
+CarouselShaper::CarouselShaper(sim::Simulator& sim, CarouselConfig config)
+    : sim_(sim), config_(config) {
+  slots_.resize(config_.num_slots);
+}
+
+CarouselShaper::~CarouselShaper() = default;
+
+void CarouselShaper::start() {
+  wheel_epoch_ = sim_.now();
+  ticker_ = std::make_unique<sim::PeriodicTimer>(sim_, config_.slot_width,
+                                                 [this] { tick(); });
+  ticker_->start();
+}
+
+bool CarouselShaper::submit(net::Packet pkt) {
+  assert(rate_of_ && ticker_ && "set a rate policy and call start()");
+  stats_.cpu_cycles += config_.cycles_per_packet;
+  const Rate rate = rate_of_(pkt);
+  if (rate.is_zero()) {
+    ++stats_.policy_drops;
+    notify_drop(pkt);
+    return false;
+  }
+
+  // Timestamping: the flow's next release time advances by the packet's
+  // serialization time at the pacing rate (leaky-bucket pacing). Keying by
+  // app id matches how the benches express per-class policies.
+  const SimTime now = sim_.now();
+  SimTime& next = next_release_[pkt.app_id];
+  const SimTime release = std::max(now, next);
+
+  // Bounded wheel: beyond-horizon releases are dropped (Carousel's
+  // "deferred completion" backpressure appears to our TCP as loss, which is
+  // the same signal its socket-level mechanism ultimately produces). A
+  // dropped packet must not consume pacing budget, so the release clock
+  // only advances for admitted packets.
+  const SimTime horizon =
+      wheel_epoch_ + static_cast<SimTime>(config_.num_slots) * config_.slot_width;
+  if (release >= horizon) {
+    ++stats_.horizon_drops;
+    notify_drop(pkt);
+    return false;
+  }
+  next = release + rate.serialization_delay(pkt.wire_occupancy_bytes());
+
+  const auto offset = static_cast<std::size_t>((release - wheel_epoch_) /
+                                               config_.slot_width);
+  const std::size_t slot = (cursor_ + offset) % config_.num_slots;
+  pkt.nic_arrival = now;
+  slots_[slot].push_back(std::move(pkt));
+  ++backlog_;
+  ++stats_.enqueued;
+  return true;
+}
+
+void CarouselShaper::tick() {
+  // Drain the slot under the hand into the wire FIFO, then advance.
+  auto& slot = slots_[cursor_];
+  while (!slot.empty()) {
+    stats_.cpu_cycles += config_.cycles_per_packet / 2;  // extraction half
+    wire_fifo_.push_back(std::move(slot.front()));
+    slot.pop_front();
+    --backlog_;
+  }
+  cursor_ = (cursor_ + 1) % config_.num_slots;
+  wheel_epoch_ += config_.slot_width;
+  wire_drain();
+}
+
+void CarouselShaper::wire_drain() {
+  if (wire_busy_ || wire_fifo_.empty()) return;
+  wire_busy_ = true;
+  net::Packet pkt = std::move(wire_fifo_.front());
+  wire_fifo_.pop_front();
+  const SimDuration ser =
+      config_.wire_rate.serialization_delay(pkt.wire_occupancy_bytes());
+  sim_.schedule_after(ser, [this, pkt = std::move(pkt)]() mutable {
+    wire_busy_ = false;
+    pkt.wire_tx_done = sim_.now();
+    ++stats_.transmitted;
+    stats_.wire_bytes += pkt.wire_bytes;
+    sim_.schedule_after(config_.fixed_delay, [this, pkt = std::move(pkt)]() mutable {
+      pkt.delivered_at = sim_.now();
+      deliver(pkt);
+    });
+    wire_drain();
+  });
+}
+
+double CarouselShaper::cores_used(SimTime now) const {
+  if (now <= 0) return 0.0;
+  return static_cast<double>(stats_.cpu_cycles) /
+         (config_.core_freq_ghz * static_cast<double>(now));
+}
+
+}  // namespace flowvalve::baseline

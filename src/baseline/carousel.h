@@ -1,0 +1,91 @@
+// Carousel-style timing-wheel shaper (related work, §VII: Carousel [4]).
+//
+// Carousel scales end-host shaping by replacing per-class queues with a
+// single timing wheel: every packet gets a release timestamp from its
+// flow's pacing rate and is buffered in the wheel slot covering that time;
+// a single core drains due slots. It is the strongest *software* shaping
+// design the paper cites, so we implement it as an extra comparator: very
+// accurate and cheap per packet, but still a host-CPU consumer and still a
+// buffering shaper (delay grows with backlog) — in contrast to FlowValve's
+// on-NIC drop-based valve.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/device.h"
+#include "sim/simulator.h"
+
+namespace flowvalve::baseline {
+
+using sim::Rate;
+using sim::SimDuration;
+using sim::SimTime;
+
+struct CarouselConfig {
+  Rate wire_rate = Rate::gigabits_per_sec(10);
+  /// Wheel slot granularity; Carousel's paper uses single-digit µs slots.
+  SimDuration slot_width = sim::microseconds(8);
+  /// Wheel horizon: packets whose release time falls beyond it are dropped
+  /// at enqueue (the wheel is a bounded buffer by construction).
+  std::size_t num_slots = 4096;
+  /// Per-packet host CPU cost of timestamping + wheel insert + extraction.
+  std::uint32_t cycles_per_packet = 450;
+  double core_freq_ghz = 2.3;
+  SimDuration fixed_delay = sim::microseconds(8);
+};
+
+class CarouselShaper final : public net::EgressDevice {
+ public:
+  CarouselShaper(sim::Simulator& sim, CarouselConfig config);
+  ~CarouselShaper() override;
+
+  /// Pacing-rate policy: returns the per-class rate for a packet (the rate
+  /// limit Carousel would receive from its policy layer). Zero = drop.
+  void set_rate_policy(std::function<Rate(const net::Packet&)> fn) {
+    rate_of_ = std::move(fn);
+  }
+
+  void start();
+  bool submit(net::Packet pkt) override;
+
+  struct Stats {
+    std::uint64_t enqueued = 0;
+    std::uint64_t horizon_drops = 0;  // release time beyond the wheel
+    std::uint64_t policy_drops = 0;   // no pacing rate for the packet
+    std::uint64_t transmitted = 0;
+    std::uint64_t wire_bytes = 0;
+    std::uint64_t cpu_cycles = 0;
+  };
+  const Stats& stats() const { return stats_; }
+  std::size_t backlog() const { return backlog_; }
+
+  /// CPU cores consumed by the shaper so far (Σ cycles / freq / elapsed).
+  double cores_used(SimTime now) const;
+
+ private:
+  void tick();
+  void wire_drain();
+
+  sim::Simulator& sim_;
+  CarouselConfig config_;
+  std::function<Rate(const net::Packet&)> rate_of_;
+
+  std::vector<std::deque<net::Packet>> slots_;
+  std::size_t cursor_ = 0;          // slot under the drain hand
+  SimTime wheel_epoch_ = 0;         // time of the cursor slot's left edge
+  // Per-class pacing state: next allowed release time.
+  std::unordered_map<std::uint32_t, SimTime> next_release_;
+
+  std::deque<net::Packet> wire_fifo_;
+  bool wire_busy_ = false;
+  std::size_t backlog_ = 0;
+  std::unique_ptr<sim::PeriodicTimer> ticker_;
+  Stats stats_;
+};
+
+}  // namespace flowvalve::baseline

@@ -1,0 +1,184 @@
+#include "baseline/dpdk_sched.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace flowvalve::baseline {
+
+DpdkQosScheduler::DpdkQosScheduler(sim::Simulator& sim, DpdkQosConfig config)
+    : sim_(sim), config_(config), jitter_rng_(config.jitter_seed) {}
+
+void DpdkQosScheduler::add_pipe(const DpdkPipeConfig& cfg) {
+  Pipe p;
+  p.cfg = cfg;
+  for (const auto& qc : cfg.queues) {
+    Queue q;
+    q.cfg = qc;
+    p.queues.push_back(std::move(q));
+  }
+  // Pipe token bucket: ~4 ms of burst, floored at 2 MTU, like rte_sched's
+  // default tb_size relative to rate.
+  p.tb_burst = std::max(cfg.rate.bytes_per_ns() * 4e6, 2.0 * 1518.0);
+  p.tb_tokens = p.tb_burst;
+  pipes_.push_back(std::move(p));
+}
+
+void DpdkQosScheduler::start() {
+  assert(!started_);
+  started_ = true;
+  poll_timer_ = std::make_unique<sim::PeriodicTimer>(sim_, config_.poll_interval,
+                                                     [this] { poll(); });
+  poll_timer_->start();
+}
+
+int DpdkQosScheduler::find_queue(const std::string& pipe_queue, int* pipe_idx) const {
+  const auto slash = pipe_queue.find('/');
+  const std::string pipe_name =
+      slash == std::string::npos ? pipe_queue : pipe_queue.substr(0, slash);
+  const std::string queue_name =
+      slash == std::string::npos ? std::string() : pipe_queue.substr(slash + 1);
+  for (std::size_t pi = 0; pi < pipes_.size(); ++pi) {
+    if (pipes_[pi].cfg.name != pipe_name) continue;
+    if (pipe_idx) *pipe_idx = static_cast<int>(pi);
+    if (queue_name.empty()) return pipes_[pi].queues.empty() ? -1 : 0;
+    for (std::size_t qi = 0; qi < pipes_[pi].queues.size(); ++qi)
+      if (pipes_[pi].queues[qi].cfg.name == queue_name) return static_cast<int>(qi);
+    return -1;
+  }
+  if (pipe_idx) *pipe_idx = -1;
+  return -1;
+}
+
+bool DpdkQosScheduler::submit(net::Packet pkt) {
+  assert(started_ && classify_);
+  ++stats_.submitted;
+  int pipe_idx = -1;
+  const int qi = find_queue(classify_(pkt), &pipe_idx);
+  if (pipe_idx < 0 || qi < 0) {
+    ++stats_.classify_drops;
+    notify_drop(pkt);
+    return false;
+  }
+  Queue& q = pipes_[static_cast<std::size_t>(pipe_idx)].queues[static_cast<std::size_t>(qi)];
+  if (q.q.size() >= config_.queue_limit) {
+    ++stats_.queue_drops;
+    notify_drop(pkt);
+    return false;
+  }
+  pkt.nic_arrival = sim_.now();
+  q.q.push_back(std::move(pkt));
+  return true;
+}
+
+bool DpdkQosScheduler::wire_has_room() const {
+  // Port credits: the run loop may schedule at most ~two poll intervals of
+  // wire time ahead, mirroring rte_sched's port token bucket. Without this
+  // the scheduler would burst unboundedly ahead of the line.
+  return wire_free_at_ < sim_.now() + 2 * config_.poll_interval;
+}
+
+void DpdkQosScheduler::poll() {
+  ++stats_.polls;
+  const SimTime now = sim_.now();
+  // CPU budget for this poll: how many packets the run cores can push
+  // through the enqueue+dequeue pipeline in one interval.
+  std::uint64_t budget = static_cast<std::uint64_t>(
+      config_.effective_pps() * sim::to_seconds(config_.poll_interval));
+  budget = std::max<std::uint64_t>(budget, 1);
+
+  while (budget > 0 && wire_has_room()) {
+    // Grinder: visit pipes round-robin.
+    bool progress = false;
+    for (std::size_t visited = 0; visited < pipes_.size(); ++visited) {
+      Pipe& pipe = pipes_[grinder_];
+      grinder_ = (grinder_ + 1) % pipes_.size();
+
+      // Replenish the pipe token bucket.
+      if (!pipe.cfg.rate.is_zero()) {
+        const SimDuration dt = now - pipe.tb_last;
+        if (dt > 0) {
+          pipe.tb_tokens = std::min(
+              pipe.tb_burst,
+              pipe.tb_tokens + pipe.cfg.rate.bytes_per_ns() * static_cast<double>(dt));
+          pipe.tb_last = now;
+        }
+      }
+
+      // Highest-priority non-empty TC.
+      int best_tc = -1;
+      for (const auto& q : pipe.queues)
+        if (!q.q.empty() &&
+            (best_tc < 0 || static_cast<int>(q.cfg.tc) < best_tc))
+          best_tc = static_cast<int>(q.cfg.tc);
+      if (best_tc < 0) continue;
+
+      // WRR among the TC's queues: pick the non-empty queue with the
+      // largest credit; replenish credits when all are exhausted.
+      Queue* pick = nullptr;
+      for (int pass = 0; pass < 2 && pick == nullptr; ++pass) {
+        double best_credit = 0.0;
+        for (auto& q : pipe.queues) {
+          if (q.q.empty() || static_cast<int>(q.cfg.tc) != best_tc) continue;
+          if (q.wrr_credit >= static_cast<double>(q.q.front().wire_bytes) &&
+              (pick == nullptr || q.wrr_credit > best_credit)) {
+            pick = &q;
+            best_credit = q.wrr_credit;
+          }
+        }
+        if (pick == nullptr) {
+          for (auto& q : pipe.queues)
+            if (!q.q.empty() && static_cast<int>(q.cfg.tc) == best_tc)
+              q.wrr_credit += q.cfg.wrr_weight * 4.0 * 1518.0;
+        }
+      }
+      if (pick == nullptr) continue;
+
+      // Pipe shaping: skip the pipe if its bucket lacks tokens.
+      const std::uint32_t bytes = pick->q.front().wire_bytes;
+      if (!pipe.cfg.rate.is_zero() && pipe.tb_tokens < static_cast<double>(bytes))
+        continue;
+
+      net::Packet pkt = std::move(pick->q.front());
+      pick->q.pop_front();
+      pick->wrr_credit -= static_cast<double>(bytes);
+      if (!pipe.cfg.rate.is_zero()) pipe.tb_tokens -= static_cast<double>(bytes);
+      push_to_wire(std::move(pkt));
+      --budget;
+      progress = true;
+      break;
+    }
+    if (!progress) break;
+  }
+}
+
+void DpdkQosScheduler::push_to_wire(net::Packet pkt) {
+  const SimDuration ser = config_.port_rate.serialization_delay(pkt.wire_occupancy_bytes());
+  const SimTime tx_start = std::max(sim_.now(), wire_free_at_);
+  wire_free_at_ = tx_start + ser;
+  // Contention jitter on the receive path (does not gate the wire).
+  const double jitter_mean =
+      static_cast<double>(config_.contention_jitter_mean) *
+      (1.0 + 0.5 * (static_cast<double>(config_.run_cores) - 1.0));
+  const auto jitter = static_cast<SimDuration>(jitter_rng_.exponential(jitter_mean));
+  sim_.schedule_at(wire_free_at_, [this, pkt = std::move(pkt), jitter]() mutable {
+    pkt.wire_tx_done = sim_.now();
+    ++stats_.transmitted;
+    stats_.wire_bytes += pkt.wire_bytes;
+    sim_.schedule_after(config_.fixed_delay + jitter,
+                        [this, pkt = std::move(pkt)]() mutable {
+      pkt.delivered_at = sim_.now();
+      deliver(pkt);
+    });
+  });
+}
+
+std::uint64_t DpdkQosScheduler::queue_backlog(const std::string& pipe_queue) const {
+  int pipe_idx = -1;
+  const int qi = find_queue(pipe_queue, &pipe_idx);
+  if (pipe_idx < 0 || qi < 0) return 0;
+  return pipes_[static_cast<std::size_t>(pipe_idx)]
+      .queues[static_cast<std::size_t>(qi)]
+      .q.size();
+}
+
+}  // namespace flowvalve::baseline

@@ -1,0 +1,136 @@
+#include "baseline/kernel_host.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace flowvalve::baseline {
+
+KernelHostDevice::KernelHostDevice(sim::Simulator& sim, KernelHostConfig config,
+                                   std::unique_ptr<Qdisc> root)
+    : sim_(sim), config_(config), root_(std::move(root)) {
+  core_busy_until_.assign(config_.sender_cores, 0);
+  core_busy_ns_.assign(config_.sender_cores, 0);
+}
+
+bool KernelHostDevice::submit(net::Packet pkt) {
+  ++stats_.submitted;
+  const sim::SimTime now = sim_.now();
+  const unsigned core = pkt.app_id % config_.sender_cores;
+
+  // Socket-buffer backpressure: if the sender core has accumulated more
+  // than core_backlog_limit of pending work, the app's send fails (models
+  // a full sk_buff queue → immediate loss signal to our TCP model).
+  if (core_busy_until_[core] > now + config_.core_backlog_limit) {
+    ++stats_.socket_drops;
+    notify_drop(pkt);
+    return false;
+  }
+
+  const sim::SimTime start = std::max(now, core_busy_until_[core]);
+  // Stack + enqueue work, plus the global qdisc lock. The lock is modeled
+  // at submission time (not at the future instant the core reaches the
+  // enqueue) so that its busy window stays coherent with the drain side's
+  // acquisitions; the wait still lands on this sender's core budget.
+  const double cycles = static_cast<double>(config_.per_skb_cycles) +
+                        config_.cycles_per_byte * static_cast<double>(pkt.wire_bytes);
+  const sim::SimDuration work =
+      static_cast<sim::SimDuration>(cycles / config_.core_freq_ghz);
+  const sim::SimDuration lock_wait = qdisc_lock_.acquire(now, config_.lock_hold);
+  const sim::SimDuration busy = work + lock_wait + config_.lock_hold;
+  core_busy_until_[core] = start + busy;
+  core_busy_ns_[core] += static_cast<std::uint64_t>(busy);
+
+  // The enqueue lands when the core finishes the send path.
+  sim_.schedule_at(core_busy_until_[core], [this, pkt = std::move(pkt)]() mutable {
+    pkt.nic_arrival = sim_.now();
+    // Enqueue by copy so the packet is still intact for drop reporting.
+    if (!root_->enqueue(pkt, sim_.now())) {
+      ++stats_.qdisc_drops;
+      notify_drop(pkt);
+      return;
+    }
+    kick_drain();
+  });
+  return true;
+}
+
+void KernelHostDevice::kick_drain() {
+  if (drain_armed_) return;
+  drain_armed_ = true;
+  sim_.schedule_after(0, [this] {
+    drain_armed_ = false;
+    drain_step();
+  });
+}
+
+void KernelHostDevice::drain_step() {
+  // Pipeline driver work with wire serialization. The driver TX ring holds a
+  // few skbs ahead of the wire (BQL-ish depth): enough to keep the link busy,
+  // and — with GSO-sized skbs — a real head-of-line jitter source for
+  // latency-sensitive traffic behind it.
+  while (in_flight_ < 4) {
+    const sim::SimTime now = sim_.now();
+    auto pkt = root_->dequeue(now);
+    if (!pkt) {
+      const sim::SimTime next = root_->next_event(now);
+      if (next == sim::kSimTimeMax || in_flight_ > 0) return;
+      const sim::SimTime at = std::max(next, now + 500);
+      if (!retry_armed_) {
+        retry_armed_ = true;
+        sim_.schedule_at(at, [this] {
+          retry_armed_ = false;
+          drain_step();
+        });
+      }
+      return;
+    }
+
+    // Transmit work: charged to the softirq core. qdisc_run holds the qdisc
+    // lock for the whole dequeue+xmit of the skb (not just a touch), which
+    // is what concurrent enqueuers actually contend with — and a large part
+    // of the kernel path's delay jitter once skbs are GSO-sized.
+    const double cycles =
+        static_cast<double>(config_.xmit_skb_cycles) +
+        config_.xmit_cycles_per_byte * static_cast<double>(pkt->wire_bytes);
+    const sim::SimDuration work =
+        static_cast<sim::SimDuration>(cycles / config_.core_freq_ghz);
+    const sim::SimDuration lock_wait = qdisc_lock_.acquire(now, work);
+    const sim::SimDuration busy = work + lock_wait;
+    softirq_busy_ns_ += static_cast<std::uint64_t>(busy);
+
+    const sim::SimDuration ser =
+        config_.wire_rate.serialization_delay(pkt->wire_occupancy_bytes());
+    const sim::SimTime ready = now + busy;
+    const sim::SimTime tx_start = std::max(ready, wire_free_at_);
+    wire_free_at_ = tx_start + ser;
+    ++in_flight_;
+    sim_.schedule_at(wire_free_at_, [this, pkt = std::move(*pkt)]() mutable {
+      --in_flight_;
+      pkt.wire_tx_done = sim_.now();
+      ++stats_.transmitted;
+      stats_.wire_bytes += pkt.wire_bytes;
+      sim_.schedule_after(config_.fixed_delay, [this, pkt = std::move(pkt)]() mutable {
+        pkt.delivered_at = sim_.now();
+        deliver(pkt);
+      });
+      drain_step();
+    });
+  }
+}
+
+std::vector<double> KernelHostDevice::core_utilization(sim::SimTime now) const {
+  std::vector<double> out;
+  out.reserve(core_busy_ns_.size() + 1);
+  const double t = std::max<double>(1.0, static_cast<double>(now));
+  for (auto ns : core_busy_ns_) out.push_back(static_cast<double>(ns) / t);
+  out.push_back(static_cast<double>(softirq_busy_ns_) / t);
+  return out;
+}
+
+double KernelHostDevice::cores_used(sim::SimTime now) const {
+  double total = 0.0;
+  for (double u : core_utilization(now)) total += u;
+  return total;
+}
+
+}  // namespace flowvalve::baseline

@@ -1,0 +1,91 @@
+#include "baseline/pifo.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace flowvalve::baseline {
+
+PifoScheduler::PifoScheduler(sim::Simulator& sim, PifoConfig config)
+    : sim_(sim), config_(config) {}
+
+std::uint32_t PifoScheduler::add_class(std::string name, double weight) {
+  assert(weight > 0.0);
+  ClassState c;
+  c.name = std::move(name);
+  c.weight = weight;
+  classes_.push_back(std::move(c));
+  return static_cast<std::uint32_t>(classes_.size() - 1);
+}
+
+bool PifoScheduler::submit(net::Packet pkt) {
+  assert(classify_);
+  const int cls = classify_(pkt);
+  if (cls < 0 || cls >= static_cast<int>(classes_.size())) {
+    ++stats_.dropped;
+    notify_drop(pkt);
+    return false;
+  }
+  ClassState& c = classes_[static_cast<std::size_t>(cls)];
+
+  // STFQ: start tag = max(virtual time, class's last finish tag); the
+  // finish tag advances by the packet's weighted length. Rank on start tag.
+  const double start = std::max(virtual_time_, c.last_finish);
+
+  // Push-in, push-out admission: a full PIFO evicts its worst-ranked entry
+  // rather than tail-dropping the arrival — otherwise a heavy low-weight
+  // class could fill the buffer with far-future ranks and starve everyone.
+  if (heap_.size() >= config_.capacity) {
+    auto worst = std::prev(heap_.end());
+    if (worst->rank <= start) {
+      ++stats_.dropped;  // arrival ranks worse than everything queued
+      notify_drop(pkt);
+      return false;
+    }
+    ClassState& victim = classes_[worst->pkt.label];
+    --victim.queued;
+    // Roll the victim class's finish tag back to the evicted packet's start
+    // tag (within a class tags are monotone, so the global worst entry is
+    // that class's most recent enqueue): evicted packets must not consume
+    // virtual service the class never received.
+    victim.last_finish = worst->rank;
+    ++stats_.pushed_out;
+    notify_drop(worst->pkt);
+    heap_.erase(worst);
+  }
+
+  c.last_finish = start + static_cast<double>(pkt.wire_bytes) / c.weight;
+  pkt.nic_arrival = sim_.now();
+  pkt.label = static_cast<net::ClassLabelId>(cls);  // reuse label for class idx
+  heap_.insert(Ranked{start, seq_++, std::move(pkt)});
+  ++c.queued;
+  ++stats_.enqueued;
+  drain();
+  return true;
+}
+
+void PifoScheduler::drain() {
+  if (wire_busy_ || heap_.empty()) return;
+  wire_busy_ = true;
+  auto it = heap_.begin();
+  Ranked top{it->rank, it->seq, std::move(it->pkt)};
+  heap_.erase(it);
+  --classes_[top.pkt.label].queued;
+  // Advance virtual time to the served packet's start tag (STFQ rule).
+  virtual_time_ = std::max(virtual_time_, top.rank);
+  const SimDuration ser =
+      config_.port_rate.serialization_delay(top.pkt.wire_occupancy_bytes());
+  sim_.schedule_after(ser, [this, pkt = std::move(top.pkt)]() mutable {
+    wire_busy_ = false;
+    pkt.wire_tx_done = sim_.now();
+    classes_[pkt.label].tx_bytes += pkt.wire_bytes;
+    ++stats_.transmitted;
+    stats_.wire_bytes += pkt.wire_bytes;
+    sim_.schedule_after(config_.fixed_delay, [this, pkt = std::move(pkt)]() mutable {
+      pkt.delivered_at = sim_.now();
+      deliver(pkt);
+    });
+    drain();
+  });
+}
+
+}  // namespace flowvalve::baseline

@@ -1,0 +1,92 @@
+// PIFO (Push-In-First-Out) scheduler — the primitive behind Loom [13] and
+// programmable packet scheduling [33]: packets are pushed with a rank
+// computed at enqueue time and the queue always releases the minimum-rank
+// packet. We implement start-time fair queueing (STFQ) ranks over weighted
+// classes, the canonical PIFO program, as a quantitative companion to the
+// paper's Fig. 15 comparison.
+//
+// The contrast with FlowValve is architectural, not behavioural: a PIFO
+// needs queue hardware that can insert at arbitrary positions (Loom is a
+// new NIC design), while FlowValve reuses shipping FIFO queueing systems
+// and drops instead of reordering.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "net/device.h"
+#include "sim/simulator.h"
+
+namespace flowvalve::baseline {
+
+using sim::Rate;
+using sim::SimDuration;
+using sim::SimTime;
+
+struct PifoConfig {
+  Rate port_rate = Rate::gigabits_per_sec(10);
+  std::size_t capacity = 2048;  // total buffered packets
+  SimDuration fixed_delay = sim::microseconds(8);
+};
+
+class PifoScheduler final : public net::EgressDevice {
+ public:
+  PifoScheduler(sim::Simulator& sim, PifoConfig config);
+
+  /// Declare a weighted class; returns its index.
+  std::uint32_t add_class(std::string name, double weight);
+
+  /// Maps packets to class indices (< add_class count); negative = drop.
+  void set_classifier(std::function<int(const net::Packet&)> fn) {
+    classify_ = std::move(fn);
+  }
+
+  bool submit(net::Packet pkt) override;
+
+  struct Stats {
+    std::uint64_t enqueued = 0;
+    std::uint64_t dropped = 0;    // rejected at admission (worst rank)
+    std::uint64_t pushed_out = 0; // evicted to admit a better-ranked packet
+    std::uint64_t transmitted = 0;
+    std::uint64_t wire_bytes = 0;
+  };
+  const Stats& stats() const { return stats_; }
+  std::uint64_t class_bytes(std::uint32_t cls) const { return classes_[cls].tx_bytes; }
+  std::size_t backlog() const { return heap_.size(); }
+  std::uint64_t class_backlog(std::uint32_t cls) const { return classes_[cls].queued; }
+
+ private:
+  struct Ranked {
+    double rank;
+    std::uint64_t seq;  // FIFO tiebreak
+    mutable net::Packet pkt;
+    bool operator<(const Ranked& o) const {
+      if (rank != o.rank) return rank < o.rank;
+      return seq < o.seq;
+    }
+  };
+  struct ClassState {
+    std::string name;
+    double weight = 1.0;
+    double last_finish = 0.0;  // STFQ per-class finish tag
+    std::uint64_t tx_bytes = 0;
+    std::uint64_t queued = 0;
+  };
+
+  void drain();
+
+  sim::Simulator& sim_;
+  PifoConfig config_;
+  std::vector<ClassState> classes_;
+  std::function<int(const net::Packet&)> classify_;
+  std::multiset<Ranked> heap_;  // min = begin(), push-out victim = rbegin()
+  double virtual_time_ = 0.0;
+  std::uint64_t seq_ = 0;
+  bool wire_busy_ = false;
+  Stats stats_;
+};
+
+}  // namespace flowvalve::baseline

@@ -1,0 +1,58 @@
+// PRIO qdisc (paper §I, §III-A): N bands, each holding a child discipline;
+// dequeue always serves the lowest-numbered non-empty (and unthrottled)
+// band. Matches the kernel's sch_prio with configurable child qdiscs.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "baseline/qdisc.h"
+
+namespace flowvalve::baseline {
+
+class PrioQdisc final : public Qdisc {
+ public:
+  /// `band_of` maps a packet to a band index; out-of-range = dropped.
+  PrioQdisc(std::vector<std::unique_ptr<Qdisc>> bands,
+            std::function<int(const net::Packet&)> band_of)
+      : bands_(std::move(bands)), band_of_(std::move(band_of)) {}
+
+  bool enqueue(net::Packet pkt, SimTime now) override {
+    const int band = band_of_(pkt);
+    if (band < 0 || band >= static_cast<int>(bands_.size())) return false;
+    return bands_[static_cast<std::size_t>(band)]->enqueue(std::move(pkt), now);
+  }
+
+  std::optional<net::Packet> dequeue(SimTime now) override {
+    for (auto& band : bands_) {
+      if (auto pkt = band->dequeue(now)) return pkt;
+    }
+    return std::nullopt;
+  }
+
+  SimTime next_event(SimTime now) override {
+    SimTime earliest = sim::kSimTimeMax;
+    for (auto& band : bands_) earliest = std::min(earliest, band->next_event(now));
+    return earliest;
+  }
+
+  std::size_t backlog_packets() const override {
+    std::size_t n = 0;
+    for (const auto& band : bands_) n += band->backlog_packets();
+    return n;
+  }
+  std::uint64_t backlog_bytes() const override {
+    std::uint64_t n = 0;
+    for (const auto& band : bands_) n += band->backlog_bytes();
+    return n;
+  }
+
+  Qdisc& band(std::size_t i) { return *bands_[i]; }
+
+ private:
+  std::vector<std::unique_ptr<Qdisc>> bands_;
+  std::function<int(const net::Packet&)> band_of_;
+};
+
+}  // namespace flowvalve::baseline

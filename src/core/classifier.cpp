@@ -1,0 +1,136 @@
+#include "core/classifier.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace flowvalve::core {
+
+// ---------------------------------------------------------- LabelTable ----
+
+ClassLabelId LabelTable::intern(QosLabel label) {
+  labels_.push_back(std::move(label));
+  return static_cast<ClassLabelId>(labels_.size() - 1);
+}
+
+// ---------------------------------------------------------- FilterRule ----
+
+namespace {
+bool prefix_match(std::uint32_t addr, std::uint32_t rule_addr, std::uint8_t len) {
+  if (len == 0) return true;
+  const std::uint32_t mask = len >= 32 ? 0xffffffffu : ~(0xffffffffu >> len);
+  return (addr & mask) == (rule_addr & mask);
+}
+}  // namespace
+
+bool FilterRule::matches(std::uint16_t pkt_vf, const FiveTuple& t,
+                         std::uint8_t pkt_dscp) const {
+  if (vf_port && *vf_port != pkt_vf) return false;
+  if (proto && *proto != t.proto) return false;
+  if (!prefix_match(t.src_ip, src_ip, src_prefix_len)) return false;
+  if (!prefix_match(t.dst_ip, dst_ip, dst_prefix_len)) return false;
+  if (src_port && *src_port != t.src_port) return false;
+  if (dst_port && *dst_port != t.dst_port) return false;
+  if (dscp && *dscp != pkt_dscp) return false;
+  return true;
+}
+
+// ------------------------------------------------- ExactMatchFlowCache ----
+
+ExactMatchFlowCache::ExactMatchFlowCache(std::size_t capacity) {
+  sets_ = std::max<std::size_t>(1, std::bit_ceil(capacity / kWays));
+  ways_.resize(sets_ * kWays);
+}
+
+std::size_t ExactMatchFlowCache::set_index(std::uint16_t vf, const FiveTuple& t) const {
+  return static_cast<std::size_t>((t.hash() ^ (static_cast<std::uint64_t>(vf) * 0x9e37U)) &
+                                  (sets_ - 1));
+}
+
+std::optional<ClassLabelId> ExactMatchFlowCache::lookup(std::uint16_t vf,
+                                                        const FiveTuple& t,
+                                                        std::uint64_t now_tick) {
+  Entry* set = &ways_[set_index(vf, t) * kWays];
+  for (std::size_t w = 0; w < kWays; ++w) {
+    Entry& e = set[w];
+    if (e.valid && e.vf == vf && e.tuple == t) {
+      e.last_used = now_tick;
+      ++stats_.hits;
+      return e.label;
+    }
+  }
+  ++stats_.misses;
+  return std::nullopt;
+}
+
+void ExactMatchFlowCache::insert(std::uint16_t vf, const FiveTuple& t, ClassLabelId label,
+                                 std::uint64_t now_tick) {
+  Entry* set = &ways_[set_index(vf, t) * kWays];
+  Entry* victim = &set[0];
+  for (std::size_t w = 0; w < kWays; ++w) {
+    Entry& e = set[w];
+    if (e.valid && e.vf == vf && e.tuple == t) {  // refresh existing
+      e.label = label;
+      e.last_used = now_tick;
+      return;
+    }
+    if (!e.valid) {
+      victim = &e;
+      break;
+    }
+    if (e.last_used < victim->last_used) victim = &e;
+  }
+  if (victim->valid) ++stats_.evictions;
+  *victim = Entry{true, vf, t, label, now_tick};
+  ++stats_.insertions;
+}
+
+void ExactMatchFlowCache::clear() {
+  std::fill(ways_.begin(), ways_.end(), Entry{});
+  stats_ = Stats{};
+}
+
+// ---------------------------------------------------------- Classifier ----
+
+Classifier::Classifier(ClassifierCosts costs, std::size_t cache_capacity)
+    : costs_(costs), cache_(cache_capacity) {}
+
+void Classifier::add_rule(FilterRule rule) {
+  rules_.push_back(std::move(rule));
+  std::stable_sort(rules_.begin(), rules_.end(),
+                   [](const FilterRule& a, const FilterRule& b) { return a.pref < b.pref; });
+}
+
+Classifier::Result Classifier::classify(const net::Packet& pkt, std::uint64_t now_tick) {
+  Result r;
+  if (cache_enabled_) {
+    if (auto hit = cache_.lookup(pkt.vf_port, pkt.tuple, now_tick)) {
+      r.label = *hit;
+      r.cycles = costs_.cache_hit_cycles;
+      r.cache_hit = true;
+      return r;
+    }
+    r.cycles += costs_.cache_miss_cycles;
+  }
+  // Ordered rule walk (first match wins). DSCP is not modeled per-packet in
+  // the fast path; rules that require it match only a zero code point here,
+  // while byte-level tests exercise the full parse path.
+  std::uint32_t walked = 0;
+  ClassLabelId matched = default_label_;
+  for (const auto& rule : rules_) {
+    ++walked;
+    if (rule.matches(pkt.vf_port, pkt.tuple, /*pkt_dscp=*/0)) {
+      matched = rule.label;
+      break;
+    }
+  }
+  r.cycles += walked * costs_.per_rule_cycles;
+  r.label = matched;
+  if (cache_enabled_ && matched != net::kUnclassified) {
+    cache_.insert(pkt.vf_port, pkt.tuple, matched, now_tick);
+    r.cycles += costs_.cache_insert_cycles;
+  }
+  return r;
+}
+
+}  // namespace flowvalve::core

@@ -1,0 +1,38 @@
+#include "core/flowvalve.h"
+
+#include <cassert>
+
+namespace flowvalve::core {
+
+FlowValveEngine::FlowValveEngine(Options options)
+    : options_(options), frontend_(options.params) {}
+
+std::string FlowValveEngine::configure(std::string_view fv_script, sim::SimTime now) {
+  frontend_.apply_script(fv_script);
+  if (auto err = frontend_.finalize(now); !err.empty()) return err;
+  sched_ = std::make_unique<SchedulingFunction>(frontend_.tree(), frontend_.labels(),
+                                                options_.sched_costs);
+  return {};
+}
+
+FlowValveEngine::Result FlowValveEngine::process(net::Packet& pkt, sim::SimTime now) {
+  assert(ready() && "configure() the engine first");
+  Result r;
+  const auto cls = frontend_.classifier().classify(pkt, static_cast<std::uint64_t>(now));
+  r.cycles += cls.cycles;
+  r.cache_hit = cls.cache_hit;
+  pkt.label = cls.label;
+  if (pkt.label == net::kUnclassified) {
+    // No filter matched and no default class configured: drop, as the NIC
+    // has no class whose budget could account for this packet.
+    r.verdict = Verdict::kDrop;
+    return r;
+  }
+  const SchedDecision d = sched_->schedule(pkt, now);
+  r.cycles += d.cycles;
+  r.verdict = d.verdict;
+  r.borrowed = d.borrowed;
+  return r;
+}
+
+}  // namespace flowvalve::core

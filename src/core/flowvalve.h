@@ -1,0 +1,58 @@
+// FlowValveEngine — the public entry point of the core library.
+//
+// Combines the labeling function (classifier + flow cache) and the
+// scheduling function (Algorithm 1) over one scheduling tree, exactly the
+// per-packet work a worker micro-engine performs in the paper's back end.
+// The NP pipeline (src/np) plugs an engine into every worker core; the
+// examples use it directly.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "core/frontend.h"
+#include "core/scheduling_function.h"
+
+namespace flowvalve::core {
+
+class FlowValveEngine {
+ public:
+  struct Options {
+    FvParams params;
+    SchedulerCosts sched_costs;
+    ClassifierCosts classifier_costs;
+  };
+
+  explicit FlowValveEngine(Options options = {});
+
+  /// Apply an fv policy script and finalize. Throws std::invalid_argument
+  /// on parse errors; returns a non-empty error string on semantic errors.
+  std::string configure(std::string_view fv_script, sim::SimTime now = 0);
+
+  /// Per-packet processing: label then schedule. The packet's label field
+  /// is filled in. Returns the combined decision with total cycles spent.
+  struct Result {
+    Verdict verdict = Verdict::kDrop;
+    std::uint32_t cycles = 0;
+    bool cache_hit = false;
+    bool borrowed = false;
+  };
+  Result process(net::Packet& pkt, sim::SimTime now);
+
+  FvFrontend& frontend() { return frontend_; }
+  const FvFrontend& frontend() const { return frontend_; }
+  SchedulingTree& tree() { return frontend_.tree(); }
+  const SchedulingTree& tree() const { return frontend_.tree(); }
+  SchedulingFunction& scheduler() { return *sched_; }
+  Classifier& classifier() { return frontend_.classifier(); }
+
+  bool ready() const { return sched_ != nullptr; }
+
+ private:
+  Options options_;
+  FvFrontend frontend_;
+  std::unique_ptr<SchedulingFunction> sched_;  // created once configured
+};
+
+}  // namespace flowvalve::core

@@ -1,0 +1,105 @@
+#include "core/introspect.h"
+
+#include <functional>
+#include <sstream>
+
+#include "stats/stats.h"
+
+namespace flowvalve::core {
+namespace {
+
+void visit_preorder(const SchedulingTree& tree, ClassId id,
+                    const std::function<void(const SchedClass&)>& fn) {
+  const SchedClass& c = tree.at(id);
+  fn(c);
+  for (ClassId child : c.children) visit_preorder(tree, child, fn);
+}
+
+ClassSnapshot snap(const SchedClass& c) {
+  ClassSnapshot s;
+  s.name = c.name;
+  s.id = c.id;
+  s.depth = c.depth;
+  s.leaf = c.is_leaf();
+  s.prio = c.policy.prio;
+  s.weight = c.policy.weight;
+  s.guarantee_gbps = c.policy.guarantee.gbps();
+  s.ceil_gbps = c.policy.ceil.gbps();
+  s.theta_gbps = c.theta.gbps();
+  s.gamma_gbps = c.gamma().gbps();
+  s.lendable_gbps = c.lendable.gbps();
+  s.fwd_packets = c.fwd_packets;
+  s.fwd_bytes = c.fwd_bytes;
+  s.drop_packets = c.drop_packets;
+  s.borrowed_bytes = c.borrowed_bytes;
+  return s;
+}
+
+}  // namespace
+
+std::vector<ClassSnapshot> snapshot_classes(const SchedulingTree& tree) {
+  std::vector<ClassSnapshot> out;
+  if (tree.size() == 0) return out;
+  visit_preorder(tree, tree.root(), [&](const SchedClass& c) { out.push_back(snap(c)); });
+  return out;
+}
+
+std::string render_class_show(const SchedulingTree& tree) {
+  std::ostringstream out;
+  char buf[256];
+  for (const auto& s : snapshot_classes(tree)) {
+    std::string indent(static_cast<std::size_t>(s.depth) * 2, ' ');
+    std::snprintf(buf, sizeof(buf),
+                  "%s%-12s prio %u weight %-5.2f%s%s\n", indent.c_str(),
+                  (s.name + (s.leaf ? "" : "*")).c_str(), s.prio, s.weight,
+                  s.guarantee_gbps > 0
+                      ? (" guarantee " + stats::TablePrinter::fmt(s.guarantee_gbps) + "G")
+                            .c_str()
+                      : "",
+                  s.ceil_gbps < 1e5
+                      ? (" ceil " + stats::TablePrinter::fmt(s.ceil_gbps) + "G").c_str()
+                      : "");
+    out << buf;
+    std::snprintf(buf, sizeof(buf),
+                  "%s  theta %.2fG gamma %.2fG lendable %.2fG | fwd %llu pkts "
+                  "(%.2f GB) drop %llu borrow %.1f MB\n",
+                  indent.c_str(), s.theta_gbps, s.gamma_gbps, s.lendable_gbps,
+                  static_cast<unsigned long long>(s.fwd_packets),
+                  static_cast<double>(s.fwd_bytes) / 1e9,
+                  static_cast<unsigned long long>(s.drop_packets),
+                  static_cast<double>(s.borrowed_bytes) / 1e6);
+    out << buf;
+  }
+  return out.str();
+}
+
+std::string render_stats_export(const SchedulingTree& tree) {
+  std::ostringstream out;
+  for (const auto& s : snapshot_classes(tree)) {
+    out << s.name << ".theta_gbps " << s.theta_gbps << '\n';
+    out << s.name << ".gamma_gbps " << s.gamma_gbps << '\n';
+    out << s.name << ".lendable_gbps " << s.lendable_gbps << '\n';
+    out << s.name << ".fwd_packets " << s.fwd_packets << '\n';
+    out << s.name << ".fwd_bytes " << s.fwd_bytes << '\n';
+    out << s.name << ".drop_packets " << s.drop_packets << '\n';
+    out << s.name << ".borrowed_bytes " << s.borrowed_bytes << '\n';
+  }
+  return out.str();
+}
+
+std::string render_engine_summary(const FlowValveEngine& engine) {
+  std::ostringstream out;
+  const auto& cache = engine.frontend().classifier().cache().stats();
+  out << "classes=" << engine.tree().size()
+      << " labels=" << engine.frontend().labels().size()
+      << " cache_hit_rate=" << stats::TablePrinter::fmt(cache.hit_rate() * 100.0, 1)
+      << "%";
+  if (engine.ready()) {
+    const auto& st = engine.frontend();
+    (void)st;
+    out << " forwarded=" << engine.tree().at(engine.tree().root()).fwd_packets;
+  }
+  return out.str();
+}
+
+}  // namespace flowvalve::core

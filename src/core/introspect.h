@@ -1,0 +1,44 @@
+// Introspection of a running FlowValve engine — the `fv show` side of the
+// CLI (mirroring `tc -s qdisc/class show`): human-readable scheduling-tree
+// dumps with live rates, and a machine-readable key=value export.
+#pragma once
+
+#include <string>
+
+#include "core/flowvalve.h"
+
+namespace flowvalve::core {
+
+/// One row of `fv class show`: configuration + live runtime state.
+struct ClassSnapshot {
+  std::string name;
+  ClassId id = kNoClass;
+  int depth = 0;
+  bool leaf = false;
+  PrioLevel prio = 0;
+  double weight = 1.0;
+  double guarantee_gbps = 0.0;
+  double ceil_gbps = 0.0;
+  double theta_gbps = 0.0;
+  double gamma_gbps = 0.0;
+  double lendable_gbps = 0.0;
+  std::uint64_t fwd_packets = 0;
+  std::uint64_t fwd_bytes = 0;
+  std::uint64_t drop_packets = 0;
+  std::uint64_t borrowed_bytes = 0;
+};
+
+/// Snapshot every class (pre-order: parents before children).
+std::vector<ClassSnapshot> snapshot_classes(const SchedulingTree& tree);
+
+/// `fv class show` — an indented tree with policy and live columns.
+std::string render_class_show(const SchedulingTree& tree);
+
+/// `fv -s show` — flat `class.key value` lines, one per datum; stable order,
+/// intended for scripts/tests to parse.
+std::string render_stats_export(const SchedulingTree& tree);
+
+/// One-line summary of the engine (classes, filters, cache hit rate).
+std::string render_engine_summary(const FlowValveEngine& engine);
+
+}  // namespace flowvalve::core

@@ -1,0 +1,73 @@
+// Traffic-class policy descriptors and FlowValve tuning knobs.
+//
+// A class's bandwidth share is described by the "condition templates" of
+// paper §IV-C: a priority level (strict between levels), a weight (split
+// within a level, Eq. 5), an optional guarantee (minimum reserved rate, the
+// ML example) and an optional ceiling (the ¾·B NC example). Root classes
+// carry the link rate.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "sim/time.h"
+
+namespace flowvalve::core {
+
+using sim::Rate;
+using sim::SimDuration;
+
+/// Priority level: 0 is the most preferred; classes at a numerically lower
+/// level strictly preempt higher levels among siblings.
+using PrioLevel = std::uint8_t;
+
+struct NodePolicy {
+  PrioLevel prio = 0;
+  double weight = 1.0;                    // relative among same-level siblings
+  Rate guarantee = Rate::zero();          // reserved minimum (0 = none)
+  Rate ceil = Rate::gigabits_per_sec(1e6);  // effectively unlimited
+
+  bool has_guarantee() const { return !guarantee.is_zero(); }
+};
+
+/// Global FlowValve tuning parameters (defaults follow the prototype's
+/// characteristics described in §IV-D: millisecond-scale update epochs,
+/// tens-of-milliseconds expiry).
+struct FvParams {
+  /// Minimum gap between two update-subprocedure executions for one class.
+  SimDuration update_interval = sim::microseconds(100);
+
+  /// Status older than this is considered expired and restored to initial
+  /// values (Subprocedure 3).
+  SimDuration expiry_threshold = sim::milliseconds(20);
+
+  /// Half-life of the Γ (token consumption rate) EWMA smoothing.
+  SimDuration gamma_half_life = sim::milliseconds(2);
+
+  /// Token bucket depth expressed as time at the class's current θ.
+  SimDuration burst_window = sim::microseconds(150);
+
+  /// Shadow (lendable) bucket depth as time at the lendable rate.
+  SimDuration shadow_burst_window = sim::microseconds(100);
+
+  /// Bucket depth floor in bytes (two MTU frames by default). Scenarios
+  /// using super-packet aggregation raise this to two super-packets.
+  double min_burst_bytes = 2.0 * 1518.0;
+
+  /// Demand headroom factor: a guaranteed class's reservation follows
+  /// min(policy reservation, headroom · Γ + activation floor) so idle
+  /// guarantees do not strand bandwidth but active classes can ramp.
+  double demand_headroom = 1.25;
+
+  /// Activation floor as a fraction of the weighted share, granted to any
+  /// recently-seen class so it can ramp from zero.
+  double activation_floor_frac = 0.05;
+
+  /// Ablation switch: when true, update epochs replenish buckets and
+  /// evaluate Γ but never recompute θ — rates stay at their static seeded
+  /// shares (no runtime estimation; see bench/ablation_locking).
+  bool freeze_theta = false;
+};
+
+}  // namespace flowvalve::core

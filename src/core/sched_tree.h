@@ -1,0 +1,145 @@
+// The scheduling tree (paper §IV-B) and its per-class update subprocedure
+// (§IV-C, Subprocedures 1-3).
+//
+// Each node is a traffic class holding a token bucket (leaf classes limit,
+// interior classes measure), a shadow bucket exposing lendable tokens
+// (Eq. 6), a consumed-token counter driving the Γ estimate (Eq. 3), and a
+// try-lock guarding the update section (Fig. 8). θ derivation implements the
+// paper's condition templates: strict priority between levels (Eq. 4),
+// weighted split within a level (Eq. 5), demand-limited guarantees and
+// ceilings (§IV-C-3).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/policy.h"
+#include "core/token_bucket.h"
+#include "sim/sim_lock.h"
+#include "stats/stats.h"
+
+namespace flowvalve::core {
+
+using ClassId = std::uint32_t;
+inline constexpr ClassId kNoClass = 0xffffffffu;
+
+/// A packet's QoS label (paper §IV-B): the hierarchy class label (root→leaf
+/// path on the scheduling tree) plus the borrowing class label (ordered list
+/// of classes whose shadow buckets this flow may query).
+struct QosLabel {
+  std::vector<ClassId> path;
+  std::vector<ClassId> borrow;
+};
+
+/// One traffic class. Configuration fields are immutable after finalize();
+/// the runtime block is shared mutable state touched by (virtual) NP cores.
+struct SchedClass {
+  // -- configuration -----------------------------------------------------
+  std::string name;
+  ClassId id = kNoClass;
+  ClassId parent = kNoClass;
+  std::vector<ClassId> children;
+  NodePolicy policy;
+  int depth = 0;
+
+  // -- shared runtime state ----------------------------------------------
+  Rate theta;                     // current token rate
+  Rate lendable;                  // current lendable token rate (Eq. 6)
+  TokenBucket bucket;             // leaf: limits; interior: unused
+  TokenBucket shadow;             // lendable tokens for borrowers
+  double consumed_bytes = 0.0;    // since the last update epoch
+  stats::Ewma gamma_bps;          // smoothed token consumption rate Γ
+  sim::SimTime last_update = 0;
+  sim::SimTime last_seen = 0;     // last packet arrival touching this class
+  bool ever_seen = false;
+  sim::SimTryLock update_lock;
+
+  // -- cumulative statistics ----------------------------------------------
+  std::uint64_t fwd_packets = 0;
+  std::uint64_t fwd_bytes = 0;
+  std::uint64_t drop_packets = 0;
+  std::uint64_t drop_bytes = 0;
+  std::uint64_t borrowed_packets = 0;  // forwarded via a lender's shadow bucket
+  std::uint64_t borrowed_bytes = 0;
+
+  bool is_leaf() const { return children.empty(); }
+  bool is_root() const { return parent == kNoClass; }
+
+  /// Γ as a Rate (smoothed).
+  Rate gamma() const {
+    return gamma_bps.has_value() ? Rate::bits_per_sec(gamma_bps.value()) : Rate::zero();
+  }
+};
+
+class SchedulingTree {
+ public:
+  explicit SchedulingTree(FvParams params = {});
+
+  /// Add the root class carrying the link/ceiling rate. Must be first.
+  ClassId add_root(std::string name, Rate link_rate);
+
+  /// Add a class under `parent`. Classes may be added in any order after the
+  /// root, but finalize() must run before scheduling starts.
+  ClassId add_class(std::string name, ClassId parent, NodePolicy policy);
+
+  /// Freeze configuration: compute depths, seed θ with the static weighted
+  /// shares, and size all buckets. Idempotent.
+  void finalize(sim::SimTime now = 0);
+  bool finalized() const { return finalized_; }
+
+  ClassId find(std::string_view name) const;  // kNoClass if absent
+  const SchedClass& at(ClassId id) const { return nodes_[id]; }
+  SchedClass& at(ClassId id) { return nodes_[id]; }
+  std::size_t size() const { return nodes_.size(); }
+  ClassId root() const { return nodes_.empty() ? kNoClass : 0; }
+  const FvParams& params() const { return params_; }
+
+  /// Build the hierarchy label (root→leaf) for a leaf class plus an explicit
+  /// borrowing label. Borrow entries are resolved names/ids of any classes.
+  QosLabel label_for(ClassId leaf, std::vector<ClassId> borrow = {}) const;
+
+  /// True if the class saw a packet within the expiry threshold.
+  bool is_active(const SchedClass& c, sim::SimTime now) const {
+    return c.ever_seen && now - c.last_seen <= params_.expiry_threshold;
+  }
+
+  /// The update subprocedure for one class (Fig. 8 stage 3 + Subprocedures
+  /// 1-3): evaluate Γ over the elapsed epoch, restore expired status,
+  /// recompute θ from the parent and sibling shared state, replenish the
+  /// regular and shadow buckets. Caller must hold the class's update lock
+  /// (or be the only toucher, e.g. in unit tests).
+  void update_class(ClassId id, sim::SimTime now);
+
+  /// θ derivation for a non-root class from current shared state (condition
+  /// template engine). Exposed for tests and the propagation-delay bench.
+  Rate compute_theta(ClassId id, sim::SimTime now) const;
+
+  /// Record a forwarded packet's bytes on every class of `path` (Eq. 3
+  /// consumption counting) — called after a FORWARD decision.
+  void count_forwarded(const std::vector<ClassId>& path, std::uint32_t bytes);
+
+  /// Record a packet arrival (activity) on every class of `path`.
+  void touch(const std::vector<ClassId>& path, sim::SimTime now);
+
+  /// Validate structural invariants (weights positive, guarantees below
+  /// ceilings, single root). Returns a human-readable error or empty string.
+  std::string validate() const;
+
+  /// Runtime reconfiguration (§II-B: fixed traffic managers cannot do this;
+  /// FlowValve's software tree can). Atomically replaces a class's policy;
+  /// the new rates take effect at each class's next update epoch, exactly
+  /// like any other θ change propagating through the tree. Returns false if
+  /// the new policy is structurally invalid (e.g. guarantee > ceil).
+  bool reconfigure(ClassId id, const NodePolicy& policy);
+
+ private:
+  double sibling_weight_sum(const SchedClass& parent) const;
+
+  FvParams params_;
+  std::vector<SchedClass> nodes_;
+  bool finalized_ = false;
+};
+
+}  // namespace flowvalve::core

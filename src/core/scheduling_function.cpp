@@ -1,0 +1,91 @@
+#include "core/scheduling_function.h"
+
+#include <cassert>
+
+namespace flowvalve::core {
+
+SchedulingFunction::SchedulingFunction(SchedulingTree& tree, const LabelTable& labels,
+                                       SchedulerCosts costs)
+    : tree_(tree), labels_(labels), costs_(costs) {
+  assert(tree.finalized() && "finalize() the tree before scheduling");
+}
+
+std::uint32_t SchedulingFunction::maybe_update(ClassId id, sim::SimTime now,
+                                               SchedDecision& d) {
+  SchedClass& c = tree_.at(id);
+  std::uint32_t cycles = 0;
+  if (now - c.last_update < tree_.params().update_interval) return cycles;
+  cycles += costs_.lock_attempt_cycles;
+  if (c.update_lock.try_acquire(now, costs_.lock_hold_ns)) {
+    tree_.update_class(id, now);
+    cycles += costs_.update_cycles;
+    ++d.updates_run;
+    ++stats_.updates;
+  } else {
+    // Another core is updating this class right now; we only meter
+    // (Fig. 8 — this does not compromise validity).
+    ++stats_.lock_failures;
+  }
+  return cycles;
+}
+
+SchedDecision SchedulingFunction::schedule(net::Packet& pkt, sim::SimTime now) {
+  SchedDecision d;
+  assert(pkt.label != net::kUnclassified && "packet must be labeled first");
+  const QosLabel& label = labels_.get(pkt.label);
+  assert(!label.path.empty());
+
+  // Record activity first: even packets that end up dropped represent
+  // demand, which the expiry logic must see.
+  tree_.touch(label.path, now);
+
+  // Lines 1-5: walk the hierarchy class label, refreshing token buckets.
+  for (ClassId id : label.path) {
+    d.cycles += maybe_update(id, now, d);
+    d.cycles += costs_.count_cycles;
+  }
+
+  // Lines 6-8: meter at the leaf. Tokens are charged for full wire
+  // occupancy (frame + preamble + IFG): an on-NIC scheduler meters what the
+  // wire actually serializes, which is what keeps the Tx FIFO shallow.
+  const ClassId leaf = label.path.back();
+  const std::uint32_t charge = pkt.wire_occupancy_bytes();
+  d.cycles += costs_.meter_cycles;
+  if (tree_.at(leaf).bucket.meter(charge) == MeterColor::kGreen) {
+    d.metered_green = true;
+    d.verdict = Verdict::kForward;
+    tree_.count_forwarded(label.path, charge);
+    ++stats_.forwarded;
+    return d;
+  }
+
+  // Lines 9-15: borrowing — query each lender's shadow bucket, refreshing
+  // the lender's epoch on the way (borrower-driven updates keep idle
+  // lenders' lendable rates live).
+  for (ClassId lender : label.borrow) {
+    d.cycles += maybe_update(lender, now, d);
+    d.cycles += costs_.borrow_query_cycles;
+    if (tree_.at(lender).shadow.meter(charge) == MeterColor::kGreen) {
+      d.verdict = Verdict::kForward;
+      d.borrowed = true;
+      d.borrowed_from = lender;
+      tree_.count_forwarded(label.path, charge);
+      SchedClass& leaf_cls = tree_.at(leaf);
+      ++leaf_cls.borrowed_packets;
+      leaf_cls.borrowed_bytes += pkt.wire_bytes;
+      ++stats_.forwarded;
+      ++stats_.borrowed;
+      return d;
+    }
+  }
+
+  // Line 16: drop.
+  d.verdict = Verdict::kDrop;
+  SchedClass& leaf_cls = tree_.at(leaf);
+  ++leaf_cls.drop_packets;
+  leaf_cls.drop_bytes += pkt.wire_bytes;
+  ++stats_.dropped;
+  return d;
+}
+
+}  // namespace flowvalve::core

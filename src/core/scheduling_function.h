@@ -1,0 +1,80 @@
+// The scheduling function — paper Algorithm 1.
+//
+// Executed by every (virtual) micro-engine for every packet after labeling:
+// walk the hierarchy class label root→leaf, try-locking each class to run
+// the update subprocedure (losers only meter — Fig. 8), meter at the leaf,
+// and on RED walk the borrowing class label's shadow buckets. The function
+// never queues a packet: the decision is FORWARD (into the shared Tx FIFO)
+// or DROP (the "specialized tail drop" that assigns buffers conceptually).
+#pragma once
+
+#include <cstdint>
+
+#include "core/classifier.h"
+#include "core/sched_tree.h"
+#include "net/packet.h"
+#include "sim/time.h"
+
+namespace flowvalve::core {
+
+enum class Verdict : std::uint8_t { kForward, kDrop };
+
+/// Cycle cost model for Algorithm 1's constituent operations on the NFP:
+/// atomic counter adds and the meter instruction are cheap hardware ops;
+/// the update subprocedure does guarded multiplies/divides (§IV-D).
+struct SchedulerCosts {
+  std::uint32_t lock_attempt_cycles = 10;
+  std::uint32_t update_cycles = 320;        // guarded θ recomputation
+  std::uint32_t count_cycles = 18;          // atomic add per class
+  std::uint32_t meter_cycles = 40;          // atomic meter instruction
+  std::uint32_t borrow_query_cycles = 55;   // shadow bucket meter per lender
+
+  /// Virtual-time duration the update lock is held (update_cycles at the
+  /// core frequency); the NP pipeline overrides this from its clock.
+  sim::SimDuration lock_hold_ns = 267;
+};
+
+/// Per-call outcome with the micro-engine cycles consumed, fed into the NP
+/// pipeline's capacity model.
+struct SchedDecision {
+  Verdict verdict = Verdict::kDrop;
+  std::uint32_t cycles = 0;
+  bool metered_green = false;   // leaf bucket had tokens
+  bool borrowed = false;        // forwarded via a lender's shadow bucket
+  ClassId borrowed_from = kNoClass;
+  std::uint32_t updates_run = 0;  // classes whose update we executed
+};
+
+class SchedulingFunction {
+ public:
+  SchedulingFunction(SchedulingTree& tree, const LabelTable& labels,
+                     SchedulerCosts costs = {});
+
+  /// Algorithm 1. `now` is the virtual time at which the worker core runs.
+  SchedDecision schedule(net::Packet& pkt, sim::SimTime now);
+
+  /// Aggregate statistics for the ablation benches.
+  struct Stats {
+    std::uint64_t forwarded = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t borrowed = 0;
+    std::uint64_t updates = 0;
+    std::uint64_t lock_failures = 0;
+  };
+  const Stats& stats() const { return stats_; }
+  void reset_stats() { stats_ = Stats{}; }
+
+  SchedulingTree& tree() { return tree_; }
+
+ private:
+  /// Run the update subprocedure for `id` if its epoch elapsed and the
+  /// try-lock is won; returns cycles spent.
+  std::uint32_t maybe_update(ClassId id, sim::SimTime now, SchedDecision& d);
+
+  SchedulingTree& tree_;
+  const LabelTable& labels_;
+  SchedulerCosts costs_;
+  Stats stats_;
+};
+
+}  // namespace flowvalve::core

@@ -1,0 +1,71 @@
+// Token buckets and the two-color meter (paper §IV, Fig. 8).
+//
+// Buckets hold tokens denominated in *bytes* and are replenished explicitly
+// by the scheduling function's update subprocedure (tokens += θ · ΔT). The
+// meter is modeled after the NFP's atomic meter instruction: a single
+// conditional-subtract that never blocks.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace flowvalve::core {
+
+using sim::Rate;
+using sim::SimDuration;
+using sim::SimTime;
+
+/// Meter colors per the paper's Eq. 1 (two-color marking).
+enum class MeterColor : std::uint8_t { kGreen, kRed };
+
+class TokenBucket {
+ public:
+  TokenBucket() = default;
+  TokenBucket(double capacity_bytes, double initial_bytes)
+      : capacity_(capacity_bytes), tokens_(std::min(initial_bytes, capacity_bytes)) {}
+
+  double tokens() const { return tokens_; }
+  double capacity() const { return capacity_; }
+
+  void set_capacity(double capacity_bytes) {
+    capacity_ = capacity_bytes;
+    tokens_ = std::min(tokens_, capacity_);
+  }
+
+  /// Add θ·ΔT worth of tokens, saturating at capacity. Called only from the
+  /// (lock-guarded) update subprocedure.
+  void replenish(Rate theta, SimDuration dt) {
+    add(theta.bytes_per_ns() * static_cast<double>(dt));
+  }
+
+  void add(double bytes) { tokens_ = std::min(capacity_, tokens_ + bytes); }
+
+  /// Atomic meter: if `bytes` tokens are available consume them and return
+  /// GREEN, otherwise leave the bucket unchanged and return RED.
+  MeterColor meter(std::uint32_t bytes) {
+    if (tokens_ >= static_cast<double>(bytes)) {
+      tokens_ -= static_cast<double>(bytes);
+      return MeterColor::kGreen;
+    }
+    return MeterColor::kRed;
+  }
+
+  /// Drain all tokens (used when restoring expired status).
+  void reset(double tokens = 0.0) { tokens_ = std::min(tokens, capacity_); }
+
+ private:
+  double capacity_ = 0.0;
+  double tokens_ = 0.0;
+};
+
+/// Default bucket sizing: hold `burst_window` worth of tokens at rate θ but
+/// never less than `min_bytes` (typically two max-size frames), so a freshly
+/// promoted rate can emit back-to-back frames immediately.
+inline double default_burst_bytes(Rate theta, SimDuration burst_window,
+                                  double min_bytes = 2.0 * 1518.0) {
+  return std::max(theta.bytes_per_ns() * static_cast<double>(burst_window), min_bytes);
+}
+
+}  // namespace flowvalve::core

@@ -1,0 +1,658 @@
+#include "exp/scenarios.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "baseline/dpdk_sched.h"
+#include "baseline/htb.h"
+#include "baseline/kernel_host.h"
+#include "core/flowvalve.h"
+#include "host/probes.h"
+#include "np/flowvalve_processor.h"
+#include "np/nic_pipeline.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+#include "traffic/app.h"
+#include "traffic/generators.h"
+
+namespace flowvalve::exp {
+namespace {
+
+using baseline::DpdkPipeConfig;
+using baseline::DpdkQosConfig;
+using baseline::DpdkQosScheduler;
+using baseline::HtbArtifacts;
+using baseline::HtbClassConfig;
+using baseline::HtbQdisc;
+using baseline::KernelHostConfig;
+using baseline::KernelHostDevice;
+using core::FlowValveEngine;
+using np::NicPipeline;
+using np::NpConfig;
+
+
+/// AIMD preset for greedy "iperf-style" apps on a `link`-rate policy.
+traffic::TcpAimdConfig greedy_tcp(Rate link) {
+  traffic::TcpAimdConfig tcp;
+  tcp.start_rate = link * 0.02;
+  tcp.min_rate = Rate::megabits_per_sec(20);
+  tcp.max_rate = link * 1.4;  // probe beyond the policy so drops shape it
+  tcp.rtt = sim::milliseconds(2);
+  tcp.additive_increase = link * 0.02;
+  tcp.md_factor = 0.9;
+  return tcp;
+}
+
+/// Estimated host CPU for FlowValve runs: the mTCP/DPDK send path costs a
+/// few hundred cycles per (super-)packet; everything else is on the NIC.
+double fv_host_cores(const NicPipeline& pipeline, SimTime horizon) {
+  constexpr double kSendPathCycles = 350.0;
+  constexpr double kHostFreqHz = 2.3e9;
+  const double cycles =
+      static_cast<double>(pipeline.stats().submitted) * kSendPathCycles;
+  return cycles / kHostFreqHz / sim::to_seconds(horizon);
+}
+
+struct AppDef {
+  std::string name;
+  std::uint32_t app_id;
+  std::uint16_t vf;
+  double start_s;
+  double stop_s;
+  unsigned conns = 1;
+};
+
+/// Shared driver for the throughput-over-time scenarios.
+TimeSeriesResult drive_timeseries(sim::Simulator& sim, net::EgressDevice& device,
+                                  const std::vector<AppDef>& defs, Rate link,
+                                  SimTime horizon, std::uint64_t seed,
+                                  std::uint32_t wire_bytes = kSuperPacketBytes) {
+  sim::Rng rng(seed);
+  traffic::IdAllocator ids;
+  traffic::FlowRouter router(device);
+
+  TimeSeriesResult result;
+  result.horizon = horizon;
+  result.seed = seed;
+
+  std::vector<std::unique_ptr<traffic::AppProcess>> apps;
+  for (const auto& def : defs) {
+    auto curve = std::make_unique<stats::ThroughputSeries>(sim::milliseconds(100));
+    router.track_app(def.app_id, curve.get());
+    result.apps.push_back(AppCurve{def.name, std::move(curve)});
+
+    traffic::AppConfig cfg;
+    cfg.name = def.name;
+    cfg.app_id = def.app_id;
+    cfg.vf_port = def.vf;
+    cfg.num_connections = def.conns;
+    cfg.wire_bytes = wire_bytes;
+    cfg.tcp = greedy_tcp(link);
+    cfg.src_port_base = static_cast<std::uint16_t>(20000 + 100 * def.app_id);
+    auto app = std::make_unique<traffic::AppProcess>(sim, router, ids, cfg,
+                                                     rng.split(def.name));
+    app->run_between(sim::seconds_f(def.start_s), sim::seconds_f(def.stop_s));
+    apps.push_back(std::move(app));
+  }
+
+  sim.run_until(horizon);
+  return result;
+}
+
+}  // namespace
+
+// With 64 KiB aggregation frames, buckets and epochs scale up ~13x so that
+// one update epoch replenishes several frames' worth of tokens (the same
+// tokens-per-frame granularity the MTU-scale defaults give).
+core::FlowValveEngine::Options superpacket_engine_options(const np::NpConfig& nic) {
+  core::FlowValveEngine::Options opt = np::engine_options_for(nic);
+  opt.params.min_burst_bytes = 4.0 * kSuperPacketBytes;
+  opt.params.update_interval = sim::microseconds(500);
+  opt.params.burst_window = sim::milliseconds(2);
+  opt.params.shadow_burst_window = sim::milliseconds(1);
+  return opt;
+}
+
+// ------------------------------------------------------- result helpers ---
+
+Rate TimeSeriesResult::mean_rate(const std::string& name, double t0_s,
+                                 double t1_s) const {
+  for (const auto& app : apps) {
+    if (app.name != name) continue;
+    const SimDuration bw = app.series->bin_width();
+    const auto b0 = static_cast<std::size_t>(sim::seconds_f(t0_s) / bw);
+    const auto b1 = static_cast<std::size_t>(sim::seconds_f(t1_s) / bw);
+    return app.series->mean_rate(b0, b1);
+  }
+  return Rate::zero();
+}
+
+Rate TimeSeriesResult::total_rate(double t0_s, double t1_s) const {
+  Rate total = Rate::zero();
+  for (const auto& app : apps) total += mean_rate(app.name, t0_s, t1_s);
+  return total;
+}
+
+std::vector<stats::NamedSeries> TimeSeriesResult::named_series() const {
+  std::vector<stats::NamedSeries> out;
+  out.reserve(apps.size());
+  for (const auto& app : apps) out.push_back({app.name, app.series.get()});
+  return out;
+}
+
+std::string TimeSeriesResult::table(SimDuration step) const {
+  return stats::series_to_table(named_series(), horizon, step);
+}
+
+std::string TimeSeriesResult::ascii_chart(Rate max_rate) const {
+  return stats::series_to_ascii(named_series(), horizon, max_rate);
+}
+
+// ------------------------------------------------------- policy scripts ---
+
+std::string motivation_policy_script(Rate link_rate) {
+  std::ostringstream s;
+  s << "fv qdisc add dev nic0 root handle 1: htb rate " << link_rate.gbps() << "gbit\n";
+  s << "fv class add dev nic0 parent 1: classid 1:1 name NC prio 0 weight 1 ceil "
+    << link_rate.gbps() * 0.75 << "gbit\n";
+  s << "fv class add dev nic0 parent 1: classid 1:2 name S1 prio 1 weight 1\n";
+  s << "fv class add dev nic0 parent 1:2 classid 1:20 name WS weight 1\n";
+  s << "fv class add dev nic0 parent 1:2 classid 1:21 name S2 weight 2\n";
+  s << "fv class add dev nic0 parent 1:21 classid 1:210 name KVS prio 0 weight 1\n";
+  s << "fv class add dev nic0 parent 1:21 classid 1:211 name ML prio 1 weight 1 "
+       "guarantee 2gbit\n";
+  // Borrowing labels per §IV-C: NC may exceed its ceiling using S1's slack;
+  // WS borrows vm1's slack via S2; ML borrows S2's slack and KVS's
+  // reservation; KVS borrows ML's reservation and WS's share.
+  s << "fv borrow add dev nic0 classid 1:1 from 1:2\n";
+  s << "fv borrow add dev nic0 classid 1:20 from 1:21\n";
+  s << "fv borrow add dev nic0 classid 1:211 from 1:21,1:210\n";
+  s << "fv borrow add dev nic0 classid 1:210 from 1:211,1:20\n";
+  s << "fv filter add dev nic0 pref 10 vf 0 classid 1:1\n";
+  s << "fv filter add dev nic0 pref 20 vf 1 classid 1:210\n";
+  s << "fv filter add dev nic0 pref 30 vf 2 classid 1:211\n";
+  s << "fv filter add dev nic0 pref 40 vf 3 classid 1:20\n";
+  return s.str();
+}
+
+std::string fair_queueing_script(Rate link_rate, unsigned classes) {
+  std::ostringstream s;
+  s << "fv qdisc add dev nic0 root handle 1: htb rate " << link_rate.gbps() << "gbit\n";
+  for (unsigned i = 0; i < classes; ++i)
+    s << "fv class add dev nic0 parent 1: classid 1:1" << i << " name app" << i
+      << " weight 1\n";
+  for (unsigned i = 0; i < classes; ++i) {
+    s << "fv borrow add dev nic0 classid 1:1" << i << " from ";
+    bool first = true;
+    for (unsigned j = 0; j < classes; ++j) {
+      if (j == i) continue;
+      if (!first) s << ",";
+      s << "1:1" << j;
+      first = false;
+    }
+    s << "\n";
+  }
+  for (unsigned i = 0; i < classes; ++i)
+    s << "fv filter add dev nic0 pref " << 10 + i << " vf " << i << " classid 1:1" << i
+      << "\n";
+  return s.str();
+}
+
+std::string weighted_fq_script(Rate link_rate) {
+  std::ostringstream s;
+  s << "fv qdisc add dev nic0 root handle 1: htb rate " << link_rate.gbps() << "gbit\n";
+  // Fig. 12: App0:S1 = 1:1; App1:S2 = 1:1; App2:App3 = 1:1.
+  s << "fv class add dev nic0 parent 1: classid 1:10 name App0 weight 1\n";
+  s << "fv class add dev nic0 parent 1: classid 1:2 name S1 weight 1\n";
+  s << "fv class add dev nic0 parent 1:2 classid 1:20 name App1 weight 1\n";
+  s << "fv class add dev nic0 parent 1:2 classid 1:21 name S2 weight 1\n";
+  s << "fv class add dev nic0 parent 1:21 classid 1:210 name App2 weight 1\n";
+  s << "fv class add dev nic0 parent 1:21 classid 1:211 name App3 weight 1\n";
+  // Unweighted mutual borrowing among all leaves (§V-A: "we do not enforce
+  // weighted borrowing").
+  s << "fv borrow add dev nic0 classid 1:10 from 1:20,1:210,1:211\n";
+  s << "fv borrow add dev nic0 classid 1:20 from 1:10,1:210,1:211\n";
+  s << "fv borrow add dev nic0 classid 1:210 from 1:10,1:20,1:211\n";
+  s << "fv borrow add dev nic0 classid 1:211 from 1:10,1:20,1:210\n";
+  s << "fv filter add dev nic0 pref 10 vf 0 classid 1:10\n";
+  s << "fv filter add dev nic0 pref 11 vf 1 classid 1:20\n";
+  s << "fv filter add dev nic0 pref 12 vf 2 classid 1:210\n";
+  s << "fv filter add dev nic0 pref 13 vf 3 classid 1:211\n";
+  return s.str();
+}
+
+// ------------------------------------------------ Fig. 3 / 11(a) runners --
+
+namespace {
+
+const std::vector<AppDef>& motivation_timeline() {
+  static const std::vector<AppDef> defs = {
+      {"NC", 0, 0, 0.0, 15.0, 1},
+      {"KVS", 1, 1, 15.0, 45.0, 1},
+      {"ML", 2, 2, 15.0, 60.0, 1},
+      {"WS", 3, 3, 30.0, 60.0, 1},
+  };
+  return defs;
+}
+
+}  // namespace
+
+TimeSeriesResult run_fig11a_fv_motivation(std::uint64_t seed, SimTime horizon) {
+  sim::Simulator sim;
+  // The physical port is the 40GbE Netronome; the 10 Gbps budget is policy.
+  NpConfig nic = np::agilio_cx_40g();
+  const Rate link = Rate::gigabits_per_sec(10);
+
+  FlowValveEngine engine(superpacket_engine_options(nic));
+  const std::string err = engine.configure(motivation_policy_script(link));
+  if (!err.empty()) throw std::runtime_error("fv config: " + err);
+
+  np::FlowValveProcessor processor(engine);
+  NicPipeline pipeline(sim, nic, processor);
+
+  TimeSeriesResult result =
+      drive_timeseries(sim, pipeline, motivation_timeline(), link, horizon, seed);
+  result.host_cores_used = fv_host_cores(pipeline, horizon);
+  return result;
+}
+
+TimeSeriesResult run_fig3_htb_motivation(std::uint64_t seed, SimTime horizon) {
+  sim::Simulator sim;
+  const Rate link = Rate::gigabits_per_sec(10);
+
+  HtbArtifacts artifacts;
+  artifacts.enabled = true;
+  // Super-packet calibration of the rate-table undercharge (EXPERIMENTS.md):
+  // 0.84 reproduces the ≈12 Gbps wire rate against the 10 Gbps ceiling.
+  artifacts.charge_factor = 0.84;
+  auto htb = std::make_unique<HtbQdisc>(link, link, artifacts);
+
+  auto add = [&](const char* name, const char* parent, double rate_g, double ceil_g,
+                 int prio) {
+    HtbClassConfig c;
+    c.name = name;
+    c.parent = parent;
+    c.rate = Rate::gigabits_per_sec(rate_g);
+    c.ceil = Rate::gigabits_per_sec(ceil_g);
+    c.prio = prio;
+    c.queue_limit = 64;  // super-packets (≈4 MB, tc-typical byte depth)
+    htb->add_class(c);
+  };
+  add("NC", "", 1.0, 10.0, 0);
+  add("vm1", "", 6.0, 10.0, 1);
+  add("vm2", "", 3.0, 10.0, 1);
+  add("KVS", "vm1", 2.0, 10.0, 0);
+  add("ML", "vm1", 2.0, 10.0, 1);
+  add("WS", "vm2", 3.0, 10.0, 1);
+
+  htb->set_classifier([](const net::Packet& pkt) -> std::string {
+    switch (pkt.app_id) {
+      case 0: return "NC";
+      case 1: return "KVS";
+      case 2: return "ML";
+      default: return "WS";
+    }
+  });
+
+  KernelHostConfig host;
+  host.sender_cores = 4;
+  host.wire_rate = Rate::gigabits_per_sec(40);  // physical 40GbE port
+  KernelHostDevice device(sim, host, std::move(htb));
+
+  TimeSeriesResult result =
+      drive_timeseries(sim, device, motivation_timeline(), link, horizon, seed);
+  result.host_cores_used = device.cores_used(horizon);
+  return result;
+}
+
+// ----------------------------------------------------- Fig. 11(b)/(c) -----
+
+TimeSeriesResult run_fig11b_fair_queueing(std::uint64_t seed, SimTime horizon,
+                                          unsigned conns_per_app) {
+  sim::Simulator sim;
+  NpConfig nic = np::agilio_cx_40g();
+  const Rate link = Rate::gigabits_per_sec(40);
+
+  FlowValveEngine engine(superpacket_engine_options(nic));
+  const std::string err = engine.configure(fair_queueing_script(link, 4));
+  if (!err.empty()) throw std::runtime_error("fv config: " + err);
+  np::FlowValveProcessor processor(engine);
+  NicPipeline pipeline(sim, nic, processor);
+
+  const double stop = sim::to_seconds(horizon);
+  const std::vector<AppDef> defs = {
+      {"App0", 0, 0, 0.0, stop, conns_per_app},
+      {"App1", 1, 1, 10.0, stop, conns_per_app},
+      {"App2", 2, 2, 20.0, stop, conns_per_app},
+      {"App3", 3, 3, 30.0, stop, conns_per_app},
+  };
+  TimeSeriesResult result = drive_timeseries(sim, pipeline, defs, link, horizon, seed);
+  result.host_cores_used = fv_host_cores(pipeline, horizon);
+  return result;
+}
+
+TimeSeriesResult run_fig11c_weighted_fq(std::uint64_t seed, SimTime horizon,
+                                        unsigned conns_per_app) {
+  sim::Simulator sim;
+  NpConfig nic = np::agilio_cx_40g();
+  const Rate link = Rate::gigabits_per_sec(40);
+
+  FlowValveEngine engine(superpacket_engine_options(nic));
+  const std::string err = engine.configure(weighted_fq_script(link));
+  if (!err.empty()) throw std::runtime_error("fv config: " + err);
+  np::FlowValveProcessor processor(engine);
+  NicPipeline pipeline(sim, nic, processor);
+
+  const double stop = sim::to_seconds(horizon);
+  const std::vector<AppDef> defs = {
+      {"App0", 0, 0, 0.0, 30.0, conns_per_app},
+      {"App1", 1, 1, 10.0, stop, conns_per_app},
+      {"App2", 2, 2, 20.0, stop, conns_per_app},
+      {"App3", 3, 3, 20.0, stop, conns_per_app},
+  };
+  TimeSeriesResult result = drive_timeseries(sim, pipeline, defs, link, horizon, seed);
+  result.host_cores_used = fv_host_cores(pipeline, horizon);
+  return result;
+}
+
+// ------------------------------------------------------------- Fig. 13 ----
+
+namespace {
+
+constexpr SimTime kFig13Warmup = sim::milliseconds(20);
+constexpr SimTime kFig13Horizon = sim::milliseconds(70);
+constexpr double kDpdkPerCoreMpps = 2.25;
+
+}  // namespace
+
+double run_fig13_flowvalve(std::uint32_t frame_bytes, std::uint64_t seed) {
+  sim::Simulator sim;
+  NpConfig nic = np::agilio_cx_40g();
+  nic.num_vfs = 4;
+
+  FlowValveEngine engine(np::engine_options_for(nic));
+  const std::string err = engine.configure(fair_queueing_script(nic.wire_rate, 4));
+  if (!err.empty()) throw std::runtime_error("fv config: " + err);
+  np::FlowValveProcessor processor(engine);
+  NicPipeline pipeline(sim, nic, processor);
+
+  traffic::IdAllocator ids;
+  traffic::FlowRouter router(pipeline);
+
+  host::SaturationLoad::Config cfg;
+  cfg.num_flows = 16;
+  cfg.wire_bytes = frame_bytes;
+  cfg.offered = nic.wire_rate;  // line-rate offered load
+  cfg.num_vfs = 4;
+  host::SaturationLoad load(sim, router, ids, cfg, sim::Rng(seed));
+  load.start();
+  sim.run_until(kFig13Warmup);
+  load.begin_measurement();
+  sim.run_until(kFig13Horizon);
+  return load.delivered_mpps(kFig13Horizon);
+}
+
+double run_fig13_dpdk(std::uint32_t frame_bytes, unsigned cores, std::uint64_t seed) {
+  sim::Simulator sim;
+  DpdkQosConfig cfg;
+  cfg.port_rate = Rate::gigabits_per_sec(40);
+  cfg.run_cores = cores;
+  DpdkQosScheduler sched(sim, cfg);
+  for (int i = 0; i < 4; ++i) {
+    DpdkPipeConfig pipe;
+    pipe.name = "app" + std::to_string(i);
+    pipe.rate = Rate::zero();  // fair queueing: WRR, no pipe shaping
+    pipe.queues.push_back({"q", 0, 1.0});
+    sched.add_pipe(pipe);
+  }
+  sched.set_classifier([](const net::Packet& pkt) {
+    return "app" + std::to_string(pkt.app_id % 4) + "/q";
+  });
+  sched.start();
+
+  traffic::IdAllocator ids;
+  traffic::FlowRouter router(sched);
+  host::SaturationLoad::Config lcfg;
+  lcfg.num_flows = 16;
+  lcfg.wire_bytes = frame_bytes;
+  lcfg.offered = cfg.port_rate;
+  lcfg.num_vfs = 4;
+  host::SaturationLoad load(sim, router, ids, lcfg, sim::Rng(seed));
+  load.start();
+  sim.run_until(kFig13Warmup);
+  load.begin_measurement();
+  sim.run_until(kFig13Horizon);
+  return load.delivered_mpps(kFig13Horizon);
+}
+
+Fig13Row run_fig13_row(std::uint32_t frame_bytes, std::uint64_t seed) {
+  Fig13Row row;
+  row.frame_bytes = frame_bytes;
+  row.line_mpps = net::line_rate_pps(Rate::gigabits_per_sec(40), frame_bytes) / 1e6;
+  row.fv_mpps = run_fig13_flowvalve(frame_bytes, seed);
+  row.fv_host_cores = 0.05;  // send path only; scheduling fully offloaded
+  // The paper's provisioning rule: one core per ~2.25 Mpps of offered load,
+  // capped at 4 (the other four cores run the applications).
+  row.dpdk_cores = static_cast<unsigned>(
+      std::clamp(std::floor(row.line_mpps / kDpdkPerCoreMpps), 1.0, 4.0));
+  row.dpdk_mpps = run_fig13_dpdk(frame_bytes, row.dpdk_cores, seed);
+  row.dpdk_mpps_8core = run_fig13_dpdk(frame_bytes, 8, seed);
+  return row;
+}
+
+// ------------------------------------------------------------- Fig. 14 ----
+
+namespace {
+
+constexpr SimTime kDelayWarmup = sim::milliseconds(400);
+constexpr SimTime kDelayHorizon = sim::milliseconds(1400);
+constexpr std::uint32_t kLoadFrameBytes = 1518;
+constexpr std::uint32_t kProbeFrameBytes = 256;
+const Rate kProbeRate = Rate::megabits_per_sec(4);  // ~2 kpps of 256 B probes
+
+DelayResult summarize(const std::string& label, const stats::LatencyStats& lat) {
+  DelayResult r;
+  r.label = label;
+  r.mean_us = lat.mean_us();
+  r.stddev_us = lat.stddev_us();
+  r.p50_us = lat.percentile_us(50);
+  r.p99_us = lat.percentile_us(99);
+  r.samples = lat.count();
+  return r;
+}
+
+/// Four greedy TCP apps saturating the policy. `frame_bytes` is MTU for the
+/// NIC-offloaded and DPDK/mTCP senders (per-packet pacing) but 64 KiB for
+/// the kernel path, where GSO hands the qdisc super-sized skbs — the very
+/// burstiness behind the kernel's delay jitter in Fig. 14.
+std::vector<std::unique_ptr<traffic::AppProcess>> make_delay_load(
+    sim::Simulator& sim, traffic::FlowRouter& router, traffic::IdAllocator& ids,
+    Rate link, sim::Rng& rng, std::uint32_t frame_bytes = kLoadFrameBytes) {
+  std::vector<std::unique_ptr<traffic::AppProcess>> apps;
+  for (unsigned i = 0; i < 4; ++i) {
+    traffic::AppConfig cfg;
+    cfg.name = "app" + std::to_string(i);
+    cfg.app_id = i;
+    cfg.vf_port = static_cast<std::uint16_t>(i);
+    cfg.num_connections = 2;
+    cfg.wire_bytes = frame_bytes;
+    cfg.tcp = greedy_tcp(link);
+    cfg.src_port_base = static_cast<std::uint16_t>(21000 + 100 * i);
+    auto app =
+        std::make_unique<traffic::AppProcess>(sim, router, ids, cfg, rng.split(cfg.name));
+    app->start();
+    apps.push_back(std::move(app));
+  }
+  return apps;
+}
+
+traffic::FlowSpec probe_spec(traffic::IdAllocator& ids) {
+  traffic::FlowSpec spec;
+  spec.flow_id = ids.next_flow_id();
+  spec.app_id = 5;
+  spec.vf_port = 5;
+  spec.wire_bytes = kProbeFrameBytes;
+  spec.tuple.src_ip = 0x0a0000fe;
+  spec.tuple.dst_ip = 0x0a000002;
+  spec.tuple.src_port = 40000;
+  spec.tuple.dst_port = 5999;
+  spec.tuple.proto = net::IpProto::kUdp;
+  return spec;
+}
+
+}  // namespace
+
+DelayResult run_fig14_flowvalve(Rate wire_rate, std::uint64_t seed) {
+  sim::Simulator sim;
+  NpConfig nic = wire_rate.gbps() > 20 ? np::agilio_cx_40g() : np::agilio_cx_10g();
+  nic.num_vfs = 8;
+
+  // Fair-queueing policy plus a lightly-weighted probe class on VF 5.
+  std::string script = fair_queueing_script(wire_rate, 4);
+  script += "fv class add dev nic0 parent 1: classid 1:99 name probe weight 0.05\n";
+  script += "fv filter add dev nic0 pref 5 vf 5 classid 1:99\n";
+
+  FlowValveEngine engine(np::engine_options_for(nic));
+  const std::string err = engine.configure(script);
+  if (!err.empty()) throw std::runtime_error("fv config: " + err);
+  np::FlowValveProcessor processor(engine);
+  NicPipeline pipeline(sim, nic, processor);
+
+  sim::Rng rng(seed);
+  traffic::IdAllocator ids;
+  traffic::FlowRouter router(pipeline);
+  auto load = make_delay_load(sim, router, ids, wire_rate, rng);
+
+  host::LatencyProbe probe(sim, router, ids, probe_spec(ids), kProbeRate,
+                           rng.split("probe"));
+  sim.run_until(kDelayWarmup);
+  probe.start();
+  sim.run_until(kDelayHorizon);
+  char label[64];
+  std::snprintf(label, sizeof(label), "FlowValve@%.0fG", wire_rate.gbps());
+  return summarize(label, probe.latency());
+}
+
+DelayResult run_fig14_htb(std::uint64_t seed) {
+  sim::Simulator sim;
+  const Rate link = Rate::gigabits_per_sec(10);
+
+  HtbArtifacts artifacts;
+  artifacts.enabled = true;  // MTU frames: cell quantization applies
+  auto htb = std::make_unique<HtbQdisc>(link, link, artifacts);
+  for (int i = 0; i < 4; ++i) {
+    HtbClassConfig c;
+    c.name = "app" + std::to_string(i);
+    c.rate = link * 0.25;
+    c.ceil = link;
+    c.queue_limit = 256;
+    htb->add_class(c);
+  }
+  HtbClassConfig pc;
+  pc.name = "probe";
+  pc.rate = Rate::megabits_per_sec(100);
+  pc.ceil = link;
+  pc.prio = 0;
+  pc.queue_limit = 64;
+  htb->add_class(pc);
+  htb->set_classifier([](const net::Packet& pkt) -> std::string {
+    if (pkt.app_id == 5) return "probe";
+    return "app" + std::to_string(pkt.app_id % 4);
+  });
+
+  KernelHostConfig host;
+  host.sender_cores = 8;  // probe runs on its own core, like netperf
+  host.wire_rate = Rate::gigabits_per_sec(40);
+  KernelHostDevice device(sim, host, std::move(htb));
+
+  sim::Rng rng(seed);
+  traffic::IdAllocator ids;
+  traffic::FlowRouter router(device);
+  auto load = make_delay_load(sim, router, ids, link, rng, /*GSO skbs*/ 64 * 1024);
+
+  host::LatencyProbe probe(sim, router, ids, probe_spec(ids), kProbeRate,
+                           rng.split("probe"));
+  sim.run_until(kDelayWarmup);
+  probe.start();
+  sim.run_until(kDelayHorizon);
+  return summarize("HTB@10G", probe.latency());
+}
+
+DelayResult run_fig14_dpdk(Rate wire_rate, unsigned cores, std::uint64_t seed) {
+  sim::Simulator sim;
+  DpdkQosConfig cfg;
+  cfg.port_rate = wire_rate;
+  cfg.run_cores = cores;
+  DpdkQosScheduler sched(sim, cfg);
+  for (int i = 0; i < 4; ++i) {
+    DpdkPipeConfig pipe;
+    pipe.name = "app" + std::to_string(i);
+    pipe.queues.push_back({"q", 1, 1.0});
+    sched.add_pipe(pipe);
+  }
+  DpdkPipeConfig probe_pipe;
+  probe_pipe.name = "probe";
+  probe_pipe.queues.push_back({"q", 0, 1.0});  // TC0: strict priority
+  sched.add_pipe(probe_pipe);
+  sched.set_classifier([](const net::Packet& pkt) -> std::string {
+    if (pkt.app_id == 5) return "probe/q";
+    return "app" + std::to_string(pkt.app_id % 4) + "/q";
+  });
+  sched.start();
+
+  sim::Rng rng(seed);
+  traffic::IdAllocator ids;
+  traffic::FlowRouter router(sched);
+  auto load = make_delay_load(sim, router, ids, wire_rate, rng);
+
+  host::LatencyProbe probe(sim, router, ids, probe_spec(ids), kProbeRate,
+                           rng.split("probe"));
+  sim.run_until(kDelayWarmup);
+  probe.start();
+  sim.run_until(kDelayHorizon);
+  char label[64];
+  std::snprintf(label, sizeof(label), "DPDK-QoS@%.0fG(%uc)", wire_rate.gbps(), cores);
+  return summarize(label, probe.latency());
+}
+
+DelayResult run_fig14_forwarding_only(std::uint64_t seed) {
+  sim::Simulator sim;
+  NpConfig nic = np::agilio_cx_40g();
+  np::NullProcessor processor;
+  NicPipeline pipeline(sim, nic, processor);
+
+  sim::Rng rng(seed);
+  traffic::IdAllocator ids;
+  traffic::FlowRouter router(pipeline);
+
+  // 90% line-rate CBR load so queues stay finite without a scheduler.
+  std::vector<std::unique_ptr<traffic::CbrFlow>> load;
+  for (unsigned i = 0; i < 4; ++i) {
+    traffic::FlowSpec spec;
+    spec.flow_id = ids.next_flow_id();
+    spec.app_id = i;
+    spec.vf_port = static_cast<std::uint16_t>(i);
+    spec.wire_bytes = kLoadFrameBytes;
+    spec.tuple.src_ip = 0x0a000010 + i;
+    spec.tuple.dst_ip = 0x0a000002;
+    spec.tuple.src_port = static_cast<std::uint16_t>(22000 + i);
+    spec.tuple.dst_port = 5001;
+    auto flow = std::make_unique<traffic::CbrFlow>(sim, router, ids, spec,
+                                                   nic.wire_rate * 0.225,
+                                                   rng.split(i), 0.05);
+    flow->start();
+    load.push_back(std::move(flow));
+  }
+
+  host::LatencyProbe probe(sim, router, ids, probe_spec(ids), kProbeRate,
+                           rng.split("probe"));
+  sim.run_until(kDelayWarmup);
+  probe.start();
+  sim.run_until(kDelayHorizon);
+  return summarize("Forwarding-only@40G", probe.latency());
+}
+
+}  // namespace flowvalve::exp

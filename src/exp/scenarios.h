@@ -1,0 +1,137 @@
+// Experiment harness: scenario builders reproducing every figure/table of
+// the paper's evaluation (§V). Each runner assembles a device (FlowValve NP
+// pipeline, kernel HTB host, or DPDK QoS host), the traffic of the
+// experiment, runs the virtual clock, and returns structured results that
+// benches print and integration tests assert on.
+//
+// The experiment ↔ module map lives in DESIGN.md §4; the reconstructed
+// timelines (the paper gives figures, not tables of app start/stop times)
+// are documented in EXPERIMENTS.md.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/flowvalve.h"
+#include "np/np_config.h"
+#include "sim/time.h"
+#include "stats/series_export.h"
+#include "stats/stats.h"
+
+namespace flowvalve::exp {
+
+using sim::Rate;
+using sim::SimDuration;
+using sim::SimTime;
+
+/// Frame size used by the throughput-over-time scenarios. The wire-level
+/// simulation aggregates ~43 MTU frames into one 64 KiB super-packet so that
+/// 60 virtual seconds at 10-40 Gbps stay cheap; token buckets and TCP operate
+/// on bytes, so all proportions are preserved (see DESIGN.md §1).
+inline constexpr std::uint32_t kSuperPacketBytes = 64 * 1024;
+
+/// One named per-app throughput curve.
+struct AppCurve {
+  std::string name;
+  std::unique_ptr<stats::ThroughputSeries> series;
+};
+
+struct TimeSeriesResult {
+  std::vector<AppCurve> apps;
+  SimTime horizon = 0;
+  double host_cores_used = 0.0;  // CPU consumed by scheduling + stack work
+  std::uint64_t seed = 0;
+
+  /// Mean delivered rate of app `name` over [t0_s, t1_s) seconds.
+  Rate mean_rate(const std::string& name, double t0_s, double t1_s) const;
+  Rate total_rate(double t0_s, double t1_s) const;
+
+  /// Render the per-interval rate table (the textual form of the figure).
+  std::string table(SimDuration step = sim::seconds(5)) const;
+  std::string ascii_chart(Rate max_rate) const;
+  std::vector<stats::NamedSeries> named_series() const;
+};
+
+// -- Fig. 3 / Fig. 11(a): the motivation example --------------------------
+//
+// Timeline (reconstructed; EXPERIMENTS.md): NC greedy 0-15 s then stops;
+// KVS greedy 15-45 s; ML greedy 15-60 s; WS greedy 30-60 s. Policy: NC
+// strictly prior with a 7.5 Gbps ceiling (it borrows idle bandwidth beyond
+// that), vm1:vm2 = 2:1 of the remainder, KVS prior over ML with ML
+// guaranteed 2 Gbps. Link: 10 Gbps.
+TimeSeriesResult run_fig3_htb_motivation(std::uint64_t seed,
+                                         SimTime horizon = sim::seconds(60));
+TimeSeriesResult run_fig11a_fv_motivation(std::uint64_t seed,
+                                          SimTime horizon = sim::seconds(60));
+
+// -- Fig. 11(b): 40G fair queueing ----------------------------------------
+// Four apps, equal weights, staged joins at 0/10/20/30 s.
+TimeSeriesResult run_fig11b_fair_queueing(std::uint64_t seed,
+                                          SimTime horizon = sim::seconds(40),
+                                          unsigned conns_per_app = 4);
+
+// -- Fig. 11(c): 40G weighted fair queueing (policy table of Fig. 12) ------
+// App0:S1 = 1:1, App1:S2 = 1:1, App2:App3 = 1:1; App0 0-30 s, App1 joins at
+// 10 s, App2+App3 at 20 s; after App0 leaves the rest share equally
+// (borrowing is unweighted).
+TimeSeriesResult run_fig11c_weighted_fq(std::uint64_t seed,
+                                        SimTime horizon = sim::seconds(40),
+                                        unsigned conns_per_app = 4);
+
+// -- Fig. 13: maximum throughput vs frame size -----------------------------
+
+struct Fig13Row {
+  std::uint32_t frame_bytes = 0;
+  double line_mpps = 0.0;      // theoretical 40GbE packet rate
+  double fv_mpps = 0.0;        // FlowValve achieved
+  double fv_host_cores = 0.0;  // host CPU consumed by FlowValve (≈0)
+  double dpdk_mpps = 0.0;      // DPDK QoS achieved with `dpdk_cores`
+  unsigned dpdk_cores = 0;     // cores provisioned (paper's rule, ≤4)
+  double dpdk_mpps_8core = 0.0;  // extended sweep datum
+};
+
+/// FlowValve under saturation with fixed-size frames (fair-queueing policy,
+/// as in the paper). Returns achieved Mpps.
+double run_fig13_flowvalve(std::uint32_t frame_bytes, std::uint64_t seed);
+
+/// DPDK QoS under the same load with `cores` run cores.
+double run_fig13_dpdk(std::uint32_t frame_bytes, unsigned cores, std::uint64_t seed);
+
+/// Full row following the paper's provisioning rule
+/// (cores = ceil(offered_pps / per-core-rate), capped at 4).
+Fig13Row run_fig13_row(std::uint32_t frame_bytes, std::uint64_t seed);
+
+// -- Fig. 14: one-way delay -------------------------------------------------
+
+struct DelayResult {
+  std::string label;
+  double mean_us = 0.0;
+  double stddev_us = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  std::uint64_t samples = 0;
+};
+
+DelayResult run_fig14_flowvalve(Rate wire_rate, std::uint64_t seed);
+DelayResult run_fig14_htb(std::uint64_t seed);  // 10 Gbps only (paper omits 40G)
+DelayResult run_fig14_dpdk(Rate wire_rate, unsigned cores, std::uint64_t seed);
+/// Pipeline-only forwarding at 40G (FlowValve disabled), the paper's 161 µs
+/// reference point.
+DelayResult run_fig14_forwarding_only(std::uint64_t seed);
+
+/// FlowValve engine options scaled for kSuperPacketBytes frames (larger
+/// buckets/epochs so token granularity per frame matches MTU-scale runs).
+core::FlowValveEngine::Options superpacket_engine_options(const np::NpConfig& nic);
+
+// -- fv policy scripts (exported for examples/tests) ------------------------
+
+/// The motivation-example policy (§II / Fig. 6) as an fv script.
+std::string motivation_policy_script(Rate link_rate);
+/// N-class fair queueing with mutual borrowing; filters on VF 0..n-1.
+std::string fair_queueing_script(Rate link_rate, unsigned classes);
+/// The Fig. 12 nested 1:1 weighted policy.
+std::string weighted_fq_script(Rate link_rate);
+
+}  // namespace flowvalve::exp

@@ -1,0 +1,113 @@
+#include "host/probes.h"
+
+#include <algorithm>
+
+namespace flowvalve::host {
+
+// ---------------------------------------------------------- LatencyProbe --
+
+LatencyProbe::LatencyProbe(sim::Simulator& sim, traffic::FlowRouter& router,
+                           traffic::IdAllocator& ids, traffic::FlowSpec spec, Rate rate,
+                           sim::Rng rng)
+    : sim_(sim), router_(router), ids_(ids), spec_(spec), rate_(rate), rng_(rng) {
+  router_.register_flow(spec_.flow_id, this);
+}
+
+LatencyProbe::~LatencyProbe() {
+  stop();
+  router_.unregister_flow(spec_.flow_id);
+}
+
+void LatencyProbe::start() {
+  if (active_) return;
+  active_ = true;
+  send_next();
+}
+
+void LatencyProbe::stop() {
+  active_ = false;
+  send_event_.cancel();
+}
+
+void LatencyProbe::send_next() {
+  if (!active_) return;
+  net::Packet pkt = traffic::make_packet(spec_, ids_, sim_.now(), seq_++);
+  ++sent_;
+  router_.device().submit(std::move(pkt));
+  const double gap_ns =
+      static_cast<double>(spec_.wire_bytes) * 8e9 / std::max(rate_.bps(), 1e3);
+  // Slightly jittered so probes do not phase-lock with poll loops.
+  const double jitter = 1.0 + 0.2 * (rng_.next_double() - 0.5);
+  send_event_ = sim_.schedule_after(
+      std::max<SimDuration>(1, static_cast<SimDuration>(gap_ns * jitter)),
+      [this] { send_next(); });
+}
+
+void LatencyProbe::on_delivered(const net::Packet& pkt) {
+  latency_.add(pkt.delivered_at - pkt.created_at);
+}
+
+// -------------------------------------------------------- SaturationLoad --
+
+SaturationLoad::SaturationLoad(sim::Simulator& sim, traffic::FlowRouter& router,
+                               traffic::IdAllocator& ids, Config config, sim::Rng rng)
+    : sim_(sim), router_(router), ids_(ids), config_(config), rng_(rng) {
+  specs_.reserve(config_.num_flows);
+  for (unsigned i = 0; i < config_.num_flows; ++i) {
+    traffic::FlowSpec spec;
+    spec.flow_id = ids_.next_flow_id();
+    spec.app_id = config_.app_id + i % 4;  // spread over apps/classes
+    spec.vf_port = static_cast<std::uint16_t>(config_.vf_base + i % config_.num_vfs);
+    spec.wire_bytes = config_.wire_bytes;
+    spec.tuple.src_ip = 0x0a000100 + i;
+    spec.tuple.dst_ip = 0x0a000002;
+    spec.tuple.src_port = static_cast<std::uint16_t>(30000 + i);
+    spec.tuple.dst_port = 5201;
+    spec.tuple.proto = net::IpProto::kUdp;
+    router_.register_flow(spec.flow_id, this);
+    specs_.push_back(spec);
+  }
+}
+
+SaturationLoad::~SaturationLoad() {
+  stop();
+  for (const auto& spec : specs_) router_.unregister_flow(spec.flow_id);
+}
+
+void SaturationLoad::start() {
+  if (active_) return;
+  active_ = true;
+  send_next();
+}
+
+void SaturationLoad::stop() {
+  active_ = false;
+  send_event_.cancel();
+}
+
+void SaturationLoad::send_next() {
+  if (!active_) return;
+  const traffic::FlowSpec& spec = specs_[rr_];
+  rr_ = (rr_ + 1) % specs_.size();
+  net::Packet pkt = traffic::make_packet(spec, ids_, sim_.now(), seq_++);
+  ++sent_;
+  router_.device().submit(std::move(pkt));
+  // Aggregate pacing across all flows.
+  const double gap_ns =
+      static_cast<double>(config_.wire_bytes + net::kEthernetOverheadBytes) * 8e9 /
+      std::max(config_.offered.bps(), 1e3);
+  send_event_ = sim_.schedule_after(
+      std::max<SimDuration>(1, static_cast<SimDuration>(gap_ns)), [this] { send_next(); });
+}
+
+void SaturationLoad::on_delivered(const net::Packet& pkt) {
+  if (pkt.wire_tx_done >= measure_from_ && measure_from_ > 0) ++counted_;
+}
+
+double SaturationLoad::delivered_mpps(SimTime until) const {
+  const SimDuration window = until - measure_from_;
+  if (window <= 0 || measure_from_ == 0) return 0.0;
+  return static_cast<double>(counted_) / sim::to_seconds(window) / 1e6;
+}
+
+}  // namespace flowvalve::host

@@ -1,0 +1,43 @@
+// EgressDevice — the common contract between traffic sources and every
+// scheduling substrate in this repo (NP SmartNIC pipeline, kernel qdisc
+// host model, DPDK QoS host model). Sources submit packets; the device
+// eventually either delivers them (last bit on the wire + pipeline
+// constants) or reports a drop. Both signals drive TCP feedback.
+#pragma once
+
+#include <functional>
+
+#include "net/packet.h"
+
+namespace flowvalve::net {
+
+class EgressDevice {
+ public:
+  virtual ~EgressDevice() = default;
+
+  /// Submit a packet for transmission. Returns false if it was rejected
+  /// synchronously (entry ring full); the drop callback fires either way
+  /// for any lost packet, synchronous or not.
+  virtual bool submit(Packet pkt) = 0;
+
+  void set_on_delivered(std::function<void(const Packet&)> cb) {
+    on_delivered_ = std::move(cb);
+  }
+  void set_on_dropped(std::function<void(const Packet&)> cb) {
+    on_dropped_ = std::move(cb);
+  }
+
+ protected:
+  void deliver(const Packet& pkt) {
+    if (on_delivered_) on_delivered_(pkt);
+  }
+  void notify_drop(const Packet& pkt) {
+    if (on_dropped_) on_dropped_(pkt);
+  }
+
+ private:
+  std::function<void(const Packet&)> on_delivered_;
+  std::function<void(const Packet&)> on_dropped_;
+};
+
+}  // namespace flowvalve::net

@@ -1,0 +1,207 @@
+#include "net/headers.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace flowvalve::net {
+namespace {
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+  out.push_back(static_cast<std::uint8_t>(v >> 16 & 0xff));
+  out.push_back(static_cast<std::uint8_t>(v >> 8 & 0xff));
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+}
+
+std::uint16_t get_u16(std::span<const std::uint8_t> d, std::size_t off) {
+  return static_cast<std::uint16_t>(d[off] << 8 | d[off + 1]);
+}
+
+std::uint32_t get_u32(std::span<const std::uint8_t> d, std::size_t off) {
+  return static_cast<std::uint32_t>(d[off]) << 24 | static_cast<std::uint32_t>(d[off + 1]) << 16 |
+         static_cast<std::uint32_t>(d[off + 2]) << 8 | static_cast<std::uint32_t>(d[off + 3]);
+}
+
+void append_ethernet(std::vector<std::uint8_t>& out, const EthernetHeader& eth) {
+  out.insert(out.end(), eth.dst.begin(), eth.dst.end());
+  out.insert(out.end(), eth.src.begin(), eth.src.end());
+  put_u16(out, eth.ethertype);
+}
+
+// Appends the 20-byte IPv4 header with a correct checksum. `payload_len` is
+// the L4 length (header + data).
+void append_ipv4(std::vector<std::uint8_t>& out, Ipv4Header ip, std::size_t l4_len) {
+  ip.total_length = static_cast<std::uint16_t>(kIpv4HeaderBytes + l4_len);
+  const std::size_t start = out.size();
+  out.push_back(0x45);  // version 4, IHL 5
+  out.push_back(static_cast<std::uint8_t>(ip.dscp << 2));
+  put_u16(out, ip.total_length);
+  put_u16(out, ip.identification);
+  put_u16(out, 0x4000);  // flags: DF, fragment offset 0
+  out.push_back(ip.ttl);
+  out.push_back(ip.protocol);
+  put_u16(out, 0);  // checksum placeholder
+  put_u32(out, ip.src_ip);
+  put_u32(out, ip.dst_ip);
+  const std::uint16_t csum =
+      internet_checksum({out.data() + start, kIpv4HeaderBytes});
+  out[start + 10] = static_cast<std::uint8_t>(csum >> 8);
+  out[start + 11] = static_cast<std::uint8_t>(csum & 0xff);
+}
+
+void append_payload(std::vector<std::uint8_t>& out, std::size_t len) {
+  // Deterministic filler so frames are byte-for-byte reproducible.
+  for (std::size_t i = 0; i < len; ++i)
+    out.push_back(static_cast<std::uint8_t>(i * 31 + 7));
+}
+
+}  // namespace
+
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data) {
+  std::uint32_t sum = 0;
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2)
+    sum += static_cast<std::uint32_t>(data[i]) << 8 | data[i + 1];
+  if (i < data.size()) sum += static_cast<std::uint32_t>(data[i]) << 8;
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum & 0xffff);
+}
+
+std::vector<std::uint8_t> build_tcp_frame(const EthernetHeader& eth, Ipv4Header ip,
+                                          TcpHeader tcp, std::size_t payload_len) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kEthernetHeaderBytes + kIpv4HeaderBytes + kTcpHeaderBytes + payload_len);
+  append_ethernet(out, eth);
+  ip.protocol = 6;
+  append_ipv4(out, ip, kTcpHeaderBytes + payload_len);
+  put_u16(out, tcp.src_port);
+  put_u16(out, tcp.dst_port);
+  put_u32(out, tcp.seq);
+  put_u32(out, tcp.ack);
+  out.push_back(0x50);  // data offset 5, reserved 0
+  out.push_back(tcp.flags);
+  put_u16(out, tcp.window);
+  put_u16(out, 0);  // checksum (not computed: the NIC offloads it)
+  put_u16(out, 0);  // urgent pointer
+  append_payload(out, payload_len);
+  return out;
+}
+
+std::vector<std::uint8_t> build_udp_frame(const EthernetHeader& eth, Ipv4Header ip,
+                                          UdpHeader udp, std::size_t payload_len) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kEthernetHeaderBytes + kIpv4HeaderBytes + kUdpHeaderBytes + payload_len);
+  append_ethernet(out, eth);
+  ip.protocol = 17;
+  append_ipv4(out, ip, kUdpHeaderBytes + payload_len);
+  put_u16(out, udp.src_port);
+  put_u16(out, udp.dst_port);
+  put_u16(out, static_cast<std::uint16_t>(kUdpHeaderBytes + payload_len));
+  put_u16(out, 0);  // checksum optional for IPv4
+  append_payload(out, payload_len);
+  return out;
+}
+
+std::vector<std::uint8_t> build_frame_for_tuple(const FiveTuple& tuple,
+                                                std::uint32_t frame_bytes_with_fcs,
+                                                std::uint8_t dscp) {
+  const bool tcp = tuple.proto == IpProto::kTcp;
+  const std::size_t l4_hdr = tcp ? kTcpHeaderBytes : kUdpHeaderBytes;
+  const std::size_t min_frame =
+      kEthernetHeaderBytes + kIpv4HeaderBytes + l4_hdr + kFcsBytes;
+  const std::size_t target = std::max<std::size_t>(frame_bytes_with_fcs, min_frame);
+  const std::size_t payload_len = target - min_frame;
+
+  EthernetHeader eth;
+  eth.dst = {0x02, 0, 0, 0, 0, 0x01};
+  eth.src = {0x02, 0, 0, 0, 0, 0x02};
+  Ipv4Header ip;
+  ip.src_ip = tuple.src_ip;
+  ip.dst_ip = tuple.dst_ip;
+  ip.dscp = dscp;
+  if (tcp) {
+    TcpHeader h;
+    h.src_port = tuple.src_port;
+    h.dst_port = tuple.dst_port;
+    h.flags = 0x10;  // ACK
+    return build_tcp_frame(eth, ip, h, payload_len);
+  }
+  UdpHeader h;
+  h.src_port = tuple.src_port;
+  h.dst_port = tuple.dst_port;
+  return build_udp_frame(eth, ip, h, payload_len);
+}
+
+FiveTuple ParsedFrame::five_tuple() const {
+  FiveTuple t;
+  t.src_ip = ip.src_ip;
+  t.dst_ip = ip.dst_ip;
+  if (is_tcp) {
+    t.src_port = tcp.src_port;
+    t.dst_port = tcp.dst_port;
+    t.proto = IpProto::kTcp;
+  } else {
+    t.src_port = udp.src_port;
+    t.dst_port = udp.dst_port;
+    t.proto = IpProto::kUdp;
+  }
+  return t;
+}
+
+std::optional<ParsedFrame> parse_frame(std::span<const std::uint8_t> frame) {
+  if (frame.size() < kEthernetHeaderBytes + kIpv4HeaderBytes) return std::nullopt;
+  ParsedFrame pf;
+  std::copy_n(frame.begin(), 6, pf.eth.dst.begin());
+  std::copy_n(frame.begin() + 6, 6, pf.eth.src.begin());
+  pf.eth.ethertype = get_u16(frame, 12);
+  if (pf.eth.ethertype != kEtherTypeIpv4) return std::nullopt;
+
+  const std::size_t ip_off = kEthernetHeaderBytes;
+  if ((frame[ip_off] >> 4) != 4) return std::nullopt;
+  const std::size_t ihl = static_cast<std::size_t>(frame[ip_off] & 0x0f) * 4;
+  if (ihl != kIpv4HeaderBytes) return std::nullopt;  // options unsupported
+  if (internet_checksum({frame.data() + ip_off, kIpv4HeaderBytes}) != 0) return std::nullopt;
+
+  pf.ip.dscp = static_cast<std::uint8_t>(frame[ip_off + 1] >> 2);
+  pf.ip.total_length = get_u16(frame, ip_off + 2);
+  pf.ip.identification = get_u16(frame, ip_off + 4);
+  pf.ip.ttl = frame[ip_off + 8];
+  pf.ip.protocol = frame[ip_off + 9];
+  pf.ip.checksum = get_u16(frame, ip_off + 10);
+  pf.ip.src_ip = get_u32(frame, ip_off + 12);
+  pf.ip.dst_ip = get_u32(frame, ip_off + 16);
+
+  if (frame.size() < ip_off + pf.ip.total_length) return std::nullopt;
+  const std::size_t l4_off = ip_off + kIpv4HeaderBytes;
+  if (pf.ip.protocol == 6) {
+    if (frame.size() < l4_off + kTcpHeaderBytes) return std::nullopt;
+    pf.is_tcp = true;
+    pf.tcp.src_port = get_u16(frame, l4_off);
+    pf.tcp.dst_port = get_u16(frame, l4_off + 2);
+    pf.tcp.seq = get_u32(frame, l4_off + 4);
+    pf.tcp.ack = get_u32(frame, l4_off + 8);
+    const std::size_t doff = static_cast<std::size_t>(frame[l4_off + 12] >> 4) * 4;
+    if (doff < kTcpHeaderBytes || frame.size() < l4_off + doff) return std::nullopt;
+    pf.tcp.flags = frame[l4_off + 13];
+    pf.tcp.window = get_u16(frame, l4_off + 14);
+    pf.payload_offset = l4_off + doff;
+  } else if (pf.ip.protocol == 17) {
+    if (frame.size() < l4_off + kUdpHeaderBytes) return std::nullopt;
+    pf.is_tcp = false;
+    pf.udp.src_port = get_u16(frame, l4_off);
+    pf.udp.dst_port = get_u16(frame, l4_off + 2);
+    pf.udp.length = get_u16(frame, l4_off + 4);
+    pf.payload_offset = l4_off + kUdpHeaderBytes;
+  } else {
+    return std::nullopt;
+  }
+  pf.payload_length = ip_off + pf.ip.total_length - pf.payload_offset;
+  return pf;
+}
+
+}  // namespace flowvalve::net

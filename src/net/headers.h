@@ -1,0 +1,94 @@
+// Wire-format header construction and parsing (Ethernet II / IPv4 / TCP /
+// UDP). The NP pipeline's labeling function parses real frames in the
+// Netronome prototype; we keep a byte-accurate implementation so the
+// classifier can be exercised and tested against genuine packet bytes.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/packet.h"
+
+namespace flowvalve::net {
+
+using MacAddr = std::array<std::uint8_t, 6>;
+
+inline constexpr std::uint16_t kEtherTypeIpv4 = 0x0800;
+inline constexpr std::size_t kEthernetHeaderBytes = 14;
+inline constexpr std::size_t kIpv4HeaderBytes = 20;  // no options
+inline constexpr std::size_t kTcpHeaderBytes = 20;   // no options
+inline constexpr std::size_t kUdpHeaderBytes = 8;
+inline constexpr std::size_t kFcsBytes = 4;
+
+struct EthernetHeader {
+  MacAddr dst{};
+  MacAddr src{};
+  std::uint16_t ethertype = kEtherTypeIpv4;
+};
+
+struct Ipv4Header {
+  std::uint8_t dscp = 0;          // QoS code point (6 bits used)
+  std::uint8_t ttl = 64;
+  std::uint8_t protocol = 6;      // TCP
+  std::uint16_t total_length = 0; // filled by builder
+  std::uint16_t identification = 0;
+  std::uint32_t src_ip = 0;
+  std::uint32_t dst_ip = 0;
+  std::uint16_t checksum = 0;     // filled by builder / verified by parser
+};
+
+struct TcpHeader {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  std::uint8_t flags = 0;         // CWR..FIN
+  std::uint16_t window = 65535;
+};
+
+struct UdpHeader {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint16_t length = 0;       // filled by builder
+};
+
+/// Result of parsing a complete frame.
+struct ParsedFrame {
+  EthernetHeader eth;
+  Ipv4Header ip;
+  bool is_tcp = false;
+  TcpHeader tcp;    // valid iff is_tcp
+  UdpHeader udp;    // valid iff !is_tcp
+  std::size_t payload_offset = 0;
+  std::size_t payload_length = 0;
+
+  FiveTuple five_tuple() const;
+};
+
+/// RFC 1071 internet checksum over `data` (as 16-bit big-endian words).
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data);
+
+/// Build a full frame (without FCS bytes — the 4-byte FCS is accounted for
+/// in sizes but not materialized). `payload_len` bytes of deterministic
+/// filler payload are appended. Returns the frame bytes.
+std::vector<std::uint8_t> build_tcp_frame(const EthernetHeader& eth, Ipv4Header ip,
+                                          TcpHeader tcp, std::size_t payload_len);
+std::vector<std::uint8_t> build_udp_frame(const EthernetHeader& eth, Ipv4Header ip,
+                                          UdpHeader udp, std::size_t payload_len);
+
+/// Convenience: build a frame from a five-tuple with a target *total* frame
+/// size (headers + payload + FCS). Sizes below the minimum encodable are
+/// clamped. dscp is copied into the IPv4 header (classifiers may match it).
+std::vector<std::uint8_t> build_frame_for_tuple(const FiveTuple& tuple,
+                                                std::uint32_t frame_bytes_with_fcs,
+                                                std::uint8_t dscp = 0);
+
+/// Parse a frame produced by the builders (or any Ethernet/IPv4/TCP|UDP
+/// frame without IP options). Returns nullopt on malformed input, unknown
+/// ethertype/protocol, or bad IPv4 checksum.
+std::optional<ParsedFrame> parse_frame(std::span<const std::uint8_t> frame);
+
+}  // namespace flowvalve::net

@@ -1,0 +1,29 @@
+// Adapter plugging the FlowValve engine into the NP pipeline's worker loop.
+#pragma once
+
+#include "core/flowvalve.h"
+#include "np/nic_pipeline.h"
+
+namespace flowvalve::np {
+
+/// Engine options whose virtual-time lock hold matches the NP clock.
+inline core::FlowValveEngine::Options engine_options_for(const NpConfig& cfg) {
+  core::FlowValveEngine::Options opt;
+  opt.sched_costs.lock_hold_ns = cfg.cycles_to_ns(opt.sched_costs.update_cycles);
+  return opt;
+}
+
+class FlowValveProcessor final : public PacketProcessor {
+ public:
+  explicit FlowValveProcessor(core::FlowValveEngine& engine) : engine_(engine) {}
+
+  Outcome process(net::Packet& pkt, sim::SimTime now) override {
+    const auto r = engine_.process(pkt, now);
+    return {r.verdict == core::Verdict::kForward, r.cycles};
+  }
+
+ private:
+  core::FlowValveEngine& engine_;
+};
+
+}  // namespace flowvalve::np

@@ -1,0 +1,185 @@
+#include "np/mat.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace flowvalve::np::mat {
+
+FieldValues parse_packet(const net::Packet& pkt) {
+  FieldValues f;
+  f.set(Field::kVfPort, pkt.vf_port);
+  f.set(Field::kSrcIp, pkt.tuple.src_ip);
+  f.set(Field::kDstIp, pkt.tuple.dst_ip);
+  f.set(Field::kSrcPort, pkt.tuple.src_port);
+  f.set(Field::kDstPort, pkt.tuple.dst_port);
+  f.set(Field::kProto, static_cast<std::uint32_t>(pkt.tuple.proto));
+  f.set(Field::kDscp, 0);
+  f.set(Field::kFrameLen, pkt.wire_bytes);
+  return f;
+}
+
+std::optional<FieldValues> parse_frame_bytes(std::span<const std::uint8_t> frame,
+                                             std::uint16_t vf_port) {
+  const auto parsed = net::parse_frame(frame);
+  if (!parsed) return std::nullopt;
+  FieldValues f;
+  const net::FiveTuple t = parsed->five_tuple();
+  f.set(Field::kVfPort, vf_port);
+  f.set(Field::kSrcIp, t.src_ip);
+  f.set(Field::kDstIp, t.dst_ip);
+  f.set(Field::kSrcPort, t.src_port);
+  f.set(Field::kDstPort, t.dst_port);
+  f.set(Field::kProto, static_cast<std::uint32_t>(t.proto));
+  f.set(Field::kDscp, parsed->ip.dscp);
+  f.set(Field::kFrameLen,
+        static_cast<std::uint32_t>(frame.size() + net::kFcsBytes));
+  return f;
+}
+
+bool MatchSpec::matches(std::uint32_t v) const {
+  switch (kind) {
+    case Kind::kAny:
+      return true;
+    case Kind::kExact:
+      return v == value;
+    case Kind::kTernary:
+      return (v & mask) == (value & mask);
+    case Kind::kLpm: {
+      if (prefix_len == 0) return true;
+      const std::uint32_t m = prefix_len >= 32 ? 0xffffffffu : ~(0xffffffffu >> prefix_len);
+      return (v & m) == (value & m);
+    }
+  }
+  return false;
+}
+
+MatchSpec MatchSpec::exact(Field f, std::uint32_t value) {
+  MatchSpec s;
+  s.field = f;
+  s.kind = Kind::kExact;
+  s.value = value;
+  return s;
+}
+
+MatchSpec MatchSpec::ternary(Field f, std::uint32_t value, std::uint32_t mask) {
+  MatchSpec s;
+  s.field = f;
+  s.kind = Kind::kTernary;
+  s.value = value;
+  s.mask = mask;
+  return s;
+}
+
+MatchSpec MatchSpec::lpm(Field f, std::uint32_t value, std::uint8_t prefix_len) {
+  MatchSpec s;
+  s.field = f;
+  s.kind = Kind::kLpm;
+  s.value = value;
+  s.prefix_len = prefix_len;
+  return s;
+}
+
+MatchSpec MatchSpec::any(Field f) {
+  MatchSpec s;
+  s.field = f;
+  s.kind = Kind::kAny;
+  return s;
+}
+
+void MatTable::add_entry(TableEntry entry) {
+  entries_.push_back(std::move(entry));
+  std::stable_sort(entries_.begin(), entries_.end(),
+                   [](const TableEntry& a, const TableEntry& b) {
+                     return a.priority < b.priority;
+                   });
+}
+
+const Action& MatTable::lookup(const FieldValues& fields) const {
+  ++stats_.lookups;
+  for (const auto& e : entries_) {
+    bool ok = true;
+    for (const auto& m : e.match) {
+      if (!m.matches(fields.get(m.field))) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      ++stats_.hits;
+      return e.action;
+    }
+  }
+  ++stats_.defaults;
+  return default_action_;
+}
+
+std::uint32_t MatProgram::add_table(MatTable table) {
+  tables_.push_back(std::move(table));
+  return static_cast<std::uint32_t>(tables_.size() - 1);
+}
+
+MatProgram::Result MatProgram::apply(const FieldValues& fields) const {
+  Result r;
+  std::uint32_t index = 0;
+  while (index < tables_.size()) {
+    ++r.tables_visited;
+    const Action& a = tables_[index].lookup(fields);
+    switch (a.kind) {
+      case Action::Kind::kDrop:
+        r.drop = true;
+        return r;
+      case Action::Kind::kSetLabel:
+        r.label = a.arg;
+        ++index;
+        break;
+      case Action::Kind::kGoto:
+        // Acyclic: only forward jumps are legal.
+        assert(a.arg > index && "MatProgram gotos must jump forward");
+        index = a.arg;
+        break;
+      case Action::Kind::kNoAction:
+        ++index;
+        break;
+    }
+  }
+  return r;
+}
+
+MatProgram::Result MatProgram::run(net::Packet& pkt) const {
+  const Result r = apply(parse_packet(pkt));
+  if (!r.drop && r.label != net::kUnclassified) pkt.label = r.label;
+  return r;
+}
+
+MatProgram compile_labeling_program(const core::Classifier& classifier) {
+  MatProgram prog;
+  MatTable table("fv_labeling");
+  std::uint32_t prio = 0;
+  for (const auto& rule : classifier.rules()) {
+    TableEntry e;
+    e.name = rule.name;
+    e.priority = prio++;  // rules() is already pref-ordered
+    if (rule.vf_port) e.match.push_back(MatchSpec::exact(Field::kVfPort, *rule.vf_port));
+    if (rule.proto)
+      e.match.push_back(
+          MatchSpec::exact(Field::kProto, static_cast<std::uint32_t>(*rule.proto)));
+    if (rule.src_prefix_len > 0)
+      e.match.push_back(MatchSpec::lpm(Field::kSrcIp, rule.src_ip, rule.src_prefix_len));
+    if (rule.dst_prefix_len > 0)
+      e.match.push_back(MatchSpec::lpm(Field::kDstIp, rule.dst_ip, rule.dst_prefix_len));
+    if (rule.src_port) e.match.push_back(MatchSpec::exact(Field::kSrcPort, *rule.src_port));
+    if (rule.dst_port) e.match.push_back(MatchSpec::exact(Field::kDstPort, *rule.dst_port));
+    if (rule.dscp)
+      e.match.push_back(MatchSpec::exact(Field::kDscp, *rule.dscp));
+    e.action = Action::set_label(rule.label);
+    table.add_entry(std::move(e));
+  }
+  if (classifier.default_label() != net::kUnclassified)
+    table.set_default_action(Action::set_label(classifier.default_label()));
+  else
+    table.set_default_action(Action::drop());
+  prog.add_table(std::move(table));
+  return prog;
+}
+
+}  // namespace flowvalve::np::mat

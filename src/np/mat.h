@@ -1,0 +1,155 @@
+// P4-style match-action table engine.
+//
+// The paper's back-end processing pipeline is "developed in P4 and the
+// scheduling function is written in Micro-C. The P4 and Micro-C programs
+// are linked together to run on the SmartNIC." This module is the P4 side:
+// a parser that extracts header fields into a field vector, match-action
+// tables with exact/ternary/LPM/any match kinds, and actions that set the
+// QoS label metadata or drop — sufficient to express FlowValve's labeling
+// function (and arbitrary ACLs) as a table program.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/classifier.h"
+#include "net/headers.h"
+#include "net/packet.h"
+
+namespace flowvalve::np::mat {
+
+/// Header fields the parser exposes to tables (P4 "headers + metadata").
+enum class Field : std::uint8_t {
+  kVfPort = 0,
+  kSrcIp,
+  kDstIp,
+  kSrcPort,
+  kDstPort,
+  kProto,
+  kDscp,
+  kFrameLen,
+  kCount,  // sentinel
+};
+
+/// Parsed field vector.
+class FieldValues {
+ public:
+  std::uint32_t get(Field f) const { return v_[static_cast<std::size_t>(f)]; }
+  void set(Field f, std::uint32_t value) { v_[static_cast<std::size_t>(f)] = value; }
+
+ private:
+  std::uint32_t v_[static_cast<std::size_t>(Field::kCount)] = {};
+};
+
+/// Extract the field vector from simulator packet metadata.
+FieldValues parse_packet(const net::Packet& pkt);
+
+/// Extract the field vector from raw frame bytes (full parser path);
+/// nullopt on malformed frames.
+std::optional<FieldValues> parse_frame_bytes(std::span<const std::uint8_t> frame,
+                                             std::uint16_t vf_port);
+
+/// One match criterion on a field.
+struct MatchSpec {
+  enum class Kind : std::uint8_t { kExact, kTernary, kLpm, kAny };
+
+  Field field = Field::kVfPort;
+  Kind kind = Kind::kAny;
+  std::uint32_t value = 0;
+  std::uint32_t mask = 0;       // ternary mask
+  std::uint8_t prefix_len = 0;  // lpm
+
+  bool matches(std::uint32_t v) const;
+
+  static MatchSpec exact(Field f, std::uint32_t value);
+  static MatchSpec ternary(Field f, std::uint32_t value, std::uint32_t mask);
+  static MatchSpec lpm(Field f, std::uint32_t value, std::uint8_t prefix_len);
+  static MatchSpec any(Field f);
+};
+
+/// Table actions (P4 action set of the labeling pipeline).
+struct Action {
+  enum class Kind : std::uint8_t { kNoAction, kSetLabel, kDrop, kGoto };
+  Kind kind = Kind::kNoAction;
+  std::uint32_t arg = 0;  // label id, or next-table index for kGoto
+
+  static Action set_label(net::ClassLabelId label) {
+    return {Kind::kSetLabel, label};
+  }
+  static Action drop() { return {Kind::kDrop, 0}; }
+  static Action go_to(std::uint32_t table_index) { return {Kind::kGoto, table_index}; }
+  static Action none() { return {}; }
+};
+
+struct TableEntry {
+  std::vector<MatchSpec> match;
+  std::uint32_t priority = 0;  // lower wins (tc pref semantics)
+  Action action;
+  std::string name;  // diagnostics
+};
+
+/// A single match-action table: priority-ordered entries plus a default.
+class MatTable {
+ public:
+  explicit MatTable(std::string name) : name_(std::move(name)) {}
+
+  void add_entry(TableEntry entry);
+  void set_default_action(Action a) { default_action_ = a; }
+
+  /// First (lowest-priority-number) matching entry's action.
+  const Action& lookup(const FieldValues& fields) const;
+
+  const std::string& name() const { return name_; }
+  std::size_t size() const { return entries_.size(); }
+
+  struct Stats {
+    std::uint64_t lookups = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t defaults = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  std::string name_;
+  std::vector<TableEntry> entries_;  // kept sorted by priority
+  Action default_action_;
+  mutable Stats stats_;
+};
+
+/// A straight-line table program (P4 ingress control): tables applied in
+/// order; kGoto skips forward (no loops — P4 pipelines are acyclic);
+/// kSetLabel writes the label metadata; kDrop short-circuits.
+class MatProgram {
+ public:
+  struct Result {
+    bool drop = false;
+    net::ClassLabelId label = net::kUnclassified;
+    std::uint32_t tables_visited = 0;
+  };
+
+  /// Returns the table index for later kGoto targets.
+  std::uint32_t add_table(MatTable table);
+  MatTable& table(std::uint32_t index) { return tables_[index]; }
+  std::size_t table_count() const { return tables_.size(); }
+
+  Result apply(const FieldValues& fields) const;
+
+  /// Convenience: parse + apply + write the packet's label.
+  Result run(net::Packet& pkt) const;
+
+ private:
+  std::vector<MatTable> tables_;
+};
+
+/// Compile a FlowValve classifier's wildcard rules into a one-table MAT
+/// program (the shape the prototype's P4 labeling stage takes). The
+/// program's classification is equivalent to the rule walk: first match by
+/// pref wins, unmatched packets get the classifier's default label (or an
+/// explicit drop when there is none).
+MatProgram compile_labeling_program(const core::Classifier& classifier);
+
+}  // namespace flowvalve::np::mat

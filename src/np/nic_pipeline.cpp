@@ -1,0 +1,173 @@
+#include "np/nic_pipeline.h"
+
+#include <cassert>
+
+namespace flowvalve::np {
+
+NpConfig agilio_cx_40g() {
+  NpConfig c;
+  c.wire_rate = Rate::gigabits_per_sec(40);
+  c.fixed_pipeline_delay = sim::microseconds(161);
+  return c;
+}
+
+NpConfig agilio_cx_10g() {
+  NpConfig c;
+  c.wire_rate = Rate::gigabits_per_sec(10);
+  c.fixed_pipeline_delay = sim::microseconds(15);
+  return c;
+}
+
+NicPipeline::NicPipeline(sim::Simulator& sim, NpConfig config, PacketProcessor& processor)
+    : sim_(sim), config_(config), processor_(processor) {
+  vf_rings_.resize(config_.num_vfs);
+  worker_idle_.assign(config_.num_workers, true);
+  idle_workers_.reserve(config_.num_workers);
+  for (unsigned w = 0; w < config_.num_workers; ++w) idle_workers_.push_back(w);
+}
+
+void NicPipeline::drop(const net::Packet& pkt, DropReason reason) {
+  switch (reason) {
+    case DropReason::kVfRingFull: ++stats_.vf_ring_drops; break;
+    case DropReason::kScheduler: ++stats_.scheduler_drops; break;
+    case DropReason::kTxRingFull: ++stats_.tx_ring_drops; break;
+  }
+  if (on_dropped_detailed_) on_dropped_detailed_(pkt, reason);
+  notify_drop(pkt);
+}
+
+bool NicPipeline::submit(net::Packet pkt) {
+  ++stats_.submitted;
+  pkt.nic_arrival = sim_.now();
+  const unsigned vf = pkt.vf_port % config_.num_vfs;
+  if (vf_rings_[vf].size() >= config_.vf_ring_capacity) {
+    drop(pkt, DropReason::kVfRingFull);
+    return false;
+  }
+  vf_rings_[vf].push_back(std::move(pkt));
+  ++in_flight_;
+  try_dispatch();
+  return true;
+}
+
+void NicPipeline::try_dispatch() {
+  // The load balancer hands waiting packets to idle workers, polling VF
+  // rings round-robin so no port starves.
+  while (!idle_workers_.empty()) {
+    net::Packet* next = nullptr;
+    unsigned scanned = 0;
+    while (scanned < config_.num_vfs) {
+      auto& ring = vf_rings_[rr_vf_];
+      if (!ring.empty()) {
+        next = &ring.front();
+        break;
+      }
+      rr_vf_ = (rr_vf_ + 1) % config_.num_vfs;
+      ++scanned;
+    }
+    if (next == nullptr) return;  // all rings empty
+
+    net::Packet pkt = std::move(*next);
+    vf_rings_[rr_vf_].pop_front();
+    rr_vf_ = (rr_vf_ + 1) % config_.num_vfs;
+
+    const unsigned worker = idle_workers_.back();
+    idle_workers_.pop_back();
+    worker_idle_[worker] = false;
+    const std::uint64_t ingress_seq = next_ingress_seq_++;
+
+    // Run-to-completion: base Rx work + processor + base Tx work. The
+    // processor runs "at" dispatch time; its cycle cost extends the busy
+    // interval. Cycles for dropped packets omit the Tx copy.
+    const sim::SimTime now = sim_.now();
+    PacketProcessor::Outcome out = processor_.process(pkt, now);
+    std::uint64_t cycles = config_.base_rx_cycles + out.cycles;
+    if (out.forward) cycles += config_.base_tx_cycles;
+    stats_.processing_cycles += cycles;
+    ++stats_.processed;
+    const sim::SimDuration busy = config_.cycles_to_ns(cycles);
+    stats_.worker_busy_ns += static_cast<std::uint64_t>(busy);
+
+    sim_.schedule_after(busy, [this, worker, ingress_seq, pkt = std::move(pkt),
+                               forward = out.forward]() mutable {
+      if (forward) {
+        if (config_.enforce_reorder) {
+          reorder_commit(ingress_seq, std::move(pkt));
+        } else {
+          worker_finish(worker, std::move(pkt));
+        }
+      } else {
+        --in_flight_;
+        drop(pkt, DropReason::kScheduler);
+        if (config_.enforce_reorder) reorder_commit(ingress_seq, std::nullopt);
+      }
+      worker_idle_[worker] = true;
+      idle_workers_.push_back(worker);
+      try_dispatch();
+    });
+  }
+}
+
+void NicPipeline::worker_finish(unsigned /*worker*/, net::Packet pkt) {
+  tx_admit(std::move(pkt));
+}
+
+void NicPipeline::reorder_commit(std::uint64_t seq, std::optional<net::Packet> pkt) {
+  reorder_buffer_.emplace(seq, std::move(pkt));
+  // Release the in-order prefix.
+  auto it = reorder_buffer_.begin();
+  while (it != reorder_buffer_.end() && it->first == next_release_seq_) {
+    if (it->second.has_value()) tx_admit(std::move(*it->second));
+    it = reorder_buffer_.erase(it);
+    ++next_release_seq_;
+  }
+}
+
+void NicPipeline::tx_admit(net::Packet pkt) {
+  if (tx_ring_.size() >= config_.tx_ring_capacity) {
+    --in_flight_;
+    drop(pkt, DropReason::kTxRingFull);
+    return;
+  }
+  pkt.tx_enqueue = sim_.now();
+  tx_ring_.push_back(std::move(pkt));
+  arm_tx_drain();
+}
+
+void NicPipeline::arm_tx_drain() {
+  if (tx_draining_ || tx_ring_.empty()) return;
+  tx_draining_ = true;
+  const auto& head = tx_ring_.front();
+  const sim::SimDuration ser =
+      config_.wire_rate.serialization_delay(head.wire_occupancy_bytes());
+  sim_.schedule_after(ser, [this] { tx_drain_complete(); });
+}
+
+void NicPipeline::tx_drain_complete() {
+  assert(!tx_ring_.empty());
+  net::Packet pkt = std::move(tx_ring_.front());
+  tx_ring_.pop_front();
+  tx_draining_ = false;
+  --in_flight_;
+
+  pkt.wire_tx_done = sim_.now();
+  ++stats_.forwarded_to_wire;
+  stats_.wire_bytes += pkt.wire_bytes;
+
+  // Deliver after the fixed pipeline constant (reorder system, internal
+  // queueing, receiver-side capture path).
+  sim_.schedule_after(config_.fixed_pipeline_delay, [this, pkt = std::move(pkt)]() mutable {
+    pkt.delivered_at = sim_.now();
+    deliver(pkt);
+  });
+  arm_tx_drain();
+}
+
+double NicPipeline::worker_utilization(sim::SimTime now) const {
+  if (now <= 0) return 0.0;
+  const double capacity_ns =
+      static_cast<double>(now) * static_cast<double>(config_.num_workers);
+  return static_cast<double>(stats_.worker_busy_ns) / capacity_ns;
+}
+
+}  // namespace flowvalve::np

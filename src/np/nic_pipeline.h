@@ -1,0 +1,120 @@
+// The simulated NP-based SmartNIC processing pipeline (paper Fig. 4).
+//
+// Packets submitted on SR-IOV VF ports wait in per-VF Rx rings; idle worker
+// micro-engines pull them (run-to-completion), invoke the plugged
+// PacketProcessor (FlowValve, or a null forwarder), and either drop the
+// packet or append it to the shared Tx ring, which the traffic manager
+// drains at wire rate. Everything runs in virtual time on the discrete-event
+// simulator; worker parallelism is modeled via per-worker busy intervals.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include <optional>
+
+#include "net/device.h"
+#include "net/packet.h"
+#include "np/np_config.h"
+#include "sim/simulator.h"
+#include "stats/stats.h"
+
+namespace flowvalve::np {
+
+/// What a worker core does to each packet. Implementations return the
+/// forwarding decision plus the micro-engine cycles consumed.
+class PacketProcessor {
+ public:
+  virtual ~PacketProcessor() = default;
+  struct Outcome {
+    bool forward = true;
+    std::uint32_t cycles = 0;
+  };
+  virtual Outcome process(net::Packet& pkt, sim::SimTime now) = 0;
+};
+
+/// Forwards everything at zero extra cost — the "FlowValve disabled" mode
+/// used by the paper to isolate the pipeline's intrinsic delay.
+class NullProcessor final : public PacketProcessor {
+ public:
+  Outcome process(net::Packet&, sim::SimTime) override { return {true, 0}; }
+};
+
+enum class DropReason : std::uint8_t {
+  kVfRingFull,     // PCIe-side backpressure
+  kScheduler,      // FlowValve's specialized tail drop
+  kTxRingFull,     // common tail drop at the shared FIFO
+};
+
+class NicPipeline final : public net::EgressDevice {
+ public:
+  NicPipeline(sim::Simulator& sim, NpConfig config, PacketProcessor& processor);
+
+  /// Host-side submission on a VF port. Returns false if the VF ring was
+  /// full (the packet is dropped and the drop callback fires).
+  bool submit(net::Packet pkt) override;
+
+  /// Optional detailed drop callback (the EgressDevice one also fires).
+  void set_detailed_drop_callback(
+      std::function<void(const net::Packet&, DropReason)> cb) {
+    on_dropped_detailed_ = std::move(cb);
+  }
+
+  struct Stats {
+    std::uint64_t submitted = 0;
+    std::uint64_t vf_ring_drops = 0;
+    std::uint64_t scheduler_drops = 0;
+    std::uint64_t tx_ring_drops = 0;
+    std::uint64_t forwarded_to_wire = 0;
+    std::uint64_t wire_bytes = 0;
+    std::uint64_t worker_busy_ns = 0;   // Σ per-worker busy time
+    std::uint64_t processed = 0;        // packets through a worker
+    std::uint64_t processing_cycles = 0;
+  };
+  const Stats& stats() const { return stats_; }
+  const NpConfig& config() const { return config_; }
+
+  /// Mean worker utilization in [0,1] over [0, now].
+  double worker_utilization(sim::SimTime now) const;
+
+  /// Packets currently waiting in VF rings + Tx ring + in flight.
+  std::size_t in_flight() const { return in_flight_; }
+
+ private:
+  void try_dispatch();
+  void worker_finish(unsigned worker, net::Packet pkt);
+  /// Reorder system: commit `seq` (with a packet to transmit, or nothing if
+  /// it was dropped) and release any now-in-order packets to the Tx ring.
+  void reorder_commit(std::uint64_t seq, std::optional<net::Packet> pkt);
+  void tx_admit(net::Packet pkt);
+  void arm_tx_drain();
+  void tx_drain_complete();
+  void drop(const net::Packet& pkt, DropReason reason);
+
+  sim::Simulator& sim_;
+  NpConfig config_;
+  PacketProcessor& processor_;
+
+  std::vector<std::deque<net::Packet>> vf_rings_;
+  std::vector<bool> worker_idle_;
+  std::vector<unsigned> idle_workers_;
+  unsigned rr_vf_ = 0;  // round-robin pull pointer over VF rings
+
+  std::deque<net::Packet> tx_ring_;
+  bool tx_draining_ = false;
+
+  // Reorder system state.
+  std::uint64_t next_ingress_seq_ = 0;   // assigned at dispatch
+  std::uint64_t next_release_seq_ = 0;   // next seq allowed into the Tx ring
+  std::map<std::uint64_t, std::optional<net::Packet>> reorder_buffer_;
+
+  std::function<void(const net::Packet&, DropReason)> on_dropped_detailed_;
+
+  Stats stats_;
+  std::size_t in_flight_ = 0;
+};
+
+}  // namespace flowvalve::np

@@ -1,0 +1,83 @@
+// Configuration of the simulated NP-based SmartNIC (paper §III-B, Fig. 4).
+//
+// The defaults approximate a Netronome Agilio CX 40GbE: tens of worker
+// micro-engine contexts at 1.2 GHz, a shared Tx ring drained by the traffic
+// manager at wire rate, and per-VF receive rings on the PCIe side. The
+// base_rx/base_tx cycle costs cover buffer pulls, header parsing, packet
+// modification and the reorder system — everything a worker does besides
+// FlowValve's labeling + scheduling functions, whose costs are accounted
+// separately (ClassifierCosts / SchedulerCosts).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace flowvalve::np {
+
+using sim::Rate;
+using sim::SimDuration;
+
+struct NpConfig {
+  /// Effective worker contexts (micro-engines × useful threads). The Agilio
+  /// CX exposes ~50 usable worker MEs to P4/Micro-C programs.
+  unsigned num_workers = 50;
+
+  /// Micro-engine clock. Agilio CX islands run at 1.2 GHz (§IV-D).
+  double freq_ghz = 1.2;
+
+  /// Wire-side port rate (the single physical port we model).
+  Rate wire_rate = Rate::gigabits_per_sec(40);
+
+  /// Shared Tx FIFO depth (packets) in front of the traffic manager. This is
+  /// the queue FlowValve abstracts as F0 and protects via proportional tail
+  /// drop; common tail drop happens here when it overflows.
+  std::size_t tx_ring_capacity = 2048;
+
+  /// Per-VF receive ring depth (packets) on the PCIe side. Overflow models
+  /// host-driver backpressure and surfaces to senders as loss.
+  std::size_t vf_ring_capacity = 512;
+
+  /// Number of SR-IOV virtual function ports.
+  unsigned num_vfs = 8;
+
+  /// The reorder system (Fig. 4): when enabled, packets enter the Tx FIFO
+  /// in their NIC-arrival order even if a later packet's worker finished
+  /// first (run-to-completion cores take different cycle counts per packet).
+  /// Dropped packets release their slot immediately.
+  bool enforce_reorder = true;
+
+  /// Per-packet fixed worker cost outside the scheduler: pull from the Rx
+  /// ring + parse (base_rx) and modify + copy into the Tx ring + reorder
+  /// bookkeeping (base_tx). ~2800 cycles total leaves ~250 cycles for the
+  /// labeling + scheduling functions within a ~3050-cycle/packet budget,
+  /// which yields the ≈19.7 Mpps peak of Fig. 13 on 50 workers at 1.2 GHz.
+  std::uint32_t base_rx_cycles = 1100;
+  std::uint32_t base_tx_cycles = 1700;
+
+  /// Fixed latency of the rest of the NIC pipeline (DMA, internal queueing,
+  /// reorder system). The paper measures 161 µs at 40 Gbps even with
+  /// FlowValve disabled and attributes it to processing it could not
+  /// change; at 10 Gbps the same path is far shallower.
+  SimDuration fixed_pipeline_delay = sim::microseconds(40);
+
+  SimDuration cycles_to_ns(std::uint64_t cycles) const {
+    return static_cast<SimDuration>(static_cast<double>(cycles) / freq_ghz + 0.5);
+  }
+
+  /// Aggregate packet-processing capacity in packets/s given a per-packet
+  /// cycle cost (used for sanity checks and the Fig. 13 analysis).
+  double peak_pps(std::uint64_t cycles_per_packet) const {
+    return static_cast<double>(num_workers) * freq_ghz * 1e9 /
+           static_cast<double>(cycles_per_packet);
+  }
+};
+
+/// Preset matching the paper's 40GbE testbed.
+NpConfig agilio_cx_40g();
+
+/// Preset for the 10 Gbps motivation-example link (same silicon, port
+/// negotiated down; shallower internal pipeline).
+NpConfig agilio_cx_10g();
+
+}  // namespace flowvalve::np

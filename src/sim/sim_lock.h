@@ -1,0 +1,86 @@
+// Virtual-time lock models.
+//
+// Real NP micro-engines and kernel CPUs contend on locks in wall-clock time.
+// In a discrete-event simulation everything executes sequentially, so locks
+// are modeled by *occupancy intervals*: a core that acquires a lock at time T
+// for H cycles makes the lock busy until T + H. Another core arriving inside
+// that window either fails a try_lock (FlowValve's Algorithm 1) or measures
+// the stall it would have suffered (kernel/DPDK cost models).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace flowvalve::sim {
+
+/// Statistics shared by the lock models; used by the benches to report
+/// contention (Fig. 7 locking ablation).
+struct LockStats {
+  std::uint64_t acquisitions = 0;
+  std::uint64_t try_failures = 0;
+  SimDuration total_wait = 0;      // blocking waits accumulated
+  SimDuration total_hold = 0;      // time the lock was held
+
+  void reset() { *this = LockStats{}; }
+};
+
+/// A try-lock in virtual time. FlowValve guards per-class update sections
+/// with this: the loser simply skips the update (it only meters), so there
+/// is never a stall — exactly the paper's Figure 8 semantics.
+class SimTryLock {
+ public:
+  /// Attempt to take the lock at `now`, holding it for `hold`. Returns true
+  /// on success (lock busy until now + hold).
+  bool try_acquire(SimTime now, SimDuration hold) {
+    if (now < busy_until_) {
+      ++stats_.try_failures;
+      return false;
+    }
+    busy_until_ = now + hold;
+    ++stats_.acquisitions;
+    stats_.total_hold += hold;
+    return true;
+  }
+
+  bool is_busy(SimTime now) const { return now < busy_until_; }
+  SimTime busy_until() const { return busy_until_; }
+
+  const LockStats& stats() const { return stats_; }
+  void reset_stats() { stats_.reset(); }
+
+ private:
+  SimTime busy_until_ = 0;
+  LockStats stats_;
+};
+
+/// A blocking (FIFO-ish) lock in virtual time. Callers are serialized: each
+/// acquire returns the time at which the critical section actually *starts*,
+/// which is max(now, previous release). The kernel-qdisc and DPDK models use
+/// this to charge lock-spin time to the host CPU.
+class SimBlockingLock {
+ public:
+  /// Acquire at `now`, holding for `hold`. Returns the wait duration the
+  /// caller spent spinning before entering the critical section.
+  SimDuration acquire(SimTime now, SimDuration hold) {
+    SimTime start = now < busy_until_ ? busy_until_ : now;
+    SimDuration wait = start - now;
+    busy_until_ = start + hold;
+    ++stats_.acquisitions;
+    stats_.total_wait += wait;
+    stats_.total_hold += hold;
+    return wait;
+  }
+
+  bool is_busy(SimTime now) const { return now < busy_until_; }
+  SimTime busy_until() const { return busy_until_; }
+
+  const LockStats& stats() const { return stats_; }
+  void reset_stats() { stats_.reset(); }
+
+ private:
+  SimTime busy_until_ = 0;
+  LockStats stats_;
+};
+
+}  // namespace flowvalve::sim

@@ -1,0 +1,44 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+#include <memory>
+
+namespace flowvalve::sim {
+
+EventHandle Simulator::schedule_at(SimTime at, std::function<void()> fn) {
+  assert(at >= now_ && "cannot schedule an event in the past");
+  auto alive = std::make_shared<bool>(true);
+  queue_.push(Event{at, next_seq_++, std::move(fn), alive});
+  return EventHandle(std::move(alive));
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    // priority_queue::top is const; move out via const_cast is UB-adjacent,
+    // so copy the small fields and move the callable through a mutable pop
+    // pattern: re-wrap in a local.
+    Event ev = queue_.top();
+    queue_.pop();
+    if (!*ev.alive) continue;  // cancelled
+    now_ = ev.at;
+    *ev.alive = false;
+    ++events_executed_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t Simulator::run_until(SimTime until) {
+  std::uint64_t n = 0;
+  while (!queue_.empty()) {
+    if (queue_.top().at > until) break;
+    if (step()) ++n;
+  }
+  // Advance the clock to the horizon even if nothing fires exactly there so
+  // that back-to-back run_until calls observe monotonic time.
+  if (until != kSimTimeMax && until > now_) now_ = until;
+  return n;
+}
+
+}  // namespace flowvalve::sim

@@ -1,0 +1,130 @@
+// Discrete-event simulation kernel.
+//
+// The Simulator owns a priority queue of (time, sequence, callback) events.
+// Events scheduled for the same instant execute in scheduling order, which
+// keeps runs fully deterministic. All hardware and host models in this repo
+// are driven from this single virtual clock.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace flowvalve::sim {
+
+/// Handle that can cancel a pending event. Cancellation is lazy: the event
+/// stays in the heap but becomes a no-op when popped.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// True if the event has neither fired nor been cancelled.
+  bool pending() const { return alive_ && *alive_; }
+
+  /// Cancel the event if it is still pending. Safe to call repeatedly.
+  void cancel() {
+    if (alive_) *alive_ = false;
+  }
+
+ private:
+  friend class Simulator;
+  explicit EventHandle(std::shared_ptr<bool> alive) : alive_(std::move(alive)) {}
+  std::shared_ptr<bool> alive_;
+};
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime now() const { return now_; }
+
+  /// Schedule `fn` to run at absolute time `at` (>= now).
+  EventHandle schedule_at(SimTime at, std::function<void()> fn);
+
+  /// Schedule `fn` to run `delay` after the current time.
+  EventHandle schedule_after(SimDuration delay, std::function<void()> fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Run until the event queue drains or virtual time would pass `until`.
+  /// Events at exactly `until` are executed. Returns the number of events run.
+  std::uint64_t run_until(SimTime until);
+
+  /// Run until the queue is empty.
+  std::uint64_t run_all() { return run_until(kSimTimeMax); }
+
+  /// Execute at most one event; returns false if the queue is empty.
+  bool step();
+
+  bool empty() const { return queue_.empty(); }
+  std::size_t pending_events() const { return queue_.size(); }
+  std::uint64_t events_executed() const { return events_executed_; }
+
+ private:
+  struct Event {
+    SimTime at;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<bool> alive;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+/// A recurring timer bound to a simulator: reschedules itself every `period`
+/// until stopped. Used by rate meters, scenario timelines, and drain loops.
+class PeriodicTimer {
+ public:
+  PeriodicTimer(Simulator& sim, SimDuration period, std::function<void()> fn)
+      : sim_(sim), period_(period), fn_(std::move(fn)) {}
+  ~PeriodicTimer() { stop(); }
+
+  PeriodicTimer(const PeriodicTimer&) = delete;
+  PeriodicTimer& operator=(const PeriodicTimer&) = delete;
+
+  void start() {
+    if (running_) return;
+    running_ = true;
+    arm();
+  }
+
+  void stop() {
+    running_ = false;
+    handle_.cancel();
+  }
+
+  bool running() const { return running_; }
+  SimDuration period() const { return period_; }
+
+ private:
+  void arm() {
+    handle_ = sim_.schedule_after(period_, [this] {
+      if (!running_) return;
+      fn_();
+      if (running_) arm();
+    });
+  }
+
+  Simulator& sim_;
+  SimDuration period_;
+  std::function<void()> fn_;
+  bool running_ = false;
+  EventHandle handle_;
+};
+
+}  // namespace flowvalve::sim

@@ -1,0 +1,21 @@
+#include "sim/time.h"
+
+#include <cstdio>
+
+namespace flowvalve::sim {
+
+std::string Rate::to_string() const {
+  char buf[64];
+  if (bits_per_sec_ >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.3fGbps", gbps());
+  } else if (bits_per_sec_ >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.3fMbps", mbps());
+  } else if (bits_per_sec_ >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.3fKbps", kbps());
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1fbps", bps());
+  }
+  return buf;
+}
+
+}  // namespace flowvalve::sim

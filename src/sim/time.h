@@ -1,0 +1,101 @@
+// Virtual time and rate primitives for the FlowValve simulation kernel.
+//
+// All simulation time is expressed in integer nanoseconds (SimTime). All
+// rates are expressed in bits per second via the Rate value type. Keeping a
+// single canonical unit at module boundaries avoids the classic
+// bits-vs-bytes / ns-vs-us unit bugs that plague schedulers.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+#include <string>
+
+namespace flowvalve::sim {
+
+/// Virtual time in nanoseconds since simulation start.
+using SimTime = std::int64_t;
+
+/// A duration in nanoseconds.
+using SimDuration = std::int64_t;
+
+inline constexpr SimTime kSimTimeMax = std::numeric_limits<SimTime>::max();
+
+// -- duration constructors ---------------------------------------------------
+
+constexpr SimDuration nanoseconds(std::int64_t n) { return n; }
+constexpr SimDuration microseconds(std::int64_t us) { return us * 1'000; }
+constexpr SimDuration milliseconds(std::int64_t ms) { return ms * 1'000'000; }
+constexpr SimDuration seconds(std::int64_t s) { return s * 1'000'000'000; }
+
+/// Fractional seconds; rounds to the nearest nanosecond.
+constexpr SimDuration seconds_f(double s) {
+  return static_cast<SimDuration>(s * 1e9 + (s >= 0 ? 0.5 : -0.5));
+}
+
+// -- duration accessors ------------------------------------------------------
+
+constexpr double to_seconds(SimDuration d) { return static_cast<double>(d) / 1e9; }
+constexpr double to_millis(SimDuration d) { return static_cast<double>(d) / 1e6; }
+constexpr double to_micros(SimDuration d) { return static_cast<double>(d) / 1e3; }
+
+/// A transmission/processing rate. Canonically stored in bits per second.
+///
+/// Rate is a regular value type: copyable, comparable, and cheap. Helper
+/// accessors convert to the units used by token buckets (bytes) and the
+/// micro-engine cost model (packets, cycles).
+class Rate {
+ public:
+  constexpr Rate() = default;
+
+  static constexpr Rate bits_per_sec(double bps) { return Rate(bps); }
+  static constexpr Rate kilobits_per_sec(double kbps) { return Rate(kbps * 1e3); }
+  static constexpr Rate megabits_per_sec(double mbps) { return Rate(mbps * 1e6); }
+  static constexpr Rate gigabits_per_sec(double gbps) { return Rate(gbps * 1e9); }
+  static constexpr Rate bytes_per_sec(double Bps) { return Rate(Bps * 8.0); }
+  static constexpr Rate zero() { return Rate(0.0); }
+
+  constexpr double bps() const { return bits_per_sec_; }
+  constexpr double kbps() const { return bits_per_sec_ / 1e3; }
+  constexpr double mbps() const { return bits_per_sec_ / 1e6; }
+  constexpr double gbps() const { return bits_per_sec_ / 1e9; }
+  constexpr double bytes_per_sec() const { return bits_per_sec_ / 8.0; }
+  constexpr double bytes_per_ns() const { return bits_per_sec_ / 8e9; }
+
+  constexpr bool is_zero() const { return bits_per_sec_ <= 0.0; }
+
+  /// Time to serialize `bytes` bytes at this rate. Returns kSimTimeMax for a
+  /// zero rate (nothing ever finishes on a dead wire).
+  constexpr SimDuration serialization_delay(std::uint64_t bytes) const {
+    if (bits_per_sec_ <= 0.0) return kSimTimeMax;
+    return static_cast<SimDuration>(static_cast<double>(bytes) * 8e9 / bits_per_sec_ + 0.5);
+  }
+
+  /// Bytes transferable in duration `d` at this rate.
+  constexpr double bytes_in(SimDuration d) const {
+    return bytes_per_ns() * static_cast<double>(d);
+  }
+
+  friend constexpr Rate operator+(Rate a, Rate b) { return Rate(a.bits_per_sec_ + b.bits_per_sec_); }
+  friend constexpr Rate operator-(Rate a, Rate b) { return Rate(a.bits_per_sec_ - b.bits_per_sec_); }
+  friend constexpr Rate operator*(Rate a, double k) { return Rate(a.bits_per_sec_ * k); }
+  friend constexpr Rate operator*(double k, Rate a) { return Rate(a.bits_per_sec_ * k); }
+  friend constexpr Rate operator/(Rate a, double k) { return Rate(a.bits_per_sec_ / k); }
+  friend constexpr double operator/(Rate a, Rate b) { return a.bits_per_sec_ / b.bits_per_sec_; }
+  friend constexpr auto operator<=>(Rate a, Rate b) = default;
+
+  Rate& operator+=(Rate o) { bits_per_sec_ += o.bits_per_sec_; return *this; }
+  Rate& operator-=(Rate o) { bits_per_sec_ -= o.bits_per_sec_; return *this; }
+
+  /// Clamp negative rates (which arise transiently from Eq. 4-style
+  /// subtraction) to zero.
+  constexpr Rate clamped() const { return Rate(bits_per_sec_ < 0.0 ? 0.0 : bits_per_sec_); }
+
+  std::string to_string() const;
+
+ private:
+  explicit constexpr Rate(double bps) : bits_per_sec_(bps) {}
+  double bits_per_sec_ = 0.0;
+};
+
+}  // namespace flowvalve::sim

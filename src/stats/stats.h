@@ -1,0 +1,153 @@
+// Measurement utilities: EWMA filters, windowed rate meters, binned time
+// series (throughput-over-time figures), and latency histograms with
+// percentile queries (one-way-delay figure).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace flowvalve::stats {
+
+using sim::Rate;
+using sim::SimDuration;
+using sim::SimTime;
+
+/// Exponentially weighted moving average with explicit time-decay: the
+/// weight of old samples decays with the gap between observations, so the
+/// filter behaves identically regardless of sampling cadence.
+class Ewma {
+ public:
+  /// `half_life` — time after which an old sample's weight halves.
+  explicit Ewma(SimDuration half_life = sim::milliseconds(2)) : half_life_(half_life) {}
+
+  void set_half_life(SimDuration half_life) { half_life_ = half_life; }
+
+  void observe(SimTime now, double value);
+  double value() const { return value_; }
+  bool has_value() const { return initialized_; }
+  void reset();
+
+ private:
+  SimDuration half_life_;
+  double value_ = 0.0;
+  SimTime last_ = 0;
+  bool initialized_ = false;
+};
+
+/// Measures a byte rate over fixed windows: call add(now, bytes) on every
+/// packet; rate() reports the rate of the most recently *completed* window
+/// blended with the live partial window. This mirrors how the paper's
+/// scheduling function evaluates Γ per update epoch.
+class RateMeter {
+ public:
+  explicit RateMeter(SimDuration window = sim::milliseconds(10));
+
+  void add(SimTime now, std::uint64_t bytes);
+  Rate rate(SimTime now) const;
+  std::uint64_t total_bytes() const { return total_bytes_; }
+  std::uint64_t total_packets() const { return total_packets_; }
+  void reset();
+
+ private:
+  void roll(SimTime now) const;
+
+  SimDuration window_;
+  mutable SimTime window_start_ = 0;
+  mutable std::uint64_t window_bytes_ = 0;
+  mutable double last_window_rate_bps_ = 0.0;
+  mutable bool have_last_window_ = false;
+  std::uint64_t total_bytes_ = 0;
+  std::uint64_t total_packets_ = 0;
+};
+
+/// Per-interval byte accounting producing a throughput time series — the
+/// backbone of every Figure-3/11 style plot. Bins are fixed-width from t=0.
+class ThroughputSeries {
+ public:
+  explicit ThroughputSeries(SimDuration bin_width = sim::milliseconds(100));
+
+  void add(SimTime now, std::uint64_t bytes);
+
+  /// Number of complete+partial bins touched so far.
+  std::size_t bins() const { return bytes_per_bin_.size(); }
+
+  /// Average rate within bin `i`.
+  Rate bin_rate(std::size_t i) const;
+
+  /// Bin midpoint time in seconds (for plotting).
+  double bin_mid_seconds(std::size_t i) const;
+
+  SimDuration bin_width() const { return bin_width_; }
+
+  /// Average rate over bins [from, to) — used by conformance assertions.
+  Rate mean_rate(std::size_t from, std::size_t to) const;
+
+  std::uint64_t total_bytes() const { return total_bytes_; }
+
+ private:
+  SimDuration bin_width_;
+  std::vector<std::uint64_t> bytes_per_bin_;
+  std::uint64_t total_bytes_ = 0;
+};
+
+/// Latency histogram with exact storage of samples (sample counts in our
+/// experiments are small enough) and percentile/mean/stddev queries.
+class LatencyStats {
+ public:
+  void add(SimDuration sample);
+
+  std::size_t count() const { return samples_.size(); }
+  double mean_us() const;
+  double stddev_us() const;
+  double percentile_us(double p) const;  // p in [0,100]
+  double min_us() const;
+  double max_us() const;
+  void reset() { samples_.clear(); sorted_ = true; }
+
+ private:
+  void ensure_sorted() const;
+  mutable std::vector<SimDuration> samples_;
+  mutable bool sorted_ = true;
+};
+
+/// Basic packet counters kept by every scheduler/pipeline stage.
+struct PacketCounters {
+  std::uint64_t offered_packets = 0;
+  std::uint64_t offered_bytes = 0;
+  std::uint64_t forwarded_packets = 0;
+  std::uint64_t forwarded_bytes = 0;
+  std::uint64_t dropped_packets = 0;
+  std::uint64_t dropped_bytes = 0;
+
+  double drop_fraction() const {
+    return offered_packets == 0
+               ? 0.0
+               : static_cast<double>(dropped_packets) / static_cast<double>(offered_packets);
+  }
+  void on_offered(std::uint64_t bytes) { ++offered_packets; offered_bytes += bytes; }
+  void on_forwarded(std::uint64_t bytes) { ++forwarded_packets; forwarded_bytes += bytes; }
+  void on_dropped(std::uint64_t bytes) { ++dropped_packets; dropped_bytes += bytes; }
+};
+
+/// Fixed-layout console table printer used by the benches so that every
+/// figure/table reproduction prints in a uniform, diff-able format.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  /// Render to stdout.
+  void print() const;
+  std::string to_string() const;
+
+  static std::string fmt(double v, int precision = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace flowvalve::stats

@@ -1,0 +1,143 @@
+#include "traffic/generators.h"
+
+#include <algorithm>
+
+namespace flowvalve::traffic {
+
+// -------------------------------------------------------------- CbrFlow --
+
+CbrFlow::CbrFlow(sim::Simulator& sim, FlowRouter& router, IdAllocator& ids, FlowSpec spec,
+                 Rate rate, sim::Rng rng, double jitter_frac)
+    : sim_(sim),
+      router_(router),
+      ids_(ids),
+      spec_(spec),
+      rate_(rate),
+      rng_(rng),
+      jitter_frac_(jitter_frac) {
+  router_.register_flow(spec_.flow_id, this);
+}
+
+CbrFlow::~CbrFlow() {
+  stop();
+  router_.unregister_flow(spec_.flow_id);
+}
+
+void CbrFlow::start() {
+  if (active_) return;
+  active_ = true;
+  send_next();
+}
+
+void CbrFlow::stop() {
+  active_ = false;
+  send_event_.cancel();
+}
+
+void CbrFlow::send_next() {
+  if (!active_) return;
+  net::Packet pkt = make_packet(spec_, ids_, sim_.now(), seq_++);
+  ++sent_;
+  router_.device().submit(std::move(pkt));
+  const double gap_ns =
+      static_cast<double>(spec_.wire_bytes) * 8e9 / std::max(rate_.bps(), 1e3);
+  const double jitter = 1.0 + jitter_frac_ * (rng_.next_double() - 0.5);
+  send_event_ = sim_.schedule_after(
+      std::max<SimDuration>(1, static_cast<SimDuration>(gap_ns * jitter)),
+      [this] { send_next(); });
+}
+
+// ----------------------------------------------------------- PoissonFlow --
+
+PoissonFlow::PoissonFlow(sim::Simulator& sim, FlowRouter& router, IdAllocator& ids,
+                         FlowSpec spec, Rate mean_rate, sim::Rng rng)
+    : sim_(sim), router_(router), ids_(ids), spec_(spec), mean_rate_(mean_rate), rng_(rng) {
+  router_.register_flow(spec_.flow_id, this);
+}
+
+PoissonFlow::~PoissonFlow() {
+  stop();
+  router_.unregister_flow(spec_.flow_id);
+}
+
+void PoissonFlow::start() {
+  if (active_) return;
+  active_ = true;
+  send_next();
+}
+
+void PoissonFlow::stop() {
+  active_ = false;
+  send_event_.cancel();
+}
+
+void PoissonFlow::send_next() {
+  if (!active_) return;
+  net::Packet pkt = make_packet(spec_, ids_, sim_.now(), seq_++);
+  ++sent_;
+  router_.device().submit(std::move(pkt));
+  const double mean_gap_ns =
+      static_cast<double>(spec_.wire_bytes) * 8e9 / std::max(mean_rate_.bps(), 1e3);
+  send_event_ = sim_.schedule_after(
+      std::max<SimDuration>(1, static_cast<SimDuration>(rng_.exponential(mean_gap_ns))),
+      [this] { send_next(); });
+}
+
+// ------------------------------------------------------------- OnOffFlow --
+
+OnOffFlow::OnOffFlow(sim::Simulator& sim, FlowRouter& router, IdAllocator& ids,
+                     FlowSpec spec, Rate burst_rate, SimDuration mean_on,
+                     SimDuration mean_off, sim::Rng rng)
+    : sim_(sim),
+      router_(router),
+      ids_(ids),
+      spec_(spec),
+      burst_rate_(burst_rate),
+      mean_on_(mean_on),
+      mean_off_(mean_off),
+      rng_(rng) {
+  router_.register_flow(spec_.flow_id, this);
+}
+
+OnOffFlow::~OnOffFlow() {
+  stop();
+  router_.unregister_flow(spec_.flow_id);
+}
+
+void OnOffFlow::start() {
+  if (active_) return;
+  active_ = true;
+  on_ = true;
+  send_next();
+  toggle();
+}
+
+void OnOffFlow::stop() {
+  active_ = false;
+  send_event_.cancel();
+  toggle_event_.cancel();
+}
+
+void OnOffFlow::toggle() {
+  if (!active_) return;
+  const SimDuration hold = static_cast<SimDuration>(
+      rng_.exponential(static_cast<double>(on_ ? mean_on_ : mean_off_)));
+  toggle_event_ = sim_.schedule_after(std::max<SimDuration>(1, hold), [this] {
+    on_ = !on_;
+    if (on_) send_next();
+    toggle();
+  });
+}
+
+void OnOffFlow::send_next() {
+  if (!active_ || !on_) return;
+  net::Packet pkt = make_packet(spec_, ids_, sim_.now(), seq_++);
+  ++sent_;
+  router_.device().submit(std::move(pkt));
+  const double gap_ns =
+      static_cast<double>(spec_.wire_bytes) * 8e9 / std::max(burst_rate_.bps(), 1e3);
+  send_event_ = sim_.schedule_after(std::max<SimDuration>(1, static_cast<SimDuration>(gap_ns)),
+                                    [this] { send_next(); });
+}
+
+}  // namespace flowvalve::traffic

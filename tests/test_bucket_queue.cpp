@@ -1,0 +1,129 @@
+// Unit + property tests for the Eiffel-style FFS bucket queue.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <queue>
+
+#include "baseline/bucket_queue.h"
+#include "sim/rng.h"
+
+namespace flowvalve::baseline {
+namespace {
+
+TEST(BucketQueueTest, EmptyBehaviour) {
+  BucketQueue<int> q(128);
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.min_rank().has_value());
+  EXPECT_FALSE(q.pop_min().has_value());
+  EXPECT_FALSE(q.pop_max().has_value());
+}
+
+TEST(BucketQueueTest, PopsInRankOrder) {
+  BucketQueue<int> q(256);
+  q.push(200, 1);
+  q.push(3, 2);
+  q.push(77, 3);
+  EXPECT_EQ(q.min_rank(), 3u);
+  EXPECT_EQ(q.pop_min(), 2);
+  EXPECT_EQ(q.pop_min(), 3);
+  EXPECT_EQ(q.pop_min(), 1);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(BucketQueueTest, FifoWithinBucket) {
+  BucketQueue<int> q(64);
+  q.push(5, 10);
+  q.push(5, 11);
+  q.push(5, 12);
+  EXPECT_EQ(q.pop_min(), 10);
+  EXPECT_EQ(q.pop_min(), 11);
+  EXPECT_EQ(q.pop_min(), 12);
+}
+
+TEST(BucketQueueTest, PopMaxTakesWorstRank) {
+  BucketQueue<int> q(4096);
+  q.push(10, 1);
+  q.push(4000, 2);
+  q.push(500, 3);
+  EXPECT_EQ(q.pop_max(), 2);
+  EXPECT_EQ(q.pop_max(), 3);
+  EXPECT_EQ(q.pop_max(), 1);
+}
+
+TEST(BucketQueueTest, OverflowRanksSaturate) {
+  BucketQueue<int> q(64);
+  q.push(1'000'000, 7);
+  EXPECT_EQ(q.min_rank(), 63u);
+  EXPECT_EQ(q.pop_min(), 7);
+}
+
+TEST(BucketQueueTest, RoundsBucketsToWordMultiple) {
+  BucketQueue<int> q(100);
+  EXPECT_EQ(q.num_buckets(), 128u);
+}
+
+TEST(BucketQueueTest, ClearResets) {
+  BucketQueue<int> q(64);
+  q.push(1, 1);
+  q.push(2, 2);
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.min_rank().has_value());
+}
+
+TEST(BucketQueueTest, WordBoundaryRanks) {
+  BucketQueue<int> q(256);
+  // Exercise ranks at 64-bit word edges.
+  for (std::size_t r : {0u, 63u, 64u, 127u, 128u, 255u}) q.push(r, static_cast<int>(r));
+  int prev = -1;
+  while (auto v = q.pop_min()) {
+    EXPECT_GT(*v, prev);
+    prev = *v;
+  }
+  EXPECT_EQ(prev, 255);
+}
+
+// Property: behaves identically to a reference multimap across random
+// push/pop_min/pop_max sequences.
+class BucketQueueFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BucketQueueFuzz, MatchesReferenceModel) {
+  sim::Rng rng(GetParam() * 2654435761ull);
+  BucketQueue<int> q(1024);
+  std::multimap<std::size_t, int> ref;
+  int next_val = 0;
+  for (int step = 0; step < 20000; ++step) {
+    const auto op = rng.next_below(3);
+    if (op == 0 || ref.empty()) {
+      const auto rank = static_cast<std::size_t>(rng.next_below(1024));
+      q.push(rank, next_val);
+      ref.emplace(rank, next_val);
+      ++next_val;
+    } else if (op == 1) {
+      const auto got = q.pop_min();
+      ASSERT_TRUE(got.has_value());
+      auto it = ref.begin();
+      EXPECT_EQ(it->first, *q.min_rank() <= it->first ? it->first : it->first);
+      EXPECT_EQ(*got, it->second);  // FIFO within rank matches multimap order
+      ref.erase(it);
+    } else {
+      const auto got = q.pop_max();
+      ASSERT_TRUE(got.has_value());
+      auto it = std::prev(ref.end());
+      // pop_max takes LIFO within the max bucket; find the last-inserted
+      // entry of that rank in the reference (multimap preserves insertion
+      // order within a key).
+      auto range = ref.equal_range(it->first);
+      auto last = range.first;
+      for (auto i = range.first; i != range.second; ++i) last = i;
+      EXPECT_EQ(*got, last->second);
+      ref.erase(last);
+    }
+    ASSERT_EQ(q.size(), ref.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BucketQueueFuzz, ::testing::Range<std::uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace flowvalve::baseline

@@ -1,0 +1,186 @@
+// End-to-end semantics on deep scheduling trees (depth 4-5): mixed
+// priorities, guarantees at multiple levels, and ceilings on interior
+// classes — the "arbitrary hierarchies" flexibility the paper claims over
+// fixed traffic managers (§II-B).
+#include <gtest/gtest.h>
+
+#include "core/flowvalve.h"
+
+namespace flowvalve::core {
+namespace {
+
+using sim::Rate;
+
+/// Interleaved constant-rate driver over several VFs.
+struct Driver {
+  FlowValveEngine& engine;
+  struct Src {
+    std::uint16_t vf;
+    double gbps;
+    double next_ns = 0;
+    std::uint64_t fwd = 0;
+  };
+  std::vector<Src> srcs;
+  std::uint32_t bytes = 1000;
+
+  void run(sim::SimDuration horizon, sim::SimTime start = 0) {
+    for (auto& s : srcs) s.next_ns = static_cast<double>(start);
+    bool done = false;
+    while (!done) {
+      Src* next = nullptr;
+      for (auto& s : srcs)
+        if (next == nullptr || s.next_ns < next->next_ns) next = &s;
+      if (next->next_ns >= static_cast<double>(start + horizon)) {
+        done = true;
+        continue;
+      }
+      net::Packet p;
+      p.vf_port = next->vf;
+      p.wire_bytes = bytes;
+      p.tuple.src_ip = 0x0a000001u + next->vf;
+      p.tuple.src_port = static_cast<std::uint16_t>(46000 + next->vf);
+      if (engine.process(p, static_cast<sim::SimTime>(next->next_ns)).verdict ==
+          Verdict::kForward)
+        next->fwd += bytes + net::kEthernetOverheadBytes;
+      next->next_ns +=
+          static_cast<double>(bytes + net::kEthernetOverheadBytes) * 8.0 / next->gbps;
+    }
+  }
+
+  double gbps_of(std::uint16_t vf, sim::SimDuration horizon) const {
+    for (const auto& s : srcs)
+      if (s.vf == vf) return static_cast<double>(s.fwd) * 8.0 / static_cast<double>(horizon);
+    return 0.0;
+  }
+};
+
+TEST(DeepHierarchy, FourLevelWeightedChain) {
+  // root(16G) → A(1/2) → B(1/2) → C(1/2): leaf share 2G when every level's
+  // sibling is busy.
+  FlowValveEngine engine;
+  ASSERT_EQ(engine.configure(
+                "fv qdisc add dev nic0 root handle 1: htb rate 16gbit\n"
+                "fv class add dev nic0 parent 1: classid 1:1 name A weight 1\n"
+                "fv class add dev nic0 parent 1: classid 1:2 name A2 weight 1\n"
+                "fv class add dev nic0 parent 1:1 classid 1:10 name B weight 1\n"
+                "fv class add dev nic0 parent 1:1 classid 1:11 name B2 weight 1\n"
+                "fv class add dev nic0 parent 1:10 classid 1:100 name C weight 1\n"
+                "fv class add dev nic0 parent 1:10 classid 1:101 name C2 weight 1\n"
+                "fv filter add dev nic0 pref 1 vf 0 classid 1:100\n"
+                "fv filter add dev nic0 pref 2 vf 1 classid 1:101\n"
+                "fv filter add dev nic0 pref 3 vf 2 classid 1:11\n"
+                "fv filter add dev nic0 pref 4 vf 3 classid 1:2\n"),
+            "");
+  Driver d{engine, {{0, 6.0}, {1, 6.0}, {2, 10.0}, {3, 18.0}}};
+  d.run(sim::milliseconds(80));
+  // Steady shares: A2=8, B2=4, C=2, C2=2.
+  EXPECT_NEAR(d.gbps_of(3, sim::milliseconds(80)), 8.0, 0.8);
+  EXPECT_NEAR(d.gbps_of(2, sim::milliseconds(80)), 4.0, 0.5);
+  EXPECT_NEAR(d.gbps_of(0, sim::milliseconds(80)), 2.0, 0.3);
+  EXPECT_NEAR(d.gbps_of(1, sim::milliseconds(80)), 2.0, 0.3);
+}
+
+TEST(DeepHierarchy, InteriorCeilCapsSubtree) {
+  // The subtree's interior ceiling must bound its leaves even when the
+  // weighted share would be larger.
+  FlowValveEngine engine;
+  ASSERT_EQ(engine.configure(
+                "fv qdisc add dev nic0 root handle 1: htb rate 10gbit\n"
+                "fv class add dev nic0 parent 1: classid 1:1 name capped weight 3 "
+                "ceil 2gbit\n"
+                "fv class add dev nic0 parent 1: classid 1:2 name open weight 1\n"
+                "fv class add dev nic0 parent 1:1 classid 1:10 name leafA weight 1\n"
+                "fv class add dev nic0 parent 1:1 classid 1:11 name leafB weight 1\n"
+                // The ceiling strands 'capped's unused weighted share; that
+                // slack is only visible in the ROOT's shadow bucket
+                // (θ_root − Γ_root), so 'open' borrows from the root.
+                "fv borrow add dev nic0 classid 1:2 from 1:\n"
+                "fv filter add dev nic0 pref 1 vf 0 classid 1:10\n"
+                "fv filter add dev nic0 pref 2 vf 1 classid 1:11\n"
+                "fv filter add dev nic0 pref 3 vf 2 classid 1:2\n"),
+            "");
+  Driver d{engine, {{0, 4.0}, {1, 4.0}, {2, 4.0}}};
+  d.run(sim::milliseconds(80));
+  const double subtree = d.gbps_of(0, sim::milliseconds(80)) +
+                         d.gbps_of(1, sim::milliseconds(80));
+  EXPECT_LT(subtree, 2.4);  // interior ceil 2G (+ burst slack)
+  // 'open' reaches its full 4G demand: 2.5G weighted share + root slack.
+  EXPECT_NEAR(d.gbps_of(2, sim::milliseconds(80)), 4.0, 0.4);
+}
+
+TEST(DeepHierarchy, GuaranteesAtTwoLevels) {
+  // Guarantee on an interior class (vm-level SLA) and on a leaf inside a
+  // *different* subtree must both hold under full contention.
+  FlowValveEngine engine;
+  ASSERT_EQ(engine.configure(
+                "fv qdisc add dev nic0 root handle 1: htb rate 10gbit\n"
+                "fv class add dev nic0 parent 1: classid 1:1 name vip prio 1 weight 1 "
+                "guarantee 3gbit\n"
+                "fv class add dev nic0 parent 1: classid 1:2 name rest prio 0 weight 3\n"
+                "fv class add dev nic0 parent 1:2 classid 1:20 name heavy prio 0 weight 1\n"
+                "fv class add dev nic0 parent 1:2 classid 1:21 name small prio 1 weight 1 "
+                "guarantee 1gbit\n"
+                "fv class add dev nic0 parent 1:1 classid 1:10 name vipleaf weight 1\n"
+                "fv filter add dev nic0 pref 1 vf 0 classid 1:10\n"
+                "fv filter add dev nic0 pref 2 vf 1 classid 1:20\n"
+                "fv filter add dev nic0 pref 3 vf 2 classid 1:21\n"),
+            "");
+  Driver d{engine, {{0, 8.0}, {1, 8.0}, {2, 8.0}}};
+  d.run(sim::milliseconds(80));
+  // vip's 3G interior guarantee survives 'rest' being higher priority.
+  EXPECT_GE(d.gbps_of(0, sim::milliseconds(80)), 2.4);
+  // small's 1G leaf guarantee survives 'heavy' being higher priority.
+  EXPECT_GE(d.gbps_of(2, sim::milliseconds(80)), 0.8);
+  // heavy gets the remainder of rest's share.
+  EXPECT_GT(d.gbps_of(1, sim::milliseconds(80)), 4.0);
+}
+
+TEST(DeepHierarchy, ThreePriorityLevelsStrictOrder) {
+  FlowValveEngine engine;
+  ASSERT_EQ(engine.configure(
+                "fv qdisc add dev nic0 root handle 1: htb rate 6gbit\n"
+                "fv class add dev nic0 parent 1: classid 1:10 name p0 prio 0 weight 1\n"
+                "fv class add dev nic0 parent 1: classid 1:11 name p1 prio 1 weight 1\n"
+                "fv class add dev nic0 parent 1: classid 1:12 name p2 prio 2 weight 1\n"
+                "fv filter add dev nic0 pref 1 vf 0 classid 1:10\n"
+                "fv filter add dev nic0 pref 2 vf 1 classid 1:11\n"
+                "fv filter add dev nic0 pref 3 vf 2 classid 1:12\n"),
+            "");
+  Driver d{engine, {{0, 3.0}, {1, 2.0}, {2, 5.0}}};
+  d.run(sim::milliseconds(80));
+  // p0 and p1 get their demands; p2 is squeezed to the residual ≈1G.
+  EXPECT_NEAR(d.gbps_of(0, sim::milliseconds(80)), 3.0, 0.2);
+  EXPECT_NEAR(d.gbps_of(1, sim::milliseconds(80)), 2.0, 0.2);
+  EXPECT_NEAR(d.gbps_of(2, sim::milliseconds(80)), 1.0, 0.35);
+}
+
+TEST(DeepHierarchy, DepthFivePathStillConforms) {
+  // A 5-deep chain with a sibling at every level: the leaf's effective share
+  // is root/2^4; conformance must hold end to end.
+  std::string script = "fv qdisc add dev nic0 root handle 1: htb rate 16gbit\n";
+  std::string parent = "1:";
+  for (int d = 0; d < 4; ++d) {
+    const std::string on = "1:" + std::to_string(100 + d);
+    const std::string off = "1:" + std::to_string(200 + d);
+    script += "fv class add dev nic0 parent " + parent + " classid " + on + " name on" +
+              std::to_string(d) + " weight 1\n";
+    script += "fv class add dev nic0 parent " + parent + " classid " + off + " name off" +
+              std::to_string(d) + " weight 1\n";
+    script += "fv filter add dev nic0 pref " + std::to_string(50 + d) + " vf " +
+              std::to_string(10 + d) + " classid " + off + "\n";
+    parent = on;
+  }
+  script += "fv class add dev nic0 parent " + parent +
+            " classid 1:999 name leaf weight 1\n";
+  script += "fv filter add dev nic0 pref 1 vf 0 classid 1:999\n";
+
+  FlowValveEngine engine;
+  ASSERT_EQ(engine.configure(script), "");
+  // Keep every "off" sibling busy so no borrowing/residual kicks in.
+  Driver d{engine, {{0, 4.0}, {10, 16.0}, {11, 16.0}, {12, 16.0}, {13, 16.0}}};
+  d.run(sim::milliseconds(80));
+  EXPECT_NEAR(d.gbps_of(0, sim::milliseconds(80)), 1.0, 0.2);  // 16/2^4
+}
+
+}  // namespace
+}  // namespace flowvalve::core

@@ -1,0 +1,82 @@
+// Unit tests for engine introspection (fv show).
+#include <gtest/gtest.h>
+
+#include "core/introspect.h"
+#include "exp/scenarios.h"
+
+namespace flowvalve::core {
+namespace {
+
+FlowValveEngine make_engine() {
+  FlowValveEngine engine;
+  const std::string err =
+      engine.configure(exp::motivation_policy_script(sim::Rate::gigabits_per_sec(10)));
+  EXPECT_EQ(err, "");
+  return engine;
+}
+
+TEST(Introspect, SnapshotPreorderCoversAllClasses) {
+  auto engine = make_engine();
+  const auto snaps = snapshot_classes(engine.tree());
+  ASSERT_EQ(snaps.size(), engine.tree().size());
+  // Pre-order: root first, parents before children.
+  EXPECT_EQ(snaps.front().name, "root");
+  EXPECT_EQ(snaps.front().depth, 0);
+  for (std::size_t i = 1; i < snaps.size(); ++i) EXPECT_GE(snaps[i].depth, 1);
+  // ML appears after its ancestors S1 and S2.
+  std::size_t s1 = 0, s2 = 0, ml = 0;
+  for (std::size_t i = 0; i < snaps.size(); ++i) {
+    if (snaps[i].name == "S1") s1 = i;
+    if (snaps[i].name == "S2") s2 = i;
+    if (snaps[i].name == "ML") ml = i;
+  }
+  EXPECT_LT(s1, s2);
+  EXPECT_LT(s2, ml);
+}
+
+TEST(Introspect, SnapshotCarriesPolicyAndRuntime) {
+  auto engine = make_engine();
+  const auto snaps = snapshot_classes(engine.tree());
+  const auto* ml = &snaps.front();
+  for (const auto& s : snaps)
+    if (s.name == "ML") ml = &s;
+  EXPECT_TRUE(ml->leaf);
+  EXPECT_EQ(ml->prio, 1);
+  EXPECT_NEAR(ml->guarantee_gbps, 2.0, 0.01);
+  EXPECT_GT(ml->theta_gbps, 0.0);  // seeded share
+}
+
+TEST(Introspect, ClassShowRendersTree) {
+  auto engine = make_engine();
+  const std::string show = render_class_show(engine.tree());
+  EXPECT_NE(show.find("root"), std::string::npos);
+  EXPECT_NE(show.find("ML"), std::string::npos);
+  EXPECT_NE(show.find("guarantee 2.00G"), std::string::npos);
+  EXPECT_NE(show.find("ceil 7.50G"), std::string::npos);
+  // Interior classes are marked with '*'.
+  EXPECT_NE(show.find("S2*"), std::string::npos);
+}
+
+TEST(Introspect, StatsExportParsable) {
+  auto engine = make_engine();
+  // Push one packet through so counters are nonzero.
+  net::Packet p;
+  p.vf_port = 1;  // KVS
+  p.wire_bytes = 1000;
+  p.tuple.src_ip = 1;
+  engine.process(p, sim::milliseconds(1));
+  const std::string exp_str = render_stats_export(engine.tree());
+  EXPECT_NE(exp_str.find("KVS.fwd_packets 1"), std::string::npos);
+  EXPECT_NE(exp_str.find("root.fwd_packets 1"), std::string::npos);
+  EXPECT_NE(exp_str.find("ML.fwd_packets 0"), std::string::npos);
+}
+
+TEST(Introspect, EngineSummary) {
+  auto engine = make_engine();
+  const std::string summary = render_engine_summary(engine);
+  EXPECT_NE(summary.find("classes=7"), std::string::npos);
+  EXPECT_NE(summary.find("cache_hit_rate="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace flowvalve::core

@@ -1,0 +1,202 @@
+// Unit tests for Algorithm 1 — the scheduling function — driven with
+// synthetic packet trains over small trees.
+#include <gtest/gtest.h>
+
+#include "core/flowvalve.h"
+#include "core/scheduling_function.h"
+
+namespace flowvalve::core {
+namespace {
+
+using sim::Rate;
+
+/// A two-leaf fair tree built through the engine so labels/filters exist.
+FlowValveEngine make_engine(const std::string& extra = "",
+                            FvParams params = FvParams{}) {
+  FlowValveEngine::Options opt;
+  opt.params = params;
+  FlowValveEngine engine(opt);
+  std::string script =
+      "fv qdisc add dev nic0 root handle 1: htb rate 8gbit\n"
+      "fv class add dev nic0 parent 1: classid 1:10 name a weight 1\n"
+      "fv class add dev nic0 parent 1: classid 1:11 name b weight 1\n"
+      "fv filter add dev nic0 pref 1 vf 0 classid 1:10\n"
+      "fv filter add dev nic0 pref 2 vf 1 classid 1:11\n";
+  script += extra;
+  const std::string err = engine.configure(script);
+  EXPECT_EQ(err, "");
+  return engine;
+}
+
+net::Packet packet_on(std::uint16_t vf, std::uint32_t bytes = 1000) {
+  net::Packet p;
+  p.vf_port = vf;
+  p.wire_bytes = bytes;
+  p.tuple.src_ip = 0x0a000001 + vf;
+  p.tuple.dst_ip = 0x0a000002;
+  p.tuple.src_port = static_cast<std::uint16_t>(1000 + vf);
+  p.tuple.dst_port = 80;
+  return p;
+}
+
+/// Drive `vf` at `offered` for `duration`; returns forwarded byte rate.
+Rate drive(FlowValveEngine& engine, std::uint16_t vf, Rate offered,
+           sim::SimDuration duration, std::uint32_t bytes = 1000,
+           sim::SimTime start = 0) {
+  const double gap_ns = static_cast<double>(bytes + net::kEthernetOverheadBytes) * 8e9 /
+                        offered.bps();
+  std::uint64_t fwd_bytes = 0;
+  double t = static_cast<double>(start);
+  while (t < static_cast<double>(start + duration)) {
+    net::Packet p = packet_on(vf, bytes);
+    const auto r = engine.process(p, static_cast<sim::SimTime>(t));
+    if (r.verdict == Verdict::kForward) fwd_bytes += bytes + net::kEthernetOverheadBytes;
+    t += gap_ns;
+  }
+  return Rate::bytes_per_sec(static_cast<double>(fwd_bytes) * 1e9 /
+                             static_cast<double>(duration));
+}
+
+TEST(SchedulingFunctionTest, ForwardsWithinAllowance) {
+  auto engine = make_engine();
+  // Class a has θ = 4G; offer 3G → everything passes.
+  const Rate got = drive(engine, 0, Rate::gigabits_per_sec(3), sim::milliseconds(50));
+  EXPECT_NEAR(got.gbps(), 3.0, 0.1);
+  EXPECT_EQ(engine.scheduler().stats().dropped, 0u);
+}
+
+TEST(SchedulingFunctionTest, ThrottlesToTheta) {
+  auto engine = make_engine();
+  // Offer 7G against a 4G share with the sibling active (no borrowing
+  // configured in this script) → ~4G passes.
+  drive(engine, 1, Rate::gigabits_per_sec(1), sim::milliseconds(5));  // activate b
+  const Rate got = drive(engine, 0, Rate::gigabits_per_sec(7), sim::milliseconds(50),
+                         1000, sim::milliseconds(5));
+  EXPECT_NEAR(got.gbps(), 4.0, 0.35);
+  EXPECT_GT(engine.scheduler().stats().dropped, 0u);
+}
+
+TEST(SchedulingFunctionTest, UnlabeledPacketAsserts) {
+  auto engine = make_engine();
+  net::Packet p = packet_on(9);  // no filter matches vf 9, no default
+  const auto r = engine.process(p, 0);
+  EXPECT_EQ(r.verdict, Verdict::kDrop);
+}
+
+TEST(SchedulingFunctionTest, BorrowingLiftsThrottle) {
+  auto engine = make_engine(
+      "fv borrow add dev nic0 classid 1:10 from 1:11\n");
+  // b idle: a may exceed its 4G share by borrowing b's shadow tokens.
+  const Rate got = drive(engine, 0, Rate::gigabits_per_sec(7.8), sim::milliseconds(50));
+  EXPECT_GT(got.gbps(), 6.5);
+  EXPECT_GT(engine.scheduler().stats().borrowed, 0u);
+}
+
+TEST(SchedulingFunctionTest, BorrowedBytesTrackedOnLeaf) {
+  auto engine = make_engine("fv borrow add dev nic0 classid 1:10 from 1:11\n");
+  drive(engine, 0, Rate::gigabits_per_sec(7.8), sim::milliseconds(20));
+  const auto& a = engine.tree().at(engine.tree().find("a"));
+  EXPECT_GT(a.borrowed_packets, 0u);
+  EXPECT_GT(a.borrowed_bytes, 0u);
+}
+
+TEST(SchedulingFunctionTest, ActiveLenderHasNothingToLend) {
+  auto engine = make_engine("fv borrow add dev nic0 classid 1:10 from 1:11\n");
+  // Interleave: a offers 7.8G while b concurrently offers 6G — b's shadow
+  // has nothing to lend, so a stays near its own 4G share.
+  const std::uint32_t bytes = 1000;
+  const double gap_a = (bytes + 20.0) * 8e9 / 7.8e9;
+  const double gap_b = (bytes + 20.0) * 8e9 / 6.0e9;
+  double ta = 0, tb = 0;
+  std::uint64_t fwd_a = 0;
+  const double horizon = sim::milliseconds(40);
+  while (ta < horizon || tb < horizon) {
+    if (ta <= tb) {
+      net::Packet p = packet_on(0, bytes);
+      if (engine.process(p, static_cast<sim::SimTime>(ta)).verdict ==
+          Verdict::kForward)
+        fwd_a += bytes + 20;
+      ta += gap_a;
+    } else {
+      net::Packet p = packet_on(1, bytes);
+      engine.process(p, static_cast<sim::SimTime>(tb));
+      tb += gap_b;
+    }
+  }
+  const double got_gbps = static_cast<double>(fwd_a) * 8.0 / horizon;
+  EXPECT_LT(got_gbps, 5.2);
+  EXPECT_GT(got_gbps, 3.4);
+}
+
+TEST(SchedulingFunctionTest, DropStatsAttributedToLeaf) {
+  auto engine = make_engine();
+  drive(engine, 1, Rate::gigabits_per_sec(1), sim::milliseconds(5));
+  drive(engine, 0, Rate::gigabits_per_sec(8), sim::milliseconds(30), 1000,
+        sim::milliseconds(5));
+  const auto& a = engine.tree().at(engine.tree().find("a"));
+  const auto& b = engine.tree().at(engine.tree().find("b"));
+  EXPECT_GT(a.drop_packets, 0u);
+  EXPECT_EQ(b.drop_packets, 0u);
+}
+
+TEST(SchedulingFunctionTest, UpdatesRespectEpochInterval) {
+  FvParams params;
+  params.update_interval = sim::milliseconds(1);
+  auto engine = make_engine("", params);
+  // 100 packets in 100 µs: only the epoch boundary (t=0 excluded by dt==0
+  // guard → first real update at ≥1 ms) may update.
+  for (int i = 0; i < 100; ++i) {
+    net::Packet p = packet_on(0);
+    engine.process(p, i * 1000);
+  }
+  EXPECT_LE(engine.scheduler().stats().updates, 4u);
+}
+
+TEST(SchedulingFunctionTest, LockLosersSkipUpdate) {
+  // Two "cores" hit the same class inside the update lock's hold window
+  // (epoch shorter than the hold): the loser skips the update and only
+  // meters — the Fig. 8 semantics.
+  FvParams params;
+  params.update_interval = sim::nanoseconds(100);  // < lock_hold_ns (267)
+  auto engine = make_engine("", params);
+  net::Packet p1 = packet_on(0);
+  engine.process(p1, sim::microseconds(100));  // updates, locks until +267ns
+  const auto before = engine.scheduler().stats().updates;
+  net::Packet p2 = packet_on(0);
+  engine.process(p2, sim::microseconds(100) + 150);  // epoch ok, lock busy
+  EXPECT_GT(engine.scheduler().stats().lock_failures, 0u);
+  EXPECT_EQ(engine.scheduler().stats().updates, before);
+}
+
+TEST(SchedulingFunctionTest, CycleCostsAccumulate) {
+  auto engine = make_engine();
+  net::Packet p = packet_on(0);
+  const auto r = engine.process(p, sim::milliseconds(1));
+  // At least classify + 2x count + meter.
+  EXPECT_GT(r.cycles, 150u);
+}
+
+TEST(SchedulingFunctionTest, ExpiredClassRestartsCleanly) {
+  FvParams params;
+  auto engine = make_engine("", params);
+  drive(engine, 0, Rate::gigabits_per_sec(6), sim::milliseconds(20));
+  // Long silence (≫ expiry), then resume: Γ restored, forwarding works.
+  const sim::SimTime resume = sim::milliseconds(20) + params.expiry_threshold * 4;
+  const Rate got = drive(engine, 0, Rate::gigabits_per_sec(2), sim::milliseconds(20),
+                         1000, resume);
+  EXPECT_NEAR(got.gbps(), 2.0, 0.1);
+}
+
+TEST(SchedulingFunctionTest, WireOccupancyCharged) {
+  // Token accounting uses frame + 20B overhead: at 64B frames the effective
+  // goodput is 64/84 of the token rate.
+  auto engine = make_engine();
+  drive(engine, 1, Rate::gigabits_per_sec(1), sim::milliseconds(5));  // keep b active
+  const Rate got = drive(engine, 0, Rate::gigabits_per_sec(8), sim::milliseconds(40),
+                         64, sim::milliseconds(5));
+  // drive() reports occupancy rate, so the cap is still θ=4G.
+  EXPECT_NEAR(got.gbps(), 4.0, 0.4);
+}
+
+}  // namespace
+}  // namespace flowvalve::core

@@ -1,0 +1,108 @@
+// Unit + property tests for token buckets and the two-color meter.
+#include <gtest/gtest.h>
+
+#include "core/token_bucket.h"
+#include "sim/rng.h"
+
+namespace flowvalve::core {
+namespace {
+
+TEST(TokenBucket, MeterGreenConsumesTokens) {
+  TokenBucket b(10000, 5000);
+  EXPECT_EQ(b.meter(3000), MeterColor::kGreen);
+  EXPECT_DOUBLE_EQ(b.tokens(), 2000.0);
+}
+
+TEST(TokenBucket, MeterRedLeavesTokensUntouched) {
+  TokenBucket b(10000, 1000);
+  EXPECT_EQ(b.meter(3000), MeterColor::kRed);
+  EXPECT_DOUBLE_EQ(b.tokens(), 1000.0);
+}
+
+TEST(TokenBucket, ExactTokensAreGreen) {
+  TokenBucket b(10000, 3000);
+  EXPECT_EQ(b.meter(3000), MeterColor::kGreen);
+  EXPECT_DOUBLE_EQ(b.tokens(), 0.0);
+  EXPECT_EQ(b.meter(1), MeterColor::kRed);
+}
+
+TEST(TokenBucket, ReplenishSaturatesAtCapacity) {
+  TokenBucket b(1000, 900);
+  b.replenish(sim::Rate::gigabits_per_sec(8), sim::microseconds(1));  // +1000 bytes
+  EXPECT_DOUBLE_EQ(b.tokens(), 1000.0);
+}
+
+TEST(TokenBucket, ReplenishAddsThetaDt) {
+  TokenBucket b(1e9, 0);
+  // 8 Gbps = 1 byte/ns over 1 µs = 1000 bytes.
+  b.replenish(sim::Rate::gigabits_per_sec(8), sim::microseconds(1));
+  EXPECT_NEAR(b.tokens(), 1000.0, 1e-6);
+}
+
+TEST(TokenBucket, SetCapacityClampsTokens) {
+  TokenBucket b(10000, 8000);
+  b.set_capacity(5000);
+  EXPECT_DOUBLE_EQ(b.tokens(), 5000.0);
+  EXPECT_DOUBLE_EQ(b.capacity(), 5000.0);
+}
+
+TEST(TokenBucket, ResetClampsToCapacity) {
+  TokenBucket b(1000, 0);
+  b.reset(5000);
+  EXPECT_DOUBLE_EQ(b.tokens(), 1000.0);
+  b.reset();
+  EXPECT_DOUBLE_EQ(b.tokens(), 0.0);
+}
+
+TEST(TokenBucket, DefaultBurstHasFloor) {
+  // Tiny rate: floor dominates.
+  EXPECT_DOUBLE_EQ(default_burst_bytes(sim::Rate::kilobits_per_sec(1),
+                                       sim::microseconds(100)),
+                   2.0 * 1518.0);
+  // Big rate: θ·window dominates. 10G over 1ms = 1.25 MB.
+  EXPECT_NEAR(default_burst_bytes(sim::Rate::gigabits_per_sec(10), sim::milliseconds(1)),
+              1.25e6, 1.0);
+  // Custom floor.
+  EXPECT_DOUBLE_EQ(default_burst_bytes(sim::Rate::kilobits_per_sec(1),
+                                       sim::microseconds(1), 4096.0),
+                   4096.0);
+}
+
+// Property: long-run forwarded bytes never exceed rate·time + initial burst,
+// and tokens never go negative, across random packet trains and rates.
+class BucketConformance : public ::testing::TestWithParam<double> {};
+
+TEST_P(BucketConformance, NeverExceedsRateTimesTime) {
+  const auto rate = sim::Rate::gigabits_per_sec(GetParam());
+  const double burst = default_burst_bytes(rate, sim::microseconds(500));
+  TokenBucket b(burst, burst);
+  sim::Rng rng(static_cast<std::uint64_t>(GetParam() * 1000));
+
+  sim::SimTime now = 0;
+  sim::SimTime last_replenish = 0;
+  double forwarded = 0.0;
+  const sim::SimTime horizon = sim::milliseconds(100);
+  while (now < horizon) {
+    // Offered load ~2x the token rate with random gaps and sizes.
+    const std::uint32_t bytes = 64 + static_cast<std::uint32_t>(rng.next_below(1455));
+    const double gap_ns = static_cast<double>(bytes) * 8.0 / (2.0 * rate.bps() / 1e9);
+    now += std::max<sim::SimTime>(1, static_cast<sim::SimTime>(gap_ns));
+    if (now - last_replenish >= sim::microseconds(100)) {
+      b.replenish(rate, now - last_replenish);
+      last_replenish = now;
+    }
+    if (b.meter(bytes) == MeterColor::kGreen) forwarded += bytes;
+    ASSERT_GE(b.tokens(), 0.0);
+  }
+  const double bound = rate.bytes_per_ns() * static_cast<double>(horizon) + burst;
+  EXPECT_LE(forwarded, bound);
+  // And it should achieve at least ~90% of the allowance (work conservation
+  // under 2x offered load).
+  EXPECT_GE(forwarded, 0.9 * rate.bytes_per_ns() * static_cast<double>(horizon) - burst);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, BucketConformance,
+                         ::testing::Values(0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 25.0, 40.0));
+
+}  // namespace
+}  // namespace flowvalve::core

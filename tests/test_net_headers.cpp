@@ -1,0 +1,158 @@
+// Unit tests for wire-format header construction/parsing and packet basics.
+#include <gtest/gtest.h>
+
+#include "net/headers.h"
+#include "net/packet.h"
+
+namespace flowvalve::net {
+namespace {
+
+FiveTuple tcp_tuple() {
+  FiveTuple t;
+  t.src_ip = 0x0a000001;
+  t.dst_ip = 0x0a000002;
+  t.src_port = 31337;
+  t.dst_port = 443;
+  t.proto = IpProto::kTcp;
+  return t;
+}
+
+TEST(FiveTupleTest, EqualityAndHash) {
+  FiveTuple a = tcp_tuple();
+  FiveTuple b = tcp_tuple();
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.hash(), b.hash());
+  b.dst_port = 80;
+  EXPECT_NE(a, b);
+  EXPECT_NE(a.hash(), b.hash());
+}
+
+TEST(FiveTupleTest, HashAvalanche) {
+  // Flipping any single field should change the hash.
+  const FiveTuple base = tcp_tuple();
+  FiveTuple t = base;
+  t.src_ip ^= 1;
+  EXPECT_NE(t.hash(), base.hash());
+  t = base;
+  t.src_port ^= 1;
+  EXPECT_NE(t.hash(), base.hash());
+  t = base;
+  t.proto = IpProto::kUdp;
+  EXPECT_NE(t.hash(), base.hash());
+}
+
+TEST(FiveTupleTest, ToString) {
+  EXPECT_EQ(tcp_tuple().to_string(), "10.0.0.1:31337->10.0.0.2:443/6");
+}
+
+TEST(PacketTest, WireOccupancyAddsPreambleAndIfg) {
+  Packet p;
+  p.wire_bytes = 64;
+  EXPECT_EQ(p.wire_occupancy_bytes(), 84u);
+}
+
+TEST(PacketTest, LineRatePpsMatches40GbE) {
+  // Classic numbers: 40GbE 64B → 59.52 Mpps; 1518B → 3.25 Mpps.
+  EXPECT_NEAR(line_rate_pps(sim::Rate::gigabits_per_sec(40), 64) / 1e6, 59.52, 0.01);
+  EXPECT_NEAR(line_rate_pps(sim::Rate::gigabits_per_sec(40), 1518) / 1e6, 3.25, 0.01);
+  EXPECT_NEAR(line_rate_pps(sim::Rate::gigabits_per_sec(10), 1518) / 1e6, 0.8127, 0.001);
+}
+
+TEST(Checksum, KnownVector) {
+  // RFC 1071 example bytes.
+  const std::uint8_t data[] = {0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};
+  EXPECT_EQ(internet_checksum(data), 0x220d);
+}
+
+TEST(Checksum, AllZeroIsAllOnes) {
+  const std::uint8_t data[4] = {};
+  EXPECT_EQ(internet_checksum(data), 0xffff);
+}
+
+TEST(Headers, TcpRoundTrip) {
+  const auto frame = build_frame_for_tuple(tcp_tuple(), 256, /*dscp=*/10);
+  // 256 total with FCS → materialized bytes are 252.
+  EXPECT_EQ(frame.size(), 256u - kFcsBytes);
+  auto parsed = parse_frame(frame);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->is_tcp);
+  EXPECT_EQ(parsed->five_tuple(), tcp_tuple());
+  EXPECT_EQ(parsed->ip.dscp, 10);
+  EXPECT_EQ(parsed->payload_length,
+            256 - kFcsBytes - kEthernetHeaderBytes - kIpv4HeaderBytes - kTcpHeaderBytes);
+}
+
+TEST(Headers, UdpRoundTrip) {
+  FiveTuple t = tcp_tuple();
+  t.proto = IpProto::kUdp;
+  const auto frame = build_frame_for_tuple(t, 128);
+  auto parsed = parse_frame(frame);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_FALSE(parsed->is_tcp);
+  EXPECT_EQ(parsed->five_tuple(), t);
+  EXPECT_EQ(parsed->udp.length,
+            128 - kFcsBytes - kEthernetHeaderBytes - kIpv4HeaderBytes);
+}
+
+TEST(Headers, MinimumFrameClamped) {
+  // Requesting less than the minimum encodable frame still yields a valid one.
+  const auto frame = build_frame_for_tuple(tcp_tuple(), 10);
+  auto parsed = parse_frame(frame);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->payload_length, 0u);
+}
+
+TEST(Headers, CorruptedChecksumRejected) {
+  auto frame = build_frame_for_tuple(tcp_tuple(), 256);
+  frame[kEthernetHeaderBytes + 12] ^= 0xff;  // flip a src-ip byte
+  EXPECT_FALSE(parse_frame(frame).has_value());
+}
+
+TEST(Headers, TruncatedFrameRejected) {
+  auto frame = build_frame_for_tuple(tcp_tuple(), 256);
+  frame.resize(20);
+  EXPECT_FALSE(parse_frame(frame).has_value());
+}
+
+TEST(Headers, UnknownEtherTypeRejected) {
+  auto frame = build_frame_for_tuple(tcp_tuple(), 256);
+  frame[12] = 0x86;  // 0x86dd = IPv6
+  frame[13] = 0xdd;
+  EXPECT_FALSE(parse_frame(frame).has_value());
+}
+
+TEST(Headers, NonTcpUdpProtocolRejected) {
+  auto frame = build_frame_for_tuple(tcp_tuple(), 256);
+  // Patch IPv4 protocol to ICMP (1) and fix the checksum by rebuilding it.
+  frame[kEthernetHeaderBytes + 9] = 1;
+  frame[kEthernetHeaderBytes + 10] = 0;
+  frame[kEthernetHeaderBytes + 11] = 0;
+  const std::uint16_t csum =
+      internet_checksum({frame.data() + kEthernetHeaderBytes, kIpv4HeaderBytes});
+  frame[kEthernetHeaderBytes + 10] = static_cast<std::uint8_t>(csum >> 8);
+  frame[kEthernetHeaderBytes + 11] = static_cast<std::uint8_t>(csum & 0xff);
+  EXPECT_FALSE(parse_frame(frame).has_value());
+}
+
+// Parameterized round trip across frame sizes and protocols.
+class HeaderRoundTrip
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, IpProto>> {};
+
+TEST_P(HeaderRoundTrip, PreservesTuple) {
+  auto [size, proto] = GetParam();
+  FiveTuple t = tcp_tuple();
+  t.proto = proto;
+  t.src_port = static_cast<std::uint16_t>(1000 + size);
+  const auto frame = build_frame_for_tuple(t, size);
+  auto parsed = parse_frame(frame);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->five_tuple(), t);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndProtos, HeaderRoundTrip,
+    ::testing::Combine(::testing::Values(64u, 128u, 256u, 512u, 1024u, 1518u),
+                       ::testing::Values(IpProto::kTcp, IpProto::kUdp)));
+
+}  // namespace
+}  // namespace flowvalve::net

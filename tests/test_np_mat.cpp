@@ -1,0 +1,261 @@
+// Unit tests for the P4-style match-action table engine.
+#include <gtest/gtest.h>
+
+#include "np/mat.h"
+
+namespace flowvalve::np::mat {
+namespace {
+
+net::Packet make_packet(std::uint16_t vf, std::uint32_t src_ip, std::uint16_t dport,
+                        net::IpProto proto = net::IpProto::kTcp) {
+  net::Packet p;
+  p.vf_port = vf;
+  p.wire_bytes = 500;
+  p.tuple.src_ip = src_ip;
+  p.tuple.dst_ip = 0x0a000002;
+  p.tuple.src_port = 1234;
+  p.tuple.dst_port = dport;
+  p.tuple.proto = proto;
+  return p;
+}
+
+TEST(MatchSpecTest, Kinds) {
+  EXPECT_TRUE(MatchSpec::any(Field::kSrcIp).matches(0xdeadbeef));
+  EXPECT_TRUE(MatchSpec::exact(Field::kDstPort, 80).matches(80));
+  EXPECT_FALSE(MatchSpec::exact(Field::kDstPort, 80).matches(81));
+  // Ternary: match on low byte only.
+  const auto t = MatchSpec::ternary(Field::kSrcIp, 0x00000042, 0x000000ff);
+  EXPECT_TRUE(t.matches(0xaabbcc42));
+  EXPECT_FALSE(t.matches(0xaabbcc43));
+  // LPM /24.
+  const auto l = MatchSpec::lpm(Field::kSrcIp, 0x0a000100, 24);
+  EXPECT_TRUE(l.matches(0x0a0001fe));
+  EXPECT_FALSE(l.matches(0x0a0002fe));
+  EXPECT_TRUE(MatchSpec::lpm(Field::kSrcIp, 0, 0).matches(12345));
+}
+
+TEST(ParsePacketTest, ExtractsAllFields) {
+  const net::Packet p = make_packet(3, 0x0a000001, 443, net::IpProto::kUdp);
+  const FieldValues f = parse_packet(p);
+  EXPECT_EQ(f.get(Field::kVfPort), 3u);
+  EXPECT_EQ(f.get(Field::kSrcIp), 0x0a000001u);
+  EXPECT_EQ(f.get(Field::kDstPort), 443u);
+  EXPECT_EQ(f.get(Field::kProto), 17u);
+  EXPECT_EQ(f.get(Field::kFrameLen), 500u);
+}
+
+TEST(ParseFrameBytesTest, FullParserPath) {
+  net::FiveTuple t;
+  t.src_ip = 0x0a000001;
+  t.dst_ip = 0x0a000002;
+  t.src_port = 5555;
+  t.dst_port = 80;
+  const auto frame = net::build_frame_for_tuple(t, 256, /*dscp=*/46);
+  const auto fields = parse_frame_bytes(frame, 2);
+  ASSERT_TRUE(fields.has_value());
+  EXPECT_EQ(fields->get(Field::kVfPort), 2u);
+  EXPECT_EQ(fields->get(Field::kSrcPort), 5555u);
+  EXPECT_EQ(fields->get(Field::kDscp), 46u);
+  EXPECT_EQ(fields->get(Field::kFrameLen), 256u);
+}
+
+TEST(ParseFrameBytesTest, MalformedRejected) {
+  const std::uint8_t junk[32] = {};
+  EXPECT_FALSE(parse_frame_bytes(junk, 0).has_value());
+}
+
+MatTable make_label_table() {
+  MatTable t("labeling");
+  TableEntry e1;
+  e1.match = {MatchSpec::exact(Field::kVfPort, 0)};
+  e1.priority = 10;
+  e1.action = Action::set_label(100);
+  t.add_entry(e1);
+  TableEntry e2;
+  e2.match = {MatchSpec::exact(Field::kDstPort, 80),
+              MatchSpec::lpm(Field::kSrcIp, 0x0a000000, 8)};
+  e2.priority = 20;
+  e2.action = Action::set_label(200);
+  t.add_entry(e2);
+  t.set_default_action(Action::set_label(300));
+  return t;
+}
+
+TEST(MatTableTest, PriorityOrderedFirstMatch) {
+  MatTable t = make_label_table();
+  // Both entries match a vf0+port80 packet; priority 10 wins.
+  FieldValues f = parse_packet(make_packet(0, 0x0a000001, 80));
+  EXPECT_EQ(t.lookup(f).arg, 100u);
+  f = parse_packet(make_packet(5, 0x0a000001, 80));
+  EXPECT_EQ(t.lookup(f).arg, 200u);
+  f = parse_packet(make_packet(5, 0x0b000001, 22));
+  EXPECT_EQ(t.lookup(f).arg, 300u);  // default
+  EXPECT_EQ(t.stats().lookups, 3u);
+  EXPECT_EQ(t.stats().hits, 2u);
+  EXPECT_EQ(t.stats().defaults, 1u);
+}
+
+TEST(MatTableTest, AllCriteriaMustMatch) {
+  MatTable t("and");
+  TableEntry e;
+  e.match = {MatchSpec::exact(Field::kVfPort, 1), MatchSpec::exact(Field::kDstPort, 80)};
+  e.action = Action::set_label(7);
+  t.add_entry(e);
+  t.set_default_action(Action::drop());
+  EXPECT_EQ(t.lookup(parse_packet(make_packet(1, 0, 80))).arg, 7u);
+  EXPECT_EQ(t.lookup(parse_packet(make_packet(1, 0, 81))).kind, Action::Kind::kDrop);
+  EXPECT_EQ(t.lookup(parse_packet(make_packet(2, 0, 80))).kind, Action::Kind::kDrop);
+}
+
+TEST(MatProgramTest, LabelsPacket) {
+  MatProgram prog;
+  prog.add_table(make_label_table());
+  net::Packet p = make_packet(0, 0x0a000001, 80);
+  const auto r = prog.run(p);
+  EXPECT_FALSE(r.drop);
+  EXPECT_EQ(p.label, 100u);
+  EXPECT_EQ(r.tables_visited, 1u);
+}
+
+TEST(MatProgramTest, AclDropShortCircuits) {
+  MatProgram prog;
+  MatTable acl("acl");
+  TableEntry deny;
+  deny.match = {MatchSpec::lpm(Field::kSrcIp, 0xc0a80000, 16)};  // 192.168/16
+  deny.action = Action::drop();
+  acl.add_entry(deny);
+  acl.set_default_action(Action::none());
+  prog.add_table(std::move(acl));
+  prog.add_table(make_label_table());
+
+  net::Packet denied = make_packet(0, 0xc0a80101, 80);
+  EXPECT_TRUE(prog.run(denied).drop);
+  EXPECT_EQ(denied.label, net::kUnclassified);
+
+  net::Packet ok = make_packet(0, 0x0a000001, 80);
+  const auto r = prog.run(ok);
+  EXPECT_FALSE(r.drop);
+  EXPECT_EQ(ok.label, 100u);
+  EXPECT_EQ(r.tables_visited, 2u);
+}
+
+TEST(MatProgramTest, GotoSkipsTables) {
+  MatProgram prog;
+  MatTable t0("steer");
+  TableEntry skip;
+  skip.match = {MatchSpec::exact(Field::kProto, 17)};  // UDP → skip table 1
+  skip.action = Action::go_to(2);
+  t0.add_entry(skip);
+  t0.set_default_action(Action::none());
+  prog.add_table(std::move(t0));
+
+  MatTable t1("tcp_only");
+  t1.set_default_action(Action::set_label(1));
+  prog.add_table(std::move(t1));
+
+  MatTable t2("everyone");
+  t2.set_default_action(Action::set_label(2));
+  prog.add_table(std::move(t2));
+
+  net::Packet udp = make_packet(0, 1, 53, net::IpProto::kUdp);
+  prog.run(udp);
+  EXPECT_EQ(udp.label, 2u);  // skipped tcp_only
+
+  net::Packet tcp = make_packet(0, 1, 80, net::IpProto::kTcp);
+  prog.run(tcp);
+  EXPECT_EQ(tcp.label, 2u);  // visited both; later set wins
+}
+
+TEST(MatProgramTest, LaterSetLabelOverridesEarlier) {
+  MatProgram prog;
+  MatTable t0("coarse");
+  t0.set_default_action(Action::set_label(1));
+  prog.add_table(std::move(t0));
+  MatTable t1("fine");
+  TableEntry e;
+  e.match = {MatchSpec::exact(Field::kDstPort, 80)};
+  e.action = Action::set_label(2);
+  t1.add_entry(e);
+  t1.set_default_action(Action::none());
+  prog.add_table(std::move(t1));
+
+  net::Packet web = make_packet(0, 1, 80);
+  prog.run(web);
+  EXPECT_EQ(web.label, 2u);
+  net::Packet ssh = make_packet(0, 1, 22);
+  prog.run(ssh);
+  EXPECT_EQ(ssh.label, 1u);
+}
+
+TEST(MatProgramTest, EmptyProgramLeavesUnclassified) {
+  MatProgram prog;
+  net::Packet p = make_packet(0, 1, 80);
+  const auto r = prog.run(p);
+  EXPECT_FALSE(r.drop);
+  EXPECT_EQ(p.label, net::kUnclassified);
+}
+
+}  // namespace
+}  // namespace flowvalve::np::mat
+
+#include <sstream>
+
+#include "core/frontend.h"
+#include "sim/rng.h"
+
+namespace flowvalve::np::mat {
+namespace {
+
+// Differential test: the compiled MAT program must classify exactly like
+// the rule-walk classifier across random packets and a random rule table.
+class MatClassifierEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MatClassifierEquivalence, AgreesWithRuleWalk) {
+  sim::Rng rng(GetParam() * 6364136223846793005ull);
+  core::FvFrontend fe;
+  fe.apply("fv qdisc add dev nic0 root handle 1: htb rate 10gbit");
+  const unsigned classes = 3 + static_cast<unsigned>(rng.next_below(3));
+  for (unsigned i = 0; i < classes; ++i)
+    fe.apply("fv class add dev nic0 parent 1: classid 1:1" + std::to_string(i) +
+             " name c" + std::to_string(i) + " weight 1");
+  // Random filters: vf / dport / src-prefix in random combinations.
+  for (unsigned i = 0; i < 2 * classes; ++i) {
+    std::ostringstream cmd;
+    cmd << "fv filter add dev nic0 pref " << 10 + i;
+    if (rng.chance(0.5)) cmd << " vf " << rng.next_below(4);
+    if (rng.chance(0.5)) cmd << " dport " << 80 + rng.next_below(4);
+    if (rng.chance(0.4)) cmd << " src 10." << rng.next_below(4) << ".0.0/16";
+    if (rng.chance(0.3)) cmd << " proto " << (rng.chance(0.5) ? "tcp" : "udp");
+    cmd << " classid 1:1" << rng.next_below(classes);
+    fe.apply(cmd.str());
+  }
+  ASSERT_EQ(fe.finalize(), "");
+  fe.classifier().set_cache_enabled(false);  // pure rule walk
+
+  const MatProgram prog = compile_labeling_program(fe.classifier());
+  for (int trial = 0; trial < 2000; ++trial) {
+    net::Packet p;
+    p.vf_port = static_cast<std::uint16_t>(rng.next_below(6));
+    p.wire_bytes = 300;
+    p.tuple.src_ip = 0x0a000000u | static_cast<std::uint32_t>(rng.next_below(1 << 18));
+    p.tuple.dst_ip = 0x0a000002;
+    p.tuple.src_port = static_cast<std::uint16_t>(rng.next_below(1000));
+    p.tuple.dst_port = static_cast<std::uint16_t>(78 + rng.next_below(8));
+    p.tuple.proto = rng.chance(0.5) ? net::IpProto::kTcp : net::IpProto::kUdp;
+
+    const auto walk = fe.classifier().classify(p, static_cast<std::uint64_t>(trial));
+    const auto mat = prog.apply(parse_packet(p));
+    if (walk.label == net::kUnclassified) {
+      EXPECT_TRUE(mat.drop) << "trial " << trial;
+    } else {
+      EXPECT_FALSE(mat.drop) << "trial " << trial;
+      EXPECT_EQ(mat.label, walk.label) << "trial " << trial;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatClassifierEquivalence,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace flowvalve::np::mat

@@ -1,0 +1,142 @@
+// Property tests for the HTB baseline: conservation, ceiling bounds, and
+// rate guarantees across randomized class configurations.
+#include <gtest/gtest.h>
+
+#include "baseline/htb.h"
+#include "sim/rng.h"
+
+namespace flowvalve::baseline {
+namespace {
+
+using sim::Rate;
+
+struct RandomHtb {
+  HtbQdisc htb;
+  std::vector<double> rates_g;  // per-class committed rates
+  std::vector<double> ceils_g;
+  unsigned classes;
+
+  RandomHtb(sim::Rng& rng, double root_g, bool artifacts_on)
+      : htb(Rate::gigabits_per_sec(root_g), Rate::gigabits_per_sec(root_g),
+            [&] {
+              HtbArtifacts a;
+              a.enabled = artifacts_on;
+              a.charge_factor = 1.0;  // isolate scheduling, not accounting
+              return a;
+            }()),
+        classes(2 + static_cast<unsigned>(rng.next_below(4))) {
+    double remaining = root_g;
+    for (unsigned i = 0; i < classes; ++i) {
+      const double rate =
+          std::min(remaining * 0.9, 0.3 + rng.next_double() * root_g / classes);
+      remaining -= rate;
+      const double ceil = rate + rng.next_double() * (root_g - rate);
+      rates_g.push_back(rate);
+      ceils_g.push_back(ceil);
+      HtbClassConfig c;
+      c.name = "c" + std::to_string(i);
+      c.rate = Rate::gigabits_per_sec(rate);
+      c.ceil = Rate::gigabits_per_sec(ceil);
+      c.prio = static_cast<int>(rng.next_below(2));
+      c.queue_limit = 64;
+      htb.add_class(c);
+    }
+    htb.set_classifier([n = classes](const net::Packet& p) {
+      return "c" + std::to_string(p.app_id % n);
+    });
+  }
+};
+
+class HtbRandomConfig : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HtbRandomConfig, ConservationCeilingsAndGuarantees) {
+  sim::Rng rng(GetParam() * 1315423911ull);
+  RandomHtb r(rng, 10.0, /*artifacts_on=*/false);
+
+  // All classes backlogged; drain at a 40G wire for 100 ms.
+  const sim::SimDuration horizon = sim::milliseconds(100);
+  const Rate wire = Rate::gigabits_per_sec(40);
+  std::vector<std::uint64_t> got(r.classes, 0);
+  sim::SimTime now = 0;
+  auto backlog_of = [&](unsigned i) {
+    const auto& st = r.htb.class_stats("c" + std::to_string(i));
+    return st.enq_packets - st.deq_packets - st.drops;
+  };
+  while (now < horizon) {
+    for (unsigned i = 0; i < r.classes; ++i) {
+      net::Packet p;
+      p.app_id = i;
+      p.wire_bytes = 1518;
+      while (backlog_of(i) < 16) r.htb.enqueue(p, now);
+    }
+    if (auto pkt = r.htb.dequeue(now)) {
+      got[pkt->app_id % r.classes] += pkt->wire_bytes;
+      now += wire.serialization_delay(pkt->wire_occupancy_bytes());
+    } else {
+      const sim::SimTime next = r.htb.next_event(now);
+      now = std::max(next == sim::kSimTimeMax ? now + 1000 : next, now + 100);
+    }
+  }
+
+  double total_g = 0;
+  for (unsigned i = 0; i < r.classes; ++i) {
+    const double g = static_cast<double>(got[i]) * 8.0 / static_cast<double>(horizon);
+    total_g += g;
+    // Ceiling bound (+ burst slack).
+    EXPECT_LE(g, r.ceils_g[i] + 0.5) << "class " << i;
+    // Committed-rate guarantee: a backlogged class gets ≥ ~90% of its rate.
+    EXPECT_GE(g, r.rates_g[i] * 0.9 - 0.15) << "class " << i;
+  }
+  // Root conservation (+ burst slack), and work conservation when the sum
+  // of ceilings covers the root.
+  EXPECT_LE(total_g, 10.6);
+  double ceil_sum = 0;
+  for (double c : r.ceils_g) ceil_sum += c;
+  if (ceil_sum > 10.5) {
+    EXPECT_GE(total_g, 9.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HtbRandomConfig, ::testing::Range<std::uint64_t>(1, 13));
+
+class HtbArtifactSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(HtbArtifactSweep, ChargeFactorScalesOvershootPredictably) {
+  const double factor = GetParam();
+  HtbArtifacts a;
+  a.enabled = true;
+  a.charge_factor = factor;
+  HtbQdisc htb(Rate::gigabits_per_sec(5), Rate::gigabits_per_sec(5), a);
+  HtbClassConfig c;
+  c.name = "x";
+  c.rate = Rate::gigabits_per_sec(5);
+  c.queue_limit = 64;
+  htb.add_class(c);
+  htb.set_classifier([](const net::Packet&) { return "x"; });
+
+  const sim::SimDuration horizon = sim::milliseconds(60);
+  const Rate wire = Rate::gigabits_per_sec(40);
+  std::uint64_t bytes = 0;
+  sim::SimTime now = 0;
+  while (now < horizon) {
+    net::Packet p;
+    p.wire_bytes = 1518;
+    while (htb.backlog_packets() < 16) htb.enqueue(p, now);
+    if (auto pkt = htb.dequeue(now)) {
+      bytes += pkt->wire_bytes;
+      now += wire.serialization_delay(pkt->wire_occupancy_bytes());
+    } else {
+      const sim::SimTime next = htb.next_event(now);
+      now = std::max(next == sim::kSimTimeMax ? now + 1000 : next, now + 100);
+    }
+  }
+  const double g = static_cast<double>(bytes) * 8.0 / static_cast<double>(horizon);
+  // Measured rate ≈ configured rate / charge factor.
+  EXPECT_NEAR(g, 5.0 / factor, 5.0 / factor * 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Factors, HtbArtifactSweep,
+                         ::testing::Values(1.0, 0.9, 0.84, 0.7, 0.5));
+
+}  // namespace
+}  // namespace flowvalve::baseline

@@ -1,0 +1,125 @@
+// Unit tests for the deterministic RNG and its stream splitting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "sim/rng.h"
+
+namespace flowvalve::sim {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, SplitByNameIsStable) {
+  Rng root(7);
+  Rng a1 = root.split("tcp");
+  Rng a2 = Rng(7).split("tcp");
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a1.next_u64(), a2.next_u64());
+}
+
+TEST(Rng, SplitStreamsAreIndependentOfDrawOrder) {
+  // Drawing from the parent must not perturb a child stream.
+  Rng root(9);
+  Rng child_before = root.split("x");
+  root.next_u64();
+  root.next_u64();
+  Rng child_after = root.split("x");
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(child_before.next_u64(), child_after.next_u64());
+}
+
+TEST(Rng, DifferentSplitNamesDiffer) {
+  Rng root(9);
+  Rng a = root.split("a");
+  Rng b = root.split("b");
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LE(same, 1);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_below(7), 7u);
+    EXPECT_EQ(rng.next_below(1), 0u);
+  }
+}
+
+TEST(Rng, NextBelowRoughlyUniform) {
+  Rng rng(13);
+  int counts[10] = {};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.next_below(10)];
+  for (int c : counts) EXPECT_NEAR(c, n / 10, n / 10 * 0.1);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(17);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(19);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(3.0, 5.0);
+    ASSERT_GE(v, 3.0);
+    ASSERT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(23);
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / n, 4.0, 0.15);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(29);
+  const int n = 50000;
+  double sum = 0, sq = 0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal(10.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.15);
+}
+
+TEST(Rng, ChanceProbability) {
+  Rng rng(31);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.chance(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, NoShortCycles) {
+  Rng rng(37);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 10000; ++i) EXPECT_TRUE(seen.insert(rng.next_u64()).second);
+}
+
+}  // namespace
+}  // namespace flowvalve::sim

@@ -1,0 +1,172 @@
+// Unit tests for the discrete-event kernel: ordering, cancellation, the
+// run_until horizon contract, and periodic timers.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/sim_lock.h"
+#include "sim/simulator.h"
+
+namespace flowvalve::sim {
+namespace {
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(30, [&] { order.push_back(3); });
+  sim.schedule_at(10, [&] { order.push_back(1); });
+  sim.schedule_at(20, [&] { order.push_back(2); });
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, SameInstantRunsInSchedulingOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) sim.schedule_at(100, [&order, i] { order.push_back(i); });
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, NowAdvancesWithEvents) {
+  Simulator sim;
+  SimTime seen = -1;
+  sim.schedule_at(500, [&] { seen = sim.now(); });
+  sim.run_all();
+  EXPECT_EQ(seen, 500);
+  EXPECT_EQ(sim.now(), 500);
+}
+
+TEST(Simulator, ScheduleAfterIsRelative) {
+  Simulator sim;
+  std::vector<SimTime> at;
+  sim.schedule_at(100, [&] {
+    sim.schedule_after(50, [&] { at.push_back(sim.now()); });
+  });
+  sim.run_all();
+  ASSERT_EQ(at.size(), 1u);
+  EXPECT_EQ(at[0], 150);
+}
+
+TEST(Simulator, RunUntilStopsAtHorizonAndAdvancesClock) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(100, [&] { ++fired; });
+  sim.schedule_at(300, [&] { ++fired; });
+  sim.run_until(200);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 200);  // clock advances to horizon
+  sim.run_until(400);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, RunUntilIncludesEventsExactlyAtHorizon) {
+  Simulator sim;
+  bool fired = false;
+  sim.schedule_at(200, [&] { fired = true; });
+  sim.run_until(200);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  EventHandle h = sim.schedule_at(10, [&] { fired = true; });
+  EXPECT_TRUE(h.pending());
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  sim.run_all();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, HandleNotPendingAfterFire) {
+  Simulator sim;
+  EventHandle h = sim.schedule_at(10, [] {});
+  sim.run_all();
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // harmless
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 100) sim.schedule_after(10, chain);
+  };
+  sim.schedule_at(0, chain);
+  sim.run_all();
+  EXPECT_EQ(count, 100);
+  EXPECT_EQ(sim.now(), 990);
+}
+
+TEST(Simulator, CountsExecutedEvents) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.schedule_at(i, [] {});
+  sim.run_all();
+  EXPECT_EQ(sim.events_executed(), 7u);
+}
+
+TEST(Simulator, StepExecutesOne) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(1, [&] { ++fired; });
+  sim.schedule_at(2, [&] { ++fired; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(PeriodicTimer, FiresAtPeriod) {
+  Simulator sim;
+  int fires = 0;
+  PeriodicTimer timer(sim, 100, [&] { ++fires; });
+  timer.start();
+  sim.run_until(1000);
+  EXPECT_EQ(fires, 10);
+}
+
+TEST(PeriodicTimer, StopHalts) {
+  Simulator sim;
+  int fires = 0;
+  PeriodicTimer timer(sim, 100, [&] { ++fires; });
+  timer.start();
+  sim.schedule_at(350, [&] { timer.stop(); });
+  sim.run_until(1000);
+  EXPECT_EQ(fires, 3);
+  EXPECT_FALSE(timer.running());
+}
+
+TEST(PeriodicTimer, RestartableAfterStop) {
+  Simulator sim;
+  int fires = 0;
+  PeriodicTimer timer(sim, 100, [&] { ++fires; });
+  timer.start();
+  sim.schedule_at(250, [&] { timer.stop(); });
+  sim.schedule_at(500, [&] { timer.start(); });
+  sim.run_until(1000);
+  EXPECT_EQ(fires, 2 + 5);
+}
+
+TEST(SimTryLock, FailsWhileBusy) {
+  SimTryLock lock;
+  EXPECT_TRUE(lock.try_acquire(100, 50));
+  EXPECT_TRUE(lock.is_busy(120));
+  EXPECT_FALSE(lock.try_acquire(120, 50));
+  EXPECT_TRUE(lock.try_acquire(150, 50));  // freed exactly at 150
+  EXPECT_EQ(lock.stats().acquisitions, 2u);
+  EXPECT_EQ(lock.stats().try_failures, 1u);
+}
+
+TEST(SimBlockingLock, SerializesAndReportsWait) {
+  SimBlockingLock lock;
+  EXPECT_EQ(lock.acquire(100, 50), 0);   // free → no wait
+  EXPECT_EQ(lock.acquire(120, 50), 30);  // busy until 150 → waits 30
+  EXPECT_EQ(lock.busy_until(), 200);
+  EXPECT_EQ(lock.acquire(300, 50), 0);
+  EXPECT_EQ(lock.stats().total_wait, 30);
+  EXPECT_EQ(lock.stats().total_hold, 150);
+}
+
+}  // namespace
+}  // namespace flowvalve::sim

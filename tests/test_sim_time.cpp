@@ -1,0 +1,104 @@
+// Unit tests for virtual time and the Rate value type.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sim/time.h"
+
+namespace flowvalve::sim {
+namespace {
+
+TEST(SimTime, DurationConstructors) {
+  EXPECT_EQ(nanoseconds(5), 5);
+  EXPECT_EQ(microseconds(3), 3'000);
+  EXPECT_EQ(milliseconds(2), 2'000'000);
+  EXPECT_EQ(seconds(1), 1'000'000'000);
+  EXPECT_EQ(seconds_f(0.5), 500'000'000);
+  EXPECT_EQ(seconds_f(1.5), 1'500'000'000);
+}
+
+TEST(SimTime, DurationAccessors) {
+  EXPECT_DOUBLE_EQ(to_seconds(seconds(2)), 2.0);
+  EXPECT_DOUBLE_EQ(to_millis(milliseconds(7)), 7.0);
+  EXPECT_DOUBLE_EQ(to_micros(microseconds(9)), 9.0);
+}
+
+TEST(Rate, UnitConstructors) {
+  EXPECT_DOUBLE_EQ(Rate::bits_per_sec(1e9).gbps(), 1.0);
+  EXPECT_DOUBLE_EQ(Rate::kilobits_per_sec(1).bps(), 1e3);
+  EXPECT_DOUBLE_EQ(Rate::megabits_per_sec(1).bps(), 1e6);
+  EXPECT_DOUBLE_EQ(Rate::gigabits_per_sec(40).bps(), 40e9);
+  EXPECT_DOUBLE_EQ(Rate::bytes_per_sec(1).bps(), 8.0);
+}
+
+TEST(Rate, ByteAccessors) {
+  const Rate r = Rate::gigabits_per_sec(8);
+  EXPECT_DOUBLE_EQ(r.bytes_per_sec(), 1e9);
+  EXPECT_DOUBLE_EQ(r.bytes_per_ns(), 1.0);
+}
+
+TEST(Rate, SerializationDelay) {
+  // 1538 bytes at 40 Gbps = 1538*8/40 ns = 307.6 ns.
+  const Rate r = Rate::gigabits_per_sec(40);
+  EXPECT_NEAR(static_cast<double>(r.serialization_delay(1538)), 307.6, 1.0);
+  // Dead wire: never finishes.
+  EXPECT_EQ(Rate::zero().serialization_delay(100), kSimTimeMax);
+}
+
+TEST(Rate, BytesIn) {
+  const Rate r = Rate::gigabits_per_sec(8);  // 1 byte/ns
+  EXPECT_DOUBLE_EQ(r.bytes_in(milliseconds(1)), 1e6);
+}
+
+TEST(Rate, Arithmetic) {
+  const Rate a = Rate::gigabits_per_sec(6);
+  const Rate b = Rate::gigabits_per_sec(2);
+  EXPECT_DOUBLE_EQ((a + b).gbps(), 8.0);
+  EXPECT_DOUBLE_EQ((a - b).gbps(), 4.0);
+  EXPECT_DOUBLE_EQ((a * 0.5).gbps(), 3.0);
+  EXPECT_DOUBLE_EQ((0.5 * a).gbps(), 3.0);
+  EXPECT_DOUBLE_EQ((a / 2.0).gbps(), 3.0);
+  EXPECT_DOUBLE_EQ(a / b, 3.0);
+  EXPECT_LT(b, a);
+  EXPECT_EQ(a, Rate::megabits_per_sec(6000));
+}
+
+TEST(Rate, ClampedZeroesNegatives) {
+  const Rate neg = Rate::gigabits_per_sec(2) - Rate::gigabits_per_sec(5);
+  EXPECT_LT(neg.bps(), 0.0);
+  EXPECT_DOUBLE_EQ(neg.clamped().bps(), 0.0);
+  EXPECT_DOUBLE_EQ(Rate::gigabits_per_sec(1).clamped().gbps(), 1.0);
+}
+
+TEST(Rate, IsZero) {
+  EXPECT_TRUE(Rate::zero().is_zero());
+  EXPECT_TRUE((Rate::zero() - Rate::gigabits_per_sec(1)).is_zero());
+  EXPECT_FALSE(Rate::bits_per_sec(1).is_zero());
+}
+
+TEST(Rate, ToString) {
+  EXPECT_EQ(Rate::gigabits_per_sec(10).to_string(), "10.000Gbps");
+  EXPECT_EQ(Rate::megabits_per_sec(5).to_string(), "5.000Mbps");
+  EXPECT_EQ(Rate::kilobits_per_sec(2).to_string(), "2.000Kbps");
+  EXPECT_EQ(Rate::bits_per_sec(10).to_string(), "10.0bps");
+}
+
+// Parameterized: serialization delay times rate recovers the byte count.
+class RateRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(RateRoundTrip, DelayTimesRateIsBytes) {
+  const Rate r = Rate::gigabits_per_sec(GetParam());
+  for (std::uint64_t bytes : {64ull, 1538ull, 65556ull}) {
+    const SimDuration d = r.serialization_delay(bytes);
+    // Delays are integer nanoseconds, so allow the ±0.5 ns quantization in
+    // addition to 1% slack.
+    const double tol = std::max(static_cast<double>(bytes) * 0.01, r.bytes_per_ns() * 0.6);
+    EXPECT_NEAR(r.bytes_in(d), static_cast<double>(bytes), tol);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, RateRoundTrip,
+                         ::testing::Values(0.1, 1.0, 10.0, 25.0, 40.0, 100.0));
+
+}  // namespace
+}  // namespace flowvalve::sim

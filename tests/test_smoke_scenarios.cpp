@@ -1,0 +1,50 @@
+// End-to-end smoke checks over the experiment scenarios (short horizons).
+// Deep conformance assertions live in test_integration_*.cpp; this file
+// verifies the harness runs and produces physically sane numbers.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "exp/scenarios.h"
+
+namespace flowvalve {
+namespace {
+
+TEST(SmokeScenarios, Fig11aMotivationShortRun) {
+  auto r = exp::run_fig11a_fv_motivation(/*seed=*/1, sim::seconds(8));
+  std::printf("%s", r.table(sim::seconds(1)).c_str());
+  // NC alone: should reach ≈10 Gbps (7.5 ceiling + borrowed slack) once
+  // converged; total never exceeds the 10G policy by more than slack.
+  const double nc = r.mean_rate("NC", 4.0, 8.0).gbps();
+  EXPECT_GT(nc, 8.5);
+  EXPECT_LT(nc, 10.5);
+}
+
+TEST(SmokeScenarios, Fig3HtbShortRun) {
+  auto r = exp::run_fig3_htb_motivation(/*seed=*/1, sim::seconds(8));
+  std::printf("%s", r.table(sim::seconds(1)).c_str());
+  const double nc = r.mean_rate("NC", 4.0, 8.0).gbps();
+  // Kernel path: single sender core caps below the 10G policy.
+  EXPECT_GT(nc, 6.0);
+  EXPECT_LT(nc, 9.8);
+}
+
+TEST(SmokeScenarios, Fig13FlowValve1518) {
+  const double mpps = exp::run_fig13_flowvalve(1518, 1);
+  std::printf("fv@1518B: %.3f Mpps\n", mpps);
+  EXPECT_GT(mpps, 2.9);
+  EXPECT_LT(mpps, 3.4);
+}
+
+TEST(SmokeScenarios, Fig14FlowValve40G) {
+  auto d = exp::run_fig14_flowvalve(sim::Rate::gigabits_per_sec(40), 1);
+  std::printf("%s: mean=%.2fus stddev=%.2fus p99=%.2fus n=%llu\n", d.label.c_str(),
+              d.mean_us, d.stddev_us, d.p99_us,
+              static_cast<unsigned long long>(d.samples));
+  EXPECT_GT(d.samples, 100u);
+  EXPECT_GT(d.mean_us, 140.0);
+  EXPECT_LT(d.mean_us, 260.0);
+}
+
+}  // namespace
+}  // namespace flowvalve

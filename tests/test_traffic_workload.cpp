@@ -1,0 +1,136 @@
+// Unit tests for the datacenter flow-level workload generator.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "traffic/workload.h"
+
+namespace flowvalve::traffic {
+namespace {
+
+using sim::Rate;
+
+/// Sink that accepts everything instantly.
+class SinkDevice final : public net::EgressDevice {
+ public:
+  explicit SinkDevice(sim::Simulator& sim) : sim_(sim) {}
+  bool submit(net::Packet pkt) override {
+    bytes_ += pkt.wire_bytes;
+    pkt.wire_tx_done = sim_.now();
+    pkt.delivered_at = sim_.now();
+    deliver(pkt);
+    return true;
+  }
+  std::uint64_t bytes() const { return bytes_; }
+
+ private:
+  sim::Simulator& sim_;
+  std::uint64_t bytes_ = 0;
+};
+
+TEST(FlowSizeDist, SamplesWithinBounds) {
+  FlowSizeDistribution dist(1.2, 1000, 1'000'000);
+  sim::Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const auto s = dist.sample(rng);
+    ASSERT_GE(s, 1000u);
+    ASSERT_LE(s, 1'000'000u);
+  }
+}
+
+TEST(FlowSizeDist, EmpiricalMeanMatchesAnalytic) {
+  FlowSizeDistribution dist(1.3, 2000, 10'000'000);
+  sim::Rng rng(2);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(dist.sample(rng));
+  EXPECT_NEAR(sum / n, dist.mean_bytes(), dist.mean_bytes() * 0.05);
+}
+
+TEST(FlowSizeDist, HeavyTailPresent) {
+  // With alpha=1.1 most flows are small but a few are huge: the top 10% of
+  // samples should carry the majority of the bytes.
+  FlowSizeDistribution dist(1.1, 1500, 50'000'000);
+  sim::Rng rng(3);
+  std::vector<double> samples;
+  for (int i = 0; i < 20000; ++i) samples.push_back(static_cast<double>(dist.sample(rng)));
+  std::sort(samples.begin(), samples.end());
+  double total = 0, top = 0;
+  for (double s : samples) total += s;
+  for (std::size_t i = samples.size() * 9 / 10; i < samples.size(); ++i) top += samples[i];
+  EXPECT_GT(top / total, 0.5);
+  // And the median is well below the mean (mean dragged up by the tail).
+  EXPECT_LT(samples[samples.size() / 2],
+            0.35 * total / static_cast<double>(samples.size()));
+}
+
+TEST(DatacenterWorkloadTest, OfferedLoadMatchesConfig) {
+  sim::Simulator sim;
+  SinkDevice sink(sim);
+  IdAllocator ids;
+  FlowRouter router(sink);
+  DatacenterWorkloadConfig cfg;
+  cfg.flows_per_sec = 4000;
+  cfg.sizes = FlowSizeDistribution(1.5, 3000, 300'000);
+  cfg.flow_rate = Rate::gigabits_per_sec(1);
+  DatacenterWorkload wl(sim, router, ids, cfg, sim::Rng(4));
+  wl.start();
+  sim.run_until(sim::seconds(2));
+  const double offered_gbps =
+      static_cast<double>(wl.bytes_sent()) * 8.0 / sim::seconds(2);
+  EXPECT_NEAR(offered_gbps, cfg.offered_load().gbps(), cfg.offered_load().gbps() * 0.25);
+  EXPECT_GT(wl.flows_started(), 6000u);
+  EXPECT_GT(wl.flows_completed(), 5000u);
+}
+
+TEST(DatacenterWorkloadTest, FlowsTerminateAfterTheirSize) {
+  sim::Simulator sim;
+  SinkDevice sink(sim);
+  IdAllocator ids;
+  FlowRouter router(sink);
+  DatacenterWorkloadConfig cfg;
+  cfg.flows_per_sec = 500;
+  cfg.sizes = FlowSizeDistribution(1.5, 3000, 30'000);
+  DatacenterWorkload wl(sim, router, ids, cfg, sim::Rng(5));
+  wl.start();
+  sim.run_until(sim::milliseconds(500));
+  wl.stop();
+  // Small sizes and a fast flow rate: nearly everything completes.
+  EXPECT_GE(wl.flows_completed() + wl.flows_active(), wl.flows_started());
+  EXPECT_GT(wl.flows_completed(), wl.flows_started() * 9 / 10);
+  EXPECT_EQ(wl.flows_active(), 0u);  // stop() cleared the rest
+}
+
+TEST(DatacenterWorkloadTest, StopIsIdempotentAndHalts) {
+  sim::Simulator sim;
+  SinkDevice sink(sim);
+  IdAllocator ids;
+  FlowRouter router(sink);
+  DatacenterWorkload wl(sim, router, ids, DatacenterWorkloadConfig{}, sim::Rng(6));
+  wl.start();
+  sim.run_until(sim::milliseconds(50));
+  wl.stop();
+  wl.stop();
+  const auto sent = wl.packets_sent();
+  sim.run_until(sim::milliseconds(100));
+  EXPECT_EQ(wl.packets_sent(), sent);
+}
+
+TEST(DatacenterWorkloadTest, DeliveriesRouteBack) {
+  sim::Simulator sim;
+  SinkDevice sink(sim);
+  IdAllocator ids;
+  FlowRouter router(sink);
+  DatacenterWorkloadConfig cfg;
+  cfg.flows_per_sec = 1000;
+  DatacenterWorkload wl(sim, router, ids, cfg, sim::Rng(7));
+  wl.start();
+  sim.run_until(sim::milliseconds(200));
+  EXPECT_GT(wl.packets_delivered(), 0u);
+  EXPECT_EQ(wl.packets_dropped(), 0u);
+}
+
+}  // namespace
+}  // namespace flowvalve::traffic
