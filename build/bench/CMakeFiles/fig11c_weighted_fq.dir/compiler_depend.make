@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig11c_weighted_fq.
+# This may be replaced when dependencies are built.
