@@ -1,0 +1,120 @@
+#include "check/differential.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <string>
+
+#include "baseline/htb.h"
+#include "traffic/generators.h"
+
+namespace flowvalve::check {
+
+bool QdiscWireDevice::submit(net::Packet pkt) {
+  const net::Packet copy = pkt;
+  if (!qdisc_.enqueue(std::move(pkt), sim_.now())) {
+    notify_drop(copy);
+    return false;
+  }
+  pump();
+  return true;
+}
+
+void QdiscWireDevice::pump() {
+  if (busy_) return;
+  wake_.cancel();
+  auto next = qdisc_.dequeue(sim_.now());
+  if (next) {
+    busy_ = true;
+    const sim::SimDuration tx = wire_rate_.serialization_delay(next->wire_bytes);
+    sim_.schedule_after(tx, [this, pkt = std::move(*next)]() mutable {
+      pkt.wire_tx_done = sim_.now();
+      pkt.delivered_at = sim_.now();
+      busy_ = false;
+      if (tx_tap_) tx_tap_(pkt, sim_.now());
+      deliver(pkt);
+      pump();
+    });
+    return;
+  }
+  const sim::SimTime at = qdisc_.next_event(sim_.now());
+  if (at == sim::kSimTimeMax) return;  // idle; next submit re-pumps
+  wake_ = sim_.schedule_at(std::max(at, sim_.now() + 1), [this] { pump(); });
+}
+
+DifferentialOutcome run_reference_and_compare(
+    const FuzzScenario& sc, const std::vector<std::uint64_t>& fv_bytes) {
+  DifferentialOutcome out;
+
+  // ---- reference side: idealized HTB behind a wire-rate serializer -------
+  sim::Simulator sim;
+  baseline::HtbArtifacts ideal;
+  ideal.enabled = false;
+  baseline::HtbQdisc htb(sc.link_rate, sc.link_rate, ideal);
+  for (const FuzzLeaf& leaf : sc.leaves) {
+    baseline::HtbClassConfig cfg;
+    cfg.name = leaf.name;
+    cfg.rate = leaf.static_share;
+    cfg.ceil = sc.link_rate;
+    cfg.queue_limit = 512;
+    htb.add_class(cfg);
+  }
+  htb.set_classifier([&sc](const net::Packet& pkt) -> std::string {
+    for (const FuzzLeaf& leaf : sc.leaves)
+      if (leaf.vf == pkt.vf_port) return leaf.name;
+    return {};
+  });
+
+  QdiscWireDevice device(sim, htb, sc.link_rate);
+  const sim::SimTime warmup = differential_warmup(sc);
+  std::vector<std::uint64_t> ref_bytes(sc.leaves.size(), 0);
+  device.set_tx_tap([&](const net::Packet& pkt, sim::SimTime now) {
+    if (now >= warmup && pkt.vf_port < ref_bytes.size())
+      ref_bytes[pkt.vf_port] += pkt.wire_bytes;
+  });
+
+  traffic::FlowRouter router(device);
+  traffic::IdAllocator ids;
+  const sim::Rng rng(sc.seed);
+  std::vector<std::unique_ptr<traffic::CbrFlow>> flows;
+  for (const FuzzFlow& f : sc.flows) {
+    traffic::FlowSpec spec;
+    spec.flow_id = ids.next_flow_id();
+    spec.app_id = f.app_id;
+    spec.vf_port = f.vf;
+    spec.wire_bytes = f.frame_bytes;
+    auto flow = std::make_unique<traffic::CbrFlow>(
+        sim, router, ids, spec, f.rate, rng.split("ref").split(f.app_id));
+    sim.schedule_at(f.start, [src = flow.get()] { src->start(); });
+    sim.schedule_at(f.stop, [src = flow.get()] { src->stop(); });
+    flows.push_back(std::move(flow));
+  }
+  sim.run_until(sc.horizon);
+  for (auto& f : flows) f->stop();
+  sim.run_all();
+
+  // ---- shares ------------------------------------------------------------
+  auto shares = [](const std::vector<std::uint64_t>& bytes) {
+    double total = 0;
+    for (auto b : bytes) total += static_cast<double>(b);
+    std::vector<double> s(bytes.size(), 0.0);
+    if (total > 0)
+      for (std::size_t i = 0; i < bytes.size(); ++i)
+        s[i] = static_cast<double>(bytes[i]) / total;
+    return s;
+  };
+  out.fv_shares = shares(fv_bytes);
+  out.ref_shares = shares(ref_bytes);
+
+  double wsum = 0;
+  for (const FuzzLeaf& leaf : sc.leaves) wsum += leaf.weight;
+  for (const FuzzLeaf& leaf : sc.leaves)
+    out.expected_shares.push_back(leaf.weight / wsum);
+
+  for (std::size_t i = 0; i < sc.leaves.size(); ++i)
+    out.worst_delta =
+        std::max(out.worst_delta, std::abs(out.fv_shares[i] - out.ref_shares[i]));
+  return out;
+}
+
+}  // namespace flowvalve::check

@@ -1,0 +1,66 @@
+// Differential oracle: replay a fuzz workload through the src/baseline HTB
+// (artifacts disabled — the idealized discipline) behind a plain wire-rate
+// drain, and compare long-run per-class throughput shares against the
+// FlowValve pipeline. In the saturating weighted-fair regime produced by
+// generate_differential_scenario() both systems must converge to the same
+// closed-form shares, so any systematic divergence points at a scheduler
+// arithmetic bug on one side.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "baseline/qdisc.h"
+#include "check/fuzzer.h"
+#include "net/device.h"
+#include "sim/simulator.h"
+
+namespace flowvalve::check {
+
+/// Minimal EgressDevice gluing a queue-then-schedule Qdisc to a wire: submit
+/// enqueues, a single serializer drains dequeued packets at `wire_rate`, and
+/// throttle gaps are bridged with the qdisc's next_event() watchdog.
+class QdiscWireDevice final : public net::EgressDevice {
+ public:
+  QdiscWireDevice(sim::Simulator& sim, baseline::Qdisc& qdisc,
+                  sim::Rate wire_rate)
+      : sim_(sim), qdisc_(qdisc), wire_rate_(wire_rate) {}
+
+  bool submit(net::Packet pkt) override;
+
+  /// Fired when a frame's last bit leaves the wire (before delivery).
+  void set_tx_tap(std::function<void(const net::Packet&, sim::SimTime)> tap) {
+    tx_tap_ = std::move(tap);
+  }
+
+ private:
+  void pump();
+
+  sim::Simulator& sim_;
+  baseline::Qdisc& qdisc_;
+  sim::Rate wire_rate_;
+  bool busy_ = false;
+  sim::EventHandle wake_;
+  std::function<void(const net::Packet&, sim::SimTime)> tx_tap_;
+};
+
+struct DifferentialOutcome {
+  std::vector<double> fv_shares;        // per leaf, fraction of total bytes
+  std::vector<double> ref_shares;
+  std::vector<double> expected_shares;  // w_i / Σw closed form
+  double worst_delta = 0.0;             // max |fv - ref| over leaves
+};
+
+/// Warmup excluded from share measurements on both sides (token-bucket and
+/// queue-fill transients).
+inline sim::SimTime differential_warmup(const FuzzScenario& sc) {
+  return sc.horizon / 5;
+}
+
+/// Run the reference HTB side of `sc` (same flows, same horizon) and compare
+/// its post-warmup shares with the FlowValve side's per-leaf wire-byte
+/// totals `fv_bytes` (indexed like sc.leaves).
+DifferentialOutcome run_reference_and_compare(
+    const FuzzScenario& sc, const std::vector<std::uint64_t>& fv_bytes);
+
+}  // namespace flowvalve::check

@@ -1,0 +1,66 @@
+// Seed-driven scenario fuzzer: one uint64 seed deterministically expands —
+// via independent sim::Rng streams — into a random policy tree (a valid fv
+// script), a random NP configuration, and a random workload mix. The same
+// seed always produces the same scenario on every platform, which is what
+// makes "fuzz_check reports the failing seed" an actionable repro.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "np/np_config.h"
+#include "sim/rng.h"
+#include "sim/time.h"
+
+namespace flowvalve::check {
+
+/// One leaf class of the generated policy, with everything the workload
+/// generator needs to aim traffic at it.
+struct FuzzLeaf {
+  std::string classid;      // "1:21"-style handle in the script
+  std::string name;
+  std::uint16_t vf = 0;     // the filter maps this VF onto the leaf
+  double weight = 1.0;
+  sim::Rate static_share;   // weighted share at finalize time (traffic scale)
+  sim::Rate ceil;           // configured ceiling (may be effectively infinite)
+};
+
+/// One traffic source of the generated workload.
+struct FuzzFlow {
+  enum class Kind : std::uint8_t { kCbr, kPoisson, kOnOff, kTcp };
+  Kind kind = Kind::kCbr;
+  std::uint16_t vf = 0;
+  std::uint32_t app_id = 0;
+  sim::Rate rate;                 // target/mean/burst rate by kind
+  std::uint32_t frame_bytes = 1518;
+  sim::SimTime start = 0;
+  sim::SimTime stop = 0;
+
+  const char* kind_name() const;
+};
+
+struct FuzzScenario {
+  std::uint64_t seed = 0;
+  std::string fv_script;          // complete, valid policy script
+  std::vector<FuzzLeaf> leaves;
+  np::NpConfig nic;               // randomized worker/ring/rate config
+  sim::Rate link_rate;            // root budget (≤ nic wire rate)
+  std::vector<FuzzFlow> flows;
+  sim::SimTime horizon = 0;
+
+  /// Multi-line human-readable description (printed with -v / on failure).
+  std::string describe() const;
+};
+
+/// Expand `seed` into a full scenario. Every draw comes from named Rng
+/// splits, so extending one generator never perturbs the others.
+FuzzScenario generate_scenario(std::uint64_t seed);
+
+/// A restricted scenario family for the differential oracle: a flat
+/// weighted-fair tree with mutual borrowing, every leaf saturated by
+/// open-loop CBR — the regime where FlowValve and the reference HTB must
+/// agree on long-run shares (and where those shares have a closed form).
+FuzzScenario generate_differential_scenario(std::uint64_t seed);
+
+}  // namespace flowvalve::check

@@ -1,0 +1,207 @@
+#include "check/runner.h"
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+
+#include "check/differential.h"
+#include "core/flowvalve.h"
+#include "np/flowvalve_processor.h"
+#include "traffic/generators.h"
+#include "traffic/tcp.h"
+
+namespace flowvalve::check {
+
+namespace {
+
+/// Non-failing "checker" that rides the harness to collect per-VF wire
+/// bytes after the warmup cutoff (the differential oracle's FV-side input).
+class ShareCollector final : public InvariantChecker {
+ public:
+  ShareCollector(std::size_t vfs, sim::SimTime warmup)
+      : bytes_(vfs, 0), warmup_(warmup) {}
+
+  std::string_view name() const override { return "share-collector"; }
+
+  void on_wire_tx(const net::Packet& pkt, sim::SimTime now) override {
+    if (now >= warmup_ && pkt.vf_port < bytes_.size())
+      bytes_[pkt.vf_port] += pkt.wire_bytes;
+  }
+
+  const std::vector<std::uint64_t>& bytes() const { return bytes_; }
+
+ private:
+  std::vector<std::uint64_t> bytes_;
+  sim::SimTime warmup_;
+};
+
+/// Uniform handle over the concrete generator types.
+struct Source {
+  std::unique_ptr<traffic::CbrFlow> cbr;
+  std::unique_ptr<traffic::PoissonFlow> poisson;
+  std::unique_ptr<traffic::OnOffFlow> onoff;
+  std::unique_ptr<traffic::TcpAimdFlow> tcp;
+
+  void start() {
+    if (cbr) cbr->start();
+    if (poisson) poisson->start();
+    if (onoff) onoff->start();
+    if (tcp) tcp->start();
+  }
+  void stop() {
+    if (cbr) cbr->stop();
+    if (poisson) poisson->stop();
+    if (onoff) onoff->stop();
+    if (tcp) tcp->stop();
+  }
+};
+
+Source make_source(sim::Simulator& sim, traffic::FlowRouter& router,
+                   traffic::IdAllocator& ids, const FuzzFlow& f,
+                   sim::Rng rng) {
+  traffic::FlowSpec spec;
+  spec.flow_id = ids.next_flow_id();
+  spec.app_id = f.app_id;
+  spec.vf_port = f.vf;
+  spec.wire_bytes = f.frame_bytes;
+
+  Source src;
+  switch (f.kind) {
+    case FuzzFlow::Kind::kCbr:
+      src.cbr = std::make_unique<traffic::CbrFlow>(sim, router, ids, spec,
+                                                   f.rate, rng, 0.05);
+      break;
+    case FuzzFlow::Kind::kPoisson:
+      src.poisson = std::make_unique<traffic::PoissonFlow>(sim, router, ids,
+                                                           spec, f.rate, rng);
+      break;
+    case FuzzFlow::Kind::kOnOff:
+      src.onoff = std::make_unique<traffic::OnOffFlow>(
+          sim, router, ids, spec, f.rate * 2.0, sim::milliseconds(1),
+          sim::milliseconds(1), rng);
+      break;
+    case FuzzFlow::Kind::kTcp: {
+      traffic::TcpAimdConfig cfg;
+      cfg.start_rate = f.rate * 0.25;
+      cfg.min_rate = f.rate * 0.05;
+      cfg.max_rate = f.rate;
+      cfg.rtt = sim::milliseconds(2);
+      cfg.additive_increase = f.rate * 0.1;
+      src.tcp = std::make_unique<traffic::TcpAimdFlow>(sim, router, ids, spec,
+                                                       cfg, rng);
+      break;
+    }
+  }
+  return src;
+}
+
+}  // namespace
+
+CheckReport run_scenario(const FuzzScenario& sc, const RunOptions& opts) {
+  CheckReport report;
+  report.seed = sc.seed;
+  report.differential = opts.differential;
+
+  sim::Simulator sim;
+  core::FlowValveEngine engine(np::engine_options_for(sc.nic));
+  if (std::string err = engine.configure(sc.fv_script); !err.empty()) {
+    // The fuzzer must only emit valid policies — a config error IS a bug.
+    report.violation_total = 1;
+    report.violations.push_back({"configure", 0, std::move(err)});
+    return report;
+  }
+
+  np::FlowValveProcessor processor(engine);
+  np::NicPipeline pipeline(sim, sc.nic, processor);
+  traffic::FlowRouter router(pipeline);
+  traffic::IdAllocator ids;
+
+  CheckHarness harness(sim, pipeline, &engine);
+  harness.add_standard_checkers();
+  ShareCollector* collector = nullptr;
+  if (opts.differential) {
+    auto c = std::make_unique<ShareCollector>(sc.leaves.size(),
+                                              differential_warmup(sc));
+    collector = c.get();
+    harness.add(std::move(c));
+  }
+
+  const sim::Rng rng(sc.seed);
+  std::vector<Source> sources;
+  sources.reserve(sc.flows.size());
+  for (const FuzzFlow& f : sc.flows)
+    sources.push_back(
+        make_source(sim, router, ids, f, rng.split("src").split(f.app_id)));
+  for (std::size_t i = 0; i < sc.flows.size(); ++i) {
+    Source* src = &sources[i];
+    sim.schedule_at(sc.flows[i].start, [src] { src->start(); });
+    sim.schedule_at(sc.flows[i].stop, [src] { src->stop(); });
+  }
+
+  harness.start();
+  sim.run_until(sc.horizon);
+  for (Source& src : sources) src.stop();
+  harness.stop_sampling();
+  sim.run_all();  // drain every in-flight packet to quiescence
+  harness.finish();
+
+  report.nic = pipeline.stats();
+  report.events = sim.events_executed();
+  report.delivered = harness.delivered_packets();
+  report.violation_total = harness.sink().total();
+  report.violations = harness.sink().violations();
+
+  if (opts.differential && collector) {
+    const DifferentialOutcome diff =
+        run_reference_and_compare(sc, collector->bytes());
+    report.fv_shares = diff.fv_shares;
+    report.ref_shares = diff.ref_shares;
+    report.expected_shares = diff.expected_shares;
+    report.worst_share_delta = diff.worst_delta;
+    if (diff.worst_delta > opts.share_tolerance) {
+      std::ostringstream s;
+      s << "per-class shares diverge from reference HTB by "
+        << diff.worst_delta << " (tolerance " << opts.share_tolerance << "):";
+      for (std::size_t i = 0; i < diff.fv_shares.size(); ++i)
+        s << " [" << sc.leaves[i].name << " fv=" << diff.fv_shares[i]
+          << " htb=" << diff.ref_shares[i] << " exp=" << diff.expected_shares[i]
+          << "]";
+      ++report.violation_total;
+      report.violations.push_back({"differential", sc.horizon, s.str()});
+    }
+  }
+  return report;
+}
+
+CheckReport run_seed(std::uint64_t seed, const RunOptions& opts) {
+  FuzzScenario sc = opts.differential ? generate_differential_scenario(seed)
+                                      : generate_scenario(seed);
+  sc.nic.faults = opts.faults;
+  // The bypass fault only exists on the reorder path; injecting it into a
+  // scenario that rolled reorder off would be a silent no-op.
+  if (opts.faults.bypass_reorder_every != 0) sc.nic.enforce_reorder = true;
+  if (opts.horizon_override > 0) {
+    sc.horizon = opts.horizon_override;
+    for (FuzzFlow& f : sc.flows) {
+      f.start = std::min(f.start, sc.horizon / 4);
+      f.stop = std::min(f.stop, sc.horizon);
+      if (f.stop <= f.start) f.stop = sc.horizon;
+    }
+  }
+  return run_scenario(sc, opts);
+}
+
+std::string CheckReport::summary() const {
+  std::ostringstream s;
+  s << "seed 0x" << std::hex << seed << std::dec
+    << (differential ? " [diff]" : "") << ": " << (ok() ? "OK" : "FAIL") << " ("
+    << nic.submitted << " submitted, " << nic.forwarded_to_wire << " on wire, "
+    << (nic.vf_ring_drops + nic.scheduler_drops + nic.tx_ring_drops)
+    << " dropped, " << events << " events";
+  if (differential) s << ", worst share delta " << worst_share_delta;
+  if (!ok()) s << ", " << violation_total << " violations";
+  s << ")";
+  return s.str();
+}
+
+}  // namespace flowvalve::check

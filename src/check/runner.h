@@ -1,0 +1,58 @@
+// Scenario runner: expands a seed, assembles the full FlowValve NP stack
+// (engine + pipeline + traffic) under a CheckHarness, runs to quiescence,
+// and returns a verdict. This is the engine behind both the fuzz_check CLI
+// and the tier-1 test_check_fuzz test.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/checker.h"
+#include "check/fuzzer.h"
+#include "np/nic_pipeline.h"
+
+namespace flowvalve::check {
+
+struct RunOptions {
+  /// Use the differential scenario family and compare FlowValve's per-class
+  /// shares against the reference HTB.
+  bool differential = false;
+  /// Max |fv_share - htb_share| tolerated by the differential oracle. Both
+  /// systems approximate weighted fairness with different mechanisms (token
+  /// borrowing vs DRR), so exact agreement is not expected.
+  double share_tolerance = 0.1;
+  /// Deliberate pipeline bugs (checker-validation runs).
+  np::NpConfig::PipelineFaults faults;
+  /// If > 0, overrides the generated scenario horizon.
+  sim::SimDuration horizon_override = 0;
+};
+
+struct CheckReport {
+  std::uint64_t seed = 0;
+  bool differential = false;
+  np::NicPipeline::Stats nic;
+  std::uint64_t events = 0;
+  std::uint64_t delivered = 0;
+
+  std::uint64_t violation_total = 0;   // all violations (may exceed the cap)
+  std::vector<Violation> violations;   // first N, capped
+
+  // Differential-mode extras (empty otherwise).
+  std::vector<double> fv_shares;
+  std::vector<double> ref_shares;
+  std::vector<double> expected_shares;
+  double worst_share_delta = 0.0;
+
+  bool ok() const { return violation_total == 0; }
+  std::string summary() const;  // one line
+};
+
+/// Run one already-expanded scenario (faults must be set in sc.nic.faults).
+CheckReport run_scenario(const FuzzScenario& sc, const RunOptions& opts = {});
+
+/// Expand `seed` (standard or differential family per opts), apply option
+/// overrides, and run it.
+CheckReport run_seed(std::uint64_t seed, const RunOptions& opts = {});
+
+}  // namespace flowvalve::check

@@ -26,12 +26,14 @@ FlowValveEngine::Result FlowValveEngine::process(net::Packet& pkt, sim::SimTime 
     // No filter matched and no default class configured: drop, as the NIC
     // has no class whose budget could account for this packet.
     r.verdict = Verdict::kDrop;
+    if (process_observer_) process_observer_(pkt, r, now);
     return r;
   }
   const SchedDecision d = sched_->schedule(pkt, now);
   r.cycles += d.cycles;
   r.verdict = d.verdict;
   r.borrowed = d.borrowed;
+  if (process_observer_) process_observer_(pkt, r, now);
   return r;
 }
 

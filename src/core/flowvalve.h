@@ -40,6 +40,15 @@ class FlowValveEngine {
   };
   Result process(net::Packet& pkt, sim::SimTime now);
 
+  /// Passive tap fired after every process() call with the labeled packet
+  /// and the decision taken — src/check hangs its scheduler-conformance
+  /// checkers here. Empty (and free) by default.
+  using ProcessObserver =
+      std::function<void(const net::Packet&, const Result&, sim::SimTime)>;
+  void set_process_observer(ProcessObserver observer) {
+    process_observer_ = std::move(observer);
+  }
+
   FvFrontend& frontend() { return frontend_; }
   const FvFrontend& frontend() const { return frontend_; }
   SchedulingTree& tree() { return frontend_.tree(); }
@@ -53,6 +62,7 @@ class FlowValveEngine {
   Options options_;
   FvFrontend frontend_;
   std::unique_ptr<SchedulingFunction> sched_;  // created once configured
+  ProcessObserver process_observer_;
 };
 
 }  // namespace flowvalve::core

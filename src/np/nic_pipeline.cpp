@@ -18,6 +18,15 @@ NpConfig agilio_cx_10g() {
   return c;
 }
 
+const char* drop_reason_name(DropReason reason) {
+  switch (reason) {
+    case DropReason::kVfRingFull: return "vf-ring-full";
+    case DropReason::kScheduler: return "scheduler";
+    case DropReason::kTxRingFull: return "tx-ring-full";
+  }
+  return "unknown";
+}
+
 NicPipeline::NicPipeline(sim::Simulator& sim, NpConfig config, PacketProcessor& processor)
     : sim_(sim), config_(config), processor_(processor) {
   vf_rings_.resize(config_.num_vfs);
@@ -32,6 +41,7 @@ void NicPipeline::drop(const net::Packet& pkt, DropReason reason) {
     case DropReason::kScheduler: ++stats_.scheduler_drops; break;
     case DropReason::kTxRingFull: ++stats_.tx_ring_drops; break;
   }
+  if (observer_) observer_->on_drop(pkt, reason, sim_.now());
   if (on_dropped_detailed_) on_dropped_detailed_(pkt, reason);
   notify_drop(pkt);
 }
@@ -39,6 +49,7 @@ void NicPipeline::drop(const net::Packet& pkt, DropReason reason) {
 bool NicPipeline::submit(net::Packet pkt) {
   ++stats_.submitted;
   pkt.nic_arrival = sim_.now();
+  if (observer_) observer_->on_submit(pkt, sim_.now());
   const unsigned vf = pkt.vf_port % config_.num_vfs;
   if (vf_rings_[vf].size() >= config_.vf_ring_capacity) {
     drop(pkt, DropReason::kVfRingFull);
@@ -87,11 +98,24 @@ void NicPipeline::try_dispatch() {
     ++stats_.processed;
     const sim::SimDuration busy = config_.cycles_to_ns(cycles);
     stats_.worker_busy_ns += static_cast<std::uint64_t>(busy);
+    if (observer_) observer_->on_dispatch(pkt, worker, ingress_seq, now, busy);
 
     sim_.schedule_after(busy, [this, worker, ingress_seq, pkt = std::move(pkt),
                                forward = out.forward]() mutable {
       if (forward) {
-        if (config_.enforce_reorder) {
+        ++forward_count_;
+        const auto& faults = config_.faults;
+        if (faults.leak_commit_every != 0 &&
+            forward_count_ % faults.leak_commit_every == 0) {
+          // Injected bug: the packet vanishes without a commit or any drop
+          // accounting. The conservation checker must notice.
+        } else if (faults.bypass_reorder_every != 0 && config_.enforce_reorder &&
+                   forward_count_ % faults.bypass_reorder_every == 0) {
+          // Injected bug: jump the reorder queue. The ordering checker must
+          // notice; committing the hole keeps the rest of the stream moving.
+          tx_admit(std::move(pkt));
+          reorder_commit(ingress_seq, std::nullopt);
+        } else if (config_.enforce_reorder) {
           reorder_commit(ingress_seq, std::move(pkt));
         } else {
           worker_finish(worker, std::move(pkt));
@@ -153,11 +177,13 @@ void NicPipeline::tx_drain_complete() {
   pkt.wire_tx_done = sim_.now();
   ++stats_.forwarded_to_wire;
   stats_.wire_bytes += pkt.wire_bytes;
+  if (observer_) observer_->on_wire_tx(pkt, sim_.now());
 
   // Deliver after the fixed pipeline constant (reorder system, internal
   // queueing, receiver-side capture path).
   sim_.schedule_after(config_.fixed_pipeline_delay, [this, pkt = std::move(pkt)]() mutable {
     pkt.delivered_at = sim_.now();
+    if (observer_) observer_->on_delivered(pkt, sim_.now());
     deliver(pkt);
   });
   arm_tx_drain();

@@ -49,6 +49,29 @@ enum class DropReason : std::uint8_t {
   kTxRingFull,     // common tail drop at the shared FIFO
 };
 
+const char* drop_reason_name(DropReason reason);
+
+/// Passive tap on every pipeline lifecycle event, independent of the
+/// delivery/drop callbacks (which the traffic FlowRouter owns). src/check
+/// attaches its invariant harness here; all hooks default to no-ops so the
+/// pipeline costs nothing when unobserved.
+class PipelineObserver {
+ public:
+  virtual ~PipelineObserver() = default;
+  /// Host submitted a packet (before the VF-ring admission check).
+  virtual void on_submit(const net::Packet&, sim::SimTime) {}
+  /// The load balancer handed the packet to an idle worker; `busy` is the
+  /// run-to-completion interval the worker is occupied for.
+  virtual void on_dispatch(const net::Packet&, unsigned /*worker*/,
+                           std::uint64_t /*ingress_seq*/, sim::SimTime,
+                           sim::SimDuration /*busy*/) {}
+  virtual void on_drop(const net::Packet&, DropReason, sim::SimTime) {}
+  /// Last bit of the frame left on the wire.
+  virtual void on_wire_tx(const net::Packet&, sim::SimTime) {}
+  /// Observed at the receiver (after the fixed pipeline delay).
+  virtual void on_delivered(const net::Packet&, sim::SimTime) {}
+};
+
 class NicPipeline final : public net::EgressDevice {
  public:
   NicPipeline(sim::Simulator& sim, NpConfig config, PacketProcessor& processor);
@@ -62,6 +85,10 @@ class NicPipeline final : public net::EgressDevice {
       std::function<void(const net::Packet&, DropReason)> cb) {
     on_dropped_detailed_ = std::move(cb);
   }
+
+  /// Attach a passive observer (nullptr detaches). Not owned; must outlive
+  /// the pipeline or be detached first.
+  void set_observer(PipelineObserver* observer) { observer_ = observer; }
 
   struct Stats {
     std::uint64_t submitted = 0;
@@ -112,9 +139,11 @@ class NicPipeline final : public net::EgressDevice {
   std::map<std::uint64_t, std::optional<net::Packet>> reorder_buffer_;
 
   std::function<void(const net::Packet&, DropReason)> on_dropped_detailed_;
+  PipelineObserver* observer_ = nullptr;
 
   Stats stats_;
   std::size_t in_flight_ = 0;
+  std::uint64_t forward_count_ = 0;  // fault-injection counter (test-only)
 };
 
 }  // namespace flowvalve::np

@@ -61,6 +61,25 @@ struct NpConfig {
   /// change; at 10 Gbps the same path is far shallower.
   SimDuration fixed_pipeline_delay = sim::microseconds(40);
 
+  /// Test-only fault injection, used by src/check to prove that the
+  /// invariant checkers catch real pipeline bugs (a checker that never
+  /// fires is worthless). Every field is 0 — i.e. disabled — outside the
+  /// checker-validation tests.
+  struct PipelineFaults {
+    /// Every Nth forwarded packet vanishes after its worker finishes: no
+    /// reorder commit, no Tx admit, no drop accounting. Breaks packet
+    /// conservation and stalls the reorder window behind the hole.
+    std::uint64_t leak_commit_every = 0;
+
+    /// Every Nth forwarded packet bypasses the reorder system (admitted to
+    /// the Tx ring immediately, its sequence committed as a hole). Breaks
+    /// in-order delivery without stalling the pipeline.
+    std::uint64_t bypass_reorder_every = 0;
+
+    bool any() const { return leak_commit_every || bypass_reorder_every; }
+  };
+  PipelineFaults faults;
+
   SimDuration cycles_to_ns(std::uint64_t cycles) const {
     return static_cast<SimDuration>(static_cast<double>(cycles) / freq_ghz + 0.5);
   }

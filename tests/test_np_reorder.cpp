@@ -1,0 +1,166 @@
+// Regression tests for NicPipeline's reorder system (paper Fig. 4) —
+// specifically the reorder_commit edge cases: a drop in the middle of the
+// window must release the later packets it was blocking, and the pipeline
+// must always drain back to in_flight == 0.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "np/nic_pipeline.h"
+#include "sim/simulator.h"
+
+namespace flowvalve::np {
+namespace {
+
+/// Per-packet-id scripted outcomes; unscripted packets forward at a fixed
+/// cost. Lets a test force any completion order across workers.
+class ScriptedProcessor final : public PacketProcessor {
+ public:
+  void script(std::uint64_t id, bool forward, std::uint32_t cycles) {
+    script_[id] = Outcome{forward, cycles};
+  }
+
+  Outcome process(net::Packet& pkt, sim::SimTime) override {
+    if (auto it = script_.find(pkt.id); it != script_.end()) return it->second;
+    return {true, 100};
+  }
+
+ private:
+  std::map<std::uint64_t, Outcome> script_;
+};
+
+net::Packet make_packet(std::uint64_t id, std::uint32_t bytes = 1000) {
+  net::Packet pkt;
+  pkt.id = id;
+  pkt.flow_id = 1;
+  pkt.vf_port = 0;
+  pkt.wire_bytes = bytes;
+  pkt.seq_in_flow = id;
+  return pkt;
+}
+
+NpConfig three_worker_config(bool enforce_reorder = true) {
+  NpConfig cfg;
+  cfg.num_workers = 3;
+  cfg.num_vfs = 1;
+  cfg.enforce_reorder = enforce_reorder;
+  cfg.fixed_pipeline_delay = sim::microseconds(1);
+  return cfg;
+}
+
+struct Rig {
+  sim::Simulator sim;
+  ScriptedProcessor proc;
+  NicPipeline pipeline;
+  std::vector<std::uint64_t> delivered;
+  std::vector<std::uint64_t> dropped;
+
+  explicit Rig(NpConfig cfg) : pipeline(sim, cfg, proc) {
+    pipeline.set_on_delivered(
+        [this](const net::Packet& pkt) { delivered.push_back(pkt.id); });
+    pipeline.set_on_dropped(
+        [this](const net::Packet& pkt) { dropped.push_back(pkt.id); });
+  }
+};
+
+// Three packets grabbed by three workers; the middle one (seq 1) is dropped
+// and finishes FIRST. Its hole must not wedge the window: once the slow
+// head (seq 0) commits, both survivors go out, in ingress order.
+TEST(NpReorder, MidWindowDropReleasesLaterPackets) {
+  Rig run(three_worker_config());
+  run.proc.script(0, true, 20000);  // head: slowest
+  run.proc.script(1, false, 100);   // middle: dropped, completes first
+  run.proc.script(2, true, 3000);   // tail: completes second
+
+  for (std::uint64_t id = 0; id < 3; ++id)
+    EXPECT_TRUE(run.pipeline.submit(make_packet(id)));
+  run.sim.run_all();
+
+  EXPECT_EQ(run.delivered, (std::vector<std::uint64_t>{0, 2}));
+  EXPECT_EQ(run.dropped, (std::vector<std::uint64_t>{1}));
+  EXPECT_EQ(run.pipeline.in_flight(), 0u);
+  EXPECT_EQ(run.pipeline.stats().scheduler_drops, 1u);
+  EXPECT_EQ(run.pipeline.stats().forwarded_to_wire, 2u);
+}
+
+// A dropped packet at the HEAD of the window must advance the release
+// pointer immediately so buffered successors flow out.
+TEST(NpReorder, HeadDropAdvancesWindow) {
+  Rig run(three_worker_config());
+  run.proc.script(0, false, 100);   // head dropped, completes first
+  run.proc.script(1, true, 20000);  // slow survivor
+  run.proc.script(2, true, 3000);   // fast survivor, must wait for 1
+
+  for (std::uint64_t id = 0; id < 3; ++id)
+    EXPECT_TRUE(run.pipeline.submit(make_packet(id)));
+  run.sim.run_all();
+
+  EXPECT_EQ(run.delivered, (std::vector<std::uint64_t>{1, 2}));
+  EXPECT_EQ(run.pipeline.in_flight(), 0u);
+}
+
+// With the reorder system on, wire order equals ingress order even when
+// completion order inverts; with it off, the fast packet overtakes.
+TEST(NpReorder, ReorderPreservesIngressOrder) {
+  for (bool enforce : {true, false}) {
+    Rig run(three_worker_config(enforce));
+    run.proc.script(0, true, 20000);
+    run.proc.script(1, true, 100);
+
+    EXPECT_TRUE(run.pipeline.submit(make_packet(0)));
+    EXPECT_TRUE(run.pipeline.submit(make_packet(1)));
+    run.sim.run_all();
+
+    const std::vector<std::uint64_t> expected =
+        enforce ? std::vector<std::uint64_t>{0, 1}
+                : std::vector<std::uint64_t>{1, 0};
+    EXPECT_EQ(run.delivered, expected) << "enforce_reorder=" << enforce;
+    EXPECT_EQ(run.pipeline.in_flight(), 0u);
+  }
+}
+
+// Every-other-packet drops across a burst larger than the worker pool:
+// in_flight must return to 0 and the conservation identity must hold
+// exactly after the drain.
+TEST(NpReorder, BurstWithDropsDrainsToZeroInFlight) {
+  constexpr std::uint64_t kPackets = 64;
+  Rig run(three_worker_config());
+  for (std::uint64_t id = 0; id < kPackets; ++id)
+    run.proc.script(id, id % 2 == 0, 100 + 997 * (id % 7));
+
+  std::uint64_t accepted = 0;
+  for (std::uint64_t id = 0; id < kPackets; ++id)
+    if (run.pipeline.submit(make_packet(id))) ++accepted;
+  run.sim.run_all();
+
+  const auto& st = run.pipeline.stats();
+  EXPECT_EQ(run.pipeline.in_flight(), 0u);
+  EXPECT_EQ(st.submitted, kPackets);
+  EXPECT_EQ(st.submitted, st.forwarded_to_wire + st.vf_ring_drops +
+                              st.scheduler_drops + st.tx_ring_drops);
+  EXPECT_EQ(run.delivered.size(), st.forwarded_to_wire);
+  // Survivors come out in ingress order.
+  for (std::size_t i = 1; i < run.delivered.size(); ++i)
+    EXPECT_LT(run.delivered[i - 1], run.delivered[i]);
+}
+
+// The tail of the window dropping (after earlier packets already released)
+// must not disturb anything.
+TEST(NpReorder, TailDropIsClean) {
+  Rig run(three_worker_config());
+  run.proc.script(0, true, 100);
+  run.proc.script(1, true, 200);
+  run.proc.script(2, false, 20000);  // slow tail, dropped
+
+  for (std::uint64_t id = 0; id < 3; ++id)
+    EXPECT_TRUE(run.pipeline.submit(make_packet(id)));
+  run.sim.run_all();
+
+  EXPECT_EQ(run.delivered, (std::vector<std::uint64_t>{0, 1}));
+  EXPECT_EQ(run.dropped, (std::vector<std::uint64_t>{2}));
+  EXPECT_EQ(run.pipeline.in_flight(), 0u);
+}
+
+}  // namespace
+}  // namespace flowvalve::np

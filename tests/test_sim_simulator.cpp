@@ -148,6 +148,80 @@ TEST(PeriodicTimer, RestartableAfterStop) {
   EXPECT_EQ(fires, 2 + 5);
 }
 
+TEST(EventHandle, CancelAfterFireIsNoOp) {
+  Simulator sim;
+  int fired = 0;
+  EventHandle h = sim.schedule_at(10, [&] { ++fired; });
+  sim.run_until(20);
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // must not throw, must not affect anything
+  h.cancel();  // idempotent
+  EXPECT_FALSE(h.pending());
+  sim.run_all();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventHandle, CancelBeforeFireSuppressesAndClearsPending) {
+  Simulator sim;
+  int fired = 0;
+  EventHandle h = sim.schedule_at(10, [&] { ++fired; });
+  EXPECT_TRUE(h.pending());
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  sim.run_all();
+  EXPECT_EQ(fired, 0);
+  // The cancelled event still drains from the heap as a no-op.
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(EventHandle, DefaultConstructedIsInert) {
+  EventHandle h;
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // no-op
+}
+
+TEST(PeriodicTimer, StopThenStartReArms) {
+  Simulator sim;
+  int fires = 0;
+  PeriodicTimer timer(sim, 100, [&] { ++fires; });
+  timer.start();
+  sim.run_until(250);
+  EXPECT_EQ(fires, 2);
+  timer.stop();
+  timer.stop();  // idempotent
+  EXPECT_FALSE(timer.running());
+  timer.start();
+  EXPECT_TRUE(timer.running());
+  sim.run_until(600);  // re-armed from t=250 → fires at 350, 450, 550
+  EXPECT_EQ(fires, 5);
+}
+
+TEST(PeriodicTimer, StartWhileRunningIsNoOp) {
+  Simulator sim;
+  int fires = 0;
+  PeriodicTimer timer(sim, 100, [&] { ++fires; });
+  timer.start();
+  timer.start();  // must not double-arm
+  sim.run_until(1000);
+  EXPECT_EQ(fires, 10);
+}
+
+TEST(PeriodicTimer, DestructorCancelsPendingEvent) {
+  Simulator sim;
+  int fires = 0;
+  {
+    PeriodicTimer timer(sim, 100, [&] { ++fires; });
+    timer.start();
+    sim.run_until(150);
+    EXPECT_EQ(fires, 1);
+    // timer destroyed here with its next event (t=200) still pending
+  }
+  sim.run_all();  // the orphaned event must be a cancelled no-op, not UAF
+  EXPECT_EQ(fires, 1);
+  EXPECT_TRUE(sim.empty());
+}
+
 TEST(SimTryLock, FailsWhileBusy) {
   SimTryLock lock;
   EXPECT_TRUE(lock.try_acquire(100, 50));
