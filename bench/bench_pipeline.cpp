@@ -1,0 +1,203 @@
+// Pipeline observability bench: sweeps workers × offered load × policy tree
+// over the FlowValve NP pipeline and writes BENCH_pipeline.json — per-stage
+// latency percentiles (vf_wait / service / reorder_hold / tx_wait /
+// wire_fixed / total), per-class windowed throughput, and the full counter
+// snapshot for every run. The committed artifact is the regression baseline
+// for the pipeline's latency decomposition; CI's perf-smoke job reruns a
+// reduced sweep (--quick) on every push.
+//
+// Usage: bench_pipeline [--out PATH] [--quick] [--horizon-ms N]
+#include <cstdint>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/flowvalve.h"
+#include "np/flowvalve_processor.h"
+#include "np/nic_pipeline.h"
+#include "obs/export.h"
+#include "obs/json_writer.h"
+#include "obs/metrics_hub.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+#include "stats/stats.h"
+#include "traffic/generators.h"
+
+namespace {
+
+using namespace flowvalve;
+
+constexpr std::uint32_t kFrameBytes = 1518;
+constexpr unsigned kNumClasses = 4;
+
+/// Four equal leaves directly under the root.
+std::string flat_policy(sim::Rate link) {
+  std::ostringstream s;
+  s << "fv qdisc add dev nic0 root handle 1: htb rate " << link.gbps() << "gbit\n";
+  for (unsigned i = 0; i < kNumClasses; ++i)
+    s << "fv class add dev nic0 parent 1: classid 1:1" << i << " name C" << i
+      << " weight 1\n";
+  for (unsigned i = 0; i < kNumClasses; ++i)
+    s << "fv filter add dev nic0 pref " << (10 * (i + 1)) << " vf " << i
+      << " classid 1:1" << i << "\n";
+  return s.str();
+}
+
+/// Two inner classes (2:1) with two leaves each — exercises borrowing and
+/// multi-level share propagation.
+std::string tiered_policy(sim::Rate link) {
+  std::ostringstream s;
+  s << "fv qdisc add dev nic0 root handle 1: htb rate " << link.gbps() << "gbit\n";
+  s << "fv class add dev nic0 parent 1: classid 1:1 name S1 weight 2\n";
+  s << "fv class add dev nic0 parent 1: classid 1:2 name S2 weight 1\n";
+  s << "fv class add dev nic0 parent 1:1 classid 1:10 name C0 weight 1\n";
+  s << "fv class add dev nic0 parent 1:1 classid 1:11 name C1 weight 1\n";
+  s << "fv class add dev nic0 parent 1:2 classid 1:20 name C2 weight 2\n";
+  s << "fv class add dev nic0 parent 1:2 classid 1:21 name C3 weight 1\n";
+  s << "fv filter add dev nic0 pref 10 vf 0 classid 1:10\n";
+  s << "fv filter add dev nic0 pref 20 vf 1 classid 1:11\n";
+  s << "fv filter add dev nic0 pref 30 vf 2 classid 1:20\n";
+  s << "fv filter add dev nic0 pref 40 vf 3 classid 1:21\n";
+  return s.str();
+}
+
+struct RunSpec {
+  unsigned workers = 50;
+  double load = 0.8;          // offered / wire rate
+  std::string policy_name;    // "flat" | "tiered"
+};
+
+/// Run one sweep point and append its JSON object to `w`.
+void run_point(const RunSpec& spec, sim::SimTime horizon, obs::JsonWriter& w,
+               stats::TablePrinter& table) {
+  np::NpConfig cfg = np::agilio_cx_40g();
+  cfg.num_workers = spec.workers;
+
+  sim::Simulator sim;
+  core::FlowValveEngine engine(np::engine_options_for(cfg));
+  const std::string script = spec.policy_name == "flat"
+                                 ? flat_policy(cfg.wire_rate)
+                                 : tiered_policy(cfg.wire_rate);
+  if (std::string err = engine.configure(script); !err.empty()) {
+    std::cerr << "policy configure failed: " << err << "\n";
+    std::exit(1);
+  }
+
+  np::FlowValveProcessor processor(engine);
+  np::NicPipeline pipeline(sim, cfg, processor);
+  traffic::FlowRouter router(pipeline);
+  traffic::IdAllocator ids;
+
+  obs::MetricsHub hub(sim, pipeline, {.window = horizon / 10});
+  hub.attach_engine(engine);
+  hub.start();
+
+  const sim::Rate offered = cfg.wire_rate * spec.load;
+  const sim::Rng rng(0xb13cu ^ spec.workers);
+  std::vector<std::unique_ptr<traffic::CbrFlow>> flows;
+  for (unsigned i = 0; i < kNumClasses; ++i) {
+    traffic::FlowSpec fs;
+    fs.flow_id = ids.next_flow_id();
+    fs.app_id = i;
+    fs.vf_port = static_cast<std::uint16_t>(i);
+    fs.wire_bytes = kFrameBytes;
+    flows.push_back(std::make_unique<traffic::CbrFlow>(
+        sim, router, ids, fs, offered / double(kNumClasses),
+        rng.split("cbr").split(i), 0.05));
+  }
+  for (auto& f : flows) f->start();
+
+  sim.run_until(horizon);
+  for (auto& f : flows) f->stop();
+  hub.stop_sampling();
+  sim.run_all();
+
+  const obs::CounterSnapshot snap = hub.snapshot();
+  w.begin_object()
+      .key("workers").value(spec.workers)
+      .key("load").value(spec.load)
+      .key("policy").value(spec.policy_name)
+      .key("offered_gbps").value(offered.gbps());
+  w.key("counters");
+  obs::snapshot_json(w, snap);
+  w.key("latency");
+  obs::latency_json(w, hub.latency());
+  w.key("throughput");
+  obs::throughput_json(w, hub.throughput());
+  w.end_object();
+
+  const auto& total = hub.latency().segment(obs::Segment::kTotal);
+  const double delivered_gbps =
+      static_cast<double>(snap.nic.wire_bytes) * 8.0 /
+      static_cast<double>(horizon);
+  const std::uint64_t drops = snap.nic.vf_ring_drops + snap.nic.scheduler_drops +
+                              snap.nic.tx_ring_drops +
+                              snap.nic.reorder_flush_drops;
+  table.add_row({std::to_string(spec.workers),
+                 stats::TablePrinter::fmt(spec.load, 1), spec.policy_name,
+                 stats::TablePrinter::fmt(offered.gbps(), 1),
+                 stats::TablePrinter::fmt(delivered_gbps, 2),
+                 stats::TablePrinter::fmt(snap.worker_utilization, 3),
+                 stats::TablePrinter::fmt(double(total.p50()) / 1e3, 1),
+                 stats::TablePrinter::fmt(double(total.p99()) / 1e3, 1),
+                 std::to_string(drops)});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_pipeline.json";
+  bool quick = false;
+  std::int64_t horizon_ms = 20;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--horizon-ms") == 0 && i + 1 < argc) {
+      horizon_ms = std::atoll(argv[++i]);
+    } else {
+      std::cerr << "usage: bench_pipeline [--out PATH] [--quick] [--horizon-ms N]\n";
+      return 2;
+    }
+  }
+
+  const std::vector<unsigned> workers = quick ? std::vector<unsigned>{16}
+                                              : std::vector<unsigned>{16, 50};
+  const std::vector<double> loads = quick ? std::vector<double>{0.4, 1.3}
+                                          : std::vector<double>{0.4, 0.8, 1.3};
+  const std::vector<std::string> policies =
+      quick ? std::vector<std::string>{"flat"}
+            : std::vector<std::string>{"flat", "tiered"};
+  const sim::SimTime horizon = sim::milliseconds(quick ? 5 : horizon_ms);
+
+  stats::TablePrinter table({"workers", "load", "policy", "offered_gbps",
+                             "delivered_gbps", "util", "p50_us", "p99_us",
+                             "drops"});
+
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("bench").value("bench_pipeline");
+  w.key("frame_bytes").value(kFrameBytes);
+  w.key("classes").value(kNumClasses);
+  w.key("horizon_ns").value(static_cast<std::int64_t>(horizon));
+  w.key("link_gbps").value(np::agilio_cx_40g().wire_rate.gbps());
+  w.key("runs").begin_array();
+  for (unsigned nw : workers)
+    for (double load : loads)
+      for (const std::string& policy : policies)
+        run_point({nw, load, policy}, horizon, w, table);
+  w.end_array();
+  w.end_object();
+
+  table.print();
+  if (!obs::write_json_file(out_path, w.str())) {
+    std::cerr << "failed to write " << out_path << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+}

@@ -15,8 +15,13 @@ std::string Violation::to_string() const {
 void ViolationSink::report(std::string_view checker, sim::SimTime at,
                            std::string detail) {
   ++total_;
-  if (violations_.size() < cap_)
+  auto it = stored_per_checker_.find(checker);
+  if (it == stored_per_checker_.end())
+    it = stored_per_checker_.emplace(std::string(checker), 0).first;
+  if (it->second < cap_per_checker_) {
+    ++it->second;
     violations_.push_back({std::string(checker), at, std::move(detail)});
+  }
 }
 
 CheckHarness::CheckHarness(sim::Simulator& sim, np::NicPipeline& pipeline,

@@ -11,6 +11,8 @@
 // the fuzzer generates can be validated without a hand-written expectation.
 #pragma once
 
+#include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -31,11 +33,13 @@ struct Violation {
 };
 
 /// Bounded violation collector shared by all checkers of one harness. The
-/// cap keeps a badly broken run from drowning the report (and the fuzz
-/// driver) in millions of identical lines.
+/// cap is per checker name: a flood from one noisy checker (e.g. ordering,
+/// which reports once per overtaken packet) must not evict the single
+/// violation another checker raises at finish time.
 class ViolationSink {
  public:
-  explicit ViolationSink(std::size_t cap = 64) : cap_(cap) {}
+  explicit ViolationSink(std::size_t cap_per_checker = 64)
+      : cap_per_checker_(cap_per_checker) {}
 
   void report(std::string_view checker, sim::SimTime at, std::string detail);
 
@@ -44,9 +48,10 @@ class ViolationSink {
   bool clean() const { return total_ == 0; }
 
  private:
-  std::size_t cap_;
+  std::size_t cap_per_checker_;
   std::uint64_t total_ = 0;
   std::vector<Violation> violations_;
+  std::map<std::string, std::size_t, std::less<>> stored_per_checker_;
 };
 
 /// Read-only view of the system under check, handed to epoch/finish hooks.

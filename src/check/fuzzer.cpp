@@ -303,6 +303,27 @@ FuzzScenario generate_differential_scenario(std::uint64_t seed) {
   return sc;
 }
 
+np::NpConfig generate_invalid_config(std::uint64_t seed) {
+  const Rng root_rng(seed);
+  Rng rng = root_rng.split("invalid-config");
+  np::NpConfig c;
+  c.num_workers = 1 + static_cast<unsigned>(rng.next_below(64));
+  c.num_vfs = 1 + static_cast<unsigned>(rng.next_below(16));
+  c.vf_ring_capacity = 1 + rng.next_below(512);
+  c.tx_ring_capacity = 1 + rng.next_below(2048);
+  c.wire_rate = Rate::gigabits_per_sec(1.0 + rng.uniform(0.0, 99.0));
+  switch (rng.next_below(7)) {
+    case 0: c.num_vfs = 0; break;
+    case 1: c.num_workers = 0; break;
+    case 2: c.vf_ring_capacity = 0; break;
+    case 3: c.tx_ring_capacity = 0; break;
+    case 4: c.reorder_capacity = 0; break;
+    case 5: c.freq_ghz = 0.0; break;
+    case 6: c.wire_rate = Rate::zero(); break;
+  }
+  return c;
+}
+
 std::string FuzzScenario::describe() const {
   std::ostringstream s;
   s << "seed 0x" << std::hex << seed << std::dec << ": link "

@@ -63,4 +63,11 @@ FuzzScenario generate_scenario(std::uint64_t seed);
 /// agree on long-run shares (and where those shares have a closed form).
 FuzzScenario generate_differential_scenario(std::uint64_t seed);
 
+/// Expand `seed` into an NP config that `NpConfig::validate()` must reject:
+/// an otherwise-random valid config with one field forced out of range
+/// (zero VFs/workers/ring capacities, dead clock, ...). Drives the
+/// constructor rejection path the same way generate_scenario drives the
+/// happy path.
+np::NpConfig generate_invalid_config(std::uint64_t seed);
+
 }  // namespace flowvalve::check

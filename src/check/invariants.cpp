@@ -31,11 +31,13 @@ class ConservationChecker final : public InvariantChecker {
       case np::DropReason::kVfRingFull: ++vf_drops_; break;
       case np::DropReason::kScheduler: ++sched_drops_; break;
       case np::DropReason::kTxRingFull: ++tx_drops_; break;
+      case np::DropReason::kReorderFlush: ++flush_drops_; break;
     }
   }
 
   void on_epoch(const SystemView& v, sim::SimTime now) override {
-    const std::uint64_t accounted = wire_ + vf_drops_ + sched_drops_ + tx_drops_;
+    const std::uint64_t accounted =
+        wire_ + vf_drops_ + sched_drops_ + tx_drops_ + flush_drops_;
     if (accounted > submitted_) {
       fail(now, "accounted " + fmt_u64(accounted) + " packets > submitted " +
                     fmt_u64(submitted_));
@@ -50,22 +52,24 @@ class ConservationChecker final : public InvariantChecker {
 
   void on_finish(const SystemView& v, sim::SimTime now) override {
     const auto& s = v.pipeline->stats();
-    if (submitted_ != wire_ + vf_drops_ + sched_drops_ + tx_drops_)
+    const std::uint64_t drops =
+        vf_drops_ + sched_drops_ + tx_drops_ + flush_drops_;
+    if (submitted_ != wire_ + drops)
       fail(now, "at drain: submitted " + fmt_u64(submitted_) + " != wire " +
-                    fmt_u64(wire_) + " + drops " +
-                    fmt_u64(vf_drops_ + sched_drops_ + tx_drops_));
+                    fmt_u64(wire_) + " + drops " + fmt_u64(drops));
     if (v.pipeline->in_flight() != 0)
       fail(now, "at drain: in_flight = " + fmt_u64(v.pipeline->in_flight()));
     if (s.submitted != submitted_ || s.forwarded_to_wire != wire_ ||
         s.vf_ring_drops != vf_drops_ || s.scheduler_drops != sched_drops_ ||
-        s.tx_ring_drops != tx_drops_)
+        s.tx_ring_drops != tx_drops_ || s.reorder_flush_drops != flush_drops_)
       fail(now, "pipeline Stats disagree with observed events (stats: " +
                     fmt_u64(s.submitted) + "/" + fmt_u64(s.forwarded_to_wire) +
                     "/" + fmt_u64(s.vf_ring_drops) + "/" +
                     fmt_u64(s.scheduler_drops) + "/" + fmt_u64(s.tx_ring_drops) +
-                    ", observed: " + fmt_u64(submitted_) + "/" + fmt_u64(wire_) +
-                    "/" + fmt_u64(vf_drops_) + "/" + fmt_u64(sched_drops_) + "/" +
-                    fmt_u64(tx_drops_) + ")");
+                    "/" + fmt_u64(s.reorder_flush_drops) + ", observed: " +
+                    fmt_u64(submitted_) + "/" + fmt_u64(wire_) + "/" +
+                    fmt_u64(vf_drops_) + "/" + fmt_u64(sched_drops_) + "/" +
+                    fmt_u64(tx_drops_) + "/" + fmt_u64(flush_drops_) + ")");
     if (v.delivered_packets != wire_)
       fail(now, "delivered " + fmt_u64(v.delivered_packets) +
                     " != wire transmissions " + fmt_u64(wire_));
@@ -77,6 +81,7 @@ class ConservationChecker final : public InvariantChecker {
   std::uint64_t vf_drops_ = 0;
   std::uint64_t sched_drops_ = 0;
   std::uint64_t tx_drops_ = 0;
+  std::uint64_t flush_drops_ = 0;
 };
 
 // -------------------------------------------------------------- ordering --
@@ -118,12 +123,13 @@ class OrderingChecker final : public InvariantChecker {
 
     auto& q = per_vf_[pkt.vf_port];
     while (!q.empty() && q.front() != pkt.id) {
-      if (dropped_.erase(q.front()) == 0) {
+      // Consume the overtaken entry either way so each skipped live packet
+      // is reported exactly once instead of on every later delivery (which
+      // would drown the sink's cap and mask other checkers' violations).
+      if (dropped_.erase(q.front()) == 0)
         fail(now, "vf " + std::to_string(pkt.vf_port) + ": packet " +
                       fmt_u64(pkt.id) + " delivered ahead of live packet " +
                       fmt_u64(q.front()));
-        break;
-      }
       q.pop_front();
     }
     if (!q.empty() && q.front() == pkt.id) q.pop_front();

@@ -196,7 +196,8 @@ std::string CheckReport::summary() const {
   s << "seed 0x" << std::hex << seed << std::dec
     << (differential ? " [diff]" : "") << ": " << (ok() ? "OK" : "FAIL") << " ("
     << nic.submitted << " submitted, " << nic.forwarded_to_wire << " on wire, "
-    << (nic.vf_ring_drops + nic.scheduler_drops + nic.tx_ring_drops)
+    << (nic.vf_ring_drops + nic.scheduler_drops + nic.tx_ring_drops +
+        nic.reorder_flush_drops)
     << " dropped, " << events << " events";
   if (differential) s << ", worst share delta " << worst_share_delta;
   if (!ok()) s << ", " << violation_total << " violations";

@@ -42,11 +42,20 @@ class TokenBucket {
 
   void add(double bytes) { tokens_ = std::min(capacity_, tokens_ + bytes); }
 
-  /// Atomic meter: if `bytes` tokens are available consume them and return
-  /// GREEN, otherwise leave the bucket unchanged and return RED.
+  /// Tolerated relative shortfall when metering: repeated sub-byte
+  /// replenishes accumulate floating-point error that can leave the fill at
+  /// `bytes - ε` when the exact sum equals `bytes`; without the epsilon a
+  /// deserved GREEN turns RED. One part in 10⁶ of a frame is far below any
+  /// conformance bound we assert.
+  static constexpr double kMeterEpsilon = 1e-6;
+
+  /// Atomic meter: if `bytes` tokens are available (within kMeterEpsilon,
+  /// relative to the request) consume them and return GREEN, otherwise
+  /// leave the bucket unchanged and return RED.
   MeterColor meter(std::uint32_t bytes) {
-    if (tokens_ >= static_cast<double>(bytes)) {
-      tokens_ -= static_cast<double>(bytes);
+    const double need = static_cast<double>(bytes);
+    if (tokens_ >= need - kMeterEpsilon * need) {
+      tokens_ = std::max(0.0, tokens_ - need);
       return MeterColor::kGreen;
     }
     return MeterColor::kRed;

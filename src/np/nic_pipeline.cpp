@@ -1,5 +1,6 @@
 #include "np/nic_pipeline.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace flowvalve::np {
@@ -23,14 +24,17 @@ const char* drop_reason_name(DropReason reason) {
     case DropReason::kVfRingFull: return "vf-ring-full";
     case DropReason::kScheduler: return "scheduler";
     case DropReason::kTxRingFull: return "tx-ring-full";
+    case DropReason::kReorderFlush: return "reorder-flush";
   }
   return "unknown";
 }
 
 NicPipeline::NicPipeline(sim::Simulator& sim, NpConfig config, PacketProcessor& processor)
     : sim_(sim), config_(config), processor_(processor) {
+  config_.validate();
   vf_rings_.resize(config_.num_vfs);
   worker_idle_.assign(config_.num_workers, true);
+  worker_busy_start_.assign(config_.num_workers, 0);
   idle_workers_.reserve(config_.num_workers);
   for (unsigned w = 0; w < config_.num_workers; ++w) idle_workers_.push_back(w);
 }
@@ -40,6 +44,7 @@ void NicPipeline::drop(const net::Packet& pkt, DropReason reason) {
     case DropReason::kVfRingFull: ++stats_.vf_ring_drops; break;
     case DropReason::kScheduler: ++stats_.scheduler_drops; break;
     case DropReason::kTxRingFull: ++stats_.tx_ring_drops; break;
+    case DropReason::kReorderFlush: ++stats_.reorder_flush_drops; break;
   }
   if (observer_) observer_->on_drop(pkt, reason, sim_.now());
   if (on_dropped_detailed_) on_dropped_detailed_(pkt, reason);
@@ -97,11 +102,16 @@ void NicPipeline::try_dispatch() {
     stats_.processing_cycles += cycles;
     ++stats_.processed;
     const sim::SimDuration busy = config_.cycles_to_ns(cycles);
-    stats_.worker_busy_ns += static_cast<std::uint64_t>(busy);
+    worker_busy_start_[worker] = now;
     if (observer_) observer_->on_dispatch(pkt, worker, ingress_seq, now, busy);
 
-    sim_.schedule_after(busy, [this, worker, ingress_seq, pkt = std::move(pkt),
+    sim_.schedule_after(busy, [this, worker, ingress_seq, busy,
+                               pkt = std::move(pkt),
                                forward = out.forward]() mutable {
+      // Busy time is credited on completion, never at dispatch: charging the
+      // full interval up front made utilization exceed 1.0 whenever busy
+      // intervals straddled the query instant.
+      stats_.worker_busy_ns += static_cast<std::uint64_t>(busy);
       if (forward) {
         ++forward_count_;
         const auto& faults = config_.faults;
@@ -137,8 +147,31 @@ void NicPipeline::worker_finish(unsigned /*worker*/, net::Packet pkt) {
 }
 
 void NicPipeline::reorder_commit(std::uint64_t seq, std::optional<net::Packet> pkt) {
+  if (seq < next_release_seq_) {
+    // This slot was already flushed as lost (capacity overrun skipped the
+    // gap). Survivors behind it are long gone, so admitting the straggler
+    // now would reorder the stream: count it as a reorder-flush drop.
+    if (pkt.has_value()) {
+      --in_flight_;
+      drop(*pkt, DropReason::kReorderFlush);
+    }
+    return;
+  }
   reorder_buffer_.emplace(seq, std::move(pkt));
-  // Release the in-order prefix.
+  stats_.reorder_occupancy_peak =
+      std::max<std::uint64_t>(stats_.reorder_occupancy_peak, reorder_buffer_.size());
+  release_reorder_prefix();
+  // Capacity cap: a stalled hole (e.g. a leaked completion) must not grow
+  // the buffer without bound. Declare the missing head sequence(s) lost,
+  // jump the release pointer to the oldest buffered completion, and drain.
+  while (reorder_buffer_.size() > config_.reorder_capacity) {
+    ++stats_.reorder_flushes;
+    next_release_seq_ = reorder_buffer_.begin()->first;
+    release_reorder_prefix();
+  }
+}
+
+void NicPipeline::release_reorder_prefix() {
   auto it = reorder_buffer_.begin();
   while (it != reorder_buffer_.end() && it->first == next_release_seq_) {
     if (it->second.has_value()) tx_admit(std::move(*it->second));
@@ -191,9 +224,16 @@ void NicPipeline::tx_drain_complete() {
 
 double NicPipeline::worker_utilization(sim::SimTime now) const {
   if (now <= 0) return 0.0;
+  // Completed intervals (stats_) plus the elapsed part of every in-progress
+  // interval. Elapsed time can never exceed wall time, so the ratio stays
+  // within [0, 1]; the final min() only absorbs ns rounding.
+  double busy_ns = static_cast<double>(stats_.worker_busy_ns);
+  for (unsigned w = 0; w < config_.num_workers; ++w)
+    if (!worker_idle_[w] && now > worker_busy_start_[w])
+      busy_ns += static_cast<double>(now - worker_busy_start_[w]);
   const double capacity_ns =
       static_cast<double>(now) * static_cast<double>(config_.num_workers);
-  return static_cast<double>(stats_.worker_busy_ns) / capacity_ns;
+  return std::min(1.0, busy_ns / capacity_ns);
 }
 
 }  // namespace flowvalve::np

@@ -47,6 +47,7 @@ enum class DropReason : std::uint8_t {
   kVfRingFull,     // PCIe-side backpressure
   kScheduler,      // FlowValve's specialized tail drop
   kTxRingFull,     // common tail drop at the shared FIFO
+  kReorderFlush,   // completion arrived after its slot was flushed as lost
 };
 
 const char* drop_reason_name(DropReason reason);
@@ -95,20 +96,28 @@ class NicPipeline final : public net::EgressDevice {
     std::uint64_t vf_ring_drops = 0;
     std::uint64_t scheduler_drops = 0;
     std::uint64_t tx_ring_drops = 0;
+    std::uint64_t reorder_flush_drops = 0;  // late completions of flushed slots
     std::uint64_t forwarded_to_wire = 0;
     std::uint64_t wire_bytes = 0;
-    std::uint64_t worker_busy_ns = 0;   // Σ per-worker busy time
+    std::uint64_t worker_busy_ns = 0;   // Σ completed per-worker busy time
     std::uint64_t processed = 0;        // packets through a worker
     std::uint64_t processing_cycles = 0;
+    std::uint64_t reorder_flushes = 0;          // forced gap skips at the cap
+    std::uint64_t reorder_occupancy_peak = 0;   // high-water buffered packets
   };
   const Stats& stats() const { return stats_; }
   const NpConfig& config() const { return config_; }
 
-  /// Mean worker utilization in [0,1] over [0, now].
+  /// Mean worker utilization in [0,1] over [0, now]. Completed busy
+  /// intervals are credited in full; a busy interval straddling `now` is
+  /// credited only for its elapsed part, so the result never exceeds 1.
   double worker_utilization(sim::SimTime now) const;
 
   /// Packets currently waiting in VF rings + Tx ring + in flight.
   std::size_t in_flight() const { return in_flight_; }
+
+  /// Completed packets currently parked in the reorder buffer.
+  std::size_t reorder_occupancy() const { return reorder_buffer_.size(); }
 
  private:
   void try_dispatch();
@@ -116,6 +125,7 @@ class NicPipeline final : public net::EgressDevice {
   /// Reorder system: commit `seq` (with a packet to transmit, or nothing if
   /// it was dropped) and release any now-in-order packets to the Tx ring.
   void reorder_commit(std::uint64_t seq, std::optional<net::Packet> pkt);
+  void release_reorder_prefix();
   void tx_admit(net::Packet pkt);
   void arm_tx_drain();
   void tx_drain_complete();
@@ -127,6 +137,7 @@ class NicPipeline final : public net::EgressDevice {
 
   std::vector<std::deque<net::Packet>> vf_rings_;
   std::vector<bool> worker_idle_;
+  std::vector<sim::SimTime> worker_busy_start_;  // valid while !worker_idle_
   std::vector<unsigned> idle_workers_;
   unsigned rr_vf_ = 0;  // round-robin pull pointer over VF rings
 

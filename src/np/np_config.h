@@ -10,6 +10,8 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
+#include <string>
 
 #include "sim/time.h"
 
@@ -47,6 +49,15 @@ struct NpConfig {
   /// Dropped packets release their slot immediately.
   bool enforce_reorder = true;
 
+  /// Reorder-buffer occupancy cap (completed packets parked behind a
+  /// sequence hole). Real reorder engines have finite slot memory: when the
+  /// cap is exceeded the engine declares the missing sequence lost, skips
+  /// the hole, and releases the in-order prefix; a completion arriving for
+  /// an already-skipped sequence is dropped (DropReason::kReorderFlush).
+  /// Sized so the worst legitimate service-time disparity across workers
+  /// never reaches it — only a stuck/leaked completion does.
+  std::size_t reorder_capacity = 4096;
+
   /// Per-packet fixed worker cost outside the scheduler: pull from the Rx
   /// ring + parse (base_rx) and modify + copy into the Tx ring + reorder
   /// bookkeeping (base_tx). ~2800 cycles total leaves ~250 cycles for the
@@ -79,6 +90,25 @@ struct NpConfig {
     bool any() const { return leak_commit_every || bypass_reorder_every; }
   };
   PipelineFaults faults;
+
+  /// Reject configurations the pipeline cannot run: num_vfs == 0 is a
+  /// modulo-by-zero in submit/try_dispatch, num_workers == 0 deadlocks
+  /// dispatch, zero ring/reorder capacities silently drop or wedge every
+  /// packet, and non-positive clock/wire rates break the delay arithmetic.
+  /// Throws std::invalid_argument; called from the NicPipeline constructor.
+  void validate() const {
+    auto reject = [](const std::string& what) {
+      throw std::invalid_argument("NpConfig: " + what);
+    };
+    if (num_workers == 0) reject("num_workers must be >= 1");
+    if (num_vfs == 0) reject("num_vfs must be >= 1");
+    if (vf_ring_capacity == 0) reject("vf_ring_capacity must be >= 1");
+    if (tx_ring_capacity == 0) reject("tx_ring_capacity must be >= 1");
+    if (reorder_capacity == 0) reject("reorder_capacity must be >= 1");
+    if (!(freq_ghz > 0.0)) reject("freq_ghz must be > 0");
+    if (wire_rate.is_zero()) reject("wire_rate must be > 0");
+    if (fixed_pipeline_delay < 0) reject("fixed_pipeline_delay must be >= 0");
+  }
 
   SimDuration cycles_to_ns(std::uint64_t cycles) const {
     return static_cast<SimDuration>(static_cast<double>(cycles) / freq_ghz + 0.5);

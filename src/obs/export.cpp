@@ -1,0 +1,135 @@
+#include "obs/export.h"
+
+#include <fstream>
+
+namespace flowvalve::obs {
+
+void histogram_json(JsonWriter& w, const LogHistogram& h) {
+  w.begin_object()
+      .key("count").value(h.count())
+      .key("min_ns").value(h.min())
+      .key("max_ns").value(h.max())
+      .key("mean_ns").value(h.mean())
+      .key("p50_ns").value(h.p50())
+      .key("p90_ns").value(h.p90())
+      .key("p99_ns").value(h.p99())
+      .key("p999_ns").value(h.p999())
+      .end_object();
+}
+
+void latency_json(JsonWriter& w, const LatencyRecorder& r) {
+  w.begin_object();
+  w.key("recorded").value(r.recorded());
+  w.key("segments").begin_object();
+  for (std::size_t i = 0; i < kNumSegments; ++i) {
+    const auto seg = static_cast<Segment>(i);
+    w.key(segment_name(seg));
+    histogram_json(w, r.segment(seg));
+  }
+  w.end_object();
+  w.key("per_class_total").begin_object();
+  for (const auto& [vf, hist] : r.per_class_total()) {
+    w.key(std::to_string(vf));
+    histogram_json(w, hist);
+  }
+  w.end_object();
+  w.end_object();
+}
+
+namespace {
+
+void class_window_json(JsonWriter& w, const ThroughputTracker::ClassWindow& c) {
+  w.begin_object()
+      .key("tx_bytes").value(c.tx_bytes)
+      .key("tx_packets").value(c.tx_packets)
+      .key("drops").value(c.drops)
+      .key("borrows").value(c.borrows)
+      .end_object();
+}
+
+}  // namespace
+
+void throughput_json(JsonWriter& w, const ThroughputTracker& t) {
+  w.begin_object();
+  w.key("windows").begin_array();
+  for (const auto& win : t.windows()) {
+    w.begin_object()
+        .key("start_ns").value(static_cast<std::int64_t>(win.start))
+        .key("end_ns").value(static_cast<std::int64_t>(win.end));
+    w.key("classes").begin_object();
+    for (const auto& [vf, c] : win.classes) {
+      w.key(std::to_string(vf));
+      w.begin_object()
+          .key("tx_bytes").value(c.tx_bytes)
+          .key("tx_packets").value(c.tx_packets)
+          .key("drops").value(c.drops)
+          .key("borrows").value(c.borrows)
+          .key("gbps").value(win.rate(vf).gbps())
+          .end_object();
+    }
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.key("totals").begin_object();
+  for (const auto& [vf, c] : t.totals()) {
+    w.key(std::to_string(vf));
+    class_window_json(w, c);
+  }
+  w.end_object();
+  w.end_object();
+}
+
+void snapshot_json(JsonWriter& w, const CounterSnapshot& s) {
+  w.begin_object();
+  w.key("at_ns").value(static_cast<std::int64_t>(s.at));
+  w.key("nic").begin_object()
+      .key("submitted").value(s.nic.submitted)
+      .key("vf_ring_drops").value(s.nic.vf_ring_drops)
+      .key("scheduler_drops").value(s.nic.scheduler_drops)
+      .key("tx_ring_drops").value(s.nic.tx_ring_drops)
+      .key("reorder_flush_drops").value(s.nic.reorder_flush_drops)
+      .key("forwarded_to_wire").value(s.nic.forwarded_to_wire)
+      .key("wire_bytes").value(s.nic.wire_bytes)
+      .key("worker_busy_ns").value(s.nic.worker_busy_ns)
+      .key("processed").value(s.nic.processed)
+      .key("processing_cycles").value(s.nic.processing_cycles)
+      .key("reorder_flushes").value(s.nic.reorder_flushes)
+      .key("reorder_occupancy_peak").value(s.nic.reorder_occupancy_peak)
+      .end_object();
+  if (s.have_sched) {
+    w.key("sched").begin_object()
+        .key("forwarded").value(s.sched.forwarded)
+        .key("dropped").value(s.sched.dropped)
+        .key("borrowed").value(s.sched.borrowed)
+        .key("updates").value(s.sched.updates)
+        .key("lock_failures").value(s.sched.lock_failures)
+        .end_object();
+  }
+  w.key("worker_utilization").value(s.worker_utilization);
+  w.key("reorder_occupancy").value(s.reorder_occupancy);
+  w.key("in_flight").value(s.in_flight);
+  w.end_object();
+}
+
+std::string metrics_to_json(const MetricsHub& hub) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("counters");
+  snapshot_json(w, hub.snapshot());
+  w.key("latency");
+  latency_json(w, hub.latency());
+  w.key("throughput");
+  throughput_json(w, hub.throughput());
+  w.end_object();
+  return w.str();
+}
+
+bool write_json_file(const std::string& path, const std::string& json) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << json << "\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace flowvalve::obs

@@ -1,0 +1,34 @@
+// JSON rendering of the observability layer (the BENCH_pipeline.json shape;
+// schema documented in DESIGN.md §8).
+#pragma once
+
+#include <string>
+
+#include "obs/json_writer.h"
+#include "obs/latency_recorder.h"
+#include "obs/metrics_hub.h"
+#include "obs/throughput_tracker.h"
+
+namespace flowvalve::obs {
+
+/// {"count":..,"min_ns":..,"max_ns":..,"mean_ns":..,"p50_ns":..,...}
+void histogram_json(JsonWriter& w, const LogHistogram& h);
+
+/// {"segments":{name:histogram,...},"per_class_total":{"vf":histogram,...}}
+void latency_json(JsonWriter& w, const LatencyRecorder& r);
+
+/// {"window_ns":...,"windows":[{"start_ns","end_ns","classes":{...}}],
+///  "totals":{...}}
+void throughput_json(JsonWriter& w, const ThroughputTracker& t);
+
+/// Counter snapshot including pipeline stats, scheduler stats (if any),
+/// utilization, and reorder occupancy.
+void snapshot_json(JsonWriter& w, const CounterSnapshot& s);
+
+/// Whole hub: {"counters":...,"latency":...,"throughput":...}.
+std::string metrics_to_json(const MetricsHub& hub);
+
+/// Write a JSON string to `path`; returns false on I/O failure.
+bool write_json_file(const std::string& path, const std::string& json);
+
+}  // namespace flowvalve::obs

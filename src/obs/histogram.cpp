@@ -1,0 +1,78 @@
+#include "obs/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace flowvalve::obs {
+
+std::size_t LogHistogram::bucket_index(std::uint64_t value) {
+  if (value < kSubBuckets) return static_cast<std::size_t>(value);
+  const int msb = 63 - std::countl_zero(value);
+  const int shift = msb - 4;  // keep the top 4 bits after the leading one
+  const std::uint64_t sub = (value >> shift) & (kSubBuckets - 1);
+  return static_cast<std::size_t>((msb - 3)) * kSubBuckets +
+         static_cast<std::size_t>(sub);
+}
+
+std::uint64_t LogHistogram::bucket_mid(std::size_t index) {
+  if (index < kSubBuckets) return static_cast<std::uint64_t>(index);
+  const int msb = static_cast<int>(index / kSubBuckets) + 3;
+  const std::uint64_t sub = index % kSubBuckets;
+  const int shift = msb - 4;
+  const std::uint64_t lo = (kSubBuckets + sub) << shift;
+  const std::uint64_t width = std::uint64_t{1} << shift;
+  return lo + width / 2;
+}
+
+void LogHistogram::record(std::uint64_t value) {
+  const std::size_t idx = bucket_index(value);
+  if (idx >= buckets_.size()) buckets_.resize(idx + 1, 0);
+  ++buckets_[idx];
+  if (count_ == 0 || value < min_) min_ = value;
+  max_ = std::max(max_, value);
+  sum_ += static_cast<double>(value);
+  ++count_;
+}
+
+double LogHistogram::mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+std::uint64_t LogHistogram::percentile(double p) const {
+  if (count_ == 0) return 0;
+  p = std::clamp(p, 0.0, 100.0);
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(count_)));
+  const std::uint64_t target = std::max<std::uint64_t>(rank, 1);
+  if (target >= count_) return max_;  // the top rank is tracked exactly
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    cumulative += buckets_[i];
+    if (cumulative >= target)
+      return std::clamp(bucket_mid(i), min_, max_);
+  }
+  return max_;
+}
+
+void LogHistogram::merge(const LogHistogram& other) {
+  if (other.count_ == 0) return;
+  if (other.buckets_.size() > buckets_.size())
+    buckets_.resize(other.buckets_.size(), 0);
+  for (std::size_t i = 0; i < other.buckets_.size(); ++i)
+    buckets_[i] += other.buckets_[i];
+  if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+  max_ = std::max(max_, other.max_);
+  sum_ += other.sum_;
+  count_ += other.count_;
+}
+
+void LogHistogram::reset() {
+  buckets_.clear();
+  count_ = 0;
+  min_ = 0;
+  max_ = 0;
+  sum_ = 0.0;
+}
+
+}  // namespace flowvalve::obs

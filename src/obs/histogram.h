@@ -1,0 +1,59 @@
+// Log-bucketed latency histogram (HdrHistogram-style layout).
+//
+// Values below 16 ns land in exact unit buckets; above that, each octave is
+// split into 16 sub-buckets, bounding the relative quantization error of any
+// recorded value by 1/16 (6.25%). Storage grows on demand and tops out at a
+// few KiB even for second-scale samples, so a recorder can keep one
+// histogram per pipeline segment per class without thinking about memory.
+// Exact min/max/sum are tracked on the side, so mean() is exact and
+// percentile() is clamped into the true value range.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace flowvalve::obs {
+
+class LogHistogram {
+ public:
+  /// Sub-buckets per octave; also the threshold below which values are exact.
+  static constexpr std::uint64_t kSubBuckets = 16;
+
+  void record(std::uint64_t value);
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  std::uint64_t max() const { return max_; }
+  double sum() const { return sum_; }
+  double mean() const;
+
+  /// Value at percentile `p` in [0, 100]: the representative (midpoint) of
+  /// the bucket holding the p-th ranked sample, clamped to [min, max].
+  /// Returns 0 on an empty histogram.
+  std::uint64_t percentile(double p) const;
+
+  std::uint64_t p50() const { return percentile(50.0); }
+  std::uint64_t p90() const { return percentile(90.0); }
+  std::uint64_t p99() const { return percentile(99.0); }
+  std::uint64_t p999() const { return percentile(99.9); }
+
+  /// Merge another histogram's samples into this one.
+  void merge(const LogHistogram& other);
+
+  void reset();
+
+  /// Bucket index a value maps to (exposed for tests).
+  static std::size_t bucket_index(std::uint64_t value);
+  /// Midpoint of the value range covered by bucket `index`.
+  static std::uint64_t bucket_mid(std::size_t index);
+
+ private:
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+  double sum_ = 0.0;
+};
+
+}  // namespace flowvalve::obs

@@ -1,0 +1,47 @@
+// Minimal dependency-free JSON emitter.
+//
+// A push-style writer: begin_object/key/value calls build a compact JSON
+// string, with commas inserted automatically. Covers exactly what the
+// metrics exporter needs (objects, arrays, strings, integers, doubles,
+// bools); it is an emitter only — no parsing, no DOM.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace flowvalve::obs {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Key inside an object; must be followed by a value or begin_*.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(unsigned v) { return value(static_cast<std::uint64_t>(v)); }
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(bool v);
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void comma_if_needed();
+  void append_escaped(std::string_view s);
+
+  std::string out_;
+  // One flag per open container: true once the first element was written.
+  std::vector<bool> has_element_;
+  bool after_key_ = false;
+};
+
+}  // namespace flowvalve::obs

@@ -1,0 +1,51 @@
+#include "obs/latency_recorder.h"
+
+#include <algorithm>
+
+namespace flowvalve::obs {
+
+const char* segment_name(Segment s) {
+  switch (s) {
+    case Segment::kVfWait: return "vf_wait";
+    case Segment::kService: return "service";
+    case Segment::kReorderHold: return "reorder_hold";
+    case Segment::kTxWait: return "tx_wait";
+    case Segment::kWireFixed: return "wire_fixed";
+    case Segment::kTotal: return "total";
+  }
+  return "?";
+}
+
+void LatencyRecorder::on_dispatch(const net::Packet& pkt, sim::SimTime now,
+                                  sim::SimDuration busy) {
+  pending_[pkt.id] = Pending{now, busy};
+}
+
+void LatencyRecorder::on_drop(const net::Packet& pkt) {
+  pending_.erase(pkt.id);
+}
+
+void LatencyRecorder::on_delivered(const net::Packet& pkt) {
+  const auto it = pending_.find(pkt.id);
+  if (it == pending_.end()) return;  // bypassed dispatch (shouldn't happen)
+  const Pending p = it->second;
+  pending_.erase(it);
+
+  auto rec = [this](Segment s, sim::SimDuration d) {
+    segments_[static_cast<std::size_t>(s)].record(
+        static_cast<std::uint64_t>(std::max<sim::SimDuration>(d, 0)));
+  };
+  const sim::SimTime service_done = p.dispatched_at + p.busy;
+  rec(Segment::kVfWait, p.dispatched_at - pkt.nic_arrival);
+  rec(Segment::kService, p.busy);
+  rec(Segment::kReorderHold, pkt.tx_enqueue - service_done);
+  rec(Segment::kTxWait, pkt.wire_tx_done - pkt.tx_enqueue);
+  rec(Segment::kWireFixed, pkt.delivered_at - pkt.wire_tx_done);
+  const sim::SimDuration total = pkt.delivered_at - pkt.nic_arrival;
+  rec(Segment::kTotal, total);
+  per_class_total_[pkt.vf_port].record(
+      static_cast<std::uint64_t>(std::max<sim::SimDuration>(total, 0)));
+  ++recorded_;
+}
+
+}  // namespace flowvalve::obs

@@ -1,0 +1,75 @@
+// Per-stage latency decomposition fed from the PipelineObserver tap.
+//
+// Every delivered packet's sojourn (nic_arrival → delivered_at) is split
+// into the five segments a packet actually traverses in the NP pipeline:
+//
+//   vf_wait      dispatch − nic_arrival      waiting in the per-VF Rx ring
+//   service      worker busy interval        run-to-completion processing
+//   reorder_hold tx_enqueue − end-of-service parked in the reorder buffer
+//   tx_wait      wire_tx_done − tx_enqueue   shared Tx FIFO queueing + own
+//                                            serialization delay
+//   wire_fixed   delivered_at − wire_tx_done fixed pipeline constant
+//   total        delivered_at − nic_arrival  whole-NIC sojourn
+//
+// The decomposition needs only the timestamps the pipeline already stamps
+// on net::Packet plus the dispatch instant and busy interval reported by
+// on_dispatch, which the recorder remembers per packet id until delivery
+// or drop. All segments go into LogHistograms (p50/p90/p99/p999); the
+// total additionally goes into a per-class histogram keyed by VF port.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+
+#include "net/packet.h"
+#include "obs/histogram.h"
+#include "sim/time.h"
+
+namespace flowvalve::obs {
+
+enum class Segment : std::uint8_t {
+  kVfWait,
+  kService,
+  kReorderHold,
+  kTxWait,
+  kWireFixed,
+  kTotal,
+};
+inline constexpr std::size_t kNumSegments = 6;
+
+const char* segment_name(Segment s);
+
+class LatencyRecorder {
+ public:
+  void on_dispatch(const net::Packet& pkt, sim::SimTime now,
+                   sim::SimDuration busy);
+  void on_drop(const net::Packet& pkt);
+  void on_delivered(const net::Packet& pkt);
+
+  const LogHistogram& segment(Segment s) const {
+    return segments_[static_cast<std::size_t>(s)];
+  }
+  /// Whole-NIC sojourn per VF port (≡ leaf class in the benches).
+  const std::map<std::uint16_t, LogHistogram>& per_class_total() const {
+    return per_class_total_;
+  }
+
+  std::uint64_t recorded() const { return recorded_; }
+  /// Packets dispatched but not yet delivered/dropped (leak telltale).
+  std::size_t pending() const { return pending_.size(); }
+
+ private:
+  struct Pending {
+    sim::SimTime dispatched_at = 0;
+    sim::SimDuration busy = 0;
+  };
+
+  std::array<LogHistogram, kNumSegments> segments_;
+  std::map<std::uint16_t, LogHistogram> per_class_total_;
+  std::unordered_map<std::uint64_t, Pending> pending_;
+  std::uint64_t recorded_ = 0;
+};
+
+}  // namespace flowvalve::obs

@@ -1,0 +1,72 @@
+#include "obs/metrics_hub.h"
+
+namespace flowvalve::obs {
+
+MetricsHub::MetricsHub(sim::Simulator& sim, np::NicPipeline& pipeline,
+                       Options options)
+    : sim_(sim), pipeline_(pipeline), options_(options) {}
+
+MetricsHub::~MetricsHub() {
+  if (started_) pipeline_.set_observer(nullptr);
+  if (engine_ && started_) engine_->set_process_observer(nullptr);
+}
+
+void MetricsHub::attach_engine(core::FlowValveEngine& engine) {
+  engine_ = &engine;
+}
+
+void MetricsHub::start() {
+  started_ = true;
+  pipeline_.set_observer(this);
+  if (engine_) {
+    engine_->set_process_observer(
+        [this](const net::Packet& pkt, const core::FlowValveEngine::Result& r,
+               sim::SimTime) {
+          if (r.borrowed) throughput_.on_borrow(pkt);
+        });
+  }
+  sample_timer_ = std::make_unique<sim::PeriodicTimer>(
+      sim_, options_.window, [this] { throughput_.sample(sim_.now()); });
+  sample_timer_->start();
+}
+
+void MetricsHub::stop_sampling() {
+  if (sample_timer_) sample_timer_->stop();
+  throughput_.sample(sim_.now());
+}
+
+CounterSnapshot MetricsHub::snapshot() const {
+  CounterSnapshot s;
+  s.at = sim_.now();
+  s.nic = pipeline_.stats();
+  if (engine_ && engine_->ready()) {
+    s.sched = engine_->scheduler().stats();
+    s.have_sched = true;
+  }
+  s.worker_utilization = pipeline_.worker_utilization(sim_.now());
+  s.reorder_occupancy = pipeline_.reorder_occupancy();
+  s.in_flight = pipeline_.in_flight();
+  return s;
+}
+
+void MetricsHub::on_dispatch(const net::Packet& pkt, unsigned /*worker*/,
+                             std::uint64_t /*seq*/, sim::SimTime now,
+                             sim::SimDuration busy) {
+  latency_.on_dispatch(pkt, now, busy);
+}
+
+void MetricsHub::on_drop(const net::Packet& pkt, np::DropReason /*reason*/,
+                         sim::SimTime /*now*/) {
+  latency_.on_drop(pkt);
+  throughput_.on_drop(pkt);
+}
+
+void MetricsHub::on_wire_tx(const net::Packet& pkt, sim::SimTime /*now*/) {
+  throughput_.on_wire_tx(pkt);
+}
+
+void MetricsHub::on_delivered(const net::Packet& pkt, sim::SimTime /*now*/) {
+  latency_.on_delivered(pkt);
+}
+
+}  // namespace flowvalve::obs

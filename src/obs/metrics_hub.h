@@ -1,0 +1,80 @@
+// MetricsHub — the one PipelineObserver of the observability layer.
+//
+// A NicPipeline has a single observer slot; the hub claims it and fans the
+// lifecycle events out to the LatencyRecorder and the ThroughputTracker,
+// runs the sampling PeriodicTimer that closes throughput windows, and — if
+// an engine is attached — taps the FlowValve process observer for borrow
+// accounting. snapshot() folds the pipeline's counters, the scheduling
+// function's stats, live worker utilization, and reorder occupancy into
+// one struct; obs::export_json (export.h) turns the whole hub into the
+// BENCH_pipeline.json shape.
+//
+// Note: the hub and a check::CheckHarness want the same observer slot, so a
+// run is either checked or measured, not both.
+#pragma once
+
+#include <memory>
+
+#include "core/flowvalve.h"
+#include "np/nic_pipeline.h"
+#include "obs/latency_recorder.h"
+#include "obs/throughput_tracker.h"
+#include "sim/simulator.h"
+
+namespace flowvalve::obs {
+
+/// Folded counter state at one instant.
+struct CounterSnapshot {
+  sim::SimTime at = 0;
+  np::NicPipeline::Stats nic;
+  core::SchedulingFunction::Stats sched;  // zeros unless an engine is attached
+  bool have_sched = false;
+  double worker_utilization = 0.0;
+  std::uint64_t reorder_occupancy = 0;
+  std::uint64_t in_flight = 0;
+};
+
+class MetricsHub final : public np::PipelineObserver {
+ public:
+  struct Options {
+    sim::SimDuration window = sim::milliseconds(1);  // throughput window
+  };
+
+  MetricsHub(sim::Simulator& sim, np::NicPipeline& pipeline, Options options);
+  MetricsHub(sim::Simulator& sim, np::NicPipeline& pipeline)
+      : MetricsHub(sim, pipeline, Options{}) {}
+  ~MetricsHub() override;
+
+  /// Tap the engine's process observer for borrow events and expose its
+  /// scheduler stats in snapshots. Optional; call before start().
+  void attach_engine(core::FlowValveEngine& engine);
+
+  /// Claim the pipeline observer slot and arm the sampling timer.
+  void start();
+  /// Close the final window and stop the timer so the simulator can drain.
+  void stop_sampling();
+
+  const LatencyRecorder& latency() const { return latency_; }
+  const ThroughputTracker& throughput() const { return throughput_; }
+  CounterSnapshot snapshot() const;
+
+  // PipelineObserver:
+  void on_dispatch(const net::Packet& pkt, unsigned worker, std::uint64_t seq,
+                   sim::SimTime now, sim::SimDuration busy) override;
+  void on_drop(const net::Packet& pkt, np::DropReason reason,
+               sim::SimTime now) override;
+  void on_wire_tx(const net::Packet& pkt, sim::SimTime now) override;
+  void on_delivered(const net::Packet& pkt, sim::SimTime now) override;
+
+ private:
+  sim::Simulator& sim_;
+  np::NicPipeline& pipeline_;
+  core::FlowValveEngine* engine_ = nullptr;
+  Options options_;
+  LatencyRecorder latency_;
+  ThroughputTracker throughput_;
+  std::unique_ptr<sim::PeriodicTimer> sample_timer_;
+  bool started_ = false;
+};
+
+}  // namespace flowvalve::obs

@@ -1,0 +1,43 @@
+#include "obs/throughput_tracker.h"
+
+namespace flowvalve::obs {
+
+sim::Rate ThroughputTracker::Window::rate(std::uint16_t vf) const {
+  const auto it = classes.find(vf);
+  if (it == classes.end() || end <= start) return sim::Rate::zero();
+  const double seconds = static_cast<double>(end - start) * 1e-9;
+  return sim::Rate::bytes_per_sec(static_cast<double>(it->second.tx_bytes) / seconds);
+}
+
+void ThroughputTracker::on_wire_tx(const net::Packet& pkt) {
+  auto& c = current_.classes[pkt.vf_port];
+  c.tx_bytes += pkt.wire_bytes;
+  ++c.tx_packets;
+  auto& t = totals_[pkt.vf_port];
+  t.tx_bytes += pkt.wire_bytes;
+  ++t.tx_packets;
+}
+
+void ThroughputTracker::on_drop(const net::Packet& pkt) {
+  ++current_.classes[pkt.vf_port].drops;
+  ++totals_[pkt.vf_port].drops;
+}
+
+void ThroughputTracker::on_borrow(const net::Packet& pkt) {
+  ++current_.classes[pkt.vf_port].borrows;
+  ++totals_[pkt.vf_port].borrows;
+}
+
+void ThroughputTracker::sample(sim::SimTime now) {
+  current_.end = now;
+  if (current_.end > current_.start) windows_.push_back(current_);
+  current_ = Window{};
+  current_.start = now;
+}
+
+std::map<std::uint16_t, ThroughputTracker::ClassWindow>
+ThroughputTracker::totals() const {
+  return totals_;
+}
+
+}  // namespace flowvalve::obs

@@ -1,0 +1,57 @@
+// Windowed per-class throughput/drop/borrow time series.
+//
+// Events are accumulated per VF port (the benches map one leaf class onto
+// one VF, so "class" and "VF" coincide there) into the currently open
+// window; MetricsHub calls sample() on its PeriodicTimer to close the
+// window and open the next. The result is an explicit time series — one
+// row per window per class — rather than a smoothed rate, so a stall, a
+// drop burst, or a borrowing episode is visible at window resolution.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "net/packet.h"
+#include "sim/time.h"
+
+namespace flowvalve::obs {
+
+class ThroughputTracker {
+ public:
+  struct ClassWindow {
+    std::uint64_t tx_bytes = 0;    // delivered to the wire
+    std::uint64_t tx_packets = 0;
+    std::uint64_t drops = 0;       // any DropReason
+    std::uint64_t borrows = 0;     // forwarded via a lender's budget
+  };
+
+  struct Window {
+    sim::SimTime start = 0;
+    sim::SimTime end = 0;
+    std::map<std::uint16_t, ClassWindow> classes;
+
+    /// Mean wire rate of `vf` over this window.
+    sim::Rate rate(std::uint16_t vf) const;
+  };
+
+  void on_wire_tx(const net::Packet& pkt);
+  void on_drop(const net::Packet& pkt);
+  void on_borrow(const net::Packet& pkt);
+
+  /// Close the currently open window at `now` and start the next one.
+  /// Empty windows are kept (a silent class is a data point too).
+  void sample(sim::SimTime now);
+
+  const std::vector<Window>& windows() const { return windows_; }
+
+  /// Whole-run totals per class (includes the still-open window).
+  std::map<std::uint16_t, ClassWindow> totals() const;
+
+ private:
+  std::vector<Window> windows_;
+  Window current_;
+  std::map<std::uint16_t, ClassWindow> totals_;
+};
+
+}  // namespace flowvalve::obs

@@ -7,6 +7,8 @@
 
 #include "check/fuzzer.h"
 #include "check/runner.h"
+#include "np/nic_pipeline.h"
+#include "sim/simulator.h"
 
 namespace flowvalve::check {
 namespace {
@@ -119,6 +121,29 @@ TEST(FuzzCheck, InjectedReorderBypassIsCaught) {
     if (v.checker == "ordering") ordering = true;
   EXPECT_TRUE(ordering) << "expected an ordering violation, got: "
                         << report.violations.front().to_string();
+}
+
+// Config fuzzing: every generated invalid config must be rejected by
+// NpConfig::validate() — and therefore by the NicPipeline constructor —
+// before it can wedge or crash the pipeline (num_vfs == 0 used to be a
+// modulo-by-zero in submit()).
+TEST(FuzzCheck, GeneratedInvalidConfigsAreRejected) {
+  sim::Simulator sim;
+  np::NullProcessor proc;
+  for (std::uint64_t seed = 1; seed <= 64; ++seed) {
+    const np::NpConfig cfg = generate_invalid_config(seed);
+    EXPECT_THROW(cfg.validate(), std::invalid_argument) << "seed " << seed;
+    EXPECT_THROW(np::NicPipeline(sim, cfg, proc), std::invalid_argument)
+        << "seed " << seed;
+  }
+  // Determinism: the same seed expands to the same rejected config.
+  const np::NpConfig a = generate_invalid_config(7);
+  const np::NpConfig b = generate_invalid_config(7);
+  EXPECT_EQ(a.num_workers, b.num_workers);
+  EXPECT_EQ(a.num_vfs, b.num_vfs);
+  EXPECT_EQ(a.vf_ring_capacity, b.vf_ring_capacity);
+  EXPECT_EQ(a.tx_ring_capacity, b.tx_ring_capacity);
+  EXPECT_DOUBLE_EQ(a.wire_rate.bps(), b.wire_rate.bps());
 }
 
 TEST(FuzzCheck, FaultFreeRerunOfFaultSeedIsClean) {

@@ -104,5 +104,28 @@ TEST_P(BucketConformance, NeverExceedsRateTimesTime) {
 INSTANTIATE_TEST_SUITE_P(Rates, BucketConformance,
                          ::testing::Values(0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 25.0, 40.0));
 
+// Regression: replenishing a frame's worth of tokens in many sub-byte
+// increments accumulates floating-point error, leaving the fill at
+// bytes − ε when the exact sum equals bytes. The meter must still mark the
+// frame GREEN (relative-epsilon comparison), at every frame size, and the
+// shortfall forgiven must stay far below a byte.
+TEST(TokenBucket, SubByteReplenishDriftStaysGreen) {
+  for (const std::uint32_t frame : {64u, 1000u, 1518u}) {
+    TokenBucket b(2.0 * frame, 0.0);
+    // 1 Gbps for 1 ns = 0.125 bytes per replenish: 8 · frame tiny adds sum
+    // exactly to `frame` in real arithmetic.
+    const auto rate = sim::Rate::gigabits_per_sec(1.0);
+    for (std::uint32_t i = 0; i < 8 * frame; ++i) b.replenish(rate, 1);
+    EXPECT_NEAR(b.tokens(), static_cast<double>(frame), 1e-3) << frame;
+    EXPECT_EQ(b.meter(frame), MeterColor::kGreen) << frame;
+    // The consume clamps at zero — drift must never mint tokens.
+    EXPECT_GE(b.tokens(), 0.0);
+    EXPECT_LT(b.tokens(), 1.0);
+    // With the bucket now ~empty, the next frame is a clear RED: the epsilon
+    // forgives rounding error, not missing tokens.
+    EXPECT_EQ(b.meter(frame), MeterColor::kRed) << frame;
+  }
+}
+
 }  // namespace
 }  // namespace flowvalve::core

@@ -141,6 +141,74 @@ TEST(NicPipelineTest, WorkerCapacityBoundsThroughput) {
   EXPECT_GT(util, 0.9);
 }
 
+TEST(NicPipelineTest, UtilizationNeverExceedsOneUnderSaturation) {
+  // Few slow workers under a standing backlog: every worker is busy
+  // essentially 100% of the time. The old accounting charged a dispatch's
+  // whole busy interval up front, so mid-interval queries reported > 1.0;
+  // with completion-time credit plus elapsed-part credit for in-progress
+  // intervals the ratio must approach 1 but never pass it, at any instant.
+  sim::Simulator sim;
+  NpConfig cfg = agilio_cx_40g();
+  cfg.num_workers = 2;
+  cfg.num_vfs = 1;
+  cfg.vf_ring_capacity = 4096;
+  cfg.base_rx_cycles = 60000;  // ~50 us per packet at 1.2 GHz
+  NullProcessor proc;
+  NicPipeline pipe(sim, cfg, proc);
+  for (int i = 0; i < 500; ++i) pipe.submit(packet_on(0));
+
+  // Sample utilization at instants that deliberately land inside busy
+  // intervals, not on their boundaries.
+  for (int tick = 1; tick <= 40; ++tick) {
+    const auto at = sim::microseconds(7 * tick + 3);
+    sim.schedule_at(at, [&pipe, &sim] {
+      const double u = pipe.worker_utilization(sim.now());
+      EXPECT_LE(u, 1.0);
+      EXPECT_GE(u, 0.0);
+    });
+  }
+  sim.run_until(sim::microseconds(300));
+  const double u = pipe.worker_utilization(sim.now());
+  EXPECT_LE(u, 1.0);
+  EXPECT_GT(u, 0.95);  // saturating load: workers near-continuously busy
+  sim.run_all();
+  EXPECT_LE(pipe.worker_utilization(sim.now()), 1.0);
+}
+
+TEST(NpConfigTest, ValidateRejectsDegenerateConfigs) {
+  EXPECT_NO_THROW(NpConfig{}.validate());
+  auto broken = [](auto mutate) {
+    NpConfig cfg;
+    mutate(cfg);
+    return cfg;
+  };
+  EXPECT_THROW(broken([](NpConfig& c) { c.num_workers = 0; }).validate(),
+               std::invalid_argument);
+  EXPECT_THROW(broken([](NpConfig& c) { c.num_vfs = 0; }).validate(),
+               std::invalid_argument);
+  EXPECT_THROW(broken([](NpConfig& c) { c.vf_ring_capacity = 0; }).validate(),
+               std::invalid_argument);
+  EXPECT_THROW(broken([](NpConfig& c) { c.tx_ring_capacity = 0; }).validate(),
+               std::invalid_argument);
+  EXPECT_THROW(broken([](NpConfig& c) { c.reorder_capacity = 0; }).validate(),
+               std::invalid_argument);
+  EXPECT_THROW(broken([](NpConfig& c) { c.freq_ghz = 0.0; }).validate(),
+               std::invalid_argument);
+  EXPECT_THROW(broken([](NpConfig& c) { c.wire_rate = Rate::zero(); }).validate(),
+               std::invalid_argument);
+  EXPECT_THROW(
+      broken([](NpConfig& c) { c.fixed_pipeline_delay = -1; }).validate(),
+      std::invalid_argument);
+}
+
+TEST(NpConfigTest, PipelineConstructorValidates) {
+  sim::Simulator sim;
+  NullProcessor proc;
+  NpConfig cfg;
+  cfg.num_vfs = 0;
+  EXPECT_THROW(NicPipeline(sim, cfg, proc), std::invalid_argument);
+}
+
 TEST(NicPipelineTest, RoundRobinAcrossVfRings) {
   // With all rings backlogged, the load balancer serves VFs fairly.
   sim::Simulator sim;

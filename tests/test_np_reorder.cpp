@@ -162,5 +162,65 @@ TEST(NpReorder, TailDropIsClean) {
   EXPECT_EQ(run.pipeline.in_flight(), 0u);
 }
 
+// The Tx ring filling up WHILE the reorder system drains its in-order
+// prefix: the head admission succeeds, the rest of the prefix tail-drops at
+// the FIFO, and nothing wedges or double-counts.
+TEST(NpReorder, TxRingFullDuringReorderRelease) {
+  NpConfig cfg = three_worker_config();
+  cfg.tx_ring_capacity = 1;
+  Rig run(cfg);
+  run.proc.script(0, true, 20000);  // head: slowest, blocks the window
+  run.proc.script(1, true, 100);    // buffered behind the head
+  run.proc.script(2, true, 200);    // buffered behind the head
+
+  for (std::uint64_t id = 0; id < 3; ++id)
+    EXPECT_TRUE(run.pipeline.submit(make_packet(id)));
+  run.sim.run_all();
+
+  // When the head finally commits, the whole prefix releases in one instant:
+  // packet 0 takes the single Tx slot, 1 and 2 hit a full ring.
+  EXPECT_EQ(run.delivered, (std::vector<std::uint64_t>{0}));
+  EXPECT_EQ(run.dropped, (std::vector<std::uint64_t>{1, 2}));
+  const auto& st = run.pipeline.stats();
+  EXPECT_EQ(st.tx_ring_drops, 2u);
+  EXPECT_EQ(st.forwarded_to_wire, 1u);
+  EXPECT_EQ(st.submitted, st.forwarded_to_wire + st.vf_ring_drops +
+                              st.scheduler_drops + st.tx_ring_drops +
+                              st.reorder_flush_drops);
+  EXPECT_EQ(run.pipeline.in_flight(), 0u);
+}
+
+// A stuck completion (here: merely very slow) must not grow the reorder
+// buffer past its cap. Once the cap trips, the hole is declared lost, the
+// buffered survivors flow out in order, and the straggler's eventual
+// completion is counted as a reorder-flush drop — not delivered out of
+// order, not leaked.
+TEST(NpReorder, CapFlushSkipsStuckHoleAndDropsLateCompletion) {
+  NpConfig cfg = three_worker_config();
+  cfg.num_workers = 2;
+  cfg.reorder_capacity = 2;
+  Rig run(cfg);
+  run.proc.script(0, true, 1000000);  // seq 0: stuck for ~833 us
+  for (std::uint64_t id = 1; id <= 4; ++id) run.proc.script(id, true, 100);
+
+  for (std::uint64_t id = 0; id <= 4; ++id)
+    EXPECT_TRUE(run.pipeline.submit(make_packet(id)));
+  run.sim.run_all();
+
+  // Survivors 1-3 pile up behind the hole until the cap (2) trips, then all
+  // release in ingress order; 4 flows straight through afterwards.
+  EXPECT_EQ(run.delivered, (std::vector<std::uint64_t>{1, 2, 3, 4}));
+  EXPECT_EQ(run.dropped, (std::vector<std::uint64_t>{0}));
+  const auto& st = run.pipeline.stats();
+  EXPECT_GE(st.reorder_flushes, 1u);
+  EXPECT_EQ(st.reorder_flush_drops, 1u);
+  EXPECT_EQ(st.reorder_occupancy_peak, 3u);
+  EXPECT_EQ(st.submitted, st.forwarded_to_wire + st.vf_ring_drops +
+                              st.scheduler_drops + st.tx_ring_drops +
+                              st.reorder_flush_drops);
+  EXPECT_EQ(run.pipeline.in_flight(), 0u);
+  EXPECT_EQ(run.pipeline.reorder_occupancy(), 0u);
+}
+
 }  // namespace
 }  // namespace flowvalve::np
