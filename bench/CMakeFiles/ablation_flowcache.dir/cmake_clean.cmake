@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_flowcache.dir/ablation_flowcache.cpp.o"
+  "CMakeFiles/ablation_flowcache.dir/ablation_flowcache.cpp.o.d"
+  "ablation_flowcache"
+  "ablation_flowcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_flowcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

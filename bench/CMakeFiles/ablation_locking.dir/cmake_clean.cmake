@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_locking.dir/ablation_locking.cpp.o"
+  "CMakeFiles/ablation_locking.dir/ablation_locking.cpp.o.d"
+  "ablation_locking"
+  "ablation_locking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_locking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_propagation.dir/ablation_propagation.cpp.o"
+  "CMakeFiles/ablation_propagation.dir/ablation_propagation.cpp.o.d"
+  "ablation_propagation"
+  "ablation_propagation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_propagation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

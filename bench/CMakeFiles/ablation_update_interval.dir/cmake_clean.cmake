@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_update_interval.dir/ablation_update_interval.cpp.o"
+  "CMakeFiles/ablation_update_interval.dir/ablation_update_interval.cpp.o.d"
+  "ablation_update_interval"
+  "ablation_update_interval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_update_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discussion_100g.dir/discussion_100g.cpp.o"
+  "CMakeFiles/discussion_100g.dir/discussion_100g.cpp.o.d"
+  "discussion_100g"
+  "discussion_100g.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discussion_100g.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for discussion_100g.
+# This may be replaced when dependencies are built.

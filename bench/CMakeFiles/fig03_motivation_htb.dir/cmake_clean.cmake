@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_motivation_htb.dir/fig03_motivation_htb.cpp.o"
+  "CMakeFiles/fig03_motivation_htb.dir/fig03_motivation_htb.cpp.o.d"
+  "fig03_motivation_htb"
+  "fig03_motivation_htb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_motivation_htb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_borrowing.dir/fig09_borrowing.cpp.o"
+  "CMakeFiles/fig09_borrowing.dir/fig09_borrowing.cpp.o.d"
+  "fig09_borrowing"
+  "fig09_borrowing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_borrowing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11a_fv_motivation.dir/fig11a_fv_motivation.cpp.o"
+  "CMakeFiles/fig11a_fv_motivation.dir/fig11a_fv_motivation.cpp.o.d"
+  "fig11a_fv_motivation"
+  "fig11a_fv_motivation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11a_fv_motivation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11b_fair_queueing.dir/fig11b_fair_queueing.cpp.o"
+  "CMakeFiles/fig11b_fair_queueing.dir/fig11b_fair_queueing.cpp.o.d"
+  "fig11b_fair_queueing"
+  "fig11b_fair_queueing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11b_fair_queueing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

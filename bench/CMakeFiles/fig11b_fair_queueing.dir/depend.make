@@ -1,0 +1,2 @@
+# Empty dependencies file for fig11b_fair_queueing.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11c_weighted_fq.dir/fig11c_weighted_fq.cpp.o"
+  "CMakeFiles/fig11c_weighted_fq.dir/fig11c_weighted_fq.cpp.o.d"
+  "fig11c_weighted_fq"
+  "fig11c_weighted_fq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11c_weighted_fq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

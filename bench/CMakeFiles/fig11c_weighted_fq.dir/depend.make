@@ -1,0 +1,2 @@
+# Empty dependencies file for fig11c_weighted_fq.
+# This may be replaced when dependencies are built.

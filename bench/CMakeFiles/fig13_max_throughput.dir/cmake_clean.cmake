@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_max_throughput.dir/fig13_max_throughput.cpp.o"
+  "CMakeFiles/fig13_max_throughput.dir/fig13_max_throughput.cpp.o.d"
+  "fig13_max_throughput"
+  "fig13_max_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_max_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

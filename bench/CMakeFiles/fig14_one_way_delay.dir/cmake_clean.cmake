@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_one_way_delay.dir/fig14_one_way_delay.cpp.o"
+  "CMakeFiles/fig14_one_way_delay.dir/fig14_one_way_delay.cpp.o.d"
+  "fig14_one_way_delay"
+  "fig14_one_way_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_one_way_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_loom_comparison.dir/fig15_loom_comparison.cpp.o"
+  "CMakeFiles/fig15_loom_comparison.dir/fig15_loom_comparison.cpp.o.d"
+  "fig15_loom_comparison"
+  "fig15_loom_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_loom_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_datastructures.dir/micro_datastructures.cpp.o"
+  "CMakeFiles/micro_datastructures.dir/micro_datastructures.cpp.o.d"
+  "micro_datastructures"
+  "micro_datastructures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_datastructures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

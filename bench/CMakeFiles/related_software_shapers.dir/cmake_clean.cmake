@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/related_software_shapers.dir/related_software_shapers.cpp.o"
+  "CMakeFiles/related_software_shapers.dir/related_software_shapers.cpp.o.d"
+  "related_software_shapers"
+  "related_software_shapers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/related_software_shapers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

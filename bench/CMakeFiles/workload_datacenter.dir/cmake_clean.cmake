@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_datacenter.dir/workload_datacenter.cpp.o"
+  "CMakeFiles/workload_datacenter.dir/workload_datacenter.cpp.o.d"
+  "workload_datacenter"
+  "workload_datacenter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_datacenter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

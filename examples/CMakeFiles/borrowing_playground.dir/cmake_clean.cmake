@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/borrowing_playground.dir/borrowing_playground.cpp.o"
+  "CMakeFiles/borrowing_playground.dir/borrowing_playground.cpp.o.d"
+  "borrowing_playground"
+  "borrowing_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/borrowing_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

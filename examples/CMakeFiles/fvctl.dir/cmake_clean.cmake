@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fvctl.dir/fvctl.cpp.o"
+  "CMakeFiles/fvctl.dir/fvctl.cpp.o.d"
+  "fvctl"
+  "fvctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fvctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

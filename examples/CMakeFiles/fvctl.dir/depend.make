@@ -1,0 +1,2 @@
+# Empty dependencies file for fvctl.
+# This may be replaced when dependencies are built.

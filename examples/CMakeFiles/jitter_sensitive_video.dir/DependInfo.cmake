@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/jitter_sensitive_video.cpp" "examples/CMakeFiles/jitter_sensitive_video.dir/jitter_sensitive_video.cpp.o" "gcc" "examples/CMakeFiles/jitter_sensitive_video.dir/jitter_sensitive_video.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/exp/CMakeFiles/fv_exp.dir/DependInfo.cmake"
+  "/root/repo/src/np/CMakeFiles/fv_np.dir/DependInfo.cmake"
+  "/root/repo/src/core/CMakeFiles/fv_core.dir/DependInfo.cmake"
+  "/root/repo/src/baseline/CMakeFiles/fv_baseline.dir/DependInfo.cmake"
+  "/root/repo/src/host/CMakeFiles/fv_host.dir/DependInfo.cmake"
+  "/root/repo/src/traffic/CMakeFiles/fv_traffic.dir/DependInfo.cmake"
+  "/root/repo/src/net/CMakeFiles/fv_net.dir/DependInfo.cmake"
+  "/root/repo/src/stats/CMakeFiles/fv_stats.dir/DependInfo.cmake"
+  "/root/repo/src/sim/CMakeFiles/fv_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

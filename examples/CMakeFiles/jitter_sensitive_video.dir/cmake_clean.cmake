@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jitter_sensitive_video.dir/jitter_sensitive_video.cpp.o"
+  "CMakeFiles/jitter_sensitive_video.dir/jitter_sensitive_video.cpp.o.d"
+  "jitter_sensitive_video"
+  "jitter_sensitive_video.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jitter_sensitive_video.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_tenant_isolation.dir/multi_tenant_isolation.cpp.o"
+  "CMakeFiles/multi_tenant_isolation.dir/multi_tenant_isolation.cpp.o.d"
+  "multi_tenant_isolation"
+  "multi_tenant_isolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_tenant_isolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/carousel.cpp" "src/baseline/CMakeFiles/fv_baseline.dir/carousel.cpp.o" "gcc" "src/baseline/CMakeFiles/fv_baseline.dir/carousel.cpp.o.d"
+  "/root/repo/src/baseline/dpdk_sched.cpp" "src/baseline/CMakeFiles/fv_baseline.dir/dpdk_sched.cpp.o" "gcc" "src/baseline/CMakeFiles/fv_baseline.dir/dpdk_sched.cpp.o.d"
+  "/root/repo/src/baseline/htb.cpp" "src/baseline/CMakeFiles/fv_baseline.dir/htb.cpp.o" "gcc" "src/baseline/CMakeFiles/fv_baseline.dir/htb.cpp.o.d"
+  "/root/repo/src/baseline/kernel_host.cpp" "src/baseline/CMakeFiles/fv_baseline.dir/kernel_host.cpp.o" "gcc" "src/baseline/CMakeFiles/fv_baseline.dir/kernel_host.cpp.o.d"
+  "/root/repo/src/baseline/pifo.cpp" "src/baseline/CMakeFiles/fv_baseline.dir/pifo.cpp.o" "gcc" "src/baseline/CMakeFiles/fv_baseline.dir/pifo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/sim/CMakeFiles/fv_sim.dir/DependInfo.cmake"
+  "/root/repo/src/net/CMakeFiles/fv_net.dir/DependInfo.cmake"
+  "/root/repo/src/stats/CMakeFiles/fv_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

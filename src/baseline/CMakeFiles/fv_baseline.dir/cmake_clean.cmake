@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fv_baseline.dir/carousel.cpp.o"
+  "CMakeFiles/fv_baseline.dir/carousel.cpp.o.d"
+  "CMakeFiles/fv_baseline.dir/dpdk_sched.cpp.o"
+  "CMakeFiles/fv_baseline.dir/dpdk_sched.cpp.o.d"
+  "CMakeFiles/fv_baseline.dir/htb.cpp.o"
+  "CMakeFiles/fv_baseline.dir/htb.cpp.o.d"
+  "CMakeFiles/fv_baseline.dir/kernel_host.cpp.o"
+  "CMakeFiles/fv_baseline.dir/kernel_host.cpp.o.d"
+  "CMakeFiles/fv_baseline.dir/pifo.cpp.o"
+  "CMakeFiles/fv_baseline.dir/pifo.cpp.o.d"
+  "libfv_baseline.a"
+  "libfv_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fv_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_check.dir/fuzz_check_main.cpp.o"
+  "CMakeFiles/fuzz_check.dir/fuzz_check_main.cpp.o.d"
+  "fuzz_check"
+  "fuzz_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

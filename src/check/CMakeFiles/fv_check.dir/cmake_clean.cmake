@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fv_check.dir/checker.cpp.o"
+  "CMakeFiles/fv_check.dir/checker.cpp.o.d"
+  "CMakeFiles/fv_check.dir/differential.cpp.o"
+  "CMakeFiles/fv_check.dir/differential.cpp.o.d"
+  "CMakeFiles/fv_check.dir/fuzzer.cpp.o"
+  "CMakeFiles/fv_check.dir/fuzzer.cpp.o.d"
+  "CMakeFiles/fv_check.dir/invariants.cpp.o"
+  "CMakeFiles/fv_check.dir/invariants.cpp.o.d"
+  "CMakeFiles/fv_check.dir/runner.cpp.o"
+  "CMakeFiles/fv_check.dir/runner.cpp.o.d"
+  "libfv_check.a"
+  "libfv_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fv_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/classifier.cpp" "src/core/CMakeFiles/fv_core.dir/classifier.cpp.o" "gcc" "src/core/CMakeFiles/fv_core.dir/classifier.cpp.o.d"
+  "/root/repo/src/core/flowvalve.cpp" "src/core/CMakeFiles/fv_core.dir/flowvalve.cpp.o" "gcc" "src/core/CMakeFiles/fv_core.dir/flowvalve.cpp.o.d"
+  "/root/repo/src/core/frontend.cpp" "src/core/CMakeFiles/fv_core.dir/frontend.cpp.o" "gcc" "src/core/CMakeFiles/fv_core.dir/frontend.cpp.o.d"
+  "/root/repo/src/core/introspect.cpp" "src/core/CMakeFiles/fv_core.dir/introspect.cpp.o" "gcc" "src/core/CMakeFiles/fv_core.dir/introspect.cpp.o.d"
+  "/root/repo/src/core/sched_tree.cpp" "src/core/CMakeFiles/fv_core.dir/sched_tree.cpp.o" "gcc" "src/core/CMakeFiles/fv_core.dir/sched_tree.cpp.o.d"
+  "/root/repo/src/core/scheduling_function.cpp" "src/core/CMakeFiles/fv_core.dir/scheduling_function.cpp.o" "gcc" "src/core/CMakeFiles/fv_core.dir/scheduling_function.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/sim/CMakeFiles/fv_sim.dir/DependInfo.cmake"
+  "/root/repo/src/net/CMakeFiles/fv_net.dir/DependInfo.cmake"
+  "/root/repo/src/stats/CMakeFiles/fv_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

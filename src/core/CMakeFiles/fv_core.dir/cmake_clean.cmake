@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fv_core.dir/classifier.cpp.o"
+  "CMakeFiles/fv_core.dir/classifier.cpp.o.d"
+  "CMakeFiles/fv_core.dir/flowvalve.cpp.o"
+  "CMakeFiles/fv_core.dir/flowvalve.cpp.o.d"
+  "CMakeFiles/fv_core.dir/frontend.cpp.o"
+  "CMakeFiles/fv_core.dir/frontend.cpp.o.d"
+  "CMakeFiles/fv_core.dir/introspect.cpp.o"
+  "CMakeFiles/fv_core.dir/introspect.cpp.o.d"
+  "CMakeFiles/fv_core.dir/sched_tree.cpp.o"
+  "CMakeFiles/fv_core.dir/sched_tree.cpp.o.d"
+  "CMakeFiles/fv_core.dir/scheduling_function.cpp.o"
+  "CMakeFiles/fv_core.dir/scheduling_function.cpp.o.d"
+  "libfv_core.a"
+  "libfv_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fv_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fv_exp.dir/scenarios.cpp.o"
+  "CMakeFiles/fv_exp.dir/scenarios.cpp.o.d"
+  "libfv_exp.a"
+  "libfv_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fv_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fv_host.dir/probes.cpp.o"
+  "CMakeFiles/fv_host.dir/probes.cpp.o.d"
+  "libfv_host.a"
+  "libfv_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fv_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fv_net.dir/headers.cpp.o"
+  "CMakeFiles/fv_net.dir/headers.cpp.o.d"
+  "CMakeFiles/fv_net.dir/packet.cpp.o"
+  "CMakeFiles/fv_net.dir/packet.cpp.o.d"
+  "libfv_net.a"
+  "libfv_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fv_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

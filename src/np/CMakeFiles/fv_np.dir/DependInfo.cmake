@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/np/mat.cpp" "src/np/CMakeFiles/fv_np.dir/mat.cpp.o" "gcc" "src/np/CMakeFiles/fv_np.dir/mat.cpp.o.d"
+  "/root/repo/src/np/nic_pipeline.cpp" "src/np/CMakeFiles/fv_np.dir/nic_pipeline.cpp.o" "gcc" "src/np/CMakeFiles/fv_np.dir/nic_pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/sim/CMakeFiles/fv_sim.dir/DependInfo.cmake"
+  "/root/repo/src/net/CMakeFiles/fv_net.dir/DependInfo.cmake"
+  "/root/repo/src/stats/CMakeFiles/fv_stats.dir/DependInfo.cmake"
+  "/root/repo/src/core/CMakeFiles/fv_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fv_np.dir/mat.cpp.o"
+  "CMakeFiles/fv_np.dir/mat.cpp.o.d"
+  "CMakeFiles/fv_np.dir/nic_pipeline.cpp.o"
+  "CMakeFiles/fv_np.dir/nic_pipeline.cpp.o.d"
+  "libfv_np.a"
+  "libfv_np.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fv_np.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

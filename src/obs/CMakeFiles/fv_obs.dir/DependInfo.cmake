@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/obs/export.cpp" "src/obs/CMakeFiles/fv_obs.dir/export.cpp.o" "gcc" "src/obs/CMakeFiles/fv_obs.dir/export.cpp.o.d"
+  "/root/repo/src/obs/histogram.cpp" "src/obs/CMakeFiles/fv_obs.dir/histogram.cpp.o" "gcc" "src/obs/CMakeFiles/fv_obs.dir/histogram.cpp.o.d"
+  "/root/repo/src/obs/json_writer.cpp" "src/obs/CMakeFiles/fv_obs.dir/json_writer.cpp.o" "gcc" "src/obs/CMakeFiles/fv_obs.dir/json_writer.cpp.o.d"
+  "/root/repo/src/obs/latency_recorder.cpp" "src/obs/CMakeFiles/fv_obs.dir/latency_recorder.cpp.o" "gcc" "src/obs/CMakeFiles/fv_obs.dir/latency_recorder.cpp.o.d"
+  "/root/repo/src/obs/metrics_hub.cpp" "src/obs/CMakeFiles/fv_obs.dir/metrics_hub.cpp.o" "gcc" "src/obs/CMakeFiles/fv_obs.dir/metrics_hub.cpp.o.d"
+  "/root/repo/src/obs/throughput_tracker.cpp" "src/obs/CMakeFiles/fv_obs.dir/throughput_tracker.cpp.o" "gcc" "src/obs/CMakeFiles/fv_obs.dir/throughput_tracker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/sim/CMakeFiles/fv_sim.dir/DependInfo.cmake"
+  "/root/repo/src/net/CMakeFiles/fv_net.dir/DependInfo.cmake"
+  "/root/repo/src/stats/CMakeFiles/fv_stats.dir/DependInfo.cmake"
+  "/root/repo/src/core/CMakeFiles/fv_core.dir/DependInfo.cmake"
+  "/root/repo/src/np/CMakeFiles/fv_np.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

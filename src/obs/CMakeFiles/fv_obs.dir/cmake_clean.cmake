@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fv_obs.dir/export.cpp.o"
+  "CMakeFiles/fv_obs.dir/export.cpp.o.d"
+  "CMakeFiles/fv_obs.dir/histogram.cpp.o"
+  "CMakeFiles/fv_obs.dir/histogram.cpp.o.d"
+  "CMakeFiles/fv_obs.dir/json_writer.cpp.o"
+  "CMakeFiles/fv_obs.dir/json_writer.cpp.o.d"
+  "CMakeFiles/fv_obs.dir/latency_recorder.cpp.o"
+  "CMakeFiles/fv_obs.dir/latency_recorder.cpp.o.d"
+  "CMakeFiles/fv_obs.dir/metrics_hub.cpp.o"
+  "CMakeFiles/fv_obs.dir/metrics_hub.cpp.o.d"
+  "CMakeFiles/fv_obs.dir/throughput_tracker.cpp.o"
+  "CMakeFiles/fv_obs.dir/throughput_tracker.cpp.o.d"
+  "libfv_obs.a"
+  "libfv_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fv_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fv_sim.dir/rng.cpp.o"
+  "CMakeFiles/fv_sim.dir/rng.cpp.o.d"
+  "CMakeFiles/fv_sim.dir/simulator.cpp.o"
+  "CMakeFiles/fv_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/fv_sim.dir/time.cpp.o"
+  "CMakeFiles/fv_sim.dir/time.cpp.o.d"
+  "libfv_sim.a"
+  "libfv_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fv_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fv_stats.dir/series_export.cpp.o"
+  "CMakeFiles/fv_stats.dir/series_export.cpp.o.d"
+  "CMakeFiles/fv_stats.dir/stats.cpp.o"
+  "CMakeFiles/fv_stats.dir/stats.cpp.o.d"
+  "libfv_stats.a"
+  "libfv_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fv_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

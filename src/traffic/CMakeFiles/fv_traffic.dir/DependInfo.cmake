@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/traffic/app.cpp" "src/traffic/CMakeFiles/fv_traffic.dir/app.cpp.o" "gcc" "src/traffic/CMakeFiles/fv_traffic.dir/app.cpp.o.d"
+  "/root/repo/src/traffic/generators.cpp" "src/traffic/CMakeFiles/fv_traffic.dir/generators.cpp.o" "gcc" "src/traffic/CMakeFiles/fv_traffic.dir/generators.cpp.o.d"
+  "/root/repo/src/traffic/tcp.cpp" "src/traffic/CMakeFiles/fv_traffic.dir/tcp.cpp.o" "gcc" "src/traffic/CMakeFiles/fv_traffic.dir/tcp.cpp.o.d"
+  "/root/repo/src/traffic/workload.cpp" "src/traffic/CMakeFiles/fv_traffic.dir/workload.cpp.o" "gcc" "src/traffic/CMakeFiles/fv_traffic.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/sim/CMakeFiles/fv_sim.dir/DependInfo.cmake"
+  "/root/repo/src/net/CMakeFiles/fv_net.dir/DependInfo.cmake"
+  "/root/repo/src/stats/CMakeFiles/fv_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fv_traffic.dir/app.cpp.o"
+  "CMakeFiles/fv_traffic.dir/app.cpp.o.d"
+  "CMakeFiles/fv_traffic.dir/generators.cpp.o"
+  "CMakeFiles/fv_traffic.dir/generators.cpp.o.d"
+  "CMakeFiles/fv_traffic.dir/tcp.cpp.o"
+  "CMakeFiles/fv_traffic.dir/tcp.cpp.o.d"
+  "CMakeFiles/fv_traffic.dir/workload.cpp.o"
+  "CMakeFiles/fv_traffic.dir/workload.cpp.o.d"
+  "libfv_traffic.a"
+  "libfv_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fv_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

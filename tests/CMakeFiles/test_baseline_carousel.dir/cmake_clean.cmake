@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_baseline_carousel.dir/test_baseline_carousel.cpp.o"
+  "CMakeFiles/test_baseline_carousel.dir/test_baseline_carousel.cpp.o.d"
+  "test_baseline_carousel"
+  "test_baseline_carousel.pdb"
+  "test_baseline_carousel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_baseline_carousel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_baseline_hosts.dir/test_baseline_hosts.cpp.o"
+  "CMakeFiles/test_baseline_hosts.dir/test_baseline_hosts.cpp.o.d"
+  "test_baseline_hosts"
+  "test_baseline_hosts.pdb"
+  "test_baseline_hosts[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_baseline_hosts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_baseline_htb.dir/test_baseline_htb.cpp.o"
+  "CMakeFiles/test_baseline_htb.dir/test_baseline_htb.cpp.o.d"
+  "test_baseline_htb"
+  "test_baseline_htb.pdb"
+  "test_baseline_htb[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_baseline_htb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_baseline_pifo.dir/test_baseline_pifo.cpp.o"
+  "CMakeFiles/test_baseline_pifo.dir/test_baseline_pifo.cpp.o.d"
+  "test_baseline_pifo"
+  "test_baseline_pifo.pdb"
+  "test_baseline_pifo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_baseline_pifo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

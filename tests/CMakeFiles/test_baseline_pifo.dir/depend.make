@@ -1,0 +1,2 @@
+# Empty dependencies file for test_baseline_pifo.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_baseline_prio_htb_stack.dir/test_baseline_prio_htb_stack.cpp.o"
+  "CMakeFiles/test_baseline_prio_htb_stack.dir/test_baseline_prio_htb_stack.cpp.o.d"
+  "test_baseline_prio_htb_stack"
+  "test_baseline_prio_htb_stack.pdb"
+  "test_baseline_prio_htb_stack[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_baseline_prio_htb_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bucket_queue.dir/test_bucket_queue.cpp.o"
+  "CMakeFiles/test_bucket_queue.dir/test_bucket_queue.cpp.o.d"
+  "test_bucket_queue"
+  "test_bucket_queue.pdb"
+  "test_bucket_queue[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bucket_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

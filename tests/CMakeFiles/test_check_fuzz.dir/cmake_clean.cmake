@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_check_fuzz.dir/test_check_fuzz.cpp.o"
+  "CMakeFiles/test_check_fuzz.dir/test_check_fuzz.cpp.o.d"
+  "test_check_fuzz"
+  "test_check_fuzz.pdb"
+  "test_check_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_check_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

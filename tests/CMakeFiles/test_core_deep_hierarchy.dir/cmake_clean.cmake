@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_deep_hierarchy.dir/test_core_deep_hierarchy.cpp.o"
+  "CMakeFiles/test_core_deep_hierarchy.dir/test_core_deep_hierarchy.cpp.o.d"
+  "test_core_deep_hierarchy"
+  "test_core_deep_hierarchy.pdb"
+  "test_core_deep_hierarchy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_deep_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

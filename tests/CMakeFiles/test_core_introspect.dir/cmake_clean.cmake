@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_introspect.dir/test_core_introspect.cpp.o"
+  "CMakeFiles/test_core_introspect.dir/test_core_introspect.cpp.o.d"
+  "test_core_introspect"
+  "test_core_introspect.pdb"
+  "test_core_introspect[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_introspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

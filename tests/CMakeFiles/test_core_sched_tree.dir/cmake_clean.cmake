@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_sched_tree.dir/test_core_sched_tree.cpp.o"
+  "CMakeFiles/test_core_sched_tree.dir/test_core_sched_tree.cpp.o.d"
+  "test_core_sched_tree"
+  "test_core_sched_tree.pdb"
+  "test_core_sched_tree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_sched_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_scheduling_function.dir/test_core_scheduling_function.cpp.o"
+  "CMakeFiles/test_core_scheduling_function.dir/test_core_scheduling_function.cpp.o.d"
+  "test_core_scheduling_function"
+  "test_core_scheduling_function.pdb"
+  "test_core_scheduling_function[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_scheduling_function.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_device_contract.dir/test_device_contract.cpp.o"
+  "CMakeFiles/test_device_contract.dir/test_device_contract.cpp.o.d"
+  "test_device_contract"
+  "test_device_contract.pdb"
+  "test_device_contract[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_device_contract.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

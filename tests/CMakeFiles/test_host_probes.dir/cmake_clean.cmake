@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_host_probes.dir/test_host_probes.cpp.o"
+  "CMakeFiles/test_host_probes.dir/test_host_probes.cpp.o.d"
+  "test_host_probes"
+  "test_host_probes.pdb"
+  "test_host_probes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_host_probes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

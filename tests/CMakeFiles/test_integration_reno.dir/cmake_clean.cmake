@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_reno.dir/test_integration_reno.cpp.o"
+  "CMakeFiles/test_integration_reno.dir/test_integration_reno.cpp.o.d"
+  "test_integration_reno"
+  "test_integration_reno.pdb"
+  "test_integration_reno[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_reno.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

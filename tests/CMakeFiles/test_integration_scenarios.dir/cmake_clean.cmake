@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_scenarios.dir/test_integration_scenarios.cpp.o"
+  "CMakeFiles/test_integration_scenarios.dir/test_integration_scenarios.cpp.o.d"
+  "test_integration_scenarios"
+  "test_integration_scenarios.pdb"
+  "test_integration_scenarios[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

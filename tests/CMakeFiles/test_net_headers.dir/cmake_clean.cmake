@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net_headers.dir/test_net_headers.cpp.o"
+  "CMakeFiles/test_net_headers.dir/test_net_headers.cpp.o.d"
+  "test_net_headers"
+  "test_net_headers.pdb"
+  "test_net_headers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net_headers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_np_mat.dir/test_np_mat.cpp.o"
+  "CMakeFiles/test_np_mat.dir/test_np_mat.cpp.o.d"
+  "test_np_mat"
+  "test_np_mat.pdb"
+  "test_np_mat[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_np_mat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

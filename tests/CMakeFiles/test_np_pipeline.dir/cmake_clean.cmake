@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_np_pipeline.dir/test_np_pipeline.cpp.o"
+  "CMakeFiles/test_np_pipeline.dir/test_np_pipeline.cpp.o.d"
+  "test_np_pipeline"
+  "test_np_pipeline.pdb"
+  "test_np_pipeline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_np_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_np_reorder.dir/test_np_reorder.cpp.o"
+  "CMakeFiles/test_np_reorder.dir/test_np_reorder.cpp.o.d"
+  "test_np_reorder"
+  "test_np_reorder.pdb"
+  "test_np_reorder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_np_reorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

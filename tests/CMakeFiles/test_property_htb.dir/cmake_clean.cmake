@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property_htb.dir/test_property_htb.cpp.o"
+  "CMakeFiles/test_property_htb.dir/test_property_htb.cpp.o.d"
+  "test_property_htb"
+  "test_property_htb.pdb"
+  "test_property_htb[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property_htb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_smoke_scenarios.dir/test_smoke_scenarios.cpp.o"
+  "CMakeFiles/test_smoke_scenarios.dir/test_smoke_scenarios.cpp.o.d"
+  "test_smoke_scenarios"
+  "test_smoke_scenarios.pdb"
+  "test_smoke_scenarios[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_smoke_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

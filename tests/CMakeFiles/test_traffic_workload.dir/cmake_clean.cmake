@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_traffic_workload.dir/test_traffic_workload.cpp.o"
+  "CMakeFiles/test_traffic_workload.dir/test_traffic_workload.cpp.o.d"
+  "test_traffic_workload"
+  "test_traffic_workload.pdb"
+  "test_traffic_workload[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_traffic_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
