@@ -1,0 +1,186 @@
+// Fault sweep: injects every survivable fault kind — one at a time, at its
+// default intensity — into an overloaded FlowValve NP pipeline, and writes
+// BENCH_faults.json with the recovery record per fault (recovery time,
+// packets lost by mechanism) plus the full counter snapshot. The printed
+// table is the at-a-glance robustness report: every row must show the fault
+// recovered, and the loss column is the price the recovery layer paid.
+//
+// Usage: fault_sweep [--out PATH] [--quick] [--horizon-ms N] [--seed S]
+#include <cstdint>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/flowvalve.h"
+#include "fault/fault_plane.h"
+#include "np/flowvalve_processor.h"
+#include "np/nic_pipeline.h"
+#include "obs/export.h"
+#include "obs/json_writer.h"
+#include "obs/metrics_hub.h"
+#include "obs/recovery_tracker.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+#include "stats/stats.h"
+#include "traffic/generators.h"
+
+namespace {
+
+using namespace flowvalve;
+
+constexpr std::uint32_t kFrameBytes = 1518;
+constexpr unsigned kNumClasses = 4;
+
+std::string flat_policy(sim::Rate link) {
+  std::ostringstream s;
+  s << "fv qdisc add dev nic0 root handle 1: htb rate " << link.gbps() << "gbit\n";
+  for (unsigned i = 0; i < kNumClasses; ++i)
+    s << "fv class add dev nic0 parent 1: classid 1:1" << i << " name C" << i
+      << " weight 1\n";
+  for (unsigned i = 0; i < kNumClasses; ++i)
+    s << "fv filter add dev nic0 pref " << (10 * (i + 1)) << " vf " << i
+      << " classid 1:1" << i << "\n";
+  return s.str();
+}
+
+const fault::FaultKind kSweep[] = {
+    fault::FaultKind::kWorkerStall,   fault::FaultKind::kWorkerCrash,
+    fault::FaultKind::kWireDip,       fault::FaultKind::kTxBackpressure,
+    fault::FaultKind::kReorderStall,  fault::FaultKind::kCacheStorm,
+    fault::FaultKind::kCachePoison,
+};
+
+/// Run one fault kind and append its JSON object to `w`.
+void run_kind(fault::FaultKind kind, sim::SimTime horizon, std::uint64_t seed,
+              obs::JsonWriter& w, stats::TablePrinter& table) {
+  np::NpConfig cfg = np::agilio_cx_40g();
+  cfg.recovery.admission_enabled = true;
+
+  sim::Simulator sim;
+  core::FlowValveEngine engine(np::engine_options_for(cfg));
+  if (std::string err = engine.configure(flat_policy(cfg.wire_rate));
+      !err.empty()) {
+    std::cerr << "policy configure failed: " << err << "\n";
+    std::exit(1);
+  }
+
+  np::FlowValveProcessor processor(engine);
+  np::NicPipeline pipeline(sim, cfg, processor);
+  traffic::FlowRouter router(pipeline);
+  traffic::IdAllocator ids;
+
+  obs::MetricsHub hub(sim, pipeline, {.window = horizon / 10});
+  hub.attach_engine(engine);
+  obs::RecoveryTracker tracker;
+  hub.attach_recovery(&tracker);
+  hub.start();
+
+  fault::FaultPlane plane(sim, pipeline, &engine, &tracker);
+  // Inject at 1/3 of the horizon, clear at 1/2 — the back half of the run
+  // is the recovery + steady-state window.
+  const fault::FaultSchedule schedule =
+      fault::single_fault(kind, horizon / 3, horizon / 6, cfg);
+  plane.arm(schedule);
+
+  const sim::Rate offered = cfg.wire_rate * 1.3;  // sustained overload
+  const sim::Rng rng(seed);
+  std::vector<std::unique_ptr<traffic::CbrFlow>> flows;
+  for (unsigned i = 0; i < kNumClasses; ++i) {
+    traffic::FlowSpec fs;
+    fs.flow_id = ids.next_flow_id();
+    fs.app_id = i;
+    fs.vf_port = static_cast<std::uint16_t>(i);
+    fs.wire_bytes = kFrameBytes;
+    flows.push_back(std::make_unique<traffic::CbrFlow>(
+        sim, router, ids, fs, offered / double(kNumClasses),
+        rng.split("cbr").split(i), 0.05));
+  }
+  for (auto& f : flows) f->start();
+
+  sim.run_until(horizon);
+  for (auto& f : flows) f->stop();
+  hub.stop_sampling();
+  sim.run_all();
+  plane.finalize();
+
+  const obs::CounterSnapshot snap = hub.snapshot();
+  w.begin_object()
+      .key("fault").value(fault::fault_kind_name(kind))
+      .key("injected_at_ns").value(static_cast<std::int64_t>(horizon / 3))
+      .key("duration_ns").value(static_cast<std::int64_t>(horizon / 6));
+  w.key("counters");
+  obs::snapshot_json(w, snap);
+  w.key("recovery");
+  obs::recovery_json(w, tracker);
+  w.end_object();
+
+  const obs::FaultRecord* rec =
+      tracker.records().empty() ? nullptr : &tracker.records().front();
+  const double delivered_gbps = static_cast<double>(snap.nic.wire_bytes) * 8.0 /
+                                static_cast<double>(horizon);
+  table.add_row(
+      {fault::fault_kind_name(kind),
+       stats::TablePrinter::fmt(delivered_gbps, 2),
+       rec && rec->recovered() ? "yes" : "NO",
+       rec && rec->recovered()
+           ? stats::TablePrinter::fmt(double(rec->recovery_time()) / 1e6, 2)
+           : std::string("-"),
+       std::to_string(rec ? rec->lost_watchdog : 0),
+       std::to_string(rec ? rec->lost_timeout : 0),
+       std::to_string(rec ? rec->lost_admission : 0),
+       std::to_string(snap.nic.workers_repaired)});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_faults.json";
+  bool quick = false;
+  std::int64_t horizon_ms = 60;
+  std::uint64_t seed = 0xfau;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--horizon-ms") == 0 && i + 1 < argc) {
+      horizon_ms = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 0);
+    } else {
+      std::cerr << "usage: fault_sweep [--out PATH] [--quick] "
+                   "[--horizon-ms N] [--seed S]\n";
+      return 2;
+    }
+  }
+  const sim::SimTime horizon = sim::milliseconds(quick ? 15 : horizon_ms);
+
+  stats::TablePrinter table({"fault", "delivered_gbps", "recovered",
+                             "recovery_ms", "lost_watchdog", "lost_timeout",
+                             "lost_admission", "repaired"});
+
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("bench").value("fault_sweep");
+  w.key("frame_bytes").value(kFrameBytes);
+  w.key("classes").value(kNumClasses);
+  w.key("horizon_ns").value(static_cast<std::int64_t>(horizon));
+  w.key("offered_load").value(1.3);
+  w.key("seed").value(static_cast<std::int64_t>(seed));
+  w.key("runs").begin_array();
+  for (fault::FaultKind kind : kSweep)
+    run_kind(kind, horizon, seed, w, table);
+  w.end_array();
+  w.end_object();
+
+  table.print();
+  if (!obs::write_json_file(out_path, w.str())) {
+    std::cerr << "failed to write " << out_path << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+}

@@ -121,4 +121,10 @@ void CheckHarness::on_delivered(const net::Packet& pkt, sim::SimTime now) {
   for (auto& c : checkers_) c->on_delivered(pkt, now);
 }
 
+void CheckHarness::on_watchdog(const net::Packet& pkt, unsigned worker,
+                               std::uint64_t seq, sim::SimTime now) {
+  observe_clock(now);
+  for (auto& c : checkers_) c->on_watchdog(pkt, worker, seq, now);
+}
+
 }  // namespace flowvalve::check

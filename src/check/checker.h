@@ -80,6 +80,8 @@ class InvariantChecker {
   virtual void on_engine_result(const net::Packet&,
                                 const core::FlowValveEngine::Result&,
                                 sim::SimTime) {}
+  virtual void on_watchdog(const net::Packet&, unsigned /*worker*/,
+                           std::uint64_t /*ingress_seq*/, sim::SimTime) {}
   virtual void on_epoch(const SystemView&, sim::SimTime) {}
   virtual void on_finish(const SystemView&, sim::SimTime) {}
 
@@ -136,6 +138,8 @@ class CheckHarness final : public np::PipelineObserver {
   void on_drop(const net::Packet& pkt, np::DropReason reason, sim::SimTime now) override;
   void on_wire_tx(const net::Packet& pkt, sim::SimTime now) override;
   void on_delivered(const net::Packet& pkt, sim::SimTime now) override;
+  void on_watchdog(const net::Packet& pkt, unsigned worker, std::uint64_t seq,
+                   sim::SimTime now) override;
 
  private:
   SystemView view() const;

@@ -4,9 +4,11 @@
 //   fuzz_check --seeds 10 --differential   # FlowValve-vs-HTB share oracle
 //   fuzz_check --seed 0x2a -v              # re-run one seed, print scenario
 //   fuzz_check --seeds 3 --inject-fault leak --expect-violations
+//   fuzz_check --seeds 10 --chaos           # seeded fault schedules + recovery
 //
 // Every failing seed prints a one-line repro command; the same seed always
-// regenerates the identical scenario (see src/check/fuzzer.h).
+// regenerates the identical scenario (see src/check/fuzzer.h) and — under
+// --chaos — the identical fault schedule (see src/fault/fault.h).
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -15,6 +17,7 @@
 
 #include "check/fuzzer.h"
 #include "check/runner.h"
+#include "fault/fault.h"
 
 namespace {
 
@@ -28,6 +31,8 @@ void usage() {
       "  --tolerance F       differential share tolerance (default 0.1)\n"
       "  --inject-fault K    deliberate pipeline bug: leak | bypass\n"
       "  --every N           fault period for --inject-fault (default 97)\n"
+      "  --chaos             arm a seed-derived fault schedule per run and\n"
+      "                      check the pipeline survives + re-converges\n"
       "  --expect-violations exit 0 iff at least one seed reports violations\n"
       "  --horizon-ms M      override scenario horizon\n"
       "  -v, --verbose       print the full scenario for every seed\n");
@@ -76,6 +81,8 @@ int main(int argc, char** argv) {
       fault_kind = value();
     } else if (!std::strcmp(arg, "--every")) {
       fault_every = parse_u64(value());
+    } else if (!std::strcmp(arg, "--chaos")) {
+      opts.chaos = true;
     } else if (!std::strcmp(arg, "--expect-violations")) {
       expect_violations = true;
     } else if (!std::strcmp(arg, "--horizon-ms")) {
@@ -94,15 +101,20 @@ int main(int argc, char** argv) {
   }
 
   if (fault_kind) {
+    fault::FaultEvent ev;  // permanent from t=0: the legacy injected bugs
+    ev.at = 0;
+    ev.duration = 0;
+    ev.period = fault_every;
     if (!std::strcmp(fault_kind, "leak")) {
-      opts.faults.leak_commit_every = fault_every;
+      ev.kind = fault::FaultKind::kLeakCommit;
     } else if (!std::strcmp(fault_kind, "bypass")) {
-      opts.faults.bypass_reorder_every = fault_every;
+      ev.kind = fault::FaultKind::kBypassReorder;
     } else {
       std::fprintf(stderr, "fuzz_check: unknown fault '%s' (leak|bypass)\n",
                    fault_kind);
       return 2;
     }
+    opts.faults.push_back(ev);
   }
 
   std::uint64_t failures = 0;
@@ -113,6 +125,11 @@ int main(int argc, char** argv) {
           opts.differential ? check::generate_differential_scenario(s)
                             : check::generate_scenario(s);
       std::fputs(sc.describe().c_str(), stdout);
+      if (opts.chaos)
+        std::fputs(fault::describe_schedule(
+                       fault::generate_fault_schedule(s, sc.horizon, sc.nic))
+                       .c_str(),
+                   stdout);
     }
     const check::CheckReport report = check::run_seed(s, opts);
     std::printf("%s\n", report.summary().c_str());
@@ -126,9 +143,10 @@ int main(int argc, char** argv) {
                     static_cast<unsigned long long>(report.violation_total -
                                                     report.violations.size()));
       if (!single_seed)
-        std::printf("  repro: fuzz_check --seed 0x%llx%s%s -v\n",
+        std::printf("  repro: fuzz_check --seed 0x%llx%s%s%s -v\n",
                     static_cast<unsigned long long>(s),
                     opts.differential ? " --differential" : "",
+                    opts.chaos ? " --chaos" : "",
                     fault_kind ? (std::string(" --inject-fault ") + fault_kind)
                                      .c_str()
                                : "");

@@ -16,7 +16,8 @@ std::string fmt_u64(std::uint64_t v) { return std::to_string(v); }
 // ---------------------------------------------------------------- counts --
 
 /// Packet conservation: every submitted packet is eventually accounted for
-/// as exactly one of {wire, vf-ring drop, scheduler drop, tx-ring drop}.
+/// as exactly one of {wire, vf-ring drop, scheduler drop, tx-ring drop,
+/// reorder flush/timeout, watchdog abort, admission drop}.
 /// While running, the residual must equal the pipeline's in_flight gauge;
 /// at quiescence the residual must be zero and the hook-side counts must
 /// reconcile with the pipeline's own Stats.
@@ -32,12 +33,16 @@ class ConservationChecker final : public InvariantChecker {
       case np::DropReason::kScheduler: ++sched_drops_; break;
       case np::DropReason::kTxRingFull: ++tx_drops_; break;
       case np::DropReason::kReorderFlush: ++flush_drops_; break;
+      case np::DropReason::kReorderTimeout: ++timeout_drops_; break;
+      case np::DropReason::kWatchdogAbort: ++watchdog_drops_; break;
+      case np::DropReason::kAdmission: ++admission_drops_; break;
     }
   }
 
   void on_epoch(const SystemView& v, sim::SimTime now) override {
-    const std::uint64_t accounted =
-        wire_ + vf_drops_ + sched_drops_ + tx_drops_ + flush_drops_;
+    const std::uint64_t accounted = wire_ + vf_drops_ + sched_drops_ +
+                                    tx_drops_ + flush_drops_ + timeout_drops_ +
+                                    watchdog_drops_ + admission_drops_;
     if (accounted > submitted_) {
       fail(now, "accounted " + fmt_u64(accounted) + " packets > submitted " +
                     fmt_u64(submitted_));
@@ -52,8 +57,9 @@ class ConservationChecker final : public InvariantChecker {
 
   void on_finish(const SystemView& v, sim::SimTime now) override {
     const auto& s = v.pipeline->stats();
-    const std::uint64_t drops =
-        vf_drops_ + sched_drops_ + tx_drops_ + flush_drops_;
+    const std::uint64_t drops = vf_drops_ + sched_drops_ + tx_drops_ +
+                                flush_drops_ + timeout_drops_ +
+                                watchdog_drops_ + admission_drops_;
     if (submitted_ != wire_ + drops)
       fail(now, "at drain: submitted " + fmt_u64(submitted_) + " != wire " +
                     fmt_u64(wire_) + " + drops " + fmt_u64(drops));
@@ -61,15 +67,23 @@ class ConservationChecker final : public InvariantChecker {
       fail(now, "at drain: in_flight = " + fmt_u64(v.pipeline->in_flight()));
     if (s.submitted != submitted_ || s.forwarded_to_wire != wire_ ||
         s.vf_ring_drops != vf_drops_ || s.scheduler_drops != sched_drops_ ||
-        s.tx_ring_drops != tx_drops_ || s.reorder_flush_drops != flush_drops_)
+        s.tx_ring_drops != tx_drops_ || s.reorder_flush_drops != flush_drops_ ||
+        s.reorder_timeout_drops != timeout_drops_ ||
+        s.watchdog_drops != watchdog_drops_ ||
+        s.admission_drops != admission_drops_)
       fail(now, "pipeline Stats disagree with observed events (stats: " +
                     fmt_u64(s.submitted) + "/" + fmt_u64(s.forwarded_to_wire) +
                     "/" + fmt_u64(s.vf_ring_drops) + "/" +
                     fmt_u64(s.scheduler_drops) + "/" + fmt_u64(s.tx_ring_drops) +
-                    "/" + fmt_u64(s.reorder_flush_drops) + ", observed: " +
+                    "/" + fmt_u64(s.reorder_flush_drops) + "/" +
+                    fmt_u64(s.reorder_timeout_drops) + "/" +
+                    fmt_u64(s.watchdog_drops) + "/" +
+                    fmt_u64(s.admission_drops) + ", observed: " +
                     fmt_u64(submitted_) + "/" + fmt_u64(wire_) + "/" +
                     fmt_u64(vf_drops_) + "/" + fmt_u64(sched_drops_) + "/" +
-                    fmt_u64(tx_drops_) + "/" + fmt_u64(flush_drops_) + ")");
+                    fmt_u64(tx_drops_) + "/" + fmt_u64(flush_drops_) + "/" +
+                    fmt_u64(timeout_drops_) + "/" + fmt_u64(watchdog_drops_) +
+                    "/" + fmt_u64(admission_drops_) + ")");
     if (v.delivered_packets != wire_)
       fail(now, "delivered " + fmt_u64(v.delivered_packets) +
                     " != wire transmissions " + fmt_u64(wire_));
@@ -82,6 +96,9 @@ class ConservationChecker final : public InvariantChecker {
   std::uint64_t sched_drops_ = 0;
   std::uint64_t tx_drops_ = 0;
   std::uint64_t flush_drops_ = 0;
+  std::uint64_t timeout_drops_ = 0;
+  std::uint64_t watchdog_drops_ = 0;
+  std::uint64_t admission_drops_ = 0;
 };
 
 // -------------------------------------------------------------- ordering --
@@ -227,7 +244,10 @@ class WireConformanceChecker final : public InvariantChecker {
 
 /// Run-to-completion: a worker micro-engine handles one packet at a time,
 /// so its busy intervals never overlap, and total dispatches reconcile with
-/// the pipeline's processed count.
+/// the pipeline's processed count. A watchdog abort ends the worker's busy
+/// interval early and may re-dispatch the salvaged packet (original
+/// ingress_seq) out of global sequence order — both are accepted only when
+/// announced through on_watchdog first.
 class WorkerExclusivityChecker final : public InvariantChecker {
  public:
   std::string_view name() const override { return "worker-exclusivity"; }
@@ -240,11 +260,21 @@ class WorkerExclusivityChecker final : public InvariantChecker {
                     std::to_string(now) + " while busy until " +
                     std::to_string(busy_until_[worker]));
     busy_until_[worker] = now + busy;
-    if (seq != next_seq_)
+    if (seq == next_seq_) {
+      ++next_seq_;
+    } else if (requeued_.erase(seq) == 0) {
       fail(now, "ingress_seq " + fmt_u64(seq) + " out of order (expected " +
-                    fmt_u64(next_seq_) + ")");
-    next_seq_ = seq + 1;
+                    fmt_u64(next_seq_) + ", not a watchdog requeue)");
+      next_seq_ = seq + 1;
+    }
     ++dispatches_;
+  }
+
+  void on_watchdog(const net::Packet&, unsigned worker, std::uint64_t seq,
+                   sim::SimTime now) override {
+    if (worker >= busy_until_.size()) busy_until_.resize(worker + 1, 0);
+    busy_until_[worker] = now;
+    requeued_.insert(seq);
   }
 
   void on_finish(const SystemView& v, sim::SimTime now) override {
@@ -255,6 +285,7 @@ class WorkerExclusivityChecker final : public InvariantChecker {
 
  private:
   std::vector<sim::SimTime> busy_until_;
+  std::unordered_set<std::uint64_t> requeued_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t dispatches_ = 0;
 };

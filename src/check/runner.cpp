@@ -4,9 +4,12 @@
 #include <memory>
 #include <sstream>
 
+#include "check/convergence.h"
 #include "check/differential.h"
 #include "core/flowvalve.h"
+#include "fault/fault_plane.h"
 #include "np/flowvalve_processor.h"
+#include "obs/recovery_tracker.h"
 #include "traffic/generators.h"
 #include "traffic/tcp.h"
 
@@ -95,6 +98,21 @@ Source make_source(sim::Simulator& sim, traffic::FlowRouter& router,
   return src;
 }
 
+/// Last instant at which a timed fault clears (0 if the schedule is empty
+/// or all events are permanent).
+sim::SimTime last_fault_clear(const fault::FaultSchedule& schedule) {
+  sim::SimTime last = 0;
+  for (const fault::FaultEvent& ev : schedule)
+    if (ev.duration > 0) last = std::max(last, ev.at + ev.duration);
+  return last;
+}
+
+bool has_permanent_fault(const fault::FaultSchedule& schedule) {
+  for (const fault::FaultEvent& ev : schedule)
+    if (ev.duration <= 0) return true;
+  return false;
+}
+
 }  // namespace
 
 CheckReport run_scenario(const FuzzScenario& sc, const RunOptions& opts) {
@@ -126,6 +144,36 @@ CheckReport run_scenario(const FuzzScenario& sc, const RunOptions& opts) {
     harness.add(std::move(c));
   }
 
+  obs::RecoveryTracker tracker;
+  std::unique_ptr<fault::FaultPlane> plane;
+  if (!opts.faults.empty()) {
+    plane = std::make_unique<fault::FaultPlane>(sim, pipeline, &engine,
+                                                &tracker);
+    plane->arm(opts.faults);
+
+    // Re-convergence bar: after the last timed fault clears and the pipeline
+    // has had `recovery_settle` to heal, per-VF wire shares must match the
+    // weighted-fair allocation. Only meaningful for the differential family
+    // (whose fair shares have a closed form) and only when every armed fault
+    // actually clears before the horizon.
+    const sim::SimTime from = last_fault_clear(opts.faults) + opts.recovery_settle;
+    if (opts.differential && !has_permanent_fault(opts.faults) &&
+        from < sc.horizon) {
+      double total_bps = 0.0;
+      for (const FuzzLeaf& l : sc.leaves) total_bps += l.static_share.bps();
+      std::vector<double> expected;
+      if (total_bps > 0.0) {
+        for (const FuzzLeaf& l : sc.leaves) {
+          if (l.vf >= expected.size()) expected.resize(l.vf + 1, 0.0);
+          expected[l.vf] += l.static_share.bps() / total_bps;
+        }
+        harness.add(std::make_unique<ShareConvergenceChecker>(
+            std::move(expected), from, sc.horizon,
+            opts.convergence_tolerance));
+      }
+    }
+  }
+
   const sim::Rng rng(sc.seed);
   std::vector<Source> sources;
   sources.reserve(sc.flows.size());
@@ -143,9 +191,14 @@ CheckReport run_scenario(const FuzzScenario& sc, const RunOptions& opts) {
   for (Source& src : sources) src.stop();
   harness.stop_sampling();
   sim.run_all();  // drain every in-flight packet to quiescence
+  if (plane) plane->finalize();
   harness.finish();
 
   report.nic = pipeline.stats();
+  report.faults_injected = tracker.injected();
+  report.faults_recovered = tracker.recovered();
+  report.packets_lost_to_faults = tracker.total_packets_lost();
+  report.worst_recovery = tracker.worst_recovery_time();
   report.events = sim.events_executed();
   report.delivered = harness.delivered_packets();
   report.violation_total = harness.sink().total();
@@ -176,10 +229,23 @@ CheckReport run_scenario(const FuzzScenario& sc, const RunOptions& opts) {
 CheckReport run_seed(std::uint64_t seed, const RunOptions& opts) {
   FuzzScenario sc = opts.differential ? generate_differential_scenario(seed)
                                       : generate_scenario(seed);
-  sc.nic.faults = opts.faults;
-  // The bypass fault only exists on the reorder path; injecting it into a
-  // scenario that rolled reorder off would be a silent no-op.
-  if (opts.faults.bypass_reorder_every != 0) sc.nic.enforce_reorder = true;
+  RunOptions effective = opts;
+  if (opts.chaos) {
+    fault::FaultSchedule extra =
+        fault::generate_fault_schedule(seed, sc.horizon, sc.nic);
+    effective.faults.insert(effective.faults.end(), extra.begin(), extra.end());
+  }
+  if (!effective.faults.empty()) {
+    // Fault runs exercise the full recovery layer, including graceful
+    // degradation; the admission knob defaults off to keep fault-free
+    // baselines byte-exact.
+    sc.nic.recovery.admission_enabled = true;
+    // The bypass fault only exists on the reorder path; injecting it into a
+    // scenario that rolled reorder off would be a silent no-op.
+    for (const fault::FaultEvent& ev : effective.faults)
+      if (ev.kind == fault::FaultKind::kBypassReorder)
+        sc.nic.enforce_reorder = true;
+  }
   if (opts.horizon_override > 0) {
     sc.horizon = opts.horizon_override;
     for (FuzzFlow& f : sc.flows) {
@@ -188,7 +254,7 @@ CheckReport run_seed(std::uint64_t seed, const RunOptions& opts) {
       if (f.stop <= f.start) f.stop = sc.horizon;
     }
   }
-  return run_scenario(sc, opts);
+  return run_scenario(sc, effective);
 }
 
 std::string CheckReport::summary() const {
@@ -197,9 +263,13 @@ std::string CheckReport::summary() const {
     << (differential ? " [diff]" : "") << ": " << (ok() ? "OK" : "FAIL") << " ("
     << nic.submitted << " submitted, " << nic.forwarded_to_wire << " on wire, "
     << (nic.vf_ring_drops + nic.scheduler_drops + nic.tx_ring_drops +
-        nic.reorder_flush_drops)
+        nic.reorder_flush_drops + nic.reorder_timeout_drops +
+        nic.watchdog_drops + nic.admission_drops)
     << " dropped, " << events << " events";
   if (differential) s << ", worst share delta " << worst_share_delta;
+  if (faults_injected > 0)
+    s << ", " << faults_injected << " faults / " << faults_recovered
+      << " recovered / " << packets_lost_to_faults << " pkts lost";
   if (!ok()) s << ", " << violation_total << " violations";
   s << ")";
   return s.str();

@@ -10,6 +10,7 @@
 
 #include "check/checker.h"
 #include "check/fuzzer.h"
+#include "fault/fault.h"
 #include "np/nic_pipeline.h"
 
 namespace flowvalve::check {
@@ -22,8 +23,18 @@ struct RunOptions {
   /// systems approximate weighted fairness with different mechanisms (token
   /// borrowing vs DRR), so exact agreement is not expected.
   double share_tolerance = 0.1;
-  /// Deliberate pipeline bugs (checker-validation runs).
-  np::NpConfig::PipelineFaults faults;
+  /// Fault schedule armed via a FaultPlane against the running pipeline
+  /// (empty ⇒ no plane). Permanent leak/bypass events are the old
+  /// checker-validation faults; timed events exercise the recovery layer.
+  fault::FaultSchedule faults;
+  /// Also derive a seed-specific chaos schedule (generate_fault_schedule)
+  /// and arm it alongside `faults`.
+  bool chaos = false;
+  /// Settling time after the last timed fault clears before the share
+  /// re-convergence window opens (differential runs with faults only).
+  sim::SimDuration recovery_settle = sim::milliseconds(30);
+  /// Max |vf share − fair share| tolerated inside the convergence window.
+  double convergence_tolerance = 0.10;
   /// If > 0, overrides the generated scenario horizon.
   sim::SimDuration horizon_override = 0;
 };
@@ -44,11 +55,18 @@ struct CheckReport {
   std::vector<double> expected_shares;
   double worst_share_delta = 0.0;
 
+  // Fault-plane extras (zero when no schedule was armed).
+  std::uint64_t faults_injected = 0;
+  std::uint64_t faults_recovered = 0;
+  std::uint64_t packets_lost_to_faults = 0;
+  sim::SimDuration worst_recovery = 0;  // longest clear→healthy interval
+
   bool ok() const { return violation_total == 0; }
   std::string summary() const;  // one line
 };
 
-/// Run one already-expanded scenario (faults must be set in sc.nic.faults).
+/// Run one already-expanded scenario; the fault schedule (if any) comes
+/// from opts.faults — opts.chaos is resolved by run_seed, not here.
 CheckReport run_scenario(const FuzzScenario& sc, const RunOptions& opts = {});
 
 /// Expand `seed` (standard or differential family per opts), apply option

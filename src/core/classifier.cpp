@@ -90,6 +90,29 @@ void ExactMatchFlowCache::clear() {
   stats_ = Stats{};
 }
 
+std::size_t ExactMatchFlowCache::invalidate_all() {
+  std::size_t flushed = 0;
+  for (Entry& e : ways_) {
+    if (!e.valid) continue;
+    e = Entry{};
+    ++flushed;
+  }
+  stats_.evictions += flushed;
+  return flushed;
+}
+
+std::size_t ExactMatchFlowCache::poison(std::size_t stride, ClassLabelId label_count) {
+  if (stride == 0 || label_count < 2) return 0;
+  std::size_t seen = 0, poisoned = 0;
+  for (Entry& e : ways_) {
+    if (!e.valid) continue;
+    if (seen++ % stride != 0) continue;
+    e.label = static_cast<ClassLabelId>((e.label + 1) % label_count);
+    ++poisoned;
+  }
+  return poisoned;
+}
+
 // ---------------------------------------------------------- Classifier ----
 
 Classifier::Classifier(ClassifierCosts costs, std::size_t cache_capacity)

@@ -85,6 +85,17 @@ class ExactMatchFlowCache {
               std::uint64_t now_tick);
   void clear();
 
+  /// Fault injection: drop every valid entry (an eviction storm). Unlike
+  /// clear(), running stats survive and the flushed entries count as
+  /// evictions. Returns the number of entries flushed.
+  std::size_t invalidate_all();
+
+  /// Fault injection: corrupt the label of every `stride`-th valid entry to
+  /// (label + 1) % label_count — a deterministic model of EMC state
+  /// corruption. Subsequent hits return the wrong class until the entry is
+  /// evicted or flushed. Returns the number of entries poisoned.
+  std::size_t poison(std::size_t stride, ClassLabelId label_count);
+
   const Stats& stats() const { return stats_; }
   std::size_t capacity() const { return ways_.size(); }
 
@@ -127,6 +138,8 @@ class Classifier {
   Result classify(const net::Packet& pkt, std::uint64_t now_tick);
 
   const ExactMatchFlowCache& cache() const { return cache_; }
+  /// Mutable cache access for fault injection (poison / eviction storms).
+  ExactMatchFlowCache& cache_for_fault() { return cache_; }
   std::size_t rule_count() const { return rules_.size(); }
   /// Rules in evaluation (pref) order — used by the MAT compiler and tests.
   const std::vector<FilterRule>& rules() const { return rules_; }

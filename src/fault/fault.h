@@ -1,0 +1,89 @@
+// Deterministic fault-injection plane: what can break, and when.
+//
+// A FaultSchedule is a list of seeded, reproducible fault events to throw
+// at a running NicPipeline (and optionally its FlowValveEngine). The
+// FaultPlane (fault_plane.h) arms the schedule against the simulator,
+// injects each fault at its instant, clears it after its duration, and then
+// probes the pipeline until it is healthy again, recording recovery time
+// and packets lost into an obs::RecoveryTracker.
+//
+// Fault model (ISSUE 3 / paper §III-B failure modes):
+//   kWorkerStall     micro-engine context freezes for the fault duration;
+//                    an in-progress packet finishes late (or is salvaged by
+//                    the watchdog if the freeze blows the cycle budget)
+//   kWorkerCrash     micro-engine dies; its in-progress packet never
+//                    completes and only the watchdog can salvage it
+//   kWireDip         the Tx drain slows to `magnitude` × wire rate
+//                    (0 pauses the port entirely)
+//   kTxBackpressure  the shared Tx ring shrinks to `magnitude` × capacity
+//   kReorderStall    the reorder release pointer freezes; completions park
+//   kCacheStorm      periodic full eviction of the exact-match flow cache
+//   kCachePoison     a fraction of cached labels is corrupted in place
+//   kLeakCommit      every Nth forwarded packet vanishes uncommitted
+//                    (checker-validation bug, not a survivable fault)
+//   kBypassReorder   every Nth forwarded packet jumps the reorder queue
+//                    (checker-validation bug, not a survivable fault)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "np/np_config.h"
+#include "sim/rng.h"
+#include "sim/time.h"
+
+namespace flowvalve::fault {
+
+enum class FaultKind : std::uint8_t {
+  kWorkerStall,
+  kWorkerCrash,
+  kWireDip,
+  kTxBackpressure,
+  kReorderStall,
+  kCacheStorm,
+  kCachePoison,
+  kLeakCommit,
+  kBypassReorder,
+};
+
+const char* fault_kind_name(FaultKind kind);
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kWorkerStall;
+  sim::SimTime at = 0;          // injection instant
+  sim::SimDuration duration = 0;  // 0 ⇒ permanent (worker/leak/bypass kinds)
+
+  // Worker faults: contiguous targets [worker, worker + worker_count).
+  unsigned worker = 0;
+  unsigned worker_count = 1;
+
+  // Kind-specific intensity: wire factor (kWireDip), capacity fraction
+  // (kTxBackpressure), poisoned fraction (kCachePoison). Unused otherwise.
+  double magnitude = 0.0;
+
+  // kCacheStorm: eviction interval (0 ⇒ duration / 8).
+  // kLeakCommit / kBypassReorder: the every-Nth modulo (0 ⇒ 97).
+  sim::SimDuration period = 0;
+
+  std::string describe() const;
+};
+
+using FaultSchedule = std::vector<FaultEvent>;
+
+/// One fault of `kind` at its ISSUE-3 "default intensity": a quarter of the
+/// workers stalled/crashed, the wire dipped to 25%, the Tx ring cut to 10%,
+/// half the flow cache poisoned, an eviction storm every duration/8.
+FaultSchedule single_fault(FaultKind kind, sim::SimTime at,
+                           sim::SimDuration duration, const np::NpConfig& cfg);
+
+/// Seeded chaos schedule for fuzzing: 1–4 non-overlapping-per-kind faults
+/// inside [0.2, 0.7] × horizon, every one cleared by 0.9 × horizon so the
+/// run can drain and re-converge. Same seed ⇒ identical schedule.
+FaultSchedule generate_fault_schedule(std::uint64_t seed,
+                                      sim::SimDuration horizon,
+                                      const np::NpConfig& cfg);
+
+std::string describe_schedule(const FaultSchedule& schedule);
+
+}  // namespace flowvalve::fault

@@ -1,0 +1,372 @@
+#include "fault/fault_plane.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace flowvalve::fault {
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kWorkerStall: return "worker-stall";
+    case FaultKind::kWorkerCrash: return "worker-crash";
+    case FaultKind::kWireDip: return "wire-dip";
+    case FaultKind::kTxBackpressure: return "tx-backpressure";
+    case FaultKind::kReorderStall: return "reorder-stall";
+    case FaultKind::kCacheStorm: return "cache-storm";
+    case FaultKind::kCachePoison: return "cache-poison";
+    case FaultKind::kLeakCommit: return "leak-commit";
+    case FaultKind::kBypassReorder: return "bypass-reorder";
+  }
+  return "unknown";
+}
+
+std::string FaultEvent::describe() const {
+  std::ostringstream s;
+  s << fault_kind_name(kind) << " at=" << at << "ns dur=" << duration << "ns";
+  switch (kind) {
+    case FaultKind::kWorkerStall:
+    case FaultKind::kWorkerCrash:
+      s << " workers=[" << worker << "," << worker + worker_count << ")";
+      break;
+    case FaultKind::kWireDip:
+    case FaultKind::kTxBackpressure:
+    case FaultKind::kCachePoison:
+      s << " magnitude=" << magnitude;
+      break;
+    case FaultKind::kCacheStorm:
+      s << " period=" << period << "ns";
+      break;
+    case FaultKind::kLeakCommit:
+    case FaultKind::kBypassReorder:
+      s << " every=" << (period > 0 ? period : 97);
+      break;
+    case FaultKind::kReorderStall:
+      break;
+  }
+  return s.str();
+}
+
+std::string describe_schedule(const FaultSchedule& schedule) {
+  std::ostringstream s;
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    if (i) s << "; ";
+    s << schedule[i].describe();
+  }
+  return s.str();
+}
+
+namespace {
+
+/// Kinds whose clearing is a restore of shared state — a zero duration
+/// would leave the pipeline degraded forever and the run could never
+/// drain, so these get a floor instead of "permanent".
+bool needs_duration_floor(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kWireDip:
+    case FaultKind::kTxBackpressure:
+    case FaultKind::kReorderStall:
+    case FaultKind::kCacheStorm:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+FaultSchedule single_fault(FaultKind kind, sim::SimTime at,
+                           sim::SimDuration duration, const np::NpConfig& cfg) {
+  FaultEvent ev;
+  ev.kind = kind;
+  ev.at = at;
+  ev.duration = duration;
+  switch (kind) {
+    case FaultKind::kWorkerStall:
+    case FaultKind::kWorkerCrash:
+      ev.worker = 0;
+      ev.worker_count = std::max(1u, cfg.num_workers / 4);
+      break;
+    case FaultKind::kWireDip: ev.magnitude = 0.25; break;
+    case FaultKind::kTxBackpressure: ev.magnitude = 0.10; break;
+    case FaultKind::kCachePoison: ev.magnitude = 0.50; break;
+    case FaultKind::kCacheStorm: ev.period = duration / 8; break;
+    case FaultKind::kReorderStall: break;
+    case FaultKind::kLeakCommit:
+    case FaultKind::kBypassReorder:
+      ev.period = 97;
+      break;
+  }
+  return {ev};
+}
+
+FaultSchedule generate_fault_schedule(std::uint64_t seed,
+                                      sim::SimDuration horizon,
+                                      const np::NpConfig& cfg) {
+  sim::Rng rng = sim::Rng(seed).split("fault-schedule");
+  // Distinct kinds per schedule: it also guarantees same-kind faults never
+  // overlap, so each clearing restores exactly the state its injection
+  // changed. Leak/bypass are deliberate accounting bugs, not survivable
+  // faults — a chaos run must stay checker-clean, so they are excluded.
+  std::vector<FaultKind> pool = {
+      FaultKind::kWorkerStall,  FaultKind::kWorkerCrash,
+      FaultKind::kWireDip,      FaultKind::kTxBackpressure,
+      FaultKind::kReorderStall, FaultKind::kCacheStorm,
+      FaultKind::kCachePoison,
+  };
+  const std::size_t n = 1 + rng.next_below(4);
+  FaultSchedule out;
+  for (std::size_t i = 0; i < n && !pool.empty(); ++i) {
+    const std::size_t pick = rng.next_below(pool.size());
+    const FaultKind kind = pool[pick];
+    pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(pick));
+
+    FaultEvent ev;
+    ev.kind = kind;
+    ev.at = static_cast<sim::SimTime>(static_cast<double>(horizon) *
+                                      rng.uniform(0.2, 0.6));
+    ev.duration = static_cast<sim::SimDuration>(static_cast<double>(horizon) *
+                                                rng.uniform(0.05, 0.2));
+    // Everything must clear by 0.9 × horizon so the run drains and the
+    // shares have a window to re-converge in.
+    const sim::SimTime latest_clear =
+        static_cast<sim::SimTime>(static_cast<double>(horizon) * 0.9);
+    if (ev.at + ev.duration > latest_clear)
+      ev.duration = std::max<sim::SimDuration>(latest_clear - ev.at,
+                                               sim::microseconds(200));
+    switch (kind) {
+      case FaultKind::kWorkerStall:
+      case FaultKind::kWorkerCrash: {
+        const unsigned span = std::max(1u, cfg.num_workers / 4);
+        ev.worker_count = 1 + static_cast<unsigned>(rng.next_below(span));
+        ev.worker = static_cast<unsigned>(
+            rng.next_below(std::max(1u, cfg.num_workers - ev.worker_count + 1)));
+        break;
+      }
+      case FaultKind::kWireDip: ev.magnitude = rng.uniform(0.0, 0.5); break;
+      case FaultKind::kTxBackpressure:
+        ev.magnitude = rng.uniform(0.05, 0.3);
+        break;
+      case FaultKind::kCachePoison:
+        ev.magnitude = rng.uniform(0.25, 0.75);
+        break;
+      case FaultKind::kCacheStorm:
+        ev.period = ev.duration / (4 + rng.next_below(8));
+        break;
+      case FaultKind::kReorderStall:
+      case FaultKind::kLeakCommit:
+      case FaultKind::kBypassReorder:
+        break;
+    }
+    out.push_back(ev);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FaultEvent& a, const FaultEvent& b) { return a.at < b.at; });
+  return out;
+}
+
+// --- FaultPlane ------------------------------------------------------------
+
+FaultPlane::FaultPlane(sim::Simulator& sim, np::NicPipeline& pipeline,
+                       core::FlowValveEngine* engine,
+                       obs::RecoveryTracker* tracker, Options options)
+    : sim_(sim),
+      pipeline_(pipeline),
+      engine_(engine),
+      tracker_(tracker),
+      options_(options) {}
+
+sim::SimDuration FaultPlane::probe_period() const {
+  if (options_.probe_period > 0) return options_.probe_period;
+  return std::max<sim::SimDuration>(sim::microseconds(100),
+                                    pipeline_.watchdog_period());
+}
+
+FaultPlane::Counters FaultPlane::read_counters() const {
+  const auto& s = pipeline_.stats();
+  return Counters{s.watchdog_drops, s.reorder_timeout_drops,
+                  s.admission_drops};
+}
+
+void FaultPlane::arm(const FaultSchedule& schedule) {
+  const unsigned workers = pipeline_.config().num_workers;
+  for (const FaultEvent& src : schedule) {
+    auto holder = std::make_unique<ActiveFault>();
+    ActiveFault* f = holder.get();
+    f->ev = src;
+    if (f->ev.duration <= 0 && needs_duration_floor(f->ev.kind))
+      f->ev.duration = sim::milliseconds(1);
+    if (f->ev.kind == FaultKind::kWorkerStall ||
+        f->ev.kind == FaultKind::kWorkerCrash) {
+      f->ev.worker = std::min(f->ev.worker, workers - 1);
+      f->ev.worker_count =
+          std::min(f->ev.worker_count, workers - f->ev.worker);
+      // A permanent fault must leave at least one micro-engine alive or
+      // nothing could ever drain the rings.
+      if (f->ev.duration <= 0 && f->ev.worker_count >= workers)
+        f->ev.worker_count = workers - 1;
+      if (f->ev.worker_count == 0) continue;
+    }
+    active_.push_back(std::move(holder));
+    sim_.schedule_at(std::max<sim::SimTime>(f->ev.at, 0),
+                     [this, f] { inject(*f); });
+    if (f->ev.duration > 0)
+      sim_.schedule_at(std::max<sim::SimTime>(f->ev.at, 0) + f->ev.duration,
+                       [this, f] { clear(*f); });
+  }
+}
+
+void FaultPlane::inject(ActiveFault& f) {
+  f.rec.kind = fault_kind_name(f.ev.kind);
+  f.rec.injected_at = sim_.now();
+  f.at_inject = read_counters();
+  const FaultEvent& ev = f.ev;
+  switch (ev.kind) {
+    case FaultKind::kWorkerStall:
+      for (unsigned w = ev.worker; w < ev.worker + ev.worker_count; ++w) {
+        // A zero-duration stall never resumes: model it as a crash.
+        if (ev.duration > 0)
+          pipeline_.fault_stall_worker(w, ev.duration);
+        else
+          pipeline_.fault_crash_worker(w);
+      }
+      break;
+    case FaultKind::kWorkerCrash:
+      for (unsigned w = ev.worker; w < ev.worker + ev.worker_count; ++w)
+        pipeline_.fault_crash_worker(w);
+      break;
+    case FaultKind::kWireDip:
+      pipeline_.fault_set_wire_factor(std::clamp(ev.magnitude, 0.0, 1.0));
+      break;
+    case FaultKind::kTxBackpressure: {
+      const auto cap = static_cast<std::size_t>(
+          static_cast<double>(pipeline_.config().tx_ring_capacity) *
+              std::clamp(ev.magnitude, 0.0, 1.0) +
+          0.5);
+      pipeline_.fault_set_tx_capacity(std::max<std::size_t>(1, cap));
+      break;
+    }
+    case FaultKind::kReorderStall:
+      pipeline_.fault_freeze_reorder(true);
+      break;
+    case FaultKind::kCacheStorm: {
+      if (!engine_) break;
+      engine_->classifier().cache_for_fault().invalidate_all();
+      sim::SimDuration period = ev.period > 0 ? ev.period : ev.duration / 8;
+      period = std::max<sim::SimDuration>(period, sim::microseconds(10));
+      storm_tick(&f, sim_.now() + ev.duration, period);
+      break;
+    }
+    case FaultKind::kCachePoison: {
+      if (!engine_) break;
+      const double fraction = std::clamp(ev.magnitude, 0.01, 1.0);
+      const auto stride = static_cast<std::size_t>(
+          std::max(1.0, std::round(1.0 / fraction)));
+      const auto label_count = static_cast<net::ClassLabelId>(
+          engine_->frontend().labels().size());
+      engine_->classifier().cache_for_fault().poison(stride, label_count);
+      break;
+    }
+    case FaultKind::kLeakCommit: {
+      np::InjectedFaults inj = pipeline_.injected_faults();
+      inj.leak_commit_every = ev.period > 0 ? ev.period : 97;
+      pipeline_.set_injected_faults(inj);
+      break;
+    }
+    case FaultKind::kBypassReorder: {
+      np::InjectedFaults inj = pipeline_.injected_faults();
+      inj.bypass_reorder_every = ev.period > 0 ? ev.period : 97;
+      pipeline_.set_injected_faults(inj);
+      break;
+    }
+  }
+}
+
+void FaultPlane::storm_tick(ActiveFault* f, sim::SimTime end,
+                            sim::SimDuration period) {
+  const sim::SimTime next = sim_.now() + period;
+  if (next >= end) return;
+  sim_.schedule_at(next, [this, f, end, period] {
+    if (engine_) engine_->classifier().cache_for_fault().invalidate_all();
+    storm_tick(f, end, period);
+  });
+}
+
+void FaultPlane::clear(ActiveFault& f) {
+  f.rec.cleared_at = sim_.now();
+  const FaultEvent& ev = f.ev;
+  switch (ev.kind) {
+    case FaultKind::kWorkerStall:
+    case FaultKind::kWorkerCrash:
+      for (unsigned w = ev.worker; w < ev.worker + ev.worker_count; ++w)
+        pipeline_.repair_worker(w);
+      break;
+    case FaultKind::kWireDip:
+      pipeline_.fault_set_wire_factor(1.0);
+      break;
+    case FaultKind::kTxBackpressure:
+      pipeline_.fault_set_tx_capacity(0);
+      break;
+    case FaultKind::kReorderStall:
+      pipeline_.fault_freeze_reorder(false);
+      break;
+    case FaultKind::kCacheStorm:
+      break;  // the storm chain stops on its own at `end`
+    case FaultKind::kCachePoison:
+      // Flush the corrupted entries so correct labels repopulate.
+      if (engine_) engine_->classifier().cache_for_fault().invalidate_all();
+      break;
+    case FaultKind::kLeakCommit: {
+      np::InjectedFaults inj = pipeline_.injected_faults();
+      inj.leak_commit_every = 0;
+      pipeline_.set_injected_faults(inj);
+      break;
+    }
+    case FaultKind::kBypassReorder: {
+      np::InjectedFaults inj = pipeline_.injected_faults();
+      inj.bypass_reorder_every = 0;
+      pipeline_.set_injected_faults(inj);
+      break;
+    }
+  }
+  f.at_last_probe = read_counters();
+  ActiveFault* fp = &f;
+  sim_.schedule_after(probe_period(), [this, fp] { probe(*fp); });
+}
+
+void FaultPlane::probe(ActiveFault& f) {
+  if (f.closed) return;
+  const Counters now_c = read_counters();
+  const bool quiescent = now_c.watchdog_drops == f.at_last_probe.watchdog_drops &&
+                         now_c.timeout_drops == f.at_last_probe.timeout_drops &&
+                         now_c.admission_drops == f.at_last_probe.admission_drops;
+  if (quiescent && pipeline_.hung_workers() == 0 &&
+      pipeline_.retry_backlog() == 0) {
+    close(f, sim_.now());
+    return;
+  }
+  f.at_last_probe = now_c;
+  if (sim_.now() - f.rec.cleared_at >= options_.probe_deadline) {
+    close(f, -1);  // the pipeline never probed healthy: recorded as such
+    return;
+  }
+  ActiveFault* fp = &f;
+  sim_.schedule_after(probe_period(), [this, fp] { probe(*fp); });
+}
+
+void FaultPlane::close(ActiveFault& f, sim::SimTime recovered_at) {
+  f.rec.recovered_at = recovered_at;
+  const Counters now_c = read_counters();
+  f.rec.lost_watchdog = now_c.watchdog_drops - f.at_inject.watchdog_drops;
+  f.rec.lost_timeout = now_c.timeout_drops - f.at_inject.timeout_drops;
+  f.rec.lost_admission = now_c.admission_drops - f.at_inject.admission_drops;
+  f.closed = true;
+  if (tracker_) tracker_->record(f.rec);
+}
+
+void FaultPlane::finalize() {
+  for (auto& f : active_)
+    if (!f->closed) close(*f, -1);
+}
+
+}  // namespace flowvalve::fault

@@ -1,0 +1,87 @@
+// FaultPlane — arms a FaultSchedule against a live pipeline and watches it
+// heal.
+//
+// For every event the plane schedules an injection at `at` and (for
+// non-permanent faults) a clearing at `at + duration`; after the clearing
+// it probes the pipeline on a bounded one-shot chain until it looks healthy
+// again — no hung workers, no watchdog retry backlog, and the robustness
+// layer's drop counters quiescent since the previous probe — and writes a
+// FaultRecord (recovery time + packets lost, by mechanism) into the
+// attached obs::RecoveryTracker. Probing gives up at `probe_deadline` so a
+// fault the pipeline cannot absorb still terminates the simulation.
+//
+// Everything is driven off the simulator's virtual clock and the schedule
+// content only, so a given (seed, schedule) is bit-reproducible.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/flowvalve.h"
+#include "fault/fault.h"
+#include "np/nic_pipeline.h"
+#include "obs/recovery_tracker.h"
+#include "sim/simulator.h"
+
+namespace flowvalve::fault {
+
+class FaultPlane {
+ public:
+  struct Options {
+    /// Give up probing for recovery this long after the fault clears.
+    sim::SimDuration probe_deadline = sim::milliseconds(50);
+    /// Probe spacing (0 ⇒ max(100 µs, pipeline watchdog period)).
+    sim::SimDuration probe_period = 0;
+  };
+
+  /// `engine` may be null (cache faults become no-ops); `tracker` may be
+  /// null (recovery goes unrecorded). Neither is owned; both must outlive
+  /// the armed simulation.
+  FaultPlane(sim::Simulator& sim, np::NicPipeline& pipeline,
+             core::FlowValveEngine* engine, obs::RecoveryTracker* tracker,
+             Options options);
+  FaultPlane(sim::Simulator& sim, np::NicPipeline& pipeline,
+             core::FlowValveEngine* engine, obs::RecoveryTracker* tracker)
+      : FaultPlane(sim, pipeline, engine, tracker, Options{}) {}
+
+  /// Schedule every event in the schedule. Call once, before running.
+  void arm(const FaultSchedule& schedule);
+
+  /// Close the books on faults still open (permanent, or probing when the
+  /// run ended): their loss counters are finalized as of now. Idempotent;
+  /// call after the simulation drains.
+  void finalize();
+
+  std::size_t armed_events() const { return active_.size(); }
+
+ private:
+  struct Counters {
+    std::uint64_t watchdog_drops = 0;
+    std::uint64_t timeout_drops = 0;
+    std::uint64_t admission_drops = 0;
+  };
+  struct ActiveFault {
+    FaultEvent ev;
+    obs::FaultRecord rec;
+    Counters at_inject;
+    Counters at_last_probe;
+    bool closed = false;
+  };
+
+  Counters read_counters() const;
+  void inject(ActiveFault& f);
+  void clear(ActiveFault& f);
+  void probe(ActiveFault& f);
+  void close(ActiveFault& f, sim::SimTime recovered_at);
+  void storm_tick(ActiveFault* f, sim::SimTime end, sim::SimDuration period);
+  sim::SimDuration probe_period() const;
+
+  sim::Simulator& sim_;
+  np::NicPipeline& pipeline_;
+  core::FlowValveEngine* engine_;
+  obs::RecoveryTracker* tracker_;
+  Options options_;
+  std::vector<std::unique_ptr<ActiveFault>> active_;
+};
+
+}  // namespace flowvalve::fault

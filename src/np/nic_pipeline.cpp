@@ -25,6 +25,9 @@ const char* drop_reason_name(DropReason reason) {
     case DropReason::kScheduler: return "scheduler";
     case DropReason::kTxRingFull: return "tx-ring-full";
     case DropReason::kReorderFlush: return "reorder-flush";
+    case DropReason::kReorderTimeout: return "reorder-timeout";
+    case DropReason::kWatchdogAbort: return "watchdog-abort";
+    case DropReason::kAdmission: return "admission";
   }
   return "unknown";
 }
@@ -33,10 +36,41 @@ NicPipeline::NicPipeline(sim::Simulator& sim, NpConfig config, PacketProcessor& 
     : sim_(sim), config_(config), processor_(processor) {
   config_.validate();
   vf_rings_.resize(config_.num_vfs);
-  worker_idle_.assign(config_.num_workers, true);
-  worker_busy_start_.assign(config_.num_workers, 0);
+  workers_.resize(config_.num_workers);
   idle_workers_.reserve(config_.num_workers);
   for (unsigned w = 0; w < config_.num_workers; ++w) idle_workers_.push_back(w);
+
+  // Resolve the recovery policy: 0 = derive from the cycle model, < 0 =
+  // disabled. The auto watchdog budget is far above any legitimate
+  // run-to-completion interval (tens of µs at the default cycle costs), so
+  // a fault-free pipeline never trips it.
+  const auto& rec = config_.recovery;
+  if (rec.watchdog_budget < 0) {
+    watchdog_budget_ = -1;
+  } else if (rec.watchdog_budget > 0) {
+    watchdog_budget_ = rec.watchdog_budget;
+  } else {
+    watchdog_budget_ = std::max<sim::SimDuration>(
+        sim::microseconds(250),
+        64 * config_.cycles_to_ns(config_.base_rx_cycles + config_.base_tx_cycles));
+  }
+  if (rec.reorder_timeout < 0) {
+    reorder_timeout_ = -1;
+  } else if (rec.reorder_timeout > 0) {
+    reorder_timeout_ = rec.reorder_timeout;
+  } else {
+    reorder_timeout_ =
+        watchdog_budget_ > 0 ? 2 * watchdog_budget_ : sim::microseconds(500);
+  }
+  if (rec.watchdog_period > 0) {
+    watchdog_period_ = rec.watchdog_period;
+  } else {
+    const sim::SimDuration base =
+        watchdog_budget_ > 0
+            ? watchdog_budget_
+            : (reorder_timeout_ > 0 ? reorder_timeout_ : sim::microseconds(400));
+    watchdog_period_ = std::max<sim::SimDuration>(sim::microseconds(1), base / 4);
+  }
 }
 
 void NicPipeline::drop(const net::Packet& pkt, DropReason reason) {
@@ -45,6 +79,9 @@ void NicPipeline::drop(const net::Packet& pkt, DropReason reason) {
     case DropReason::kScheduler: ++stats_.scheduler_drops; break;
     case DropReason::kTxRingFull: ++stats_.tx_ring_drops; break;
     case DropReason::kReorderFlush: ++stats_.reorder_flush_drops; break;
+    case DropReason::kReorderTimeout: ++stats_.reorder_timeout_drops; break;
+    case DropReason::kWatchdogAbort: ++stats_.watchdog_drops; break;
+    case DropReason::kAdmission: ++stats_.admission_drops; break;
   }
   if (observer_) observer_->on_drop(pkt, reason, sim_.now());
   if (on_dropped_detailed_) on_dropped_detailed_(pkt, reason);
@@ -55,6 +92,16 @@ bool NicPipeline::submit(net::Packet pkt) {
   ++stats_.submitted;
   pkt.nic_arrival = sim_.now();
   if (observer_) observer_->on_submit(pkt, sim_.now());
+  // Graceful degradation: under sustained overload every Nth submission is
+  // shed here, before the rings grow, so queueing delay stays bounded and
+  // the loss is spread proportionally across senders.
+  if (admission_active_) {
+    ++admission_seq_;
+    if (admission_modulus_ != 0 && admission_seq_ % admission_modulus_ == 0) {
+      drop(pkt, DropReason::kAdmission);
+      return false;
+    }
+  }
   const unsigned vf = pkt.vf_port % config_.num_vfs;
   if (vf_rings_[vf].size() >= config_.vf_ring_capacity) {
     drop(pkt, DropReason::kVfRingFull);
@@ -67,9 +114,28 @@ bool NicPipeline::submit(net::Packet pkt) {
 }
 
 void NicPipeline::try_dispatch() {
-  // The load balancer hands waiting packets to idle workers, polling VF
-  // rings round-robin so no port starves.
+  // The load balancer hands waiting packets to idle workers. Watchdog-
+  // salvaged packets go first (their ingress slot is the oldest), then VF
+  // rings are polled round-robin so no port starves.
   while (!idle_workers_.empty()) {
+    if (!retry_queue_.empty()) {
+      RetryEntry e = std::move(retry_queue_.front());
+      retry_queue_.pop_front();
+      const unsigned worker = idle_workers_.back();
+      idle_workers_.pop_back();
+      // Re-execution skips the processor: labeling + scheduling state lives
+      // in shared memory and survived the aborted micro-engine, so the first
+      // verdict (and its meter debits) stands; only the base packet-handling
+      // work is repeated.
+      std::uint64_t cycles = config_.base_rx_cycles;
+      if (e.forward) cycles += config_.base_tx_cycles;
+      stats_.processing_cycles += cycles;
+      ++stats_.processed;
+      dispatch_to(worker, std::move(e.pkt), e.seq, config_.cycles_to_ns(cycles),
+                  e.forward, e.retries);
+      continue;
+    }
+
     net::Packet* next = nullptr;
     unsigned scanned = 0;
     while (scanned < config_.num_vfs) {
@@ -89,57 +155,95 @@ void NicPipeline::try_dispatch() {
 
     const unsigned worker = idle_workers_.back();
     idle_workers_.pop_back();
-    worker_idle_[worker] = false;
     const std::uint64_t ingress_seq = next_ingress_seq_++;
 
     // Run-to-completion: base Rx work + processor + base Tx work. The
     // processor runs "at" dispatch time; its cycle cost extends the busy
     // interval. Cycles for dropped packets omit the Tx copy.
-    const sim::SimTime now = sim_.now();
-    PacketProcessor::Outcome out = processor_.process(pkt, now);
+    PacketProcessor::Outcome out = processor_.process(pkt, sim_.now());
     std::uint64_t cycles = config_.base_rx_cycles + out.cycles;
     if (out.forward) cycles += config_.base_tx_cycles;
     stats_.processing_cycles += cycles;
     ++stats_.processed;
-    const sim::SimDuration busy = config_.cycles_to_ns(cycles);
-    worker_busy_start_[worker] = now;
-    if (observer_) observer_->on_dispatch(pkt, worker, ingress_seq, now, busy);
-
-    sim_.schedule_after(busy, [this, worker, ingress_seq, busy,
-                               pkt = std::move(pkt),
-                               forward = out.forward]() mutable {
-      // Busy time is credited on completion, never at dispatch: charging the
-      // full interval up front made utilization exceed 1.0 whenever busy
-      // intervals straddled the query instant.
-      stats_.worker_busy_ns += static_cast<std::uint64_t>(busy);
-      if (forward) {
-        ++forward_count_;
-        const auto& faults = config_.faults;
-        if (faults.leak_commit_every != 0 &&
-            forward_count_ % faults.leak_commit_every == 0) {
-          // Injected bug: the packet vanishes without a commit or any drop
-          // accounting. The conservation checker must notice.
-        } else if (faults.bypass_reorder_every != 0 && config_.enforce_reorder &&
-                   forward_count_ % faults.bypass_reorder_every == 0) {
-          // Injected bug: jump the reorder queue. The ordering checker must
-          // notice; committing the hole keeps the rest of the stream moving.
-          tx_admit(std::move(pkt));
-          reorder_commit(ingress_seq, std::nullopt);
-        } else if (config_.enforce_reorder) {
-          reorder_commit(ingress_seq, std::move(pkt));
-        } else {
-          worker_finish(worker, std::move(pkt));
-        }
-      } else {
-        --in_flight_;
-        drop(pkt, DropReason::kScheduler);
-        if (config_.enforce_reorder) reorder_commit(ingress_seq, std::nullopt);
-      }
-      worker_idle_[worker] = true;
-      idle_workers_.push_back(worker);
-      try_dispatch();
-    });
+    dispatch_to(worker, std::move(pkt), ingress_seq,
+                config_.cycles_to_ns(cycles), out.forward, 0);
   }
+}
+
+void NicPipeline::dispatch_to(unsigned worker, net::Packet pkt,
+                              std::uint64_t seq, sim::SimDuration busy,
+                              bool forward, unsigned retries) {
+  WorkerCtx& ctx = workers_[worker];
+  const sim::SimTime now = sim_.now();
+  ctx.state = WorkerCtx::State::kBusy;
+  ++ctx.epoch;
+  ctx.busy_start = now;
+  ctx.busy_end = now + busy;
+  ctx.pkt = std::move(pkt);
+  ctx.seq = seq;
+  ctx.forward = forward;
+  ctx.retries = retries;
+  ctx.doomed = false;
+  if (observer_) observer_->on_dispatch(ctx.pkt, worker, seq, now, busy);
+  ctx.completion = sim_.schedule_after(
+      busy, [this, worker, epoch = ctx.epoch] { on_completion(worker, epoch); });
+  maybe_arm_watchdog();
+}
+
+void NicPipeline::on_completion(unsigned worker, std::uint32_t epoch) {
+  WorkerCtx& ctx = workers_[worker];
+  // A stale epoch means the watchdog already aborted this execution and the
+  // worker was re-dispatched; the cancelled handle normally prevents this,
+  // but guard anyway.
+  if (ctx.state != WorkerCtx::State::kBusy || ctx.epoch != epoch) return;
+
+  // Busy time is credited on completion, never at dispatch: charging the
+  // full interval up front made utilization exceed 1.0 whenever busy
+  // intervals straddled the query instant.
+  stats_.worker_busy_ns +=
+      static_cast<std::uint64_t>(sim_.now() - ctx.busy_start);
+  net::Packet pkt = std::move(ctx.pkt);
+  ctx.pkt = net::Packet{};
+  const std::uint64_t seq = ctx.seq;
+  const bool forward = ctx.forward;
+  const bool doomed = ctx.doomed;
+  ctx.doomed = false;
+
+  if (!doomed) {
+    if (forward) {
+      ++forward_count_;
+      if (injected_.leak_commit_every != 0 &&
+          forward_count_ % injected_.leak_commit_every == 0) {
+        // Injected bug: the packet vanishes without a commit or any drop
+        // accounting. The conservation checker must notice.
+      } else if (injected_.bypass_reorder_every != 0 &&
+                 config_.enforce_reorder &&
+                 forward_count_ % injected_.bypass_reorder_every == 0) {
+        // Injected bug: jump the reorder queue. The ordering checker must
+        // notice; committing the hole keeps the rest of the stream moving.
+        tx_admit(std::move(pkt));
+        reorder_commit(seq, std::nullopt);
+      } else if (config_.enforce_reorder) {
+        reorder_commit(seq, std::move(pkt));
+      } else {
+        worker_finish(worker, std::move(pkt));
+      }
+    } else {
+      --in_flight_;
+      drop(pkt, DropReason::kScheduler);
+      if (config_.enforce_reorder) reorder_commit(seq, std::nullopt);
+    }
+  }
+  // `doomed` executions already gave their packet up to a timeout flush;
+  // the completion only returns the micro-engine.
+
+  if (ctx.fault_frozen) {
+    ctx.state = WorkerCtx::State::kHung;  // still faulty; awaits repair
+  } else {
+    ctx.state = WorkerCtx::State::kIdle;
+    idle_workers_.push_back(worker);
+  }
+  try_dispatch();
 }
 
 void NicPipeline::worker_finish(unsigned /*worker*/, net::Packet pkt) {
@@ -148,9 +252,10 @@ void NicPipeline::worker_finish(unsigned /*worker*/, net::Packet pkt) {
 
 void NicPipeline::reorder_commit(std::uint64_t seq, std::optional<net::Packet> pkt) {
   if (seq < next_release_seq_) {
-    // This slot was already flushed as lost (capacity overrun skipped the
-    // gap). Survivors behind it are long gone, so admitting the straggler
-    // now would reorder the stream: count it as a reorder-flush drop.
+    // This slot was already flushed as lost (capacity overrun or hole
+    // timeout skipped the gap). Survivors behind it are long gone, so
+    // admitting the straggler now would reorder the stream: count it as a
+    // reorder-flush drop.
     if (pkt.has_value()) {
       --in_flight_;
       drop(*pkt, DropReason::kReorderFlush);
@@ -160,15 +265,19 @@ void NicPipeline::reorder_commit(std::uint64_t seq, std::optional<net::Packet> p
   reorder_buffer_.emplace(seq, std::move(pkt));
   stats_.reorder_occupancy_peak =
       std::max<std::uint64_t>(stats_.reorder_occupancy_peak, reorder_buffer_.size());
-  release_reorder_prefix();
-  // Capacity cap: a stalled hole (e.g. a leaked completion) must not grow
-  // the buffer without bound. Declare the missing head sequence(s) lost,
-  // jump the release pointer to the oldest buffered completion, and drain.
-  while (reorder_buffer_.size() > config_.reorder_capacity) {
-    ++stats_.reorder_flushes;
-    next_release_seq_ = reorder_buffer_.begin()->first;
+  if (!reorder_frozen_) {
     release_reorder_prefix();
+    // Capacity cap: a stalled hole (e.g. a leaked completion) must not grow
+    // the buffer without bound. Declare the missing head sequence(s) lost,
+    // jump the release pointer to the oldest buffered completion, and drain.
+    while (reorder_buffer_.size() > config_.reorder_capacity) {
+      ++stats_.reorder_flushes;
+      next_release_seq_ = reorder_buffer_.begin()->first;
+      release_reorder_prefix();
+    }
   }
+  update_hole_tracking();
+  maybe_arm_watchdog();
 }
 
 void NicPipeline::release_reorder_prefix() {
@@ -180,8 +289,56 @@ void NicPipeline::release_reorder_prefix() {
   }
 }
 
+void NicPipeline::update_hole_tracking() {
+  if (reorder_frozen_) return;
+  const bool hole = !reorder_buffer_.empty() &&
+                    reorder_buffer_.begin()->first != next_release_seq_;
+  if (!hole) {
+    hole_active_ = false;
+    return;
+  }
+  // Age is tracked per missing sequence: when a flush (or late commit)
+  // moves the window to a different hole, the timeout clock restarts.
+  if (!hole_active_ || hole_seq_ != next_release_seq_) {
+    hole_active_ = true;
+    hole_seq_ = next_release_seq_;
+    hole_since_ = sim_.now();
+  }
+}
+
+void NicPipeline::reorder_timeout_flush() {
+  if (reorder_timeout_ <= 0 || reorder_frozen_ || !hole_active_) return;
+  if (sim_.now() - hole_since_ < reorder_timeout_) return;
+  const std::uint64_t head = reorder_buffer_.begin()->first;
+  // The hole [next_release_seq_, head) aged out: its slots are declared
+  // lost. Any live occupant (a packet still on a worker or in the retry
+  // queue) is dropped NOW, before survivors release, so drops always
+  // precede the deliveries that overtake them.
+  for (WorkerCtx& ctx : workers_) {
+    if (ctx.state == WorkerCtx::State::kBusy && !ctx.doomed &&
+        ctx.seq >= next_release_seq_ && ctx.seq < head) {
+      ctx.doomed = true;
+      --in_flight_;
+      drop(ctx.pkt, DropReason::kReorderTimeout);
+    }
+  }
+  for (auto it = retry_queue_.begin(); it != retry_queue_.end();) {
+    if (it->seq >= next_release_seq_ && it->seq < head) {
+      --in_flight_;
+      drop(it->pkt, DropReason::kReorderTimeout);
+      it = retry_queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  ++stats_.reorder_timeout_flushes;
+  next_release_seq_ = head;
+  release_reorder_prefix();
+  update_hole_tracking();
+}
+
 void NicPipeline::tx_admit(net::Packet pkt) {
-  if (tx_ring_.size() >= config_.tx_ring_capacity) {
+  if (tx_ring_.size() >= effective_tx_capacity()) {
     --in_flight_;
     drop(pkt, DropReason::kTxRingFull);
     return;
@@ -191,12 +348,19 @@ void NicPipeline::tx_admit(net::Packet pkt) {
   arm_tx_drain();
 }
 
+std::size_t NicPipeline::effective_tx_capacity() const {
+  if (tx_capacity_override_ == 0) return config_.tx_ring_capacity;
+  return std::min(tx_capacity_override_, config_.tx_ring_capacity);
+}
+
 void NicPipeline::arm_tx_drain() {
-  if (tx_draining_ || tx_ring_.empty()) return;
+  if (tx_draining_ || tx_ring_.empty() || wire_factor_ <= 0.0) return;
   tx_draining_ = true;
   const auto& head = tx_ring_.front();
-  const sim::SimDuration ser =
+  sim::SimDuration ser =
       config_.wire_rate.serialization_delay(head.wire_occupancy_bytes());
+  if (wire_factor_ < 1.0)  // injected wire dip: the port drains slower
+    ser = static_cast<sim::SimDuration>(static_cast<double>(ser) / wire_factor_ + 0.5);
   sim_.schedule_after(ser, [this] { tx_drain_complete(); });
 }
 
@@ -222,15 +386,208 @@ void NicPipeline::tx_drain_complete() {
   arm_tx_drain();
 }
 
+// --- Watchdog / recovery ---------------------------------------------------
+
+bool NicPipeline::watchdog_work_pending() const {
+  for (const WorkerCtx& ctx : workers_)
+    if (ctx.state == WorkerCtx::State::kBusy) return true;
+  if (!retry_queue_.empty()) return true;
+  if (config_.enforce_reorder && !reorder_buffer_.empty() && !reorder_frozen_)
+    return true;
+  if (admission_active_) return true;
+  return false;
+}
+
+void NicPipeline::maybe_arm_watchdog() {
+  if (watchdog_armed_ || watchdog_period_ <= 0) return;
+  if (watchdog_budget_ <= 0 && reorder_timeout_ <= 0 &&
+      !config_.recovery.admission_enabled)
+    return;
+  if (!watchdog_work_pending()) return;
+  watchdog_armed_ = true;
+  sim_.schedule_after(watchdog_period_, [this] { watchdog_tick(); });
+}
+
+void NicPipeline::watchdog_tick() {
+  watchdog_armed_ = false;
+  if (watchdog_budget_ > 0) {
+    bool aborted = false;
+    for (unsigned w = 0; w < workers_.size(); ++w) {
+      WorkerCtx& ctx = workers_[w];
+      if (ctx.state == WorkerCtx::State::kBusy &&
+          sim_.now() - ctx.busy_start >= watchdog_budget_) {
+        watchdog_abort(w);
+        aborted = true;
+      }
+    }
+    if (aborted) try_dispatch();
+  }
+  reorder_timeout_flush();
+  admission_update();
+  // One-shot chain: re-arm only while there is still work the watchdog
+  // could act on, so a drained pipeline leaves the event queue empty.
+  maybe_arm_watchdog();
+}
+
+void NicPipeline::watchdog_abort(unsigned worker) {
+  WorkerCtx& ctx = workers_[worker];
+  ctx.completion.cancel();
+  stats_.worker_busy_ns +=
+      static_cast<std::uint64_t>(sim_.now() - ctx.busy_start);
+  net::Packet pkt = std::move(ctx.pkt);
+  ctx.pkt = net::Packet{};
+  if (!ctx.doomed) {
+    if (observer_) observer_->on_watchdog(pkt, worker, ctx.seq, sim_.now());
+    if (ctx.retries < config_.recovery.watchdog_max_retries) {
+      ++stats_.watchdog_requeues;
+      retry_queue_.push_back(
+          RetryEntry{std::move(pkt), ctx.seq, ctx.forward, ctx.retries + 1});
+    } else {
+      // Retry budget exhausted: the packet is declared lost and its
+      // sequence slot committed empty so the window moves on.
+      --in_flight_;
+      drop(pkt, DropReason::kWatchdogAbort);
+      if (config_.enforce_reorder) reorder_commit(ctx.seq, std::nullopt);
+    }
+  }
+  ctx.doomed = false;
+  if (ctx.fault_frozen) {
+    ctx.state = WorkerCtx::State::kHung;  // dead until repair_worker()
+  } else {
+    // A merely-slow micro-engine gets a context reset and rejoins at once.
+    ctx.state = WorkerCtx::State::kIdle;
+    idle_workers_.push_back(worker);
+  }
+}
+
+void NicPipeline::admission_update() {
+  if (!config_.recovery.admission_enabled) return;
+  const auto& rec = config_.recovery;
+  const double occ = static_cast<double>(tx_ring_.size()) /
+                     static_cast<double>(effective_tx_capacity());
+  if (admission_active_) {
+    if (occ < rec.admission_low_watermark) {
+      admission_active_ = false;
+      admission_modulus_ = 0;
+      admission_over_ticks_ = 0;
+    } else if (occ >= rec.admission_high_watermark) {
+      if (++admission_over_ticks_ >= rec.admission_escalation_ticks &&
+          admission_modulus_ > rec.admission_min_modulus) {
+        admission_modulus_ =
+            std::max<std::uint64_t>(rec.admission_min_modulus,
+                                    admission_modulus_ / 2);
+        admission_over_ticks_ = 0;
+      }
+    } else {
+      admission_over_ticks_ = 0;
+    }
+  } else if (occ >= rec.admission_high_watermark) {
+    if (++admission_over_ticks_ >= rec.admission_escalation_ticks) {
+      admission_active_ = true;
+      admission_modulus_ = rec.admission_start_modulus;
+      admission_over_ticks_ = 0;
+    }
+  } else {
+    admission_over_ticks_ = 0;
+  }
+}
+
+// --- Fault hooks (src/fault) -----------------------------------------------
+
+unsigned NicPipeline::hung_workers() const {
+  unsigned n = 0;
+  for (const WorkerCtx& ctx : workers_)
+    if (ctx.state == WorkerCtx::State::kHung) ++n;
+  return n;
+}
+
+void NicPipeline::fault_stall_worker(unsigned w, sim::SimDuration duration) {
+  if (w >= workers_.size()) return;
+  WorkerCtx& ctx = workers_[w];
+  ctx.fault_frozen = true;
+  if (ctx.state == WorkerCtx::State::kBusy) {
+    // Postpone the in-progress completion by the freeze; the watchdog
+    // salvages the packet instead if the postponement blows the budget.
+    ctx.completion.cancel();
+    ctx.busy_end = std::max(ctx.busy_end, sim_.now()) +
+                   std::max<sim::SimDuration>(duration, 0);
+    ctx.completion = sim_.schedule_at(
+        ctx.busy_end,
+        [this, w, epoch = ctx.epoch] { on_completion(w, epoch); });
+  } else if (ctx.state == WorkerCtx::State::kIdle) {
+    idle_workers_.erase(
+        std::remove(idle_workers_.begin(), idle_workers_.end(), w),
+        idle_workers_.end());
+    ctx.state = WorkerCtx::State::kHung;
+  }
+  maybe_arm_watchdog();
+}
+
+void NicPipeline::fault_crash_worker(unsigned w) {
+  if (w >= workers_.size()) return;
+  WorkerCtx& ctx = workers_[w];
+  ctx.fault_frozen = true;
+  if (ctx.state == WorkerCtx::State::kBusy) {
+    // The execution never completes; only the watchdog can salvage it.
+    ctx.completion.cancel();
+    maybe_arm_watchdog();
+  } else if (ctx.state == WorkerCtx::State::kIdle) {
+    idle_workers_.erase(
+        std::remove(idle_workers_.begin(), idle_workers_.end(), w),
+        idle_workers_.end());
+    ctx.state = WorkerCtx::State::kHung;
+  }
+}
+
+void NicPipeline::repair_worker(unsigned w) {
+  if (w >= workers_.size()) return;
+  WorkerCtx& ctx = workers_[w];
+  if (!ctx.fault_frozen && ctx.state != WorkerCtx::State::kHung) return;
+  ctx.fault_frozen = false;
+  if (ctx.state == WorkerCtx::State::kHung) {
+    ctx.state = WorkerCtx::State::kIdle;
+    idle_workers_.push_back(w);
+    ++stats_.workers_repaired;
+    try_dispatch();
+  }
+}
+
+void NicPipeline::fault_set_wire_factor(double factor) {
+  wire_factor_ = std::clamp(factor, 0.0, 1.0);
+  if (wire_factor_ > 0.0) arm_tx_drain();
+}
+
+void NicPipeline::fault_set_tx_capacity(std::size_t capacity) {
+  tx_capacity_override_ = capacity;
+}
+
+void NicPipeline::fault_freeze_reorder(bool frozen) {
+  if (reorder_frozen_ == frozen) return;
+  reorder_frozen_ = frozen;
+  if (frozen) {
+    // The timeout clock restarts from the unfreeze, not from before it.
+    hole_active_ = false;
+    return;
+  }
+  release_reorder_prefix();
+  while (reorder_buffer_.size() > config_.reorder_capacity) {
+    ++stats_.reorder_flushes;
+    next_release_seq_ = reorder_buffer_.begin()->first;
+    release_reorder_prefix();
+  }
+  update_hole_tracking();
+  maybe_arm_watchdog();
+}
+
 double NicPipeline::worker_utilization(sim::SimTime now) const {
   if (now <= 0) return 0.0;
   // Completed intervals (stats_) plus the elapsed part of every in-progress
   // interval. Elapsed time can never exceed wall time, so the ratio stays
   // within [0, 1]; the final min() only absorbs ns rounding.
   double busy_ns = static_cast<double>(stats_.worker_busy_ns);
-  for (unsigned w = 0; w < config_.num_workers; ++w)
-    if (!worker_idle_[w] && now > worker_busy_start_[w])
-      busy_ns += static_cast<double>(now - worker_busy_start_[w]);
+  for (const WorkerCtx& ctx : workers_)
+    if (ctx.state == WorkerCtx::State::kBusy && now > ctx.busy_start)
+      busy_ns += static_cast<double>(now - ctx.busy_start);
   const double capacity_ns =
       static_cast<double>(now) * static_cast<double>(config_.num_workers);
   return std::min(1.0, busy_ns / capacity_ns);

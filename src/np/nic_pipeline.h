@@ -6,6 +6,13 @@
 // packet or append it to the shared Tx ring, which the traffic manager
 // drains at wire rate. Everything runs in virtual time on the discrete-event
 // simulator; worker parallelism is modeled via per-worker busy intervals.
+//
+// The pipeline also carries a robustness layer (NpConfig::Recovery): a
+// watchdog that salvages packets off workers stuck past a cycle budget, a
+// bounded reorder-window timeout that flushes past head-of-line holes
+// instead of wedging, and optional graceful-degradation admission control.
+// Fault hooks (fault_*) let src/fault inject micro-engine, wire, and queue
+// faults against a running pipeline; they are inert unless called.
 #pragma once
 
 #include <deque>
@@ -44,13 +51,33 @@ class NullProcessor final : public PacketProcessor {
 };
 
 enum class DropReason : std::uint8_t {
-  kVfRingFull,     // PCIe-side backpressure
-  kScheduler,      // FlowValve's specialized tail drop
-  kTxRingFull,     // common tail drop at the shared FIFO
-  kReorderFlush,   // completion arrived after its slot was flushed as lost
+  kVfRingFull,      // PCIe-side backpressure
+  kScheduler,       // FlowValve's specialized tail drop
+  kTxRingFull,      // common tail drop at the shared FIFO
+  kReorderFlush,    // completion arrived after its slot was flushed as lost
+  kReorderTimeout,  // head-of-line hole aged out; occupants declared lost
+  kWatchdogAbort,   // salvaged off a stuck worker, retry budget exhausted
+  kAdmission,       // graceful-degradation proportional drop under overload
 };
 
 const char* drop_reason_name(DropReason reason);
+
+/// Runtime fault injection against a live pipeline, used by src/fault (and
+/// by src/check to prove the invariant checkers catch real pipeline bugs —
+/// a checker that never fires is worthless). All fields 0 ⇒ inert.
+struct InjectedFaults {
+  /// Every Nth forwarded packet vanishes after its worker finishes: no
+  /// reorder commit, no Tx admit, no drop accounting. Breaks packet
+  /// conservation and stalls the reorder window behind the hole.
+  std::uint64_t leak_commit_every = 0;
+
+  /// Every Nth forwarded packet bypasses the reorder system (admitted to
+  /// the Tx ring immediately, its sequence committed as a hole). Breaks
+  /// in-order delivery without stalling the pipeline.
+  std::uint64_t bypass_reorder_every = 0;
+
+  bool any() const { return leak_commit_every || bypass_reorder_every; }
+};
 
 /// Passive tap on every pipeline lifecycle event, independent of the
 /// delivery/drop callbacks (which the traffic FlowRouter owns). src/check
@@ -62,11 +89,17 @@ class PipelineObserver {
   /// Host submitted a packet (before the VF-ring admission check).
   virtual void on_submit(const net::Packet&, sim::SimTime) {}
   /// The load balancer handed the packet to an idle worker; `busy` is the
-  /// run-to-completion interval the worker is occupied for.
+  /// run-to-completion interval the worker is occupied for. Fires again
+  /// with the same ingress_seq if the watchdog requeues the packet.
   virtual void on_dispatch(const net::Packet&, unsigned /*worker*/,
                            std::uint64_t /*ingress_seq*/, sim::SimTime,
                            sim::SimDuration /*busy*/) {}
   virtual void on_drop(const net::Packet&, DropReason, sim::SimTime) {}
+  /// The watchdog aborted a worker's in-progress execution and salvaged its
+  /// packet (requeued for re-dispatch under the same ingress_seq, or — if
+  /// the retry budget is gone or the slot already timed out — dropped).
+  virtual void on_watchdog(const net::Packet&, unsigned /*worker*/,
+                           std::uint64_t /*ingress_seq*/, sim::SimTime) {}
   /// Last bit of the frame left on the wire.
   virtual void on_wire_tx(const net::Packet&, sim::SimTime) {}
   /// Observed at the receiver (after the fixed pipeline delay).
@@ -77,8 +110,9 @@ class NicPipeline final : public net::EgressDevice {
  public:
   NicPipeline(sim::Simulator& sim, NpConfig config, PacketProcessor& processor);
 
-  /// Host-side submission on a VF port. Returns false if the VF ring was
-  /// full (the packet is dropped and the drop callback fires).
+  /// Host-side submission on a VF port. Returns false if the packet was
+  /// dropped at admission (VF ring full, or degradation-mode proportional
+  /// drop); the drop callback fires either way.
   bool submit(net::Packet pkt) override;
 
   /// Optional detailed drop callback (the EgressDevice one also fires).
@@ -100,10 +134,17 @@ class NicPipeline final : public net::EgressDevice {
     std::uint64_t forwarded_to_wire = 0;
     std::uint64_t wire_bytes = 0;
     std::uint64_t worker_busy_ns = 0;   // Σ completed per-worker busy time
-    std::uint64_t processed = 0;        // packets through a worker
+    std::uint64_t processed = 0;        // packets through a worker (incl. retries)
     std::uint64_t processing_cycles = 0;
     std::uint64_t reorder_flushes = 0;          // forced gap skips at the cap
     std::uint64_t reorder_occupancy_peak = 0;   // high-water buffered packets
+    // Robustness layer.
+    std::uint64_t watchdog_requeues = 0;        // salvaged + requeued packets
+    std::uint64_t watchdog_drops = 0;           // retry budget exhausted
+    std::uint64_t reorder_timeout_flushes = 0;  // aged-out holes skipped
+    std::uint64_t reorder_timeout_drops = 0;    // occupants of aged-out holes
+    std::uint64_t admission_drops = 0;          // degradation-mode tail drops
+    std::uint64_t workers_repaired = 0;         // hung workers rejoining
   };
   const Stats& stats() const { return stats_; }
   const NpConfig& config() const { return config_; }
@@ -119,42 +160,148 @@ class NicPipeline final : public net::EgressDevice {
   /// Completed packets currently parked in the reorder buffer.
   std::size_t reorder_occupancy() const { return reorder_buffer_.size(); }
 
+  /// Workers wedged by an injected stall/crash, awaiting repair_worker().
+  unsigned hung_workers() const;
+
+  /// Packets salvaged by the watchdog, waiting for re-dispatch.
+  std::size_t retry_backlog() const { return retry_queue_.size(); }
+
+  /// Resolved recovery parameters (after 0 = auto derivation).
+  sim::SimDuration watchdog_budget() const { return watchdog_budget_; }
+  sim::SimDuration watchdog_period() const { return watchdog_period_; }
+  sim::SimDuration reorder_timeout() const { return reorder_timeout_; }
+
+  /// Current degradation-mode drop modulus (0 when admission is idle).
+  std::uint64_t admission_modulus() const {
+    return admission_active_ ? admission_modulus_ : 0;
+  }
+
+  // --- Fault hooks (src/fault) -------------------------------------------
+  // All hooks are deterministic and inert until called. Worker faults mark
+  // the target `fault_frozen`; a frozen worker never rejoins the idle pool
+  // on its own — only repair_worker() (the fault clearing) brings it back.
+
+  /// Freeze worker `w`: if busy, its completion is postponed by `duration`
+  /// (the watchdog salvages the packet if the postponement exceeds the
+  /// budget); if idle, it is pulled from the pool until repaired.
+  void fault_stall_worker(unsigned w, sim::SimDuration duration);
+
+  /// Kill worker `w`: an in-progress execution never completes (the
+  /// watchdog must salvage its packet); the worker stays dead until
+  /// repair_worker().
+  void fault_crash_worker(unsigned w);
+
+  /// Clear a stall/crash on worker `w`; a hung worker rejoins the pool.
+  void repair_worker(unsigned w);
+
+  /// Scale the Tx drain rate by `factor` ∈ [0, 1]; 0 pauses the wire (the
+  /// frame currently serializing still finishes). 1 restores full rate.
+  void fault_set_wire_factor(double factor);
+
+  /// Cap the Tx ring below its configured capacity (0 restores). Packets
+  /// already queued above the cap drain normally; new admissions tail-drop.
+  void fault_set_tx_capacity(std::size_t capacity);
+
+  /// Freeze the reorder release pointer: completions park in the buffer
+  /// (no capacity flushing, no timeout flushing) until unfrozen.
+  void fault_freeze_reorder(bool frozen);
+
+  /// Runtime leak/bypass bug injection (see InjectedFaults).
+  void set_injected_faults(InjectedFaults faults) { injected_ = faults; }
+  const InjectedFaults& injected_faults() const { return injected_; }
+
  private:
+  struct WorkerCtx {
+    enum class State : std::uint8_t { kIdle, kBusy, kHung };
+    State state = State::kIdle;
+    std::uint32_t epoch = 0;        // guards stale completion closures
+    sim::SimTime busy_start = 0;    // valid while kBusy
+    sim::SimTime busy_end = 0;      // scheduled completion instant
+    sim::EventHandle completion;
+    net::Packet pkt;                // valid while kBusy
+    std::uint64_t seq = 0;
+    bool forward = false;
+    unsigned retries = 0;           // re-executions already consumed
+    bool doomed = false;            // packet already dropped by a flush
+    bool fault_frozen = false;      // stall/crash injected; awaits repair
+  };
+
+  struct RetryEntry {
+    net::Packet pkt;
+    std::uint64_t seq = 0;
+    bool forward = false;
+    unsigned retries = 0;
+  };
+
   void try_dispatch();
+  void dispatch_to(unsigned worker, net::Packet pkt, std::uint64_t seq,
+                   sim::SimDuration busy, bool forward, unsigned retries);
+  void on_completion(unsigned worker, std::uint32_t epoch);
   void worker_finish(unsigned worker, net::Packet pkt);
   /// Reorder system: commit `seq` (with a packet to transmit, or nothing if
   /// it was dropped) and release any now-in-order packets to the Tx ring.
   void reorder_commit(std::uint64_t seq, std::optional<net::Packet> pkt);
   void release_reorder_prefix();
+  void update_hole_tracking();
   void tx_admit(net::Packet pkt);
   void arm_tx_drain();
   void tx_drain_complete();
   void drop(const net::Packet& pkt, DropReason reason);
+
+  // Watchdog machinery: a lazily armed one-shot chain that ticks only while
+  // there is work it could act on, so a drained pipeline schedules nothing
+  // and run_all() still quiesces.
+  bool watchdog_work_pending() const;
+  void maybe_arm_watchdog();
+  void watchdog_tick();
+  void watchdog_abort(unsigned worker);
+  void reorder_timeout_flush();
+  void admission_update();
+  std::size_t effective_tx_capacity() const;
 
   sim::Simulator& sim_;
   NpConfig config_;
   PacketProcessor& processor_;
 
   std::vector<std::deque<net::Packet>> vf_rings_;
-  std::vector<bool> worker_idle_;
-  std::vector<sim::SimTime> worker_busy_start_;  // valid while !worker_idle_
+  std::vector<WorkerCtx> workers_;
   std::vector<unsigned> idle_workers_;
   unsigned rr_vf_ = 0;  // round-robin pull pointer over VF rings
+  std::deque<RetryEntry> retry_queue_;  // watchdog-salvaged, served first
 
   std::deque<net::Packet> tx_ring_;
   bool tx_draining_ = false;
+  double wire_factor_ = 1.0;          // injected wire dip (1 = healthy)
+  std::size_t tx_capacity_override_ = 0;  // injected backpressure (0 = none)
 
   // Reorder system state.
   std::uint64_t next_ingress_seq_ = 0;   // assigned at dispatch
   std::uint64_t next_release_seq_ = 0;   // next seq allowed into the Tx ring
   std::map<std::uint64_t, std::optional<net::Packet>> reorder_buffer_;
+  bool reorder_frozen_ = false;       // injected release-pointer stall
+  bool hole_active_ = false;          // head-of-line hole currently open
+  std::uint64_t hole_seq_ = 0;        // the missing seq the window waits on
+  sim::SimTime hole_since_ = 0;       // when that hole opened
+
+  // Resolved recovery parameters (< 0 ⇒ disabled).
+  sim::SimDuration watchdog_budget_ = -1;
+  sim::SimDuration watchdog_period_ = -1;
+  sim::SimDuration reorder_timeout_ = -1;
+  bool watchdog_armed_ = false;
+
+  // Graceful-degradation admission state.
+  bool admission_active_ = false;
+  std::uint64_t admission_modulus_ = 0;
+  std::uint64_t admission_seq_ = 0;     // submissions seen while active
+  unsigned admission_over_ticks_ = 0;   // consecutive ticks over watermark
 
   std::function<void(const net::Packet&, DropReason)> on_dropped_detailed_;
   PipelineObserver* observer_ = nullptr;
 
   Stats stats_;
   std::size_t in_flight_ = 0;
-  std::uint64_t forward_count_ = 0;  // fault-injection counter (test-only)
+  InjectedFaults injected_;
+  std::uint64_t forward_count_ = 0;  // injected-fault modulo counter
 };
 
 }  // namespace flowvalve::np

@@ -72,24 +72,47 @@ struct NpConfig {
   /// change; at 10 Gbps the same path is far shallower.
   SimDuration fixed_pipeline_delay = sim::microseconds(40);
 
-  /// Test-only fault injection, used by src/check to prove that the
-  /// invariant checkers catch real pipeline bugs (a checker that never
-  /// fires is worthless). Every field is 0 — i.e. disabled — outside the
-  /// checker-validation tests.
-  struct PipelineFaults {
-    /// Every Nth forwarded packet vanishes after its worker finishes: no
-    /// reorder commit, no Tx admit, no drop accounting. Breaks packet
-    /// conservation and stalls the reorder window behind the hole.
-    std::uint64_t leak_commit_every = 0;
+  /// Self-healing policy for the pipeline's robustness layer (watchdog,
+  /// reorder-window timeout, graceful-degradation admission control). The
+  /// watchdog and timeout default ON with budgets derived from the cycle
+  /// model — generous enough that a fault-free pipeline never trips them —
+  /// while admission control defaults OFF so baseline drop accounting is
+  /// unchanged unless a scenario opts in.
+  struct Recovery {
+    /// Watchdog: a worker busy past this budget is declared stuck; its
+    /// in-flight packet is requeued (up to watchdog_max_retries) or dropped
+    /// with DropReason::kWatchdogAbort. 0 derives the budget from the cycle
+    /// model: max(250 µs, 64 × cycles_to_ns(base_rx + base_tx)); negative
+    /// disables the watchdog entirely.
+    SimDuration watchdog_budget = 0;
 
-    /// Every Nth forwarded packet bypasses the reorder system (admitted to
-    /// the Tx ring immediately, its sequence committed as a hole). Breaks
-    /// in-order delivery without stalling the pipeline.
-    std::uint64_t bypass_reorder_every = 0;
+    /// Watchdog scan period. 0 derives budget / 4 (min 1 µs).
+    SimDuration watchdog_period = 0;
 
-    bool any() const { return leak_commit_every || bypass_reorder_every; }
+    /// Re-executions a salvaged packet may consume before it is dropped.
+    unsigned watchdog_max_retries = 3;
+
+    /// Reorder-window hole timeout: a head-of-line hole older than this is
+    /// declared lost and flushed past (DropReason::kReorderTimeout) instead
+    /// of wedging the window until the capacity cap. 0 derives
+    /// 2 × watchdog budget; negative disables timeout flushing.
+    SimDuration reorder_timeout = 0;
+
+    /// Graceful degradation: under sustained Tx-ring occupancy above the
+    /// high watermark, drop every Nth submission at the VF boundary
+    /// (proportionally, before the rings grow), escalating N = start → …
+    /// → min modulus while overload persists; disengage below the low
+    /// watermark. OFF by default.
+    bool admission_enabled = false;
+    double admission_high_watermark = 0.85;
+    double admission_low_watermark = 0.50;
+    /// Consecutive watchdog ticks over the high watermark before the drop
+    /// modulus escalates one step.
+    unsigned admission_escalation_ticks = 4;
+    std::uint64_t admission_start_modulus = 8;
+    std::uint64_t admission_min_modulus = 2;
   };
-  PipelineFaults faults;
+  Recovery recovery;
 
   /// Reject configurations the pipeline cannot run: num_vfs == 0 is a
   /// modulo-by-zero in submit/try_dispatch, num_workers == 0 deadlocks
@@ -108,6 +131,20 @@ struct NpConfig {
     if (!(freq_ghz > 0.0)) reject("freq_ghz must be > 0");
     if (wire_rate.is_zero()) reject("wire_rate must be > 0");
     if (fixed_pipeline_delay < 0) reject("fixed_pipeline_delay must be >= 0");
+    if (recovery.watchdog_max_retries == 0)
+      reject("recovery.watchdog_max_retries must be >= 1");
+    if (!(recovery.admission_high_watermark > 0.0) ||
+        recovery.admission_high_watermark > 1.0)
+      reject("recovery.admission_high_watermark must be in (0, 1]");
+    if (recovery.admission_low_watermark < 0.0 ||
+        recovery.admission_low_watermark >= recovery.admission_high_watermark)
+      reject("recovery.admission_low_watermark must be in [0, high)");
+    if (recovery.admission_min_modulus < 2)
+      reject("recovery.admission_min_modulus must be >= 2");
+    if (recovery.admission_start_modulus < recovery.admission_min_modulus)
+      reject("recovery.admission_start_modulus must be >= min_modulus");
+    if (recovery.admission_escalation_ticks == 0)
+      reject("recovery.admission_escalation_ticks must be >= 1");
   }
 
   SimDuration cycles_to_ns(std::uint64_t cycles) const {

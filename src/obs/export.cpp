@@ -96,6 +96,12 @@ void snapshot_json(JsonWriter& w, const CounterSnapshot& s) {
       .key("processing_cycles").value(s.nic.processing_cycles)
       .key("reorder_flushes").value(s.nic.reorder_flushes)
       .key("reorder_occupancy_peak").value(s.nic.reorder_occupancy_peak)
+      .key("watchdog_requeues").value(s.nic.watchdog_requeues)
+      .key("watchdog_drops").value(s.nic.watchdog_drops)
+      .key("reorder_timeout_flushes").value(s.nic.reorder_timeout_flushes)
+      .key("reorder_timeout_drops").value(s.nic.reorder_timeout_drops)
+      .key("admission_drops").value(s.nic.admission_drops)
+      .key("workers_repaired").value(s.nic.workers_repaired)
       .end_object();
   if (s.have_sched) {
     w.key("sched").begin_object()
@@ -112,6 +118,31 @@ void snapshot_json(JsonWriter& w, const CounterSnapshot& s) {
   w.end_object();
 }
 
+void recovery_json(JsonWriter& w, const RecoveryTracker& t) {
+  w.begin_object();
+  w.key("injected").value(static_cast<std::uint64_t>(t.injected()));
+  w.key("recovered").value(static_cast<std::uint64_t>(t.recovered()));
+  w.key("total_packets_lost").value(t.total_packets_lost());
+  w.key("worst_recovery_ns")
+      .value(static_cast<std::int64_t>(t.worst_recovery_time()));
+  w.key("faults").begin_array();
+  for (const FaultRecord& r : t.records()) {
+    w.begin_object()
+        .key("kind").value(r.kind)
+        .key("injected_at_ns").value(static_cast<std::int64_t>(r.injected_at))
+        .key("cleared_at_ns").value(static_cast<std::int64_t>(r.cleared_at))
+        .key("recovered_at_ns").value(static_cast<std::int64_t>(r.recovered_at))
+        .key("recovery_ns").value(static_cast<std::int64_t>(r.recovery_time()))
+        .key("packets_lost").value(r.packets_lost())
+        .key("lost_watchdog").value(r.lost_watchdog)
+        .key("lost_timeout").value(r.lost_timeout)
+        .key("lost_admission").value(r.lost_admission)
+        .end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
 std::string metrics_to_json(const MetricsHub& hub) {
   JsonWriter w;
   w.begin_object();
@@ -121,6 +152,10 @@ std::string metrics_to_json(const MetricsHub& hub) {
   latency_json(w, hub.latency());
   w.key("throughput");
   throughput_json(w, hub.throughput());
+  if (hub.recovery()) {
+    w.key("recovery");
+    recovery_json(w, *hub.recovery());
+  }
   w.end_object();
   return w.str();
 }

@@ -7,6 +7,7 @@
 #include "obs/json_writer.h"
 #include "obs/latency_recorder.h"
 #include "obs/metrics_hub.h"
+#include "obs/recovery_tracker.h"
 #include "obs/throughput_tracker.h"
 
 namespace flowvalve::obs {
@@ -24,6 +25,10 @@ void throughput_json(JsonWriter& w, const ThroughputTracker& t);
 /// Counter snapshot including pipeline stats, scheduler stats (if any),
 /// utilization, and reorder occupancy.
 void snapshot_json(JsonWriter& w, const CounterSnapshot& s);
+
+/// Fault-recovery records: {"injected":..,"recovered":..,
+///  "total_packets_lost":..,"worst_recovery_ns":..,"faults":[...]}.
+void recovery_json(JsonWriter& w, const RecoveryTracker& t);
 
 /// Whole hub: {"counters":...,"latency":...,"throughput":...}.
 std::string metrics_to_json(const MetricsHub& hub);

@@ -18,6 +18,7 @@
 #include "core/flowvalve.h"
 #include "np/nic_pipeline.h"
 #include "obs/latency_recorder.h"
+#include "obs/recovery_tracker.h"
 #include "obs/throughput_tracker.h"
 #include "sim/simulator.h"
 
@@ -49,6 +50,11 @@ class MetricsHub final : public np::PipelineObserver {
   /// scheduler stats in snapshots. Optional; call before start().
   void attach_engine(core::FlowValveEngine& engine);
 
+  /// Expose a fault plane's recovery records in metrics_to_json. Optional;
+  /// not owned — must outlive the hub (or be detached with nullptr).
+  void attach_recovery(const RecoveryTracker* tracker) { recovery_ = tracker; }
+  const RecoveryTracker* recovery() const { return recovery_; }
+
   /// Claim the pipeline observer slot and arm the sampling timer.
   void start();
   /// Close the final window and stop the timer so the simulator can drain.
@@ -70,6 +76,7 @@ class MetricsHub final : public np::PipelineObserver {
   sim::Simulator& sim_;
   np::NicPipeline& pipeline_;
   core::FlowValveEngine* engine_ = nullptr;
+  const RecoveryTracker* recovery_ = nullptr;
   Options options_;
   LatencyRecorder latency_;
   ThroughputTracker throughput_;

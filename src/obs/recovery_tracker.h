@@ -1,0 +1,72 @@
+// Per-fault recovery bookkeeping for the fault-injection plane (src/fault).
+//
+// The FaultPlane opens one FaultRecord when it injects a fault, stamps the
+// clearing instant, and closes the record when its recovery probe sees the
+// pipeline healthy again (no hung workers, no retry backlog, fault-
+// attributed drop counters quiescent). Packets-lost-to-fault is the delta
+// of the robustness layer's drop counters over the fault's lifetime, broken
+// out by mechanism. obs::recovery_json (export.h) renders the records into
+// the BENCH JSON shape.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace flowvalve::obs {
+
+struct FaultRecord {
+  std::string kind;
+  sim::SimTime injected_at = 0;
+  sim::SimTime cleared_at = -1;    // -1: fault never cleared (permanent)
+  sim::SimTime recovered_at = -1;  // -1: pipeline never probed healthy
+
+  // Drops attributable to surviving the fault, over [injected, recovered]
+  // (or the end of probing if recovery was never observed).
+  std::uint64_t lost_watchdog = 0;   // retry budget exhausted
+  std::uint64_t lost_timeout = 0;    // reorder-window timeout flushes
+  std::uint64_t lost_admission = 0;  // degradation-mode tail drops
+  std::uint64_t packets_lost() const {
+    return lost_watchdog + lost_timeout + lost_admission;
+  }
+
+  bool cleared() const { return cleared_at >= 0; }
+  bool recovered() const { return recovered_at >= 0; }
+  /// Time from the fault clearing to the pipeline probing healthy again.
+  sim::SimDuration recovery_time() const {
+    return (cleared() && recovered()) ? recovered_at - cleared_at : -1;
+  }
+};
+
+class RecoveryTracker {
+ public:
+  void record(FaultRecord r) { records_.push_back(std::move(r)); }
+  const std::vector<FaultRecord>& records() const { return records_; }
+
+  std::size_t injected() const { return records_.size(); }
+  std::size_t recovered() const {
+    std::size_t n = 0;
+    for (const FaultRecord& r : records_)
+      if (r.recovered()) ++n;
+    return n;
+  }
+  std::uint64_t total_packets_lost() const {
+    std::uint64_t n = 0;
+    for (const FaultRecord& r : records_) n += r.packets_lost();
+    return n;
+  }
+  /// Longest observed clear→healthy interval (0 if none recovered).
+  sim::SimDuration worst_recovery_time() const {
+    sim::SimDuration worst = 0;
+    for (const FaultRecord& r : records_)
+      if (r.recovered() && r.recovery_time() > worst) worst = r.recovery_time();
+    return worst;
+  }
+
+ private:
+  std::vector<FaultRecord> records_;
+};
+
+}  // namespace flowvalve::obs

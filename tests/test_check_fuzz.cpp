@@ -7,11 +7,23 @@
 
 #include "check/fuzzer.h"
 #include "check/runner.h"
+#include "fault/fault.h"
 #include "np/nic_pipeline.h"
 #include "sim/simulator.h"
 
 namespace flowvalve::check {
 namespace {
+
+// A permanent (never-clearing) injected pipeline bug, armed from t=0 via
+// the fault plane — the checker-validation faults.
+fault::FaultEvent permanent_bug(fault::FaultKind kind, std::uint64_t every) {
+  fault::FaultEvent ev;
+  ev.kind = kind;
+  ev.at = 0;
+  ev.duration = 0;
+  ev.period = static_cast<sim::SimDuration>(every);
+  return ev;
+}
 
 TEST(FuzzScenario, GenerationIsDeterministic) {
   for (std::uint64_t seed : {1ull, 7ull, 0xdeadbeefull}) {
@@ -99,7 +111,7 @@ TEST(FuzzCheck, DifferentialOracleAgreesWithHtb) {
 // missing packets at drain, ordering sees the stalled reorder window.
 TEST(FuzzCheck, InjectedLeakIsCaught) {
   RunOptions opts;
-  opts.faults.leak_commit_every = 97;
+  opts.faults.push_back(permanent_bug(fault::FaultKind::kLeakCommit, 97));
   const CheckReport report = run_seed(1, opts);
   ASSERT_FALSE(report.ok());
   bool conservation = false;
@@ -113,7 +125,7 @@ TEST(FuzzCheck, InjectedLeakIsCaught) {
 // the per-VF ordering checker.
 TEST(FuzzCheck, InjectedReorderBypassIsCaught) {
   RunOptions opts;
-  opts.faults.bypass_reorder_every = 97;
+  opts.faults.push_back(permanent_bug(fault::FaultKind::kBypassReorder, 97));
   const CheckReport report = run_seed(1, opts);
   ASSERT_FALSE(report.ok());
   bool ordering = false;

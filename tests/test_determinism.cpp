@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "check/runner.h"
+#include "fault/fault.h"
 
 namespace flowvalve::check {
 namespace {
@@ -14,14 +15,27 @@ void expect_identical(const CheckReport& a, const CheckReport& b) {
   EXPECT_EQ(a.nic.vf_ring_drops, b.nic.vf_ring_drops);
   EXPECT_EQ(a.nic.scheduler_drops, b.nic.scheduler_drops);
   EXPECT_EQ(a.nic.tx_ring_drops, b.nic.tx_ring_drops);
+  EXPECT_EQ(a.nic.reorder_flush_drops, b.nic.reorder_flush_drops);
   EXPECT_EQ(a.nic.forwarded_to_wire, b.nic.forwarded_to_wire);
   EXPECT_EQ(a.nic.wire_bytes, b.nic.wire_bytes);
   EXPECT_EQ(a.nic.worker_busy_ns, b.nic.worker_busy_ns);
   EXPECT_EQ(a.nic.processed, b.nic.processed);
   EXPECT_EQ(a.nic.processing_cycles, b.nic.processing_cycles);
+  // Robustness-layer counters: the watchdog, reorder-timeout, and admission
+  // paths must be just as replayable as the happy path.
+  EXPECT_EQ(a.nic.watchdog_requeues, b.nic.watchdog_requeues);
+  EXPECT_EQ(a.nic.watchdog_drops, b.nic.watchdog_drops);
+  EXPECT_EQ(a.nic.reorder_timeout_flushes, b.nic.reorder_timeout_flushes);
+  EXPECT_EQ(a.nic.reorder_timeout_drops, b.nic.reorder_timeout_drops);
+  EXPECT_EQ(a.nic.admission_drops, b.nic.admission_drops);
+  EXPECT_EQ(a.nic.workers_repaired, b.nic.workers_repaired);
   EXPECT_EQ(a.events, b.events);
   EXPECT_EQ(a.delivered, b.delivered);
   EXPECT_EQ(a.violation_total, b.violation_total);
+  EXPECT_EQ(a.faults_injected, b.faults_injected);
+  EXPECT_EQ(a.faults_recovered, b.faults_recovered);
+  EXPECT_EQ(a.packets_lost_to_faults, b.packets_lost_to_faults);
+  EXPECT_EQ(a.worst_recovery, b.worst_recovery);
 }
 
 TEST(Determinism, SameSeedSameStats) {
@@ -57,15 +71,55 @@ TEST(Determinism, DifferentialRunIsDeterministic) {
 
 TEST(Determinism, FaultInjectionIsDeterministic) {
   RunOptions opts;
-  opts.faults.leak_commit_every = 97;
+  fault::FaultEvent leak;
+  leak.kind = fault::FaultKind::kLeakCommit;
+  leak.at = 0;
+  leak.duration = 0;  // permanent
+  leak.period = 97;
+  opts.faults.push_back(leak);
   const CheckReport a = run_seed(1, opts);
   const CheckReport b = run_seed(1, opts);
   expect_identical(a, b);
+  ASSERT_FALSE(a.ok());  // the injected bug must actually fire
   ASSERT_EQ(a.violations.size(), b.violations.size());
   for (std::size_t i = 0; i < a.violations.size(); ++i) {
     EXPECT_EQ(a.violations[i].checker, b.violations[i].checker);
     EXPECT_EQ(a.violations[i].at, b.violations[i].at);
     EXPECT_EQ(a.violations[i].detail, b.violations[i].detail);
+  }
+}
+
+TEST(Determinism, FaultScheduleExpansionIsDeterministic) {
+  const FuzzScenario sc = generate_scenario(11);
+  const fault::FaultSchedule a =
+      fault::generate_fault_schedule(11, sc.horizon, sc.nic);
+  const fault::FaultSchedule b =
+      fault::generate_fault_schedule(11, sc.horizon, sc.nic);
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_FALSE(a.empty());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].kind, b[i].kind);
+    EXPECT_EQ(a[i].at, b[i].at);
+    EXPECT_EQ(a[i].duration, b[i].duration);
+    EXPECT_EQ(a[i].worker, b[i].worker);
+    EXPECT_EQ(a[i].worker_count, b[i].worker_count);
+    EXPECT_DOUBLE_EQ(a[i].magnitude, b[i].magnitude);
+    EXPECT_EQ(a[i].period, b[i].period);
+  }
+  EXPECT_EQ(fault::describe_schedule(a), fault::describe_schedule(b));
+}
+
+TEST(Determinism, ChaosRunIsDeterministic) {
+  // Seeds chosen to exercise the recovery machinery (watchdog requeues,
+  // reorder-timeout flushes, admission drops all nonzero on at least one).
+  RunOptions opts;
+  opts.chaos = true;
+  for (std::uint64_t seed : {4ull, 6ull, 7ull}) {
+    const CheckReport a = run_seed(seed, opts);
+    const CheckReport b = run_seed(seed, opts);
+    expect_identical(a, b);
+    EXPECT_TRUE(a.ok()) << a.summary();
+    EXPECT_GT(a.faults_injected, 0u);
   }
 }
 
