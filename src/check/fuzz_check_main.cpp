@@ -35,6 +35,7 @@ void usage() {
       "                      check the pipeline survives + re-converges\n"
       "  --expect-violations exit 0 iff at least one seed reports violations\n"
       "  --horizon-ms M      override scenario horizon\n"
+      "  --scheduler K       event queue backend: wheel (default) | heap\n"
       "  -v, --verbose       print the full scenario for every seed\n");
 }
 
@@ -88,6 +89,17 @@ int main(int argc, char** argv) {
     } else if (!std::strcmp(arg, "--horizon-ms")) {
       opts.horizon_override = sim::milliseconds(
           static_cast<std::int64_t>(parse_u64(value())));
+    } else if (!std::strcmp(arg, "--scheduler")) {
+      const char* k = value();
+      if (!std::strcmp(k, "heap")) {
+        opts.scheduler = sim::SchedulerKind::kHeap;
+      } else if (!std::strcmp(k, "wheel")) {
+        opts.scheduler = sim::SchedulerKind::kWheel;
+      } else {
+        std::fprintf(stderr, "fuzz_check: unknown scheduler '%s' (heap|wheel)\n",
+                     k);
+        return 2;
+      }
     } else if (!std::strcmp(arg, "-v") || !std::strcmp(arg, "--verbose")) {
       verbose = true;
     } else if (!std::strcmp(arg, "-h") || !std::strcmp(arg, "--help")) {

@@ -120,7 +120,7 @@ CheckReport run_scenario(const FuzzScenario& sc, const RunOptions& opts) {
   report.seed = sc.seed;
   report.differential = opts.differential;
 
-  sim::Simulator sim;
+  sim::Simulator sim(opts.scheduler);
   core::FlowValveEngine engine(np::engine_options_for(sc.nic));
   if (std::string err = engine.configure(sc.fv_script); !err.empty()) {
     // The fuzzer must only emit valid policies — a config error IS a bug.

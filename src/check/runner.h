@@ -37,6 +37,11 @@ struct RunOptions {
   double convergence_tolerance = 0.10;
   /// If > 0, overrides the generated scenario horizon.
   sim::SimDuration horizon_override = 0;
+  /// Event-queue backend for the run. The wheel is the production default;
+  /// kHeap pins the reference implementation so fuzz findings can be
+  /// reproduced (and the two backends differentially compared) under every
+  /// invariant checker.
+  sim::SchedulerKind scheduler = sim::SchedulerKind::kWheel;
 };
 
 struct CheckReport {

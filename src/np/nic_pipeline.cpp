@@ -36,6 +36,24 @@ NicPipeline::NicPipeline(sim::Simulator& sim, NpConfig config, PacketProcessor& 
     : sim_(sim), config_(config), processor_(processor) {
   config_.validate();
   vf_rings_.resize(config_.num_vfs);
+  for (auto& ring : vf_rings_) ring.reset_capacity(config_.vf_ring_capacity);
+  // Power-of-two VF counts (the common case) route with a mask instead of a
+  // per-packet integer division.
+  if ((config_.num_vfs & (config_.num_vfs - 1)) == 0)
+    vf_index_mask_ = config_.num_vfs - 1;
+  tx_ring_.reset_capacity(config_.tx_ring_capacity);
+  // Window span: the capacity cap bounds buffered completions, and every
+  // other live sequence sits on a busy worker or in the retry queue (at
+  // most a few slots per worker across watchdog rounds). The margin keeps
+  // steady-state wrap-arounds off the grow path.
+  {
+    std::size_t window = 1;
+    const std::size_t need =
+        config_.reorder_capacity + 4 * config_.num_workers + 64;
+    while (window < need) window <<= 1;
+    reorder_ring_.resize(window);
+    reorder_mask_ = window - 1;
+  }
   workers_.resize(config_.num_workers);
   idle_workers_.reserve(config_.num_workers);
   for (unsigned w = 0; w < config_.num_workers; ++w) idle_workers_.push_back(w);
@@ -102,12 +120,15 @@ bool NicPipeline::submit(net::Packet pkt) {
       return false;
     }
   }
-  const unsigned vf = pkt.vf_port % config_.num_vfs;
+  const unsigned vf = vf_index_mask_ != 0
+                          ? (pkt.vf_port & vf_index_mask_)
+                          : pkt.vf_port % config_.num_vfs;
   if (vf_rings_[vf].size() >= config_.vf_ring_capacity) {
     drop(pkt, DropReason::kVfRingFull);
     return false;
   }
   vf_rings_[vf].push_back(std::move(pkt));
+  ++vf_waiting_;
   ++in_flight_;
   try_dispatch();
   return true;
@@ -136,6 +157,7 @@ void NicPipeline::try_dispatch() {
       continue;
     }
 
+    if (vf_waiting_ == 0) return;  // all rings empty; skip the scan
     net::Packet* next = nullptr;
     unsigned scanned = 0;
     while (scanned < config_.num_vfs) {
@@ -144,14 +166,11 @@ void NicPipeline::try_dispatch() {
         next = &ring.front();
         break;
       }
-      rr_vf_ = (rr_vf_ + 1) % config_.num_vfs;
+      if (++rr_vf_ >= config_.num_vfs) rr_vf_ = 0;
       ++scanned;
     }
-    if (next == nullptr) return;  // all rings empty
-
-    net::Packet pkt = std::move(*next);
-    vf_rings_[rr_vf_].pop_front();
-    rr_vf_ = (rr_vf_ + 1) % config_.num_vfs;
+    assert(next != nullptr && "vf_waiting_ > 0 but every ring is empty");
+    if (next == nullptr) return;
 
     const unsigned worker = idle_workers_.back();
     idle_workers_.pop_back();
@@ -159,18 +178,24 @@ void NicPipeline::try_dispatch() {
 
     // Run-to-completion: base Rx work + processor + base Tx work. The
     // processor runs "at" dispatch time; its cycle cost extends the busy
-    // interval. Cycles for dropped packets omit the Tx copy.
-    PacketProcessor::Outcome out = processor_.process(pkt, sim_.now());
+    // interval. Cycles for dropped packets omit the Tx copy. The packet is
+    // processed in its ring slot and moved straight into the worker context
+    // (one copy, not two); nothing below re-enters the VF rings before the
+    // deferred pop.
+    PacketProcessor::Outcome out = processor_.process(*next, sim_.now());
     std::uint64_t cycles = config_.base_rx_cycles + out.cycles;
     if (out.forward) cycles += config_.base_tx_cycles;
     stats_.processing_cycles += cycles;
     ++stats_.processed;
-    dispatch_to(worker, std::move(pkt), ingress_seq,
+    dispatch_to(worker, std::move(*next), ingress_seq,
                 config_.cycles_to_ns(cycles), out.forward, 0);
+    vf_rings_[rr_vf_].pop_front();
+    --vf_waiting_;
+    if (++rr_vf_ >= config_.num_vfs) rr_vf_ = 0;
   }
 }
 
-void NicPipeline::dispatch_to(unsigned worker, net::Packet pkt,
+void NicPipeline::dispatch_to(unsigned worker, net::Packet&& pkt,
                               std::uint64_t seq, sim::SimDuration busy,
                               bool forward, unsigned retries) {
   WorkerCtx& ctx = workers_[worker];
@@ -202,8 +227,7 @@ void NicPipeline::on_completion(unsigned worker, std::uint32_t epoch) {
   // intervals straddled the query instant.
   stats_.worker_busy_ns +=
       static_cast<std::uint64_t>(sim_.now() - ctx.busy_start);
-  net::Packet pkt = std::move(ctx.pkt);
-  ctx.pkt = net::Packet{};
+  net::Packet pkt = std::move(ctx.pkt);  // POD move; stale copy is never read
   const std::uint64_t seq = ctx.seq;
   const bool forward = ctx.forward;
   const bool doomed = ctx.doomed;
@@ -222,7 +246,7 @@ void NicPipeline::on_completion(unsigned worker, std::uint32_t epoch) {
         // Injected bug: jump the reorder queue. The ordering checker must
         // notice; committing the hole keeps the rest of the stream moving.
         tx_admit(std::move(pkt));
-        reorder_commit(seq, std::nullopt);
+        reorder_commit_gap(seq);
       } else if (config_.enforce_reorder) {
         reorder_commit(seq, std::move(pkt));
       } else {
@@ -231,7 +255,7 @@ void NicPipeline::on_completion(unsigned worker, std::uint32_t epoch) {
     } else {
       --in_flight_;
       drop(pkt, DropReason::kScheduler);
-      if (config_.enforce_reorder) reorder_commit(seq, std::nullopt);
+      if (config_.enforce_reorder) reorder_commit_gap(seq);
     }
   }
   // `doomed` executions already gave their packet up to a timeout flush;
@@ -250,29 +274,72 @@ void NicPipeline::worker_finish(unsigned /*worker*/, net::Packet pkt) {
   tx_admit(std::move(pkt));
 }
 
-void NicPipeline::reorder_commit(std::uint64_t seq, std::optional<net::Packet> pkt) {
+void NicPipeline::reorder_commit(std::uint64_t seq, net::Packet&& pkt) {
   if (seq < next_release_seq_) {
     // This slot was already flushed as lost (capacity overrun or hole
     // timeout skipped the gap). Survivors behind it are long gone, so
     // admitting the straggler now would reorder the stream: count it as a
     // reorder-flush drop.
-    if (pkt.has_value()) {
-      --in_flight_;
-      drop(*pkt, DropReason::kReorderFlush);
-    }
+    --in_flight_;
+    drop(pkt, DropReason::kReorderFlush);
     return;
   }
-  reorder_buffer_.emplace(seq, std::move(pkt));
+  if (seq == next_release_seq_ && reorder_count_ == 0 && !reorder_frozen_) {
+    // In-order commit into an empty window — the common case whenever
+    // workers finish in dispatch order. The packet would be buffered and
+    // released in the same call, so skip the ring round-trip (two Packet
+    // copies) and admit it directly. Observable state matches the slow
+    // path: occupancy peaked at 1, no hole, window empty.
+    stats_.reorder_occupancy_peak =
+        std::max<std::uint64_t>(stats_.reorder_occupancy_peak, 1);
+    ++next_release_seq_;
+    hole_active_ = false;
+    tx_admit(std::move(pkt));
+    maybe_arm_watchdog();
+    return;
+  }
+  ReorderSlot& slot = reorder_slot_for(seq);
+  slot.state = ReorderSlot::State::kPacket;
+  slot.pkt = std::move(pkt);
+  reorder_committed();
+}
+
+void NicPipeline::reorder_commit_gap(std::uint64_t seq) {
+  if (seq < next_release_seq_) return;  // already flushed as lost
+  if (seq == next_release_seq_ && reorder_count_ == 0 && !reorder_frozen_) {
+    // In-order gap at the head of an empty window: buffering the kDropped
+    // marker would release it immediately, so just advance the pointer.
+    stats_.reorder_occupancy_peak =
+        std::max<std::uint64_t>(stats_.reorder_occupancy_peak, 1);
+    ++next_release_seq_;
+    hole_active_ = false;
+    maybe_arm_watchdog();
+    return;
+  }
+  reorder_slot_for(seq).state = ReorderSlot::State::kDropped;
+  reorder_committed();
+}
+
+NicPipeline::ReorderSlot& NicPipeline::reorder_slot_for(std::uint64_t seq) {
+  if (seq - next_release_seq_ > reorder_mask_) grow_reorder_ring(seq);
+  ReorderSlot& slot = reorder_ring_[seq & reorder_mask_];
+  assert(slot.state == ReorderSlot::State::kEmpty &&
+         "ingress sequence committed twice");
+  return slot;
+}
+
+void NicPipeline::reorder_committed() {
+  ++reorder_count_;
   stats_.reorder_occupancy_peak =
-      std::max<std::uint64_t>(stats_.reorder_occupancy_peak, reorder_buffer_.size());
+      std::max<std::uint64_t>(stats_.reorder_occupancy_peak, reorder_count_);
   if (!reorder_frozen_) {
     release_reorder_prefix();
     // Capacity cap: a stalled hole (e.g. a leaked completion) must not grow
     // the buffer without bound. Declare the missing head sequence(s) lost,
     // jump the release pointer to the oldest buffered completion, and drain.
-    while (reorder_buffer_.size() > config_.reorder_capacity) {
+    while (reorder_count_ > config_.reorder_capacity) {
       ++stats_.reorder_flushes;
-      next_release_seq_ = reorder_buffer_.begin()->first;
+      next_release_seq_ = oldest_buffered_seq();
       release_reorder_prefix();
     }
   }
@@ -281,18 +348,56 @@ void NicPipeline::reorder_commit(std::uint64_t seq, std::optional<net::Packet> p
 }
 
 void NicPipeline::release_reorder_prefix() {
-  auto it = reorder_buffer_.begin();
-  while (it != reorder_buffer_.end() && it->first == next_release_seq_) {
-    if (it->second.has_value()) tx_admit(std::move(*it->second));
-    it = reorder_buffer_.erase(it);
+  ReorderSlot* slot = &reorder_ring_[next_release_seq_ & reorder_mask_];
+  while (reorder_count_ > 0 && slot->state != ReorderSlot::State::kEmpty) {
+    if (slot->state == ReorderSlot::State::kPacket) {
+      tx_admit(std::move(slot->pkt));  // kEmpty below is what frees the slot
+    }
+    slot->state = ReorderSlot::State::kEmpty;
+    --reorder_count_;
     ++next_release_seq_;
+    slot = &reorder_ring_[next_release_seq_ & reorder_mask_];
   }
+}
+
+std::uint64_t NicPipeline::oldest_buffered_seq() const {
+  assert(reorder_count_ > 0);
+  std::uint64_t seq = next_release_seq_;
+  while (reorder_ring_[seq & reorder_mask_].state ==
+         ReorderSlot::State::kEmpty)
+    ++seq;
+  return seq;
+}
+
+void NicPipeline::grow_reorder_ring(std::uint64_t seq) {
+  // Only a frozen release pointer (injected reorder stall) can push the
+  // window this far; mirror the old std::map's grow-without-bound behavior
+  // instead of inventing a new flush policy for the pathological case.
+  std::size_t window = reorder_ring_.size();
+  while (seq - next_release_seq_ > window - 1) window <<= 1;
+  std::vector<ReorderSlot> grown(window);
+  const std::uint64_t new_mask = window - 1;
+  std::size_t moved = 0;
+  for (std::uint64_t s = next_release_seq_;
+       moved < reorder_count_ && s - next_release_seq_ <= reorder_mask_; ++s) {
+    ReorderSlot& old_slot = reorder_ring_[s & reorder_mask_];
+    if (old_slot.state == ReorderSlot::State::kEmpty) continue;
+    grown[s & new_mask] = std::move(old_slot);
+    ++moved;
+  }
+  reorder_ring_ = std::move(grown);
+  reorder_mask_ = new_mask;
 }
 
 void NicPipeline::update_hole_tracking() {
   if (reorder_frozen_) return;
-  const bool hole = !reorder_buffer_.empty() &&
-                    reorder_buffer_.begin()->first != next_release_seq_;
+  if (reorder_count_ == 0) {  // empty window can't have a hole; skip the ring read
+    hole_active_ = false;
+    return;
+  }
+  const bool hole =
+      reorder_ring_[next_release_seq_ & reorder_mask_].state ==
+          ReorderSlot::State::kEmpty;
   if (!hole) {
     hole_active_ = false;
     return;
@@ -309,7 +414,8 @@ void NicPipeline::update_hole_tracking() {
 void NicPipeline::reorder_timeout_flush() {
   if (reorder_timeout_ <= 0 || reorder_frozen_ || !hole_active_) return;
   if (sim_.now() - hole_since_ < reorder_timeout_) return;
-  const std::uint64_t head = reorder_buffer_.begin()->first;
+  if (reorder_count_ == 0) return;  // hole closed since the last commit
+  const std::uint64_t head = oldest_buffered_seq();
   // The hole [next_release_seq_, head) aged out: its slots are declared
   // lost. Any live occupant (a packet still on a worker or in the retry
   // queue) is dropped NOW, before survivors release, so drops always
@@ -357,32 +463,45 @@ void NicPipeline::arm_tx_drain() {
   if (tx_draining_ || tx_ring_.empty() || wire_factor_ <= 0.0) return;
   tx_draining_ = true;
   const auto& head = tx_ring_.front();
-  sim::SimDuration ser =
-      config_.wire_rate.serialization_delay(head.wire_occupancy_bytes());
-  if (wire_factor_ < 1.0)  // injected wire dip: the port drains slower
-    ser = static_cast<sim::SimDuration>(static_cast<double>(ser) / wire_factor_ + 0.5);
+  const std::uint32_t occ = head.wire_occupancy_bytes();
+  sim::SimDuration ser;
+  if (wire_factor_ == 1.0 && occ == ser_cache_bytes_) {
+    // Uniform traffic hits this memo every time; the double divide in
+    // serialization_delay is measurable at millions of packets per second.
+    ser = ser_cache_delay_;
+  } else {
+    ser = config_.wire_rate.serialization_delay(occ);
+    if (wire_factor_ < 1.0) {  // injected wire dip: the port drains slower
+      ser = static_cast<sim::SimDuration>(static_cast<double>(ser) / wire_factor_ + 0.5);
+    } else {
+      ser_cache_bytes_ = occ;
+      ser_cache_delay_ = ser;
+    }
+  }
   sim_.schedule_after(ser, [this] { tx_drain_complete(); });
 }
 
 void NicPipeline::tx_drain_complete() {
   assert(!tx_ring_.empty());
-  net::Packet pkt = std::move(tx_ring_.front());
-  tx_ring_.pop_front();
+  // Timestamp the head in place, then move it straight from the ring into
+  // the delivery closure — no intermediate Packet copy.
+  net::Packet& head = tx_ring_.front();
   tx_draining_ = false;
   --in_flight_;
 
-  pkt.wire_tx_done = sim_.now();
+  head.wire_tx_done = sim_.now();
   ++stats_.forwarded_to_wire;
-  stats_.wire_bytes += pkt.wire_bytes;
-  if (observer_) observer_->on_wire_tx(pkt, sim_.now());
+  stats_.wire_bytes += head.wire_bytes;
+  if (observer_) observer_->on_wire_tx(head, sim_.now());
 
   // Deliver after the fixed pipeline constant (reorder system, internal
   // queueing, receiver-side capture path).
-  sim_.schedule_after(config_.fixed_pipeline_delay, [this, pkt = std::move(pkt)]() mutable {
+  sim_.schedule_after(config_.fixed_pipeline_delay, [this, pkt = std::move(head)]() mutable {
     pkt.delivered_at = sim_.now();
     if (observer_) observer_->on_delivered(pkt, sim_.now());
     deliver(pkt);
   });
+  tx_ring_.pop_front();
   arm_tx_drain();
 }
 
@@ -392,13 +511,13 @@ bool NicPipeline::watchdog_work_pending() const {
   for (const WorkerCtx& ctx : workers_)
     if (ctx.state == WorkerCtx::State::kBusy) return true;
   if (!retry_queue_.empty()) return true;
-  if (config_.enforce_reorder && !reorder_buffer_.empty() && !reorder_frozen_)
+  if (config_.enforce_reorder && reorder_count_ > 0 && !reorder_frozen_)
     return true;
   if (admission_active_) return true;
   return false;
 }
 
-void NicPipeline::maybe_arm_watchdog() {
+void NicPipeline::arm_watchdog_slow() {
   if (watchdog_armed_ || watchdog_period_ <= 0) return;
   if (watchdog_budget_ <= 0 && reorder_timeout_ <= 0 &&
       !config_.recovery.admission_enabled)
@@ -447,7 +566,7 @@ void NicPipeline::watchdog_abort(unsigned worker) {
       // sequence slot committed empty so the window moves on.
       --in_flight_;
       drop(pkt, DropReason::kWatchdogAbort);
-      if (config_.enforce_reorder) reorder_commit(ctx.seq, std::nullopt);
+      if (config_.enforce_reorder) reorder_commit_gap(ctx.seq);
     }
   }
   ctx.doomed = false;
@@ -570,9 +689,9 @@ void NicPipeline::fault_freeze_reorder(bool frozen) {
     return;
   }
   release_reorder_prefix();
-  while (reorder_buffer_.size() > config_.reorder_capacity) {
+  while (reorder_count_ > config_.reorder_capacity) {
     ++stats_.reorder_flushes;
-    next_release_seq_ = reorder_buffer_.begin()->first;
+    next_release_seq_ = oldest_buffered_seq();
     release_reorder_prefix();
   }
   update_hole_tracking();

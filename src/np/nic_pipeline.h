@@ -17,7 +17,6 @@
 
 #include <deque>
 #include <functional>
-#include <map>
 #include <memory>
 #include <vector>
 
@@ -26,6 +25,7 @@
 #include "net/device.h"
 #include "net/packet.h"
 #include "np/np_config.h"
+#include "sim/fixed_ring.h"
 #include "sim/simulator.h"
 #include "stats/stats.h"
 
@@ -158,7 +158,10 @@ class NicPipeline final : public net::EgressDevice {
   std::size_t in_flight() const { return in_flight_; }
 
   /// Completed packets currently parked in the reorder buffer.
-  std::size_t reorder_occupancy() const { return reorder_buffer_.size(); }
+  std::size_t reorder_occupancy() const { return reorder_count_; }
+
+  /// Reorder sliding-window span in sequence numbers (power of two).
+  std::size_t reorder_window() const { return reorder_ring_.size(); }
 
   /// Workers wedged by an injected stall/crash, awaiting repair_worker().
   unsigned hung_workers() const;
@@ -233,16 +236,37 @@ class NicPipeline final : public net::EgressDevice {
     unsigned retries = 0;
   };
 
+  /// One slot of the reorder sliding window, indexed by ingress_seq & mask.
+  /// kDropped marks a sequence committed without a packet (scheduler drop,
+  /// watchdog give-up, injected bypass) so the window can advance past it.
+  struct ReorderSlot {
+    enum class State : std::uint8_t { kEmpty, kPacket, kDropped };
+    State state = State::kEmpty;
+    net::Packet pkt;  // valid iff state == kPacket
+  };
+
   void try_dispatch();
-  void dispatch_to(unsigned worker, net::Packet pkt, std::uint64_t seq,
+  void dispatch_to(unsigned worker, net::Packet&& pkt, std::uint64_t seq,
                    sim::SimDuration busy, bool forward, unsigned retries);
   void on_completion(unsigned worker, std::uint32_t epoch);
   void worker_finish(unsigned worker, net::Packet pkt);
-  /// Reorder system: commit `seq` (with a packet to transmit, or nothing if
-  /// it was dropped) and release any now-in-order packets to the Tx ring.
-  void reorder_commit(std::uint64_t seq, std::optional<net::Packet> pkt);
+  /// Reorder system: commit `seq` with a packet to transmit and release any
+  /// now-in-order packets to the Tx ring. reorder_commit_gap commits a
+  /// sequence without a packet (scheduler drop, watchdog give-up, injected
+  /// bypass) so the window can advance past it.
+  void reorder_commit(std::uint64_t seq, net::Packet&& pkt);
+  void reorder_commit_gap(std::uint64_t seq);
+  /// Shared tail of the commit paths: occupancy accounting, in-order
+  /// release, capacity flush, hole tracking.
+  ReorderSlot& reorder_slot_for(std::uint64_t seq);
+  void reorder_committed();
   void release_reorder_prefix();
   void update_hole_tracking();
+  /// Oldest buffered (non-empty) sequence; precondition reorder_count_ > 0.
+  std::uint64_t oldest_buffered_seq() const;
+  /// Double the reorder window until `seq` fits (frozen-release pathology;
+  /// preserves the old map's grow-without-bound semantics).
+  void grow_reorder_ring(std::uint64_t seq);
   void tx_admit(net::Packet pkt);
   void arm_tx_drain();
   void tx_drain_complete();
@@ -252,7 +276,13 @@ class NicPipeline final : public net::EgressDevice {
   // there is work it could act on, so a drained pipeline schedules nothing
   // and run_all() still quiesces.
   bool watchdog_work_pending() const;
-  void maybe_arm_watchdog();
+  /// Hot-path wrapper: at steady state the watchdog is already armed, so
+  /// the per-packet callers pay one flag test, not a function call.
+  void maybe_arm_watchdog() {
+    if (watchdog_armed_) return;
+    arm_watchdog_slow();
+  }
+  void arm_watchdog_slow();
   void watchdog_tick();
   void watchdog_abort(unsigned worker);
   void reorder_timeout_flush();
@@ -263,21 +293,31 @@ class NicPipeline final : public net::EgressDevice {
   NpConfig config_;
   PacketProcessor& processor_;
 
-  std::vector<std::deque<net::Packet>> vf_rings_;
+  std::vector<sim::FixedRing<net::Packet>> vf_rings_;
   std::vector<WorkerCtx> workers_;
   std::vector<unsigned> idle_workers_;
   unsigned rr_vf_ = 0;  // round-robin pull pointer over VF rings
+  std::size_t vf_waiting_ = 0;  // packets across all VF rings (scan early-out)
+  unsigned vf_index_mask_ = 0;  // num_vfs - 1 when num_vfs is a power of two
   std::deque<RetryEntry> retry_queue_;  // watchdog-salvaged, served first
 
-  std::deque<net::Packet> tx_ring_;
+  sim::FixedRing<net::Packet> tx_ring_;
   bool tx_draining_ = false;
+  std::uint32_t ser_cache_bytes_ = 0;     // memo: serialization_delay of the
+  sim::SimDuration ser_cache_delay_ = 0;  // last wire occupancy (factor 1.0)
   double wire_factor_ = 1.0;          // injected wire dip (1 = healthy)
   std::size_t tx_capacity_override_ = 0;  // injected backpressure (0 = none)
 
   // Reorder system state.
   std::uint64_t next_ingress_seq_ = 0;   // assigned at dispatch
   std::uint64_t next_release_seq_ = 0;   // next seq allowed into the Tx ring
-  std::map<std::uint64_t, std::optional<net::Packet>> reorder_buffer_;
+  // Power-of-two sliding window over ingress sequence numbers: slot for
+  // seq s is reorder_ring_[s & reorder_mask_]. Spans [next_release_seq_,
+  // next_release_seq_ + window); sized so steady-state traffic (capacity
+  // cap + every in-flight/retry slot) never wraps onto a live entry.
+  std::vector<ReorderSlot> reorder_ring_;
+  std::uint64_t reorder_mask_ = 0;
+  std::size_t reorder_count_ = 0;     // occupied (non-kEmpty) slots
   bool reorder_frozen_ = false;       // injected release-pointer stall
   bool hole_active_ = false;          // head-of-line hole currently open
   std::uint64_t hole_seq_ = 0;        // the missing seq the window waits on

@@ -1,0 +1,135 @@
+// Small-buffer-optimized move-only callable, the event kernel's closure
+// type. The legacy kernel stored every callback in a std::function, which
+// heap-allocates for anything bigger than two pointers — and the pipeline's
+// hottest closure (the delivery lambda capturing a whole net::Packet by
+// value) is ~100 bytes, so *every* packet paid a malloc/free pair. This
+// type inlines captures up to `Capacity` bytes into the event slot itself;
+// only pathological closures fall back to the heap.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace flowvalve::sim {
+
+template <std::size_t Capacity>
+class InlineCallback {
+ public:
+  InlineCallback() = default;
+
+  InlineCallback(InlineCallback&& other) noexcept { move_from(other); }
+  InlineCallback& operator=(InlineCallback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  InlineCallback(const InlineCallback&) = delete;
+  InlineCallback& operator=(const InlineCallback&) = delete;
+
+  template <class F,
+            class = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineCallback>>>
+  InlineCallback(F&& fn) {  // NOLINT: implicit, mirrors std::function
+    emplace(std::forward<F>(fn));
+  }
+
+  ~InlineCallback() { reset(); }
+
+  /// Replace the stored callable, constructing the new one in place. Lets a
+  /// pooled event slot adopt a closure with zero intermediate moves.
+  template <class F,
+            class = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineCallback>>>
+  void assign(F&& fn) {
+    reset();
+    emplace(std::forward<F>(fn));
+  }
+
+  /// Invoke the stored callable. Precondition: engaged.
+  void operator()() { ops_->invoke(buf_); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  /// Destroy the stored callable (if any), releasing captured resources.
+  /// Trivially-destructible captures (the common case on the event hot
+  /// path) skip the indirect destroy call entirely.
+  void reset() {
+    if (ops_ != nullptr) {
+      if (!ops_->trivial_destroy) ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* p);
+    void (*move)(void* dst, void* src);  // move-construct dst from src
+    void (*destroy)(void* p);
+    bool trivial_destroy;
+  };
+
+  template <class Fn>
+  static constexpr bool fits_inline() {
+    return sizeof(Fn) <= Capacity && alignof(Fn) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+  template <class Fn>
+  static const Ops* inline_ops() {
+    static constexpr Ops ops = {
+        [](void* p) { (*static_cast<Fn*>(p))(); },
+        [](void* dst, void* src) {
+          ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+        },
+        [](void* p) { static_cast<Fn*>(p)->~Fn(); },
+        std::is_trivially_destructible_v<Fn>,
+    };
+    return &ops;
+  }
+
+  template <class Fn>
+  static const Ops* boxed_ops() {
+    static constexpr Ops ops = {
+        [](void* p) { (**static_cast<Fn**>(p))(); },
+        [](void* dst, void* src) {
+          auto& sp = *static_cast<Fn**>(src);
+          ::new (dst) Fn*(sp);
+          sp = nullptr;  // source destroy must not double-delete
+        },
+        [](void* p) { delete *static_cast<Fn**>(p); },
+        false,  // boxed: delete is never skippable
+    };
+    return &ops;
+  }
+
+  template <class F>
+  void emplace(F&& fn) {
+    using Fn = std::decay_t<F>;
+    if constexpr (fits_inline<Fn>()) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(fn));
+      ops_ = inline_ops<Fn>();
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(fn)));
+      ops_ = boxed_ops<Fn>();
+    }
+  }
+
+  void move_from(InlineCallback& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->move(buf_, other.buf_);
+      if (!ops_->trivial_destroy) ops_->destroy(other.buf_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[Capacity];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace flowvalve::sim

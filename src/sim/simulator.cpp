@@ -1,23 +1,98 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
 #include <cassert>
-#include <memory>
 
 namespace flowvalve::sim {
 
-EventHandle Simulator::schedule_at(SimTime at, std::function<void()> fn) {
-  assert(at >= now_ && "cannot schedule an event in the past");
-  auto alive = std::make_shared<bool>(true);
-  queue_.push(Event{at, next_seq_++, std::move(fn), alive});
-  return EventHandle(std::move(alive));
+const char* scheduler_kind_name(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kHeap: return "heap";
+    case SchedulerKind::kWheel: return "wheel";
+  }
+  return "unknown";
+}
+
+SimTime Simulator::next_event_time() {
+  if (kind_ == SchedulerKind::kHeap) {
+    // Drop cancelled events before peeking: a cancelled event must neither
+    // gate the horizon check (historically it could let a LIVE event past
+    // the horizon slip through) nor misreport the next firing time.
+    while (!queue_.empty() && !*queue_.top().alive) queue_.pop();
+    return queue_.empty() ? kSimTimeMax : queue_.top().at;
+  }
+  return wheel_next_time();
 }
 
 bool Simulator::step() {
+  return kind_ == SchedulerKind::kHeap ? heap_step() : wheel_step();
+}
+
+std::uint64_t Simulator::run_until(SimTime until) {
+  std::uint64_t n = 0;
+  if (kind_ == SchedulerKind::kHeap) {
+    for (;;) {
+      const SimTime t = next_event_time();
+      if (t > until) break;
+      if (!heap_step()) break;  // drained (only when until == kSimTimeMax)
+      ++n;
+    }
+  } else {
+    for (;;) {
+      // The horizon peek leaves the front of early_/due_ armed, so the
+      // execute half runs without re-deriving the next event.
+      const SimTime t = wheel_next_time();
+      if (t > until) break;
+      if (t == kSimTimeMax && live_count_ == 0) break;
+      wheel_exec_ready();
+      ++n;
+    }
+  }
+  // Advance the clock to the horizon even if nothing fires exactly there so
+  // that back-to-back run_until calls observe monotonic time.
+  if (until != kSimTimeMax && until > now_) now_ = until;
+  return n;
+}
+
+// --- legacy binary-heap backend ---------------------------------------------
+
+EventHandle Simulator::heap_schedule(SimTime at, std::function<void()> fn) {
+  auto alive = std::make_shared<bool>(true);
+  queue_.push(HeapEvent{at, next_seq_++, std::move(fn), alive});
+  return EventHandle(std::move(alive));
+}
+
+EventHandle Simulator::heap_schedule_periodic(SimDuration period,
+                                              std::function<void()> fn) {
+  // One shared flag doubles as the handle's liveness AND every chain
+  // event's `alive`: cancelling it kills the next firing in place, so the
+  // heap backend counts exactly the same executed events as the wheel.
+  auto running = std::make_shared<bool>(true);
+  auto shared_fn = std::make_shared<std::function<void()>>(std::move(fn));
+  heap_periodic_arm(running, shared_fn, period);
+  return EventHandle(running);
+}
+
+void Simulator::heap_periodic_arm(std::shared_ptr<bool> running,
+                                  std::shared_ptr<std::function<void()>> fn,
+                                  SimDuration period) {
+  queue_.push(HeapEvent{now_ + period, next_seq_++,
+                        [this, running, fn, period] {
+                          // heap_step cleared the flag on pop; a periodic
+                          // event stays pending through its own callback.
+                          *running = true;
+                          (*fn)();
+                          if (*running) heap_periodic_arm(running, fn, period);
+                        },
+                        running});
+}
+
+bool Simulator::heap_step() {
   while (!queue_.empty()) {
     // priority_queue::top is const; move out via const_cast is UB-adjacent,
     // so copy the small fields and move the callable through a mutable pop
     // pattern: re-wrap in a local.
-    Event ev = queue_.top();
+    HeapEvent ev = queue_.top();
     queue_.pop();
     if (!*ev.alive) continue;  // cancelled
     now_ = ev.at;
@@ -29,16 +104,214 @@ bool Simulator::step() {
   return false;
 }
 
-std::uint64_t Simulator::run_until(SimTime until) {
-  std::uint64_t n = 0;
-  while (!queue_.empty()) {
-    if (queue_.top().at > until) break;
-    if (step()) ++n;
+// --- pooled slab + hierarchical timing wheel backend ------------------------
+
+std::uint32_t Simulator::alloc_slot() {
+  if (free_.empty()) {
+    if (pool_size_ == chunks_.size() * kPoolChunk)
+      chunks_.push_back(std::make_unique<EventSlot[]>(kPoolChunk));
+    return static_cast<std::uint32_t>(pool_size_++);
   }
-  // Advance the clock to the horizon even if nothing fires exactly there so
-  // that back-to-back run_until calls observe monotonic time.
-  if (until != kSimTimeMax && until > now_) now_ = until;
-  return n;
+  const std::uint32_t idx = free_.back();
+  free_.pop_back();
+  return idx;
+}
+
+void Simulator::free_slot(std::uint32_t idx) {
+  EventSlot& s = slot_at(idx);
+  s.fn.reset();  // release captured resources promptly
+  s.state = EventSlot::State::kFree;
+  s.period = 0;
+  s.next = -1;
+  ++s.gen;  // outstanding handles to this slot turn inert
+  free_.push_back(idx);
+}
+
+void Simulator::wheel_place(std::uint32_t idx) {
+  EventSlot& s = slot_at(idx);
+  const std::uint64_t t = static_cast<std::uint64_t>(s.at);
+  if (t < wheel_time_) {
+    // Scheduled behind the cursor: possible only after a horizon peek
+    // advanced the wheel past `now_`. Such an event is earlier than
+    // everything still in the wheel, so it lives in a small sorted
+    // side-list that drains before the wheel.
+    const auto before = [this](std::uint32_t a, std::uint32_t b) {
+      const EventSlot& x = slot_at(a);
+      const EventSlot& y = slot_at(b);
+      if (x.at != y.at) return x.at < y.at;
+      return x.seq < y.seq;
+    };
+    early_.insert(std::lower_bound(early_.begin(), early_.end(), idx, before),
+                  idx);
+    s.next = -1;
+    return;
+  }
+  // Minimal level whose block still contains the cursor: level 0 slots
+  // resolve single instants; level L >= 1 slots cascade 2^(12+8(L-1)) ns at
+  // a time. The highest bit where `t` and the cursor differ picks the level
+  // directly (all bits above level_shift(L) + level_bits(L) must agree).
+  unsigned level = 0;
+  if (const std::uint64_t diff = t ^ wheel_time_; diff >= level_slots(0)) {
+    const unsigned hsb = 63u - static_cast<unsigned>(__builtin_clzll(diff));
+    level = (hsb - kL0Bits) / kLxBits + 1;  // <= kWheelLevels - 1 by coverage
+  }
+  const unsigned slot = static_cast<unsigned>((t >> level_shift(level)) &
+                                              (level_slots(level) - 1));
+  std::int32_t& head = wheel_head_[head_offset(level) + slot];
+  s.next = head;
+  head = static_cast<std::int32_t>(idx);
+  occupancy_[occ_offset(level) + (slot >> 6)] |= 1ull << (slot & 63);
+}
+
+int Simulator::scan_occupancy(unsigned level, unsigned from) const {
+  const unsigned slots = level_slots(level);
+  if (from >= slots) return -1;
+  const std::uint64_t* occ = &occupancy_[occ_offset(level)];
+  unsigned word = from >> 6;
+  std::uint64_t mask = ~0ull << (from & 63);
+  for (; word < slots / 64; ++word) {
+    const std::uint64_t bits = occ[word] & mask;
+    if (bits != 0)
+      return static_cast<int>(word * 64 +
+                              static_cast<unsigned>(__builtin_ctzll(bits)));
+    mask = ~0ull;
+  }
+  return -1;
+}
+
+void Simulator::wheel_advance() {
+  for (;;) {
+    // The earliest occupied slot: level-L events live inside the cursor's
+    // level-(L+1) block while level-(L+1) events live strictly beyond it,
+    // so every level-L candidate precedes every level-(L+1) candidate and
+    // the FIRST occupied level (scanning upward) holds the global minimum.
+    // Slots strictly behind a level's cursor are always empty (the cursor
+    // only jumps to minima, and insertions land at or ahead of it), so a
+    // forward scan per level suffices.
+    std::uint64_t best_time = ~0ull;
+    unsigned best_level = 0;
+    unsigned best_slot = 0;
+    bool found = false;
+    for (unsigned level = 0; level < kWheelLevels; ++level) {
+      const unsigned shift = level_shift(level);
+      const unsigned cur = static_cast<unsigned>((wheel_time_ >> shift) &
+                                                 (level_slots(level) - 1));
+      const int j = scan_occupancy(level, level == 0 ? cur : cur + 1);
+      if (j < 0) continue;
+      const unsigned span = shift + level_bits(level);
+      const std::uint64_t base =
+          span < 64 ? wheel_time_ & ~((1ull << span) - 1) : 0;
+      best_time = base + (static_cast<std::uint64_t>(j) << shift);
+      best_level = level;
+      best_slot = static_cast<unsigned>(j);
+      found = true;
+      break;
+    }
+    assert(found && "live events exist but no wheel slot is occupied");
+    if (!found) return;
+
+    std::int32_t head = wheel_head_[head_offset(best_level) + best_slot];
+    wheel_head_[head_offset(best_level) + best_slot] = -1;
+    occupancy_[occ_offset(best_level) + (best_slot >> 6)] &=
+        ~(1ull << (best_slot & 63));
+    wheel_time_ = best_time;
+
+    if (best_level == 0) {
+      // Exact instant reached: batch the slot's survivors, restore
+      // same-instant FIFO by sequence number.
+      while (head >= 0) {
+        const std::uint32_t idx = static_cast<std::uint32_t>(head);
+        head = slot_at(idx).next;
+        slot_at(idx).next = -1;
+        if (slot_at(idx).state == EventSlot::State::kArmed) {
+          due_.push_back(idx);
+        } else {
+          free_slot(idx);
+        }
+      }
+      if (!due_.empty()) {
+        if (due_.size() > 1)  // batches of one (sparse workloads) skip it
+          std::sort(due_.begin(), due_.end(),
+                    [this](std::uint32_t a, std::uint32_t b) {
+                      return slot_at(a).seq < slot_at(b).seq;
+                    });
+        return;
+      }
+      // Slot held only cancelled events; keep searching.
+    } else {
+      // Block boundary reached: cascade occupants into strictly lower
+      // levels (their level-`best_level` block now contains the cursor).
+      while (head >= 0) {
+        const std::uint32_t idx = static_cast<std::uint32_t>(head);
+        head = slot_at(idx).next;
+        slot_at(idx).next = -1;
+        if (slot_at(idx).state == EventSlot::State::kArmed) {
+          wheel_place(idx);
+        } else {
+          free_slot(idx);
+        }
+      }
+    }
+  }
+}
+
+SimTime Simulator::wheel_next_time() {
+  for (;;) {
+    while (!early_.empty()) {
+      const std::uint32_t idx = early_.front();
+      if (slot_at(idx).state == EventSlot::State::kArmed) return slot_at(idx).at;
+      free_slot(idx);
+      early_.erase(early_.begin());
+    }
+    while (due_pos_ < due_.size()) {
+      const std::uint32_t idx = due_[due_pos_];
+      if (slot_at(idx).state == EventSlot::State::kArmed) return slot_at(idx).at;
+      free_slot(idx);
+      ++due_pos_;
+    }
+    due_.clear();
+    due_pos_ = 0;
+    if (live_count_ == 0) return kSimTimeMax;
+    wheel_advance();
+  }
+}
+
+bool Simulator::wheel_step() {
+  const SimTime t = wheel_next_time();
+  if (t == kSimTimeMax && live_count_ == 0) return false;
+  wheel_exec_ready();
+  return true;
+}
+
+void Simulator::wheel_exec_ready() {
+  std::uint32_t idx;
+  if (!early_.empty()) {
+    idx = early_.front();
+    early_.erase(early_.begin());
+  } else {
+    idx = due_[due_pos_++];
+  }
+
+  EventSlot& s = slot_at(idx);  // chunked pool: stable through reentrant scheduling
+  now_ = s.at;
+  ++events_executed_;
+  if (s.period > 0) {
+    s.fn();  // stays kArmed (and pending) through its own callback
+    if (s.state == EventSlot::State::kArmed) {
+      // Rearm in place: same slot, same generation, same closure — a new
+      // deadline and sequence number are the only per-period work.
+      s.at = now_ + s.period;
+      s.seq = next_seq_++;
+      wheel_place(idx);
+    } else {
+      free_slot(idx);  // cancelled from inside its own callback
+    }
+  } else {
+    s.state = EventSlot::State::kCancelled;  // no longer pending during fn
+    --live_count_;
+    s.fn();
+    free_slot(idx);
+  }
 }
 
 }  // namespace flowvalve::sim

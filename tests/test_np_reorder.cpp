@@ -4,6 +4,7 @@
 // must always drain back to in_flight == 0.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <vector>
 
@@ -220,6 +221,102 @@ TEST(NpReorder, CapFlushSkipsStuckHoleAndDropsLateCompletion) {
                               st.reorder_flush_drops);
   EXPECT_EQ(run.pipeline.in_flight(), 0u);
   EXPECT_EQ(run.pipeline.reorder_occupancy(), 0u);
+}
+
+// Drive next_release_seq_ through five full revolutions of the power-of-two
+// reorder ring (capacity 16 + 4*3 workers + 64 slack → 128 slots) with a mix
+// of scripted drops and slow stragglers, so ring indices wrap while holes are
+// open across the boundary. The window must stay order-preserving and
+// conservation-exact with zero emergency flushes.
+TEST(NpReorder, RingWrapAroundWithHolesStaysOrdered) {
+  constexpr std::uint64_t kPackets = 700;
+  NpConfig cfg = three_worker_config();
+  cfg.reorder_capacity = 16;       // window rounds up to 128 — kPackets wraps it 5x
+  cfg.vf_ring_capacity = 1024;     // accept the whole burst up front
+  Rig run(cfg);
+
+  std::vector<std::uint64_t> expect_delivered, expect_dropped;
+  for (std::uint64_t id = 0; id < kPackets; ++id) {
+    if (id % 7 == 0) {
+      run.proc.script(id, false, 100);   // scheduler drop -> gap in the window
+      expect_dropped.push_back(id);
+    } else {
+      // Every 11th survivor is a straggler: ~9 us vs ~2.4 us service time,
+      // so up to ~6 later completions buffer behind its hole (well under the
+      // 16 cap) and the hole frequently straddles a ring-boundary crossing.
+      run.proc.script(id, true, id % 11 == 0 ? 8000 : 100);
+      expect_delivered.push_back(id);
+    }
+  }
+
+  for (std::uint64_t id = 0; id < kPackets; ++id)
+    EXPECT_TRUE(run.pipeline.submit(make_packet(id)));
+  EXPECT_EQ(run.pipeline.reorder_window(), 128u);
+  run.sim.run_all();
+
+  EXPECT_EQ(run.delivered, expect_delivered);  // ingress order, nothing skipped
+  std::sort(run.dropped.begin(), run.dropped.end());  // drop callbacks fire at
+  EXPECT_EQ(run.dropped, expect_dropped);             // completion, not release
+  const auto& st = run.pipeline.stats();
+  EXPECT_EQ(st.submitted, kPackets);
+  EXPECT_EQ(st.forwarded_to_wire, expect_delivered.size());
+  EXPECT_EQ(st.scheduler_drops, expect_dropped.size());
+  EXPECT_EQ(st.vf_ring_drops, 0u);
+  EXPECT_EQ(st.tx_ring_drops, 0u);
+  EXPECT_EQ(st.reorder_flushes, 0u);
+  EXPECT_EQ(st.reorder_timeout_flushes, 0u);
+  EXPECT_EQ(st.watchdog_requeues, 0u);
+  EXPECT_GE(st.reorder_occupancy_peak, 2u);  // stragglers really buffered packets
+  EXPECT_EQ(run.pipeline.in_flight(), 0u);
+  EXPECT_EQ(run.pipeline.reorder_occupancy(), 0u);
+}
+
+// A head-of-line hole older than recovery.reorder_timeout is flushed past
+// instead of wedging the window until the capacity cap: survivors release in
+// order and the straggler's eventual completion is dropped, not reordered.
+TEST(NpReorder, HoleTimeoutFlushReleasesSurvivors) {
+  NpConfig cfg = three_worker_config();
+  cfg.recovery.watchdog_budget = -1;  // isolate the timeout path: no salvage
+  cfg.recovery.reorder_timeout = sim::microseconds(300);
+  Rig run(cfg);
+  run.proc.script(0, true, 1000000);  // ~836 us busy, far past the timeout
+  for (std::uint64_t id = 1; id <= 4; ++id) run.proc.script(id, true, 100);
+
+  for (std::uint64_t id = 0; id <= 4; ++id)
+    EXPECT_TRUE(run.pipeline.submit(make_packet(id)));
+  run.sim.run_all();
+
+  EXPECT_EQ(run.delivered, (std::vector<std::uint64_t>{1, 2, 3, 4}));
+  EXPECT_EQ(run.dropped, (std::vector<std::uint64_t>{0}));
+  const auto& st = run.pipeline.stats();
+  EXPECT_GE(st.reorder_timeout_flushes, 1u);
+  EXPECT_EQ(st.reorder_flushes, 0u);  // timeout fired well before the cap
+  EXPECT_EQ(run.pipeline.in_flight(), 0u);
+  EXPECT_EQ(run.pipeline.reorder_occupancy(), 0u);
+}
+
+// A worker stuck past recovery.watchdog_budget has its packet salvaged and
+// requeued; the retry skips the processor (the verdict stands), so the packet
+// still reaches the wire — in ingress order, ahead of everything buffered
+// behind its hole.
+TEST(NpReorder, WatchdogRequeueDeliversInOrder) {
+  NpConfig cfg = three_worker_config();
+  cfg.recovery.watchdog_budget = sim::microseconds(400);
+  Rig run(cfg);
+  run.proc.script(0, true, 1000000);  // ~836 us busy > 400 us budget
+  for (std::uint64_t id = 1; id <= 4; ++id) run.proc.script(id, true, 100);
+
+  for (std::uint64_t id = 0; id <= 4; ++id)
+    EXPECT_TRUE(run.pipeline.submit(make_packet(id)));
+  run.sim.run_all();
+
+  EXPECT_EQ(run.delivered, (std::vector<std::uint64_t>{0, 1, 2, 3, 4}));
+  EXPECT_TRUE(run.dropped.empty());
+  const auto& st = run.pipeline.stats();
+  EXPECT_GE(st.watchdog_requeues, 1u);
+  EXPECT_EQ(st.watchdog_drops, 0u);
+  EXPECT_EQ(st.forwarded_to_wire, 5u);
+  EXPECT_EQ(run.pipeline.in_flight(), 0u);
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 // snapshot (utilization bound, reorder occupancy passthrough).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <vector>
 
@@ -210,6 +211,41 @@ TEST(LatencyRecorder, DropsDiscardPendingState) {
 
   EXPECT_GT(pipe.stats().tx_ring_drops, 0u);
   EXPECT_EQ(hub.latency().pending(), 0u);
+  EXPECT_EQ(hub.latency().recorded(), pipe.stats().forwarded_to_wire);
+}
+
+TEST(LatencyRecorder, PendingShrinksOnDropsMidRun) {
+  // pending_ is bounded by live in-flight packets, not by history: every
+  // drop notification must ERASE its entry. Sample pending() throughout a
+  // run that tail-drops most of a burst — it must rise, stay within the
+  // pipeline's physical in-flight bound, and fall back to zero, instead of
+  // accumulating one leaked entry per dropped packet.
+  sim::Simulator sim;
+  np::NpConfig cfg = small_config();
+  cfg.tx_ring_capacity = 1;
+  cfg.wire_rate = sim::Rate::gigabits_per_sec(1);  // slow drain → Tx overflow
+  FixedCost proc(100);
+  np::NicPipeline pipe(sim, cfg, proc);
+  MetricsHub hub(sim, pipe);
+  hub.start();
+
+  std::vector<std::size_t> samples;
+  sim::EventHandle probe = sim.schedule_periodic(
+      sim::microseconds(5), [&] { samples.push_back(hub.latency().pending()); });
+
+  for (std::uint64_t i = 0; i < 50; ++i) pipe.submit(packet_on(0, i, 1500));
+  sim.run_until(sim::milliseconds(2));
+  probe.cancel();
+  hub.stop_sampling();
+  sim.run_all();
+
+  ASSERT_GT(pipe.stats().tx_ring_drops, 20u);  // the scenario really tail-drops
+  const std::size_t peak = *std::max_element(samples.begin(), samples.end());
+  EXPECT_GE(peak, 1u);   // entries appear at dispatch...
+  EXPECT_LE(peak, 10u);  // ...but dropped ones are erased, so the set stays
+                         // near the worker+ring in-flight count, nowhere near
+                         // the ~40+ dropped packets
+  EXPECT_EQ(hub.latency().pending(), 0u);  // and drains fully by quiescence
   EXPECT_EQ(hub.latency().recorded(), pipe.stats().forwarded_to_wire);
 }
 

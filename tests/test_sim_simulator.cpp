@@ -222,6 +222,86 @@ TEST(PeriodicTimer, DestructorCancelsPendingEvent) {
   EXPECT_TRUE(sim.empty());
 }
 
+// ---- schedule_periodic (both backends) -----------------------------------
+
+TEST(SchedulePeriodic, FiresEveryPeriodUntilCancelled) {
+  for (SchedulerKind kind : {SchedulerKind::kHeap, SchedulerKind::kWheel}) {
+    Simulator sim(kind);
+    std::vector<SimTime> at;
+    EventHandle h = sim.schedule_periodic(100, [&] { at.push_back(sim.now()); });
+    sim.run_until(550);
+    EXPECT_EQ(at, (std::vector<SimTime>{100, 200, 300, 400, 500}));
+    EXPECT_TRUE(h.pending());  // stays pending across firings
+    h.cancel();
+    EXPECT_FALSE(h.pending());
+    sim.run_all();
+    EXPECT_EQ(at.size(), 5u);
+    EXPECT_TRUE(sim.empty());
+  }
+}
+
+TEST(SchedulePeriodic, CancelFromInsideOwnCallbackStopsCleanly) {
+  for (SchedulerKind kind : {SchedulerKind::kHeap, SchedulerKind::kWheel}) {
+    Simulator sim(kind);
+    int fires = 0;
+    EventHandle h;
+    h = sim.schedule_periodic(50, [&] {
+      if (++fires == 3) h.cancel();
+    });
+    sim.run_all();
+    EXPECT_EQ(fires, 3);
+    EXPECT_FALSE(h.pending());
+    EXPECT_TRUE(sim.empty());
+  }
+}
+
+TEST(SchedulePeriodic, InterleavesWithOneShotsDeterministically) {
+  for (SchedulerKind kind : {SchedulerKind::kHeap, SchedulerKind::kWheel}) {
+    Simulator sim(kind);
+    std::vector<int> order;
+    EventHandle p = sim.schedule_periodic(100, [&] { order.push_back(0); });
+    sim.schedule_at(100, [&] { order.push_back(1); });  // same instant as tick 1:
+    sim.schedule_at(150, [&] { order.push_back(2); });  // periodic was armed first
+    sim.run_until(250);
+    p.cancel();
+    sim.run_all();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 0}));
+  }
+}
+
+// ---- explicit legacy-heap backend coverage --------------------------------
+// The wheel is the default everywhere, so pin the reference implementation's
+// core contracts directly too (it backs all differential tests).
+
+TEST(HeapBackend, OrderingCancelAndHorizonContracts) {
+  Simulator sim(SchedulerKind::kHeap);
+  EXPECT_EQ(sim.scheduler_kind(), SchedulerKind::kHeap);
+  std::vector<int> order;
+  sim.schedule_at(30, [&] { order.push_back(3); });
+  sim.schedule_at(10, [&] { order.push_back(1); });
+  EventHandle dead = sim.schedule_at(20, [&] { order.push_back(99); });
+  for (int i = 0; i < 3; ++i) sim.schedule_at(40, [&order, i] { order.push_back(40 + i); });
+  dead.cancel();
+  EXPECT_EQ(sim.run_until(35), 2u);  // cancelled event neither fires nor counts
+  EXPECT_EQ(sim.now(), 35);
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 40, 41, 42}));
+  EXPECT_EQ(sim.events_executed(), 5u);
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(HeapBackend, NestedSchedulingFromCallbacks) {
+  Simulator sim(SchedulerKind::kHeap);
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 50) sim.schedule_after(10, chain);
+  };
+  sim.schedule_at(0, chain);
+  sim.run_all();
+  EXPECT_EQ(count, 50);
+  EXPECT_EQ(sim.now(), 490);
+}
+
 TEST(SimTryLock, FailsWhileBusy) {
   SimTryLock lock;
   EXPECT_TRUE(lock.try_acquire(100, 50));
