@@ -1,0 +1,330 @@
+// Reconfiguration sweep: live policy updates against a loaded FlowValve NP
+// pipeline through the src/ctrl staged-rollout manager, across worker counts
+// and update submission rates. Writes BENCH_reconfig.json with, per cell,
+// the swap latency (submission → durable commit, probation included), the
+// mixed-epoch window (packets scheduled against the old epoch while the
+// rollout was in flight), and the coalescing/rollback counters.
+//
+// The "baseline" object is the honest pre-change comparison: the bare
+// SchedulingTree::reconfigure() call the repo shipped before the control
+// plane existed. It swaps the policy word in zero virtual time — and does no
+// shadow validation, no epoch confinement, and has no rollback, so its
+// latency row is a floor, not an alternative.
+//
+// CI's perf-smoke job re-runs the fixed-parameter gate cell with --check:
+// virtual-time results are deterministic, so the committed gate value must
+// reproduce within the tolerance.
+//
+// Usage: reconfig_sweep [--out PATH] [--quick] [--horizon-ms N] [--seed S]
+//                       [--check BASELINE.json [--tolerance F]]
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/flowvalve.h"
+#include "ctrl/reconfig_manager.h"
+#include "np/flowvalve_processor.h"
+#include "np/nic_pipeline.h"
+#include "obs/export.h"
+#include "obs/json_writer.h"
+#include "obs/reconfig_tracker.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+#include "stats/stats.h"
+#include "traffic/generators.h"
+
+namespace {
+
+using namespace flowvalve;
+
+constexpr std::uint32_t kFrameBytes = 1518;
+constexpr unsigned kNumClasses = 4;
+
+std::string flat_policy(sim::Rate link) {
+  std::ostringstream s;
+  s << "fv qdisc add dev nic0 root handle 1: htb rate " << link.gbps() << "gbit\n";
+  for (unsigned i = 0; i < kNumClasses; ++i)
+    s << "fv class add dev nic0 parent 1: classid 1:1" << i << " name C" << i
+      << " weight 1\n";
+  for (unsigned i = 0; i < kNumClasses; ++i)
+    s << "fv filter add dev nic0 pref " << (10 * (i + 1)) << " vf " << i
+      << " classid 1:1" << i << "\n";
+  return s.str();
+}
+
+struct CellResult {
+  unsigned workers = 0;
+  sim::SimDuration interval = 0;
+  std::uint64_t submitted = 0;
+  std::uint64_t committed = 0;
+  std::uint64_t rolled_back = 0;
+  std::uint64_t coalesced = 0;
+  std::uint64_t mixed_epoch_packets = 0;
+  std::uint64_t forced_cutovers = 0;
+  sim::SimDuration worst_swap_latency = 0;
+  double delivered_gbps = 0.0;
+};
+
+/// One sweep cell: `workers` engines, an update submitted every `interval`
+/// inside [0.25, 0.75] × horizon. With `staged` false the same updates go
+/// through the bare reconfigure() call instead (the pre-control-plane
+/// baseline: zero-latency, unvalidated, no rollback).
+CellResult run_cell(unsigned workers, sim::SimDuration interval,
+                    sim::SimTime horizon, std::uint64_t seed, bool staged) {
+  np::NpConfig cfg = np::agilio_cx_40g();
+  cfg.num_workers = workers;
+  cfg.recovery.admission_enabled = true;
+
+  sim::Simulator sim;
+  core::FlowValveEngine engine(np::engine_options_for(cfg));
+  if (std::string err = engine.configure(flat_policy(cfg.wire_rate));
+      !err.empty()) {
+    std::cerr << "policy configure failed: " << err << "\n";
+    std::exit(1);
+  }
+
+  np::FlowValveProcessor processor(engine);
+  np::NicPipeline pipeline(sim, cfg, processor);
+  traffic::FlowRouter router(pipeline);
+  traffic::IdAllocator ids;
+
+  obs::ReconfigTracker tracker;
+  std::unique_ptr<ctrl::ReconfigManager> mgr;
+  if (staged)
+    mgr = std::make_unique<ctrl::ReconfigManager>(sim, pipeline, engine,
+                                                  &tracker);
+
+  // The update stream toggles C0's weight between 2× and 0.5× — always
+  // valid, and it genuinely moves shares so the swap has consequences.
+  CellResult cell;
+  cell.workers = workers;
+  cell.interval = interval;
+  const core::ClassId target = engine.tree().find("C0");
+  auto submit = [&, flip = false]() mutable {
+    const double weight = flip ? 0.5 : 2.0;
+    flip = !flip;
+    ++cell.submitted;
+    if (staged) {
+      ctrl::PolicyDelta d;
+      d.class_name = "C0";
+      d.weight = weight;
+      ctrl::PolicyUpdate u;
+      u.deltas.push_back(std::move(d));
+      mgr->apply(u);
+    } else {
+      core::NodePolicy p = engine.tree().at(target).policy;
+      p.weight = weight;
+      engine.tree().reconfigure(target, p);
+    }
+  };
+  for (sim::SimTime t = horizon / 4; t < horizon * 3 / 4; t += interval)
+    sim.schedule_at(t, [&submit] { submit(); });
+
+  const sim::Rate offered = cfg.wire_rate * 1.1;  // sustained mild overload
+  const sim::Rng rng(seed);
+  std::vector<std::unique_ptr<traffic::CbrFlow>> flows;
+  for (unsigned i = 0; i < kNumClasses; ++i) {
+    traffic::FlowSpec fs;
+    fs.flow_id = ids.next_flow_id();
+    fs.app_id = i;
+    fs.vf_port = static_cast<std::uint16_t>(i);
+    fs.wire_bytes = kFrameBytes;
+    flows.push_back(std::make_unique<traffic::CbrFlow>(
+        sim, router, ids, fs, offered / double(kNumClasses),
+        rng.split("cbr").split(i), 0.05));
+  }
+  for (auto& f : flows) f->start();
+
+  sim.run_until(horizon);
+  for (auto& f : flows) f->stop();
+  sim.run_all();  // drain, including any probation window still open
+
+  const np::NicPipeline::Stats& nic = pipeline.stats();
+  cell.delivered_gbps =
+      static_cast<double>(nic.wire_bytes) * 8.0 / static_cast<double>(horizon);
+  if (staged) {
+    const ctrl::ReconfigManager::Stats& rs = mgr->stats();
+    cell.committed = rs.committed;
+    cell.rolled_back = rs.rolled_back;
+    cell.coalesced = rs.coalesced;
+    cell.mixed_epoch_packets = rs.mixed_epoch_packets;
+    cell.forced_cutovers = rs.forced_cutovers;
+    cell.worst_swap_latency = tracker.worst_swap_latency();
+  }
+  return cell;
+}
+
+void emit_cell(obs::JsonWriter& w, const CellResult& c) {
+  w.begin_object()
+      .key("workers").value(c.workers)
+      .key("update_interval_ns").value(static_cast<std::int64_t>(c.interval))
+      .key("submitted").value(c.submitted)
+      .key("committed").value(c.committed)
+      .key("rolled_back").value(c.rolled_back)
+      .key("coalesced").value(c.coalesced)
+      .key("mixed_epoch_packets").value(c.mixed_epoch_packets)
+      .key("forced_cutovers").value(c.forced_cutovers)
+      .key("worst_swap_latency_ns")
+      .value(static_cast<std::int64_t>(c.worst_swap_latency))
+      .key("delivered_gbps").value(c.delivered_gbps)
+      .end_object();
+}
+
+bool extract_number(const std::string& json, const std::string& key,
+                    double* out) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t pos = json.find(needle);
+  if (pos == std::string::npos) return false;
+  *out = std::strtod(json.c_str() + pos + needle.size(), nullptr);
+  return true;
+}
+
+// Fixed-parameter regression-gate cell; identical no matter which flags the
+// artifact was generated with, so --check works against any committed file.
+constexpr unsigned kGateWorkers = 16;
+constexpr std::uint64_t kGateSeed = 0x5eedu;
+CellResult run_gate_cell() {
+  return run_cell(kGateWorkers, sim::milliseconds(8), sim::milliseconds(15),
+                  kGateSeed, true);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_reconfig.json";
+  std::string check_path;
+  double tolerance = 0.10;
+  bool quick = false;
+  std::int64_t horizon_ms = 60;
+  std::uint64_t seed = 0xc0f1u;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--horizon-ms") == 0 && i + 1 < argc) {
+      horizon_ms = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 0);
+    } else if (std::strcmp(argv[i], "--check") == 0 && i + 1 < argc) {
+      check_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--tolerance") == 0 && i + 1 < argc) {
+      tolerance = std::atof(argv[++i]);
+    } else {
+      std::cerr << "usage: reconfig_sweep [--out PATH] [--quick] "
+                   "[--horizon-ms N] [--seed S] "
+                   "[--check BASELINE.json [--tolerance F]]\n";
+      return 2;
+    }
+  }
+
+  if (!check_path.empty()) {
+    // Regression gate: re-run only the fixed gate cell and compare against
+    // the committed artifact. The run is virtual-time deterministic, so any
+    // drift beyond the tolerance is a real behavior change in the rollout
+    // machinery, not measurement noise.
+    std::ifstream in(check_path);
+    if (!in) {
+      std::cerr << "cannot read baseline " << check_path << "\n";
+      return 1;
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+    double gate_latency = 0.0, gate_committed = 0.0;
+    if (!extract_number(ss.str(), "gate_worst_swap_latency_ns", &gate_latency) ||
+        !extract_number(ss.str(), "gate_committed", &gate_committed)) {
+      std::cerr << "baseline has no gate_worst_swap_latency_ns/gate_committed\n";
+      return 1;
+    }
+    const CellResult g = run_gate_cell();
+    const double ceiling = gate_latency * (1.0 + tolerance);
+    std::cout << "regression gate: measured swap latency "
+              << static_cast<std::int64_t>(g.worst_swap_latency)
+              << " ns vs committed " << gate_latency << " (ceiling " << ceiling
+              << ", tolerance " << tolerance << "), committed updates "
+              << g.committed << " vs " << gate_committed << "\n";
+    if (static_cast<double>(g.worst_swap_latency) > ceiling ||
+        static_cast<double>(g.committed) <
+            gate_committed) {  // fewer commits ⇒ updates started failing
+      std::cout << "REGRESSION: swap latency/commit count degraded against "
+                   "the committed baseline\n";
+      return 1;
+    }
+    std::cout << "gate OK\n";
+    return 0;  // check mode does not rewrite the committed artifact
+  }
+
+  const sim::SimTime horizon = sim::milliseconds(quick ? 15 : horizon_ms);
+  const unsigned worker_sweep[] = {8, 16, 50};
+  const sim::SimDuration interval_sweep[] = {sim::milliseconds(8),
+                                             sim::milliseconds(2)};
+
+  stats::TablePrinter table({"workers", "interval_ms", "submitted", "committed",
+                             "rolled_back", "coalesced", "mixed_epoch_pkts",
+                             "swap_latency_ms", "delivered_gbps"});
+
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("bench").value("reconfig_sweep");
+  w.key("frame_bytes").value(kFrameBytes);
+  w.key("classes").value(kNumClasses);
+  w.key("horizon_ns").value(static_cast<std::int64_t>(horizon));
+  w.key("offered_load").value(1.1);
+  w.key("seed").value(static_cast<std::int64_t>(seed));
+
+  w.key("baseline").begin_object();
+  w.key("mechanism").value("bare SchedulingTree::reconfigure()");
+  w.key("note").value(
+      "pre-control-plane comparison: swaps the policy word in zero virtual "
+      "time but performs no shadow validation, no epoch-confined rollout, "
+      "and has no rollback — a latency floor, not an alternative");
+  w.key("swap_latency_ns").value(0);
+  w.key("runs").begin_array();
+  for (unsigned workers : worker_sweep)
+    emit_cell(w, run_cell(workers, sim::milliseconds(8), horizon, seed, false));
+  w.end_array();
+  w.end_object();
+
+  w.key("runs").begin_array();
+  for (unsigned workers : worker_sweep) {
+    for (sim::SimDuration interval : interval_sweep) {
+      const CellResult c = run_cell(workers, interval, horizon, seed, true);
+      emit_cell(w, c);
+      table.add_row(
+          {std::to_string(c.workers),
+           stats::TablePrinter::fmt(double(c.interval) / 1e6, 0),
+           std::to_string(c.submitted), std::to_string(c.committed),
+           std::to_string(c.rolled_back), std::to_string(c.coalesced),
+           std::to_string(c.mixed_epoch_packets),
+           stats::TablePrinter::fmt(double(c.worst_swap_latency) / 1e6, 2),
+           stats::TablePrinter::fmt(c.delivered_gbps, 2)});
+    }
+  }
+  w.end_array();
+
+  const CellResult gate = run_gate_cell();
+  w.key("gate").begin_object()
+      .key("workers").value(kGateWorkers)
+      .key("update_interval_ns")
+      .value(static_cast<std::int64_t>(sim::milliseconds(8)))
+      .key("horizon_ns").value(static_cast<std::int64_t>(sim::milliseconds(15)))
+      .key("seed").value(static_cast<std::int64_t>(kGateSeed))
+      .end_object();
+  w.key("gate_worst_swap_latency_ns")
+      .value(static_cast<std::int64_t>(gate.worst_swap_latency));
+  w.key("gate_committed").value(gate.committed);
+  w.end_object();
+
+  table.print();
+  if (!obs::write_json_file(out_path, w.str())) {
+    std::cerr << "failed to write " << out_path << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+}

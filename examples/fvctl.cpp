@@ -1,10 +1,24 @@
 // fvctl — a command-line harness around the FlowValve library: load an fv
 // policy script from a file, attach greedy TCP apps to VF ports, run the
-// simulated SmartNIC, and print per-app throughput over time.
+// simulated SmartNIC, and print per-app throughput over time. The control
+// subcommands drive the src/ctrl live-reconfiguration plane: `apply`
+// submits a policy update mid-run through shadow validation and the
+// epoch-versioned staged rollout, `rollback` demonstrates the operator
+// restore path, and `status` reports the control-plane state.
 //
 // Usage:
-//   fvctl POLICY.fv [--apps N] [--seconds S] [--conns C] [--wire GBPS]
-//                    [--seed SEED] [--csv out.csv]
+//   fvctl run POLICY.fv   [--apps N] [--seconds S] [--conns C] [--wire GBPS]
+//                         [--seed SEED] [--csv out.csv]
+//   fvctl apply POLICY.fv UPDATE [--at-ms T] [...run options]
+//   fvctl rollback POLICY.fv UPDATE [--at-ms T] [...run options]
+//   fvctl status POLICY.fv [...run options]
+//
+//   (a bare `fvctl POLICY.fv ...` still works and means `run`)
+//
+// UPDATE is either a full fv script (lines starting with "fv ", swapped in
+// atomically after structural compatibility checks) or per-class deltas:
+//   delta gold weight=4
+//   delta silver ceil=2gbit guarantee=500mbit prio=1
 //
 // Example policy file (see README for the grammar):
 //   fv qdisc add dev nic0 root handle 1: htb rate 10gbit
@@ -16,14 +30,21 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/flowvalve.h"
+#include "core/frontend.h"
 #include "core/introspect.h"
+#include "ctrl/reconfig_manager.h"
 #include "exp/scenarios.h"
 #include "np/flowvalve_processor.h"
 #include "np/nic_pipeline.h"
+#include "obs/export.h"
+#include "obs/json_writer.h"
+#include "obs/reconfig_tracker.h"
 #include "sim/simulator.h"
 #include "stats/series_export.h"
 #include "traffic/app.h"
@@ -32,8 +53,13 @@ using namespace flowvalve;
 
 namespace {
 
+enum class Command { kRun, kApply, kRollback, kStatus };
+
 struct Args {
+  Command command = Command::kRun;
   std::string policy_path;
+  std::string update_path;  // apply / rollback
+  double at_ms = -1.0;      // submission instant; <0 ⇒ mid-run
   unsigned apps = 2;
   double seconds = 5.0;
   unsigned conns = 1;
@@ -43,9 +69,29 @@ struct Args {
 };
 
 bool parse_args(int argc, char** argv, Args* out) {
+  int i = 1;
   if (argc < 2) return false;
-  out->policy_path = argv[1];
-  for (int i = 2; i + 1 < argc; i += 2) {
+  const std::string first = argv[1];
+  if (first == "run") {
+    out->command = Command::kRun;
+    ++i;
+  } else if (first == "apply") {
+    out->command = Command::kApply;
+    ++i;
+  } else if (first == "rollback") {
+    out->command = Command::kRollback;
+    ++i;
+  } else if (first == "status") {
+    out->command = Command::kStatus;
+    ++i;
+  }  // anything else: legacy `fvctl POLICY.fv ...` ⇒ run
+  if (i >= argc) return false;
+  out->policy_path = argv[i++];
+  if (out->command == Command::kApply || out->command == Command::kRollback) {
+    if (i >= argc || argv[i][0] == '-') return false;
+    out->update_path = argv[i++];
+  }
+  for (; i + 1 < argc; i += 2) {
     const std::string key = argv[i];
     const char* val = argv[i + 1];
     if (key == "--apps") out->apps = static_cast<unsigned>(std::atoi(val));
@@ -54,30 +100,137 @@ bool parse_args(int argc, char** argv, Args* out) {
     else if (key == "--wire") out->wire_gbps = std::atof(val);
     else if (key == "--seed") out->seed = std::strtoull(val, nullptr, 10);
     else if (key == "--csv") out->csv_path = val;
+    else if (key == "--at-ms") out->at_ms = std::atof(val);
     else return false;
   }
   return out->apps > 0 && out->seconds > 0;
 }
 
-}  // namespace
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
 
-int main(int argc, char** argv) {
-  Args args;
-  if (!parse_args(argc, argv, &args)) {
-    std::fprintf(stderr,
-                 "usage: %s POLICY.fv [--apps N] [--seconds S] [--conns C]\n"
-                 "          [--wire GBPS] [--seed SEED] [--csv out.csv]\n",
-                 argv[0]);
-    return 2;
+/// Parse an UPDATE file: full fv script, or `delta NAME key=value...` lines.
+bool parse_update(const std::string& text, ctrl::PolicyUpdate* out,
+                  std::string* error) {
+  std::istringstream lines(text);
+  std::string line;
+  bool any_fv = false, any_delta = false;
+  while (std::getline(lines, line)) {
+    std::istringstream ls(line);
+    std::string word;
+    if (!(ls >> word) || word[0] == '#') continue;
+    if (word == "fv") {
+      any_fv = true;
+      continue;
+    }
+    if (word != "delta") {
+      *error = "unrecognized update line: " + line;
+      return false;
+    }
+    any_delta = true;
+    ctrl::PolicyDelta d;
+    if (!(ls >> d.class_name)) {
+      *error = "delta line without a class name: " + line;
+      return false;
+    }
+    while (ls >> word) {
+      const std::size_t eq = word.find('=');
+      if (eq == std::string::npos) {
+        *error = "expected key=value, got '" + word + "'";
+        return false;
+      }
+      const std::string key = word.substr(0, eq);
+      const std::string val = word.substr(eq + 1);
+      try {
+        if (key == "weight") d.weight = std::stod(val);
+        else if (key == "prio") d.prio = static_cast<core::PrioLevel>(std::stoul(val));
+        else if (key == "rate" || key == "guarantee") d.guarantee = core::parse_rate(val);
+        else if (key == "ceil") d.ceil = core::parse_rate(val);
+        else {
+          *error = "unknown delta key '" + key + "'";
+          return false;
+        }
+      } catch (const std::exception& e) {
+        *error = "bad value for '" + key + "': " + e.what();
+        return false;
+      }
+    }
+    out->deltas.push_back(std::move(d));
+  }
+  if (any_fv && any_delta) {
+    *error = "update mixes a full fv script with delta lines — use one or the other";
+    return false;
+  }
+  if (any_fv) {
+    out->fv_script = text;
+    out->deltas.clear();
+  } else if (!any_delta) {
+    *error = "update file contains neither fv script lines nor delta lines";
+    return false;
+  }
+  return true;
+}
+
+/// Prints every control-plane lifecycle event with its virtual timestamp.
+class PrintObserver final : public ctrl::ReconfigManager::Observer {
+ public:
+  void on_staged(std::uint32_t epoch, sim::SimTime now) override {
+    std::printf("[%8.3f ms] staged rollout of epoch %u\n", ms(now), epoch);
+  }
+  void on_committed(std::uint32_t epoch, sim::SimTime now) override {
+    std::printf("[%8.3f ms] committed epoch %u (probation passed)\n", ms(now),
+                epoch);
+  }
+  void on_rolled_back(std::uint32_t from, std::uint32_t to,
+                      const std::string& reason, sim::SimTime now) override {
+    std::printf("[%8.3f ms] ROLLED BACK epoch %u -> %u: %s\n", ms(now), from,
+                to, reason.c_str());
+  }
+  void on_stall(std::uint32_t epoch, sim::SimTime now) override {
+    std::printf("[%8.3f ms] rollout of epoch %u stalled; forcing cutover\n",
+                ms(now), epoch);
   }
 
-  std::ifstream policy_file(args.policy_path);
-  if (!policy_file) {
-    std::fprintf(stderr, "cannot open policy file '%s'\n", args.policy_path.c_str());
+ private:
+  static double ms(sim::SimTime t) { return static_cast<double>(t) / 1e6; }
+};
+
+const char* state_name(ctrl::ReconfigManager::State s) {
+  switch (s) {
+    case ctrl::ReconfigManager::State::kIdle: return "idle";
+    case ctrl::ReconfigManager::State::kRollout: return "rollout";
+    case ctrl::ReconfigManager::State::kProbation: return "probation";
+  }
+  return "?";
+}
+
+int run_command(const Args& args) {
+  std::string policy;
+  if (!read_file(args.policy_path, &policy)) {
+    std::fprintf(stderr, "cannot open policy file '%s'\n",
+                 args.policy_path.c_str());
     return 1;
   }
-  std::stringstream policy;
-  policy << policy_file.rdbuf();
+
+  ctrl::PolicyUpdate update;
+  if (args.command == Command::kApply || args.command == Command::kRollback) {
+    std::string text, err;
+    if (!read_file(args.update_path, &text)) {
+      std::fprintf(stderr, "cannot open update file '%s'\n",
+                   args.update_path.c_str());
+      return 1;
+    }
+    if (!parse_update(text, &update, &err)) {
+      std::fprintf(stderr, "update parse error: %s\n", err.c_str());
+      return 1;
+    }
+  }
 
   sim::Simulator simulator;
   np::NpConfig nic = np::agilio_cx_40g();
@@ -85,7 +238,7 @@ int main(int argc, char** argv) {
 
   core::FlowValveEngine engine(exp::superpacket_engine_options(nic));
   try {
-    const std::string err = engine.configure(policy.str());
+    const std::string err = engine.configure(policy);
     if (!err.empty()) {
       std::fprintf(stderr, "policy error: %s\n", err.c_str());
       return 1;
@@ -100,6 +253,15 @@ int main(int argc, char** argv) {
   sim::Rng rng(args.seed);
   traffic::IdAllocator ids;
   traffic::FlowRouter router(pipeline);
+
+  obs::ReconfigTracker tracker;
+  PrintObserver print_observer;
+  std::unique_ptr<ctrl::ReconfigManager> mgr;
+  if (args.command != Command::kRun) {
+    mgr = std::make_unique<ctrl::ReconfigManager>(simulator, pipeline, engine,
+                                                  &tracker);
+    mgr->set_observer(&print_observer);
+  }
 
   std::vector<std::unique_ptr<stats::ThroughputSeries>> series;
   std::vector<std::unique_ptr<traffic::AppProcess>> apps;
@@ -124,6 +286,24 @@ int main(int argc, char** argv) {
   }
 
   const sim::SimTime horizon = sim::seconds_f(args.seconds);
+
+  if (args.command == Command::kApply || args.command == Command::kRollback) {
+    const sim::SimTime at = args.at_ms >= 0.0
+                                ? static_cast<sim::SimTime>(args.at_ms * 1e6)
+                                : horizon / 2;
+    ctrl::ReconfigManager* m = mgr.get();
+    const ctrl::PolicyUpdate* u = &update;
+    simulator.schedule_at(at, [m, u] {
+      if (std::string err = m->apply(*u); !err.empty())
+        std::printf("update REJECTED by shadow validation: %s\n", err.c_str());
+    });
+    if (args.command == Command::kRollback) {
+      // Operator restore: yank the update back mid-probation.
+      simulator.schedule_at(at + sim::milliseconds(4),
+                            [m] { m->rollback("operator"); });
+    }
+  }
+
   simulator.run_until(horizon);
 
   std::printf("fvctl — %s | %u apps × %u conns | wire %.0fG | %.1fs | seed %llu\n\n",
@@ -137,6 +317,23 @@ int main(int argc, char** argv) {
               core::render_engine_summary(engine).c_str(),
               core::render_class_show(engine.tree()).c_str());
 
+  if (mgr) {
+    const ctrl::ReconfigManager::Stats& rs = mgr->stats();
+    std::printf("control plane: epoch %u | state %s | %llu applied, "
+                "%llu committed, %llu rolled back, %llu rejected, "
+                "%llu coalesced | %llu mixed-epoch pkts\n",
+                mgr->epoch(), state_name(mgr->state()),
+                static_cast<unsigned long long>(rs.applied),
+                static_cast<unsigned long long>(rs.committed),
+                static_cast<unsigned long long>(rs.rolled_back),
+                static_cast<unsigned long long>(rs.rejected),
+                static_cast<unsigned long long>(rs.coalesced),
+                static_cast<unsigned long long>(rs.mixed_epoch_packets));
+    obs::JsonWriter w;
+    obs::reconfig_json(w, tracker);
+    std::printf("reconfig records: %s\n", w.str().c_str());
+  }
+
   if (!args.csv_path.empty()) {
     if (stats::write_series_csv(args.csv_path, named, horizon))
       std::printf("\nwrote %s\n", args.csv_path.c_str());
@@ -144,4 +341,21 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "\nfailed to write %s\n", args.csv_path.c_str());
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parse_args(argc, argv, &args)) {
+    std::fprintf(stderr,
+                 "usage: %s [run] POLICY.fv [--apps N] [--seconds S] [--conns C]\n"
+                 "          [--wire GBPS] [--seed SEED] [--csv out.csv]\n"
+                 "       %s apply POLICY.fv UPDATE [--at-ms T] [...run options]\n"
+                 "       %s rollback POLICY.fv UPDATE [--at-ms T] [...run options]\n"
+                 "       %s status POLICY.fv [...run options]\n",
+                 argv[0], argv[0], argv[0], argv[0]);
+    return 2;
+  }
+  return run_command(args);
 }

@@ -33,6 +33,9 @@ void usage() {
       "  --every N           fault period for --inject-fault (default 97)\n"
       "  --chaos             arm a seed-derived fault schedule per run and\n"
       "                      check the pipeline survives + re-converges\n"
+      "  --reconfig N        submit N seed-derived live policy updates per\n"
+      "                      run (usually with one control-plane fault) and\n"
+      "                      check epoch confinement + swap conservation\n"
       "  --expect-violations exit 0 iff at least one seed reports violations\n"
       "  --horizon-ms M      override scenario horizon\n"
       "  --scheduler K       event queue backend: wheel (default) | heap\n"
@@ -84,6 +87,8 @@ int main(int argc, char** argv) {
       fault_every = parse_u64(value());
     } else if (!std::strcmp(arg, "--chaos")) {
       opts.chaos = true;
+    } else if (!std::strcmp(arg, "--reconfig")) {
+      opts.reconfig_updates = static_cast<unsigned>(parse_u64(value()));
     } else if (!std::strcmp(arg, "--expect-violations")) {
       expect_violations = true;
     } else if (!std::strcmp(arg, "--horizon-ms")) {
@@ -154,14 +159,19 @@ int main(int argc, char** argv) {
         std::printf("    ... and %llu more\n",
                     static_cast<unsigned long long>(report.violation_total -
                                                     report.violations.size()));
-      if (!single_seed)
-        std::printf("  repro: fuzz_check --seed 0x%llx%s%s%s -v\n",
+      if (!single_seed) {
+        std::string reconfig_flag;
+        if (opts.reconfig_updates > 0)
+          reconfig_flag =
+              " --reconfig " + std::to_string(opts.reconfig_updates);
+        std::printf("  repro: fuzz_check --seed 0x%llx%s%s%s%s -v\n",
                     static_cast<unsigned long long>(s),
                     opts.differential ? " --differential" : "",
-                    opts.chaos ? " --chaos" : "",
+                    opts.chaos ? " --chaos" : "", reconfig_flag.c_str(),
                     fault_kind ? (std::string(" --inject-fault ") + fault_kind)
                                      .c_str()
                                : "");
+      }
     }
   }
 

@@ -1,0 +1,49 @@
+#include "check/reconfig_check.h"
+
+#include <string>
+
+namespace flowvalve::check {
+
+void EpochConfinementChecker::on_dispatch(const net::Packet& pkt,
+                                          unsigned /*worker*/,
+                                          std::uint64_t seq, sim::SimTime now,
+                                          sim::SimDuration /*busy*/) {
+  if (seq < next_fresh_seq_) return;  // watchdog requeue keeps its old stamp
+  next_fresh_seq_ = seq + 1;
+  const std::uint32_t committed = mgr_->epoch();
+  if (pkt.policy_epoch == committed) return;
+  if (mgr_->state() == ctrl::ReconfigManager::State::kRollout &&
+      pkt.policy_epoch == mgr_->target_epoch())
+    return;
+  std::string allowed = "{committed=" + std::to_string(committed);
+  if (mgr_->state() == ctrl::ReconfigManager::State::kRollout)
+    allowed += ", target=" + std::to_string(mgr_->target_epoch());
+  allowed += "}";
+  fail(now, "fresh dispatch seq=" + std::to_string(seq) + " stamped epoch " +
+                std::to_string(pkt.policy_epoch) + " outside " + allowed +
+                " — mixed-epoch scheduling escaped the rollout window");
+}
+
+void EpochConfinementChecker::on_finish(const SystemView&, sim::SimTime now) {
+  if (mgr_->state() != ctrl::ReconfigManager::State::kIdle)
+    fail(now, "reconfiguration still unresolved after drain (state != idle)");
+  if (mgr_->busy())
+    fail(now, "queued policy update never dispatched before drain");
+}
+
+void SwapConservationChecker::on_drop(const net::Packet&, np::DropReason reason,
+                                      sim::SimTime now) {
+  if (reason != np::DropReason::kAdmission) return;
+  if (!pipeline_->admission_forced()) return;  // watermark automation, not ours
+  if (mgr_->state() == ctrl::ReconfigManager::State::kIdle)
+    fail(now,
+         "admission drop under control-plane forced shedding with no update "
+         "in progress — shedding outlived the swap");
+}
+
+void SwapConservationChecker::on_finish(const SystemView&, sim::SimTime now) {
+  if (pipeline_->admission_forced())
+    fail(now, "control-plane forced admission shedding survived the drain");
+}
+
+}  // namespace flowvalve::check

@@ -1,0 +1,65 @@
+// Reconfiguration invariants (DESIGN.md §11): checkers that lock in the
+// control plane's degradation guarantees during a live policy swap.
+//
+//   EpochConfinementChecker   every freshly dispatched packet carries either
+//                             the committed policy epoch or — only while a
+//                             rollout is in flight — the rollout's target
+//                             epoch. Mixed-epoch scheduling is therefore
+//                             confined to the rollout window; once the
+//                             manager leaves kRollout no stale stamp may
+//                             appear on a fresh dispatch. Watchdog requeues
+//                             are exempt (they keep their original stamp by
+//                             design). Also asserts the manager is idle once
+//                             the run drains.
+//
+//   SwapConservationChecker   "no packets dropped due to reconfiguration
+//                             itself": forced admission shedding (the only
+//                             drop mechanism the control plane owns) may act
+//                             only while an update is unresolved, and must
+//                             be released by commit/rollback — an admission
+//                             drop under forced shedding with the manager
+//                             idle, or forced shedding surviving the drain,
+//                             is a conservation violation.
+#pragma once
+
+#include <cstdint>
+
+#include "check/checker.h"
+#include "ctrl/reconfig_manager.h"
+
+namespace flowvalve::check {
+
+class EpochConfinementChecker final : public InvariantChecker {
+ public:
+  explicit EpochConfinementChecker(const ctrl::ReconfigManager* manager)
+      : mgr_(manager) {}
+
+  std::string_view name() const override { return "epoch-confinement"; }
+
+  void on_dispatch(const net::Packet& pkt, unsigned worker, std::uint64_t seq,
+                   sim::SimTime now, sim::SimDuration busy) override;
+  void on_finish(const SystemView& view, sim::SimTime now) override;
+
+ private:
+  const ctrl::ReconfigManager* mgr_;
+  std::uint64_t next_fresh_seq_ = 0;  // dispatches below this are requeues
+};
+
+class SwapConservationChecker final : public InvariantChecker {
+ public:
+  SwapConservationChecker(const ctrl::ReconfigManager* manager,
+                          const np::NicPipeline* pipeline)
+      : mgr_(manager), pipeline_(pipeline) {}
+
+  std::string_view name() const override { return "swap-conservation"; }
+
+  void on_drop(const net::Packet& pkt, np::DropReason reason,
+               sim::SimTime now) override;
+  void on_finish(const SystemView& view, sim::SimTime now) override;
+
+ private:
+  const ctrl::ReconfigManager* mgr_;
+  const np::NicPipeline* pipeline_;
+};
+
+}  // namespace flowvalve::check

@@ -6,9 +6,12 @@
 
 #include "check/convergence.h"
 #include "check/differential.h"
+#include "check/reconfig_check.h"
 #include "core/flowvalve.h"
+#include "ctrl/reconfig_manager.h"
 #include "fault/fault_plane.h"
 #include "np/flowvalve_processor.h"
+#include "obs/reconfig_tracker.h"
 #include "obs/recovery_tracker.h"
 #include "traffic/generators.h"
 #include "traffic/tcp.h"
@@ -113,6 +116,64 @@ bool has_permanent_fault(const fault::FaultSchedule& schedule) {
   return false;
 }
 
+/// Build and submit one seed-derived live policy update against the current
+/// tree: a leaf's weight is rescaled, which always passes shadow validation
+/// (positive, finite, guarantees untouched) and genuinely moves shares.
+void submit_fuzz_update(ctrl::ReconfigManager& mgr,
+                        const core::FlowValveEngine& engine, sim::Rng rng) {
+  const core::SchedulingTree& tree = engine.tree();
+  std::vector<core::ClassId> leaves;
+  for (std::size_t i = 0; i < tree.size(); ++i) {
+    const core::ClassId id = static_cast<core::ClassId>(i);
+    if (tree.at(id).is_leaf()) leaves.push_back(id);
+  }
+  if (leaves.empty()) return;
+  const core::SchedClass& c =
+      tree.at(leaves[rng.next_u64() % leaves.size()]);
+  static constexpr double kFactors[] = {0.5, 2.0, 1.25};
+  ctrl::PolicyDelta d;
+  d.class_name = c.name;
+  d.weight = c.policy.weight * kFactors[rng.next_u64() % 3];
+  ctrl::PolicyUpdate u;
+  u.deltas.push_back(std::move(d));
+  mgr.apply(u);  // acceptance/coalescing/rejection lands in the tracker
+}
+
+/// Seed-derived schedule of update submission instants inside the middle of
+/// the run, plus (3 times in 4) one control-plane fault chosen from
+/// torn-update / stale-epoch / update-storm that overlaps them.
+std::vector<sim::SimTime> plan_reconfig(const FuzzScenario& sc,
+                                        unsigned updates,
+                                        fault::FaultSchedule& out_faults) {
+  sim::Rng rng = sim::Rng(sc.seed).split("reconfig");
+  std::vector<sim::SimTime> times;
+  times.reserve(updates);
+  for (unsigned i = 0; i < updates; ++i)
+    times.push_back(static_cast<sim::SimTime>(
+        rng.uniform(0.25 * static_cast<double>(sc.horizon),
+                    0.75 * static_cast<double>(sc.horizon))));
+  std::sort(times.begin(), times.end());
+
+  const std::uint64_t pick = rng.next_u64() % 4;
+  if (pick < 3 && !times.empty()) {
+    fault::FaultEvent ev;
+    ev.kind = pick == 0   ? fault::FaultKind::kTornUpdate
+              : pick == 1 ? fault::FaultKind::kStaleEpoch
+                          : fault::FaultKind::kUpdateStorm;
+    ev.at = std::max<sim::SimTime>(1, times.front() - sim::microseconds(50));
+    // Cover every submission, then clear so the run ends with a healthy
+    // control plane (the epoch-confinement checker asserts idle at drain).
+    ev.duration = (times.back() - ev.at) + sim::milliseconds(8);
+    if (ev.kind == fault::FaultKind::kStaleEpoch)
+      ev.worker = static_cast<unsigned>(rng.next_u64() %
+                                        std::max(1u, sc.nic.num_workers));
+    if (ev.kind == fault::FaultKind::kUpdateStorm)
+      ev.period = static_cast<sim::SimDuration>(4 + rng.next_u64() % 5);
+    out_faults.push_back(ev);
+  }
+  return times;
+}
+
 }  // namespace
 
 CheckReport run_scenario(const FuzzScenario& sc, const RunOptions& opts) {
@@ -144,21 +205,38 @@ CheckReport run_scenario(const FuzzScenario& sc, const RunOptions& opts) {
     harness.add(std::move(c));
   }
 
+  // Live reconfiguration: manager + its invariant checkers + a seed-derived
+  // submission plan (and usually one control-plane fault riding the plane).
+  obs::ReconfigTracker reconfig_tracker;
+  std::unique_ptr<ctrl::ReconfigManager> reconfig;
+  fault::FaultSchedule armed = opts.faults;
+  std::vector<sim::SimTime> update_times;
+  if (opts.reconfig_updates > 0) {
+    reconfig = std::make_unique<ctrl::ReconfigManager>(sim, pipeline, engine,
+                                                       &reconfig_tracker);
+    harness.add(std::make_unique<EpochConfinementChecker>(reconfig.get()));
+    harness.add(
+        std::make_unique<SwapConservationChecker>(reconfig.get(), &pipeline));
+    update_times = plan_reconfig(sc, opts.reconfig_updates, armed);
+  }
+
   obs::RecoveryTracker tracker;
   std::unique_ptr<fault::FaultPlane> plane;
-  if (!opts.faults.empty()) {
+  if (!armed.empty()) {
     plane = std::make_unique<fault::FaultPlane>(sim, pipeline, &engine,
                                                 &tracker);
-    plane->arm(opts.faults);
+    plane->set_reconfig(reconfig.get());
+    plane->arm(armed);
 
     // Re-convergence bar: after the last timed fault clears and the pipeline
     // has had `recovery_settle` to heal, per-VF wire shares must match the
     // weighted-fair allocation. Only meaningful for the differential family
-    // (whose fair shares have a closed form) and only when every armed fault
-    // actually clears before the horizon.
-    const sim::SimTime from = last_fault_clear(opts.faults) + opts.recovery_settle;
-    if (opts.differential && !has_permanent_fault(opts.faults) &&
-        from < sc.horizon) {
+    // (whose fair shares have a closed form), only when every armed fault
+    // actually clears before the horizon, and only without live updates
+    // (a committed update legitimately moves the shares off the static plan).
+    const sim::SimTime from = last_fault_clear(armed) + opts.recovery_settle;
+    if (opts.differential && !has_permanent_fault(armed) &&
+        opts.reconfig_updates == 0 && from < sc.horizon) {
       double total_bps = 0.0;
       for (const FuzzLeaf& l : sc.leaves) total_bps += l.static_share.bps();
       std::vector<double> expected;
@@ -185,6 +263,13 @@ CheckReport run_scenario(const FuzzScenario& sc, const RunOptions& opts) {
     sim.schedule_at(sc.flows[i].start, [src] { src->start(); });
     sim.schedule_at(sc.flows[i].stop, [src] { src->stop(); });
   }
+  for (std::size_t i = 0; i < update_times.size(); ++i) {
+    ctrl::ReconfigManager* mgr = reconfig.get();
+    const core::FlowValveEngine* eng = &engine;
+    const sim::Rng ur = sim::Rng(sc.seed).split("reconfig-update").split(i);
+    sim.schedule_at(update_times[i],
+                    [mgr, eng, ur] { submit_fuzz_update(*mgr, *eng, ur); });
+  }
 
   harness.start();
   sim.run_until(sc.horizon);
@@ -199,6 +284,13 @@ CheckReport run_scenario(const FuzzScenario& sc, const RunOptions& opts) {
   report.faults_recovered = tracker.recovered();
   report.packets_lost_to_faults = tracker.total_packets_lost();
   report.worst_recovery = tracker.worst_recovery_time();
+  if (reconfig) {
+    const ctrl::ReconfigManager::Stats& rs = reconfig->stats();
+    report.reconfigs_applied = rs.applied;
+    report.reconfigs_committed = rs.committed;
+    report.reconfigs_rolled_back = rs.rolled_back;
+    report.mixed_epoch_packets = rs.mixed_epoch_packets;
+  }
   report.events = sim.events_executed();
   report.delivered = harness.delivered_packets();
   report.violation_total = harness.sink().total();
@@ -211,7 +303,9 @@ CheckReport run_scenario(const FuzzScenario& sc, const RunOptions& opts) {
     report.ref_shares = diff.ref_shares;
     report.expected_shares = diff.expected_shares;
     report.worst_share_delta = diff.worst_delta;
-    if (diff.worst_delta > opts.share_tolerance) {
+    // Committed live updates legitimately move shares away from the static
+    // reference plan, so the oracle only fails runs without a control plane.
+    if (diff.worst_delta > opts.share_tolerance && opts.reconfig_updates == 0) {
       std::ostringstream s;
       s << "per-class shares diverge from reference HTB by "
         << diff.worst_delta << " (tolerance " << opts.share_tolerance << "):";
@@ -270,6 +364,10 @@ std::string CheckReport::summary() const {
   if (faults_injected > 0)
     s << ", " << faults_injected << " faults / " << faults_recovered
       << " recovered / " << packets_lost_to_faults << " pkts lost";
+  if (reconfigs_applied > 0)
+    s << ", " << reconfigs_applied << " reconfigs / " << reconfigs_committed
+      << " committed / " << reconfigs_rolled_back << " rolled back / "
+      << mixed_epoch_packets << " mixed-epoch pkts";
   if (!ok()) s << ", " << violation_total << " violations";
   s << ")";
   return s.str();

@@ -37,6 +37,13 @@ struct RunOptions {
   double convergence_tolerance = 0.10;
   /// If > 0, overrides the generated scenario horizon.
   sim::SimDuration horizon_override = 0;
+  /// Number of live policy updates submitted mid-run through a
+  /// ctrl::ReconfigManager (0 ⇒ no control plane armed). Update instants,
+  /// targeted classes, and one control-plane fault (torn-update /
+  /// stale-epoch / update-storm / none) are all derived from the scenario
+  /// seed, so a seed reproduces its full reconfiguration history. The
+  /// epoch-confinement and swap-conservation checkers ride along.
+  unsigned reconfig_updates = 0;
   /// Event-queue backend for the run. The wheel is the production default;
   /// kHeap pins the reference implementation so fuzz findings can be
   /// reproduced (and the two backends differentially compared) under every
@@ -65,6 +72,12 @@ struct CheckReport {
   std::uint64_t faults_recovered = 0;
   std::uint64_t packets_lost_to_faults = 0;
   sim::SimDuration worst_recovery = 0;  // longest clear→healthy interval
+
+  // Reconfiguration extras (zero when reconfig_updates == 0).
+  std::uint64_t reconfigs_applied = 0;
+  std::uint64_t reconfigs_committed = 0;
+  std::uint64_t reconfigs_rolled_back = 0;
+  std::uint64_t mixed_epoch_packets = 0;
 
   bool ok() const { return violation_total == 0; }
   std::string summary() const;  // one line

@@ -49,11 +49,20 @@ std::size_t ExactMatchFlowCache::set_index(std::uint16_t vf, const FiveTuple& t)
 
 std::optional<ClassLabelId> ExactMatchFlowCache::lookup(std::uint16_t vf,
                                                         const FiveTuple& t,
-                                                        std::uint64_t now_tick) {
+                                                        std::uint64_t now_tick,
+                                                        std::uint32_t epoch) {
   Entry* set = &ways_[set_index(vf, t) * kWays];
   for (std::size_t w = 0; w < kWays; ++w) {
     Entry& e = set[w];
     if (e.valid && e.vf == vf && e.tuple == t) {
+      if (e.epoch != epoch) {
+        // Stale label epoch: a reconfiguration changed the label bindings
+        // since this entry was cached. Invalidate just this entry and fall
+        // through to the rule walk (lazy, per-flow re-classification).
+        e = Entry{};
+        ++stats_.stale_invalidations;
+        break;
+      }
       e.last_used = now_tick;
       ++stats_.hits;
       return e.label;
@@ -64,7 +73,7 @@ std::optional<ClassLabelId> ExactMatchFlowCache::lookup(std::uint16_t vf,
 }
 
 void ExactMatchFlowCache::insert(std::uint16_t vf, const FiveTuple& t, ClassLabelId label,
-                                 std::uint64_t now_tick) {
+                                 std::uint64_t now_tick, std::uint32_t epoch) {
   Entry* set = &ways_[set_index(vf, t) * kWays];
   Entry* victim = &set[0];
   for (std::size_t w = 0; w < kWays; ++w) {
@@ -72,6 +81,7 @@ void ExactMatchFlowCache::insert(std::uint16_t vf, const FiveTuple& t, ClassLabe
     if (e.valid && e.vf == vf && e.tuple == t) {  // refresh existing
       e.label = label;
       e.last_used = now_tick;
+      e.epoch = epoch;
       return;
     }
     if (!e.valid) {
@@ -81,7 +91,7 @@ void ExactMatchFlowCache::insert(std::uint16_t vf, const FiveTuple& t, ClassLabe
     if (e.last_used < victim->last_used) victim = &e;
   }
   if (victim->valid) ++stats_.evictions;
-  *victim = Entry{true, vf, t, label, now_tick};
+  *victim = Entry{true, vf, t, label, now_tick, epoch};
   ++stats_.insertions;
 }
 
@@ -124,10 +134,16 @@ void Classifier::add_rule(FilterRule rule) {
                    [](const FilterRule& a, const FilterRule& b) { return a.pref < b.pref; });
 }
 
+void Classifier::replace_rules(std::vector<FilterRule> rules) {
+  rules_ = std::move(rules);
+  std::stable_sort(rules_.begin(), rules_.end(),
+                   [](const FilterRule& a, const FilterRule& b) { return a.pref < b.pref; });
+}
+
 Classifier::Result Classifier::classify(const net::Packet& pkt, std::uint64_t now_tick) {
   Result r;
   if (cache_enabled_) {
-    if (auto hit = cache_.lookup(pkt.vf_port, pkt.tuple, now_tick)) {
+    if (auto hit = cache_.lookup(pkt.vf_port, pkt.tuple, now_tick, label_epoch_)) {
       r.label = *hit;
       r.cycles = costs_.cache_hit_cycles;
       r.cache_hit = true;
@@ -150,7 +166,7 @@ Classifier::Result Classifier::classify(const net::Packet& pkt, std::uint64_t no
   r.cycles += walked * costs_.per_rule_cycles;
   r.label = matched;
   if (cache_enabled_ && matched != net::kUnclassified) {
-    cache_.insert(pkt.vf_port, pkt.tuple, matched, now_tick);
+    cache_.insert(pkt.vf_port, pkt.tuple, matched, now_tick, label_epoch_);
     r.cycles += costs_.cache_insert_cycles;
   }
   return r;

@@ -73,16 +73,23 @@ class ExactMatchFlowCache {
     std::uint64_t misses = 0;
     std::uint64_t insertions = 0;
     std::uint64_t evictions = 0;
+    /// Entries lazily invalidated because their label epoch was stale — a
+    /// live reconfiguration moved the label space from under them (tentpole
+    /// satellite: no full flush, stale hits re-classify instead).
+    std::uint64_t stale_invalidations = 0;
     double hit_rate() const {
       const auto total = hits + misses;
       return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
     }
   };
 
+  /// `epoch` is the current label epoch: a tuple match carrying a different
+  /// epoch tag is invalidated in place and reported as a miss, so one stale
+  /// entry costs one re-classification instead of a full cache flush.
   std::optional<ClassLabelId> lookup(std::uint16_t vf, const FiveTuple& t,
-                                     std::uint64_t now_tick);
+                                     std::uint64_t now_tick, std::uint32_t epoch = 0);
   void insert(std::uint16_t vf, const FiveTuple& t, ClassLabelId label,
-              std::uint64_t now_tick);
+              std::uint64_t now_tick, std::uint32_t epoch = 0);
   void clear();
 
   /// Fault injection: drop every valid entry (an eviction storm). Unlike
@@ -106,6 +113,7 @@ class ExactMatchFlowCache {
     FiveTuple tuple;
     ClassLabelId label = net::kUnclassified;
     std::uint64_t last_used = 0;
+    std::uint32_t epoch = 0;  // label epoch the entry was inserted under
   };
   static constexpr std::size_t kWays = 4;
 
@@ -124,8 +132,17 @@ class Classifier {
   explicit Classifier(ClassifierCosts costs = {}, std::size_t cache_capacity = 64 * 1024);
 
   void add_rule(FilterRule rule);
+  /// Replace the whole rule set atomically (control-plane script swap).
+  /// Existing cache entries stay resident but are lazily invalidated via the
+  /// label epoch — call bump_label_epoch() after swapping.
+  void replace_rules(std::vector<FilterRule> rules);
   void set_default_label(ClassLabelId label) { default_label_ = label; }
   void set_cache_enabled(bool enabled) { cache_enabled_ = enabled; }
+
+  /// Advance the label epoch: every cache entry inserted before the bump is
+  /// treated as a miss (and invalidated) on its next lookup.
+  void bump_label_epoch() { ++label_epoch_; }
+  std::uint32_t label_epoch() const { return label_epoch_; }
 
   struct Result {
     ClassLabelId label = net::kUnclassified;
@@ -151,6 +168,7 @@ class Classifier {
   ClassLabelId default_label_ = net::kUnclassified;
   ExactMatchFlowCache cache_;
   bool cache_enabled_ = true;
+  std::uint32_t label_epoch_ = 0;
 };
 
 }  // namespace flowvalve::core

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <map>
 
 namespace flowvalve::core {
@@ -217,9 +218,7 @@ void SchedulingTree::touch(const std::vector<ClassId>& path, sim::SimTime now) {
 }
 
 bool SchedulingTree::reconfigure(ClassId id, const NodePolicy& policy) {
-  if (id >= nodes_.size()) return false;
-  if (policy.weight <= 0.0) return false;
-  if (policy.has_guarantee() && policy.guarantee > policy.ceil) return false;
+  if (!validate_deltas({{id, policy}}).empty()) return false;
   SchedClass& c = nodes_[id];
   if (c.is_root()) {
     // Root carries the link/ceiling rate; θ follows immediately.
@@ -229,6 +228,93 @@ bool SchedulingTree::reconfigure(ClassId id, const NodePolicy& policy) {
   }
   c.policy = policy;
   return true;
+}
+
+std::string SchedulingTree::validate_deltas(const PolicyManifest& deltas) const {
+  // Per-policy shape checks.
+  for (const auto& [id, p] : deltas) {
+    if (id >= nodes_.size()) return "unknown class id " + std::to_string(id);
+    const std::string& name = nodes_[id].name;
+    if (!std::isfinite(p.weight) || p.weight <= 0.0)
+      return "class '" + name + "': weight must be positive and finite";
+    if (p.guarantee < Rate::zero())
+      return "class '" + name + "': negative guarantee rate";
+    if (!(p.ceil > Rate::zero()))
+      return "class '" + name + "': ceil must be positive";
+    if (p.has_guarantee() && p.guarantee > p.ceil)
+      return "class '" + name + "': guarantee exceeds ceil";
+  }
+  // Dry run: clone the current policies, apply the deltas, and check that no
+  // parent's ceiling is oversubscribed by the sum of its children's
+  // guarantees — the class of bug the bare reconfigure() used to let in.
+  std::vector<NodePolicy> merged(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) merged[i] = nodes_[i].policy;
+  for (const auto& [id, p] : deltas) merged[id] = p;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const SchedClass& parent = nodes_[i];
+    if (parent.children.empty()) continue;
+    Rate guarantee_sum = Rate::zero();
+    for (ClassId cid : parent.children)
+      if (merged[cid].has_guarantee()) guarantee_sum += merged[cid].guarantee;
+    if (guarantee_sum > merged[i].ceil)
+      return "children of '" + parent.name +
+             "' have guarantees summing above the parent ceil (" +
+             std::to_string(guarantee_sum.gbps()) + " > " +
+             std::to_string(merged[i].ceil.gbps()) + " Gbps)";
+  }
+  return {};
+}
+
+std::uint32_t SchedulingTree::stage(const PolicyManifest& deltas) {
+  for (const auto& [id, p] : deltas) {
+    assert(id < nodes_.size());
+    SchedClass& c = nodes_[id];
+    if (!c.has_staged) ++staged_remaining_;
+    c.staged_policy = p;
+    c.has_staged = true;
+  }
+  staged_epoch_ = epoch_ + 1;
+  return staged_epoch_;
+}
+
+void SchedulingTree::commit_class(ClassId id, sim::SimTime now) {
+  SchedClass& c = nodes_[id];
+  if (!c.has_staged) return;
+  c.policy = c.staged_policy;
+  c.has_staged = false;
+  if (staged_remaining_ > 0) --staged_remaining_;
+  if (c.is_root()) c.theta = c.policy.ceil;
+  refresh_theta(now);
+}
+
+void SchedulingTree::refresh_theta(sim::SimTime now) {
+  // A committed policy changes the shared words every class's θ derivation
+  // reads. Idle siblings never run update_class, so without this sweep they
+  // would hold θ derived from the OLD weights forever and a per-level budget
+  // could stay oversubscribed across the swap. Index order is top-down
+  // (parents precede children), matching compute_theta's dependency on
+  // parent θ.
+  if (params_.freeze_theta) return;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    SchedClass& c = nodes_[i];
+    c.theta = compute_theta(static_cast<ClassId>(i), now);
+    // Stale lendable (θ_old − γ) may now exceed the shrunk θ; under-lending
+    // until the class's next update epoch is safe, over-lending is not.
+    if (c.lendable > c.theta) c.lendable = c.theta;
+  }
+}
+
+void SchedulingTree::commit_all(sim::SimTime now) {
+  for (auto& n : nodes_)
+    if (n.has_staged) commit_class(n.id, now);
+  epoch_ = staged_epoch_;
+  staged_remaining_ = 0;
+}
+
+void SchedulingTree::abandon_stage() {
+  for (auto& n : nodes_) n.has_staged = false;
+  staged_remaining_ = 0;
+  staged_epoch_ = epoch_;
 }
 
 std::string SchedulingTree::validate() const {

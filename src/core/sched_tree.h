@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "core/policy.h"
@@ -43,6 +44,13 @@ struct SchedClass {
   std::vector<ClassId> children;
   NodePolicy policy;
   int depth = 0;
+
+  // -- staged reconfiguration (src/ctrl epoch rollout) ---------------------
+  // A pending policy for the next epoch. Committed under the class's update
+  // lock by the first new-epoch packet that touches the class, so the word
+  // swap rides the paper's existing try-lock cycle budget (Fig. 8).
+  NodePolicy staged_policy;
+  bool has_staged = false;
 
   // -- shared runtime state ----------------------------------------------
   Rate theta;                     // current token rate
@@ -115,6 +123,8 @@ class SchedulingTree {
   /// θ derivation for a non-root class from current shared state (condition
   /// template engine). Exposed for tests and the propagation-delay bench.
   Rate compute_theta(ClassId id, sim::SimTime now) const;
+  /// Re-derive θ for every class top-down (control-plane commit path only).
+  void refresh_theta(sim::SimTime now);
 
   /// Record a forwarded packet's bytes on every class of `path` (Eq. 3
   /// consumption counting) — called after a FORWARD decision.
@@ -131,8 +141,46 @@ class SchedulingTree {
   /// FlowValve's software tree can). Atomically replaces a class's policy;
   /// the new rates take effect at each class's next update epoch, exactly
   /// like any other θ change propagating through the tree. Returns false if
-  /// the new policy is structurally invalid (e.g. guarantee > ceil).
+  /// the new policy is semantically invalid (validate_deltas rejects it).
   bool reconfigure(ClassId id, const NodePolicy& policy);
+
+  /// A batch of per-class policy replacements, pre-resolution.
+  using PolicyManifest = std::vector<std::pair<ClassId, NodePolicy>>;
+
+  /// Semantic validation of a policy manifest, dry-run against a clone of
+  /// the current per-class policies with the deltas applied: finite positive
+  /// weights, non-negative guarantees, positive ceilings, guarantee <= ceil,
+  /// and per-parent sum of child guarantees <= the parent's effective ceil.
+  /// Returns a human-readable error or empty string.
+  std::string validate_deltas(const PolicyManifest& deltas) const;
+
+  // -- epoch-versioned staging (src/ctrl) ----------------------------------
+  // Epochs are monotonic: a rollback re-stages the *prior policies* at a new,
+  // higher epoch number rather than reusing an old one, which keeps epoch
+  // confinement checking sound (a packet stamped with epoch E can never be
+  // scheduled against two different policy sets both called E).
+
+  /// Committed policy epoch (what non-cut-over workers schedule against).
+  std::uint32_t policy_epoch() const { return epoch_; }
+  /// Epoch being rolled out; equals policy_epoch() when idle.
+  std::uint32_t staged_epoch() const { return staged_epoch_; }
+  bool rollout_active() const { return staged_epoch_ != epoch_; }
+  std::size_t staged_remaining() const { return staged_remaining_; }
+
+  /// Stage a pre-validated manifest for the next epoch. Returns the new
+  /// staged epoch number. Caller must have run validate_deltas first.
+  std::uint32_t stage(const PolicyManifest& deltas);
+
+  /// Commit one class's staged policy (no-op without one). Called under the
+  /// class's update lock by the data path.
+  void commit_class(ClassId id, sim::SimTime now);
+
+  /// Commit every remaining staged policy and advance the committed epoch to
+  /// the staged one. Control-plane finish/rollback path.
+  void commit_all(sim::SimTime now);
+
+  /// Drop all staged policies and retract the staged epoch.
+  void abandon_stage();
 
  private:
   double sibling_weight_sum(const SchedClass& parent) const;
@@ -140,6 +188,9 @@ class SchedulingTree {
   FvParams params_;
   std::vector<SchedClass> nodes_;
   bool finalized_ = false;
+  std::uint32_t epoch_ = 0;
+  std::uint32_t staged_epoch_ = 0;
+  std::size_t staged_remaining_ = 0;
 };
 
 }  // namespace flowvalve::core

@@ -11,12 +11,23 @@ SchedulingFunction::SchedulingFunction(SchedulingTree& tree, const LabelTable& l
 }
 
 std::uint32_t SchedulingFunction::maybe_update(ClassId id, sim::SimTime now,
+                                               std::uint32_t pkt_epoch,
                                                SchedDecision& d) {
   SchedClass& c = tree_.at(id);
   std::uint32_t cycles = 0;
-  if (now - c.last_update < tree_.params().update_interval) return cycles;
+  const bool wants_commit = tree_.rollout_active() && c.has_staged &&
+                            pkt_epoch >= tree_.staged_epoch();
+  if (!wants_commit && now - c.last_update < tree_.params().update_interval) return cycles;
   cycles += costs_.lock_attempt_cycles;
   if (c.update_lock.try_acquire(now, costs_.lock_hold_ns)) {
+    if (wants_commit) {
+      // A packet from a cut-over worker pulls the staged policy in under the
+      // same lock the update subprocedure already takes (Fig. 8): no extra
+      // synchronization, just commit_cycles more inside the guarded section.
+      tree_.commit_class(id, now);
+      cycles += costs_.commit_cycles;
+      ++stats_.policy_commits;
+    }
     tree_.update_class(id, now);
     cycles += costs_.update_cycles;
     ++d.updates_run;
@@ -41,7 +52,7 @@ SchedDecision SchedulingFunction::schedule(net::Packet& pkt, sim::SimTime now) {
 
   // Lines 1-5: walk the hierarchy class label, refreshing token buckets.
   for (ClassId id : label.path) {
-    d.cycles += maybe_update(id, now, d);
+    d.cycles += maybe_update(id, now, pkt.policy_epoch, d);
     d.cycles += costs_.count_cycles;
   }
 
@@ -63,7 +74,7 @@ SchedDecision SchedulingFunction::schedule(net::Packet& pkt, sim::SimTime now) {
   // the lender's epoch on the way (borrower-driven updates keep idle
   // lenders' lendable rates live).
   for (ClassId lender : label.borrow) {
-    d.cycles += maybe_update(lender, now, d);
+    d.cycles += maybe_update(lender, now, pkt.policy_epoch, d);
     d.cycles += costs_.borrow_query_cycles;
     if (tree_.at(lender).shadow.meter(charge) == MeterColor::kGreen) {
       d.verdict = Verdict::kForward;

@@ -28,6 +28,7 @@ struct SchedulerCosts {
   std::uint32_t count_cycles = 18;          // atomic add per class
   std::uint32_t meter_cycles = 40;          // atomic meter instruction
   std::uint32_t borrow_query_cycles = 55;   // shadow bucket meter per lender
+  std::uint32_t commit_cycles = 48;         // staged-policy word swap under the lock
 
   /// Virtual-time duration the update lock is held (update_cycles at the
   /// core frequency); the NP pipeline overrides this from its clock.
@@ -60,6 +61,7 @@ class SchedulingFunction {
     std::uint64_t borrowed = 0;
     std::uint64_t updates = 0;
     std::uint64_t lock_failures = 0;
+    std::uint64_t policy_commits = 0;  // staged policies committed on-path
   };
   const Stats& stats() const { return stats_; }
   void reset_stats() { stats_ = Stats{}; }
@@ -68,8 +70,12 @@ class SchedulingFunction {
 
  private:
   /// Run the update subprocedure for `id` if its epoch elapsed and the
-  /// try-lock is won; returns cycles spent.
-  std::uint32_t maybe_update(ClassId id, sim::SimTime now, SchedDecision& d);
+  /// try-lock is won; returns cycles spent. `pkt_epoch` is the policy epoch
+  /// the dispatching worker had cut over to: a new-epoch packet that wins a
+  /// class's lock also commits that class's staged policy (monotonic
+  /// per-class cutover riding the paper's try-lock cycle budget).
+  std::uint32_t maybe_update(ClassId id, sim::SimTime now, std::uint32_t pkt_epoch,
+                             SchedDecision& d);
 
   SchedulingTree& tree_;
   const LabelTable& labels_;

@@ -1,0 +1,42 @@
+// Control-plane policy updates (paper §II-B: runtime reconfigurability is
+// the core argument for an NP-based scheduler over a fixed traffic manager).
+//
+// A PolicyUpdate is either a full fv-script swap (re-declaring the whole
+// policy; the class topology must be unchanged) or a batch of incremental
+// per-class deltas. Updates flow through shadow validation (validator.h) and
+// an epoch-versioned staged rollout (reconfig_manager.h); nothing in this
+// header touches live state.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/policy.h"
+#include "sim/time.h"
+
+namespace flowvalve::ctrl {
+
+/// One per-class change. Unset optionals keep the class's current value, so
+/// "raise tenant B's ceil" is a one-field delta.
+struct PolicyDelta {
+  std::string class_name;
+  std::optional<core::PrioLevel> prio;
+  std::optional<double> weight;
+  std::optional<sim::Rate> guarantee;
+  std::optional<sim::Rate> ceil;
+};
+
+/// A requested reconfiguration: exactly one of `fv_script` (full swap) or
+/// `deltas` (incremental) should be populated; a script takes precedence.
+struct PolicyUpdate {
+  std::string fv_script;
+  std::vector<PolicyDelta> deltas;
+
+  bool is_script() const { return !fv_script.empty(); }
+
+  /// Short human-readable form for logs and the ReconfigTracker.
+  std::string describe() const;
+};
+
+}  // namespace flowvalve::ctrl

@@ -1,0 +1,153 @@
+#include "ctrl/validator.h"
+
+#include <stdexcept>
+
+namespace flowvalve::ctrl {
+
+std::string PolicyUpdate::describe() const {
+  if (is_script()) return "script swap (" + std::to_string(fv_script.size()) + " bytes)";
+  std::string s = "delta[";
+  for (std::size_t i = 0; i < deltas.size(); ++i) {
+    if (i) s += ", ";
+    s += deltas[i].class_name;
+  }
+  s += "]";
+  return s;
+}
+
+namespace {
+
+using core::ClassId;
+using core::SchedulingTree;
+
+/// Resolve the per-delta target policies: current policy with the set
+/// optionals overridden.
+std::string resolve_deltas(const core::SchedulingTree& tree,
+                           const std::vector<PolicyDelta>& deltas,
+                           SchedulingTree::PolicyManifest& manifest) {
+  for (const PolicyDelta& d : deltas) {
+    const ClassId id = tree.find(d.class_name);
+    if (id == core::kNoClass) return "unknown class '" + d.class_name + "'";
+    core::NodePolicy target = tree.at(id).policy;
+    if (d.prio) target.prio = *d.prio;
+    if (d.weight) target.weight = *d.weight;
+    if (d.guarantee) target.guarantee = *d.guarantee;
+    if (d.ceil) target.ceil = *d.ceil;
+    manifest.emplace_back(id, target);
+  }
+  if (manifest.empty()) return "empty update";
+  return {};
+}
+
+/// Leaf-class borrow list as class names, for structural comparison.
+std::vector<std::string> borrow_names(const core::FvFrontend& fe, ClassId leaf) {
+  std::vector<std::string> names;
+  const net::ClassLabelId lid = fe.label_of(leaf);
+  if (lid == net::kUnclassified) return names;
+  for (ClassId b : fe.labels().get(lid).borrow) names.push_back(fe.tree().at(b).name);
+  return names;
+}
+
+/// Map a shadow-frontend label id onto the live label table via the leaf
+/// class name. Returns kUnclassified (with `error` set) if unmappable.
+net::ClassLabelId map_label(const core::FvFrontend& live, const core::FvFrontend& shadow,
+                            net::ClassLabelId shadow_label, std::string& error) {
+  const core::QosLabel& ql = shadow.labels().get(shadow_label);
+  if (ql.path.empty()) {
+    error = "shadow label has an empty path";
+    return net::kUnclassified;
+  }
+  const std::string& leaf_name = shadow.tree().at(ql.path.back()).name;
+  const ClassId live_leaf = live.tree().find(leaf_name);
+  if (live_leaf == core::kNoClass) {
+    error = "filter targets unknown class '" + leaf_name + "'";
+    return net::kUnclassified;
+  }
+  const net::ClassLabelId mapped = live.label_of(live_leaf);
+  if (mapped == net::kUnclassified) error = "class '" + leaf_name + "' is not a leaf";
+  return mapped;
+}
+
+std::string validate_script(const core::FlowValveEngine& engine, const PolicyUpdate& update,
+                            ValidatedUpdate& out) {
+  const core::FvFrontend& live = engine.frontend();
+  const core::SchedulingTree& tree = live.tree();
+
+  // Parse + finalize against a shadow frontend; nothing live is touched.
+  core::FvFrontend shadow(tree.params());
+  try {
+    shadow.apply_script(update.fv_script);
+  } catch (const std::invalid_argument& e) {
+    return std::string("parse error: ") + e.what();
+  }
+  if (std::string err = shadow.finalize(); !err.empty())
+    return "shadow finalize: " + err;
+
+  // Structural compatibility: a live swap may change rates/weights/prios
+  // and filters, but not the class topology or borrow structure.
+  const core::SchedulingTree& stree = shadow.tree();
+  if (stree.size() != tree.size())
+    return "structural change (class count " + std::to_string(stree.size()) + " vs " +
+           std::to_string(tree.size()) + ") requires restart";
+  for (ClassId id = 0; id < tree.size(); ++id) {
+    const core::SchedClass& lc = tree.at(id);
+    const ClassId sid = stree.find(lc.name);
+    if (sid == core::kNoClass)
+      return "structural change (class '" + lc.name + "' missing) requires restart";
+    const core::SchedClass& sc = stree.at(sid);
+    if (sc.is_leaf() != lc.is_leaf() ||
+        (!lc.is_root() &&
+         (sc.is_root() || stree.at(sc.parent).name != tree.at(lc.parent).name)) ||
+        (lc.is_root() && !sc.is_root()))
+      return "structural change (class '" + lc.name + "' re-parented) requires restart";
+    if (lc.is_leaf() && borrow_names(shadow, sid) != borrow_names(live, id))
+      return "structural change (class '" + lc.name + "' borrow list) requires restart";
+  }
+
+  // Target manifest: the shadow policy of every same-named live class.
+  for (ClassId id = 0; id < tree.size(); ++id)
+    out.manifest.emplace_back(id, stree.at(stree.find(tree.at(id).name)).policy);
+
+  // Filters, re-mapped onto the live label table.
+  std::string map_err;
+  for (core::FilterRule rule : shadow.classifier().rules()) {
+    rule.label = map_label(live, shadow, rule.label, map_err);
+    if (!map_err.empty()) return map_err;
+    out.filters.push_back(std::move(rule));
+  }
+  out.default_label = shadow.classifier().default_label() == net::kUnclassified
+                          ? net::kUnclassified
+                          : map_label(live, shadow, shadow.classifier().default_label(),
+                                      map_err);
+  if (!map_err.empty()) return map_err;
+  out.replace_filters = true;
+  return {};
+}
+
+}  // namespace
+
+ValidatedUpdate validate_update(const core::FlowValveEngine& engine,
+                                const PolicyUpdate& update) {
+  ValidatedUpdate out;
+  if (!engine.ready()) {
+    out.error = "engine not configured";
+    return out;
+  }
+  if (update.is_script()) {
+    out.error = validate_script(engine, update, out);
+  } else {
+    out.error = resolve_deltas(engine.tree(), update.deltas, out.manifest);
+  }
+  if (!out.ok()) return out;
+
+  // Semantic dry run against a clone of the live per-class policies.
+  out.error = engine.tree().validate_deltas(out.manifest);
+  if (!out.ok()) {
+    out.manifest.clear();
+    out.filters.clear();
+    out.replace_filters = false;
+  }
+  return out;
+}
+
+}  // namespace flowvalve::ctrl

@@ -1,0 +1,40 @@
+// Shadow validation of a PolicyUpdate against a live engine: parse +
+// semantic checks + dry run against a cloned tree, without touching any
+// runtime state. The output is a resolved per-class policy manifest (and,
+// for script swaps, a re-mapped filter set) ready for staged rollout.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/flowvalve.h"
+#include "ctrl/policy_update.h"
+
+namespace flowvalve::ctrl {
+
+/// Result of shadow validation. On success (`ok()`), `manifest` holds the
+/// fully resolved target policy per affected class, validated against a
+/// clone of the live tree's policies. Script swaps additionally carry the
+/// replacement filter rules with labels re-mapped onto the *live* label
+/// table (`replace_filters`).
+struct ValidatedUpdate {
+  std::string error;  // empty on success
+  core::SchedulingTree::PolicyManifest manifest;
+  std::vector<core::FilterRule> filters;
+  net::ClassLabelId default_label = net::kUnclassified;
+  bool replace_filters = false;
+
+  bool ok() const { return error.empty(); }
+};
+
+/// Validate `update` against the live `engine` configuration. Never mutates
+/// the engine. Rejections include: unknown class names, non-finite /
+/// non-positive weights, negative guarantees, guarantee > ceil, child
+/// guarantee sums exceeding a parent ceil, script parse errors, and script
+/// swaps that change the class topology or borrow structure (a structural
+/// change requires a restart, not a live swap).
+ValidatedUpdate validate_update(const core::FlowValveEngine& engine,
+                                const PolicyUpdate& update);
+
+}  // namespace flowvalve::ctrl

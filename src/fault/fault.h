@@ -23,6 +23,17 @@
 //                    (checker-validation bug, not a survivable fault)
 //   kBypassReorder   every Nth forwarded packet jumps the reorder queue
 //                    (checker-validation bug, not a survivable fault)
+//
+// Control-plane faults (ISSUE 5) target an armed ctrl::ReconfigManager
+// (FaultPlane::set_reconfig); without one they are no-ops:
+//   kTornUpdate      a live swap loses a fraction of its staged per-class
+//                    policy words before the final commit; the manager's
+//                    post-commit verification must detect the tear and
+//                    roll back deterministically
+//   kStaleEpoch      worker `worker` never acknowledges an epoch cutover;
+//                    a rollout including it stalls and rolls back
+//   kUpdateStorm     `period` back-to-back policy updates submitted at
+//                    once; all but the newest pending one must coalesce
 #pragma once
 
 #include <cstdint>
@@ -45,6 +56,9 @@ enum class FaultKind : std::uint8_t {
   kCachePoison,
   kLeakCommit,
   kBypassReorder,
+  kTornUpdate,
+  kStaleEpoch,
+  kUpdateStorm,
 };
 
 const char* fault_kind_name(FaultKind kind);
@@ -64,6 +78,7 @@ struct FaultEvent {
 
   // kCacheStorm: eviction interval (0 ⇒ duration / 8).
   // kLeakCommit / kBypassReorder: the every-Nth modulo (0 ⇒ 97).
+  // kUpdateStorm: number of back-to-back updates (0 ⇒ 8).
   sim::SimDuration period = 0;
 
   std::string describe() const;

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "ctrl/reconfig_manager.h"
+
 namespace flowvalve::fault {
 
 const char* fault_kind_name(FaultKind kind) {
@@ -17,6 +19,9 @@ const char* fault_kind_name(FaultKind kind) {
     case FaultKind::kCachePoison: return "cache-poison";
     case FaultKind::kLeakCommit: return "leak-commit";
     case FaultKind::kBypassReorder: return "bypass-reorder";
+    case FaultKind::kTornUpdate: return "torn-update";
+    case FaultKind::kStaleEpoch: return "stale-epoch";
+    case FaultKind::kUpdateStorm: return "update-storm";
   }
   return "unknown";
 }
@@ -40,6 +45,15 @@ std::string FaultEvent::describe() const {
     case FaultKind::kLeakCommit:
     case FaultKind::kBypassReorder:
       s << " every=" << (period > 0 ? period : 97);
+      break;
+    case FaultKind::kTornUpdate:
+      s << " torn_fraction=" << magnitude;
+      break;
+    case FaultKind::kStaleEpoch:
+      s << " worker=" << worker;
+      break;
+    case FaultKind::kUpdateStorm:
+      s << " updates=" << (period > 0 ? period : 8);
       break;
     case FaultKind::kReorderStall:
       break;
@@ -67,6 +81,12 @@ bool needs_duration_floor(FaultKind kind) {
     case FaultKind::kTxBackpressure:
     case FaultKind::kReorderStall:
     case FaultKind::kCacheStorm:
+    // Control-plane faults are latched/sticky on the reconfiguration
+    // manager: the floor guarantees a clear() runs to un-latch them and
+    // start the recovery probe that closes the FaultRecord.
+    case FaultKind::kTornUpdate:
+    case FaultKind::kStaleEpoch:
+    case FaultKind::kUpdateStorm:
       return true;
     default:
       return false;
@@ -96,6 +116,12 @@ FaultSchedule single_fault(FaultKind kind, sim::SimTime at,
     case FaultKind::kBypassReorder:
       ev.period = 97;
       break;
+    case FaultKind::kTornUpdate: ev.magnitude = 0.5; break;
+    case FaultKind::kStaleEpoch:
+      ev.worker = 0;
+      ev.worker_count = 1;
+      break;
+    case FaultKind::kUpdateStorm: ev.period = 8; break;
   }
   return {ev};
 }
@@ -156,6 +182,9 @@ FaultSchedule generate_fault_schedule(std::uint64_t seed,
       case FaultKind::kReorderStall:
       case FaultKind::kLeakCommit:
       case FaultKind::kBypassReorder:
+      case FaultKind::kTornUpdate:
+      case FaultKind::kStaleEpoch:
+      case FaultKind::kUpdateStorm:
         break;
     }
     out.push_back(ev);
@@ -279,6 +308,21 @@ void FaultPlane::inject(ActiveFault& f) {
       pipeline_.set_injected_faults(inj);
       break;
     }
+    case FaultKind::kTornUpdate: {
+      if (!reconfig_) break;
+      const double fraction = std::clamp(ev.magnitude, 0.01, 1.0);
+      const auto stride =
+          static_cast<unsigned>(std::max(1.0, std::round(1.0 / fraction)));
+      reconfig_->fault_tear_update(stride);
+      break;
+    }
+    case FaultKind::kStaleEpoch:
+      if (reconfig_) reconfig_->fault_stale_worker(ev.worker);
+      break;
+    case FaultKind::kUpdateStorm:
+      if (reconfig_)
+        reconfig_->storm(ev.period > 0 ? static_cast<unsigned>(ev.period) : 8u);
+      break;
   }
 }
 
@@ -328,6 +372,14 @@ void FaultPlane::clear(ActiveFault& f) {
       pipeline_.set_injected_faults(inj);
       break;
     }
+    case FaultKind::kTornUpdate:
+      if (reconfig_) reconfig_->clear_tear_fault();
+      break;
+    case FaultKind::kStaleEpoch:
+      if (reconfig_) reconfig_->repair_stale_workers();
+      break;
+    case FaultKind::kUpdateStorm:
+      break;  // the storm is instantaneous; nothing to un-latch
   }
   f.at_last_probe = read_counters();
   ActiveFault* fp = &f;
@@ -341,7 +393,7 @@ void FaultPlane::probe(ActiveFault& f) {
                          now_c.timeout_drops == f.at_last_probe.timeout_drops &&
                          now_c.admission_drops == f.at_last_probe.admission_drops;
   if (quiescent && pipeline_.hung_workers() == 0 &&
-      pipeline_.retry_backlog() == 0) {
+      pipeline_.retry_backlog() == 0 && (!reconfig_ || !reconfig_->busy())) {
     close(f, sim_.now());
     return;
   }

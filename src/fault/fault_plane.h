@@ -23,6 +23,10 @@
 #include "obs/recovery_tracker.h"
 #include "sim/simulator.h"
 
+namespace flowvalve::ctrl {
+class ReconfigManager;
+}
+
 namespace flowvalve::fault {
 
 class FaultPlane {
@@ -43,6 +47,11 @@ class FaultPlane {
   FaultPlane(sim::Simulator& sim, np::NicPipeline& pipeline,
              core::FlowValveEngine* engine, obs::RecoveryTracker* tracker)
       : FaultPlane(sim, pipeline, engine, tracker, Options{}) {}
+
+  /// Attach the control-plane reconfiguration manager the kTornUpdate /
+  /// kStaleEpoch / kUpdateStorm faults target (nullptr detaches; those
+  /// kinds then become no-ops). Not owned; must outlive the armed run.
+  void set_reconfig(ctrl::ReconfigManager* reconfig) { reconfig_ = reconfig; }
 
   /// Schedule every event in the schedule. Call once, before running.
   void arm(const FaultSchedule& schedule);
@@ -80,6 +89,7 @@ class FaultPlane {
   np::NicPipeline& pipeline_;
   core::FlowValveEngine* engine_;
   obs::RecoveryTracker* tracker_;
+  ctrl::ReconfigManager* reconfig_ = nullptr;
   Options options_;
   std::vector<std::unique_ptr<ActiveFault>> active_;
 };

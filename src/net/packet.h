@@ -65,6 +65,11 @@ struct Packet {
 
   ClassLabelId label = kUnclassified;
 
+  /// Control-plane policy epoch the dispatching worker had cut over to when
+  /// this packet entered its run-to-completion interval (src/ctrl staged
+  /// rollout). 0 until a live reconfiguration has ever been staged.
+  std::uint32_t policy_epoch = 0;
+
   SimTime created_at = 0;      // handed to the host NIC driver
   SimTime nic_arrival = 0;     // pulled by a micro-engine / qdisc enqueue
   SimTime tx_enqueue = 0;      // accepted into the Tx FIFO

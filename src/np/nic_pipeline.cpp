@@ -176,6 +176,17 @@ void NicPipeline::try_dispatch() {
     idle_workers_.pop_back();
     const std::uint64_t ingress_seq = next_ingress_seq_++;
 
+    // Safe per-packet boundary: the control plane stamps the policy epoch
+    // this worker schedules against and may charge cutover cycles here,
+    // before the run-to-completion interval starts.
+    std::uint32_t ctrl_cycles = 0;
+    if (control_hook_) {
+      const ControlHook::Cutover cut =
+          control_hook_->on_packet_boundary(worker, sim_.now());
+      next->policy_epoch = cut.epoch;
+      ctrl_cycles = cut.extra_cycles;
+    }
+
     // Run-to-completion: base Rx work + processor + base Tx work. The
     // processor runs "at" dispatch time; its cycle cost extends the busy
     // interval. Cycles for dropped packets omit the Tx copy. The packet is
@@ -183,7 +194,7 @@ void NicPipeline::try_dispatch() {
     // (one copy, not two); nothing below re-enters the VF rings before the
     // deferred pop.
     PacketProcessor::Outcome out = processor_.process(*next, sim_.now());
-    std::uint64_t cycles = config_.base_rx_cycles + out.cycles;
+    std::uint64_t cycles = config_.base_rx_cycles + ctrl_cycles + out.cycles;
     if (out.forward) cycles += config_.base_tx_cycles;
     stats_.processing_cycles += cycles;
     ++stats_.processed;
@@ -513,7 +524,10 @@ bool NicPipeline::watchdog_work_pending() const {
   if (!retry_queue_.empty()) return true;
   if (config_.enforce_reorder && reorder_count_ > 0 && !reorder_frozen_)
     return true;
-  if (admission_active_) return true;
+  // A control-plane forced shed is not the watchdog's to disengage, so it
+  // alone must not keep the tick chain alive (submit() checks
+  // admission_active_ directly, so shedding still works unarmed).
+  if (admission_active_ && !admission_forced_) return true;
   return false;
 }
 
@@ -579,7 +593,24 @@ void NicPipeline::watchdog_abort(unsigned worker) {
   }
 }
 
+void NicPipeline::control_force_admission(std::uint64_t modulus) {
+  if (modulus == 0) return;
+  admission_forced_ = true;
+  admission_active_ = true;
+  admission_modulus_ = modulus;
+  admission_over_ticks_ = 0;
+}
+
+void NicPipeline::control_release_admission() {
+  if (!admission_forced_) return;
+  admission_forced_ = false;
+  admission_active_ = false;
+  admission_modulus_ = 0;
+  admission_over_ticks_ = 0;
+}
+
 void NicPipeline::admission_update() {
+  if (admission_forced_) return;  // held by the control plane
   if (!config_.recovery.admission_enabled) return;
   const auto& rec = config_.recovery;
   const double occ = static_cast<double>(tx_ring_.size()) /

@@ -79,6 +79,23 @@ struct InjectedFaults {
   bool any() const { return leak_commit_every || bypass_reorder_every; }
 };
 
+/// Control-plane hook consulted at each worker's safe per-packet boundary —
+/// the instant an idle worker picks a fresh packet, before its
+/// run-to-completion interval starts. The hook decides which policy epoch
+/// the packet is stamped with and may charge extra micro-engine cycles for
+/// a cutover performed at this boundary (src/ctrl staged rollout). Watchdog
+/// retries are NOT re-stamped: the packet keeps the epoch of its original
+/// dispatch, as a real salvaged context would.
+class ControlHook {
+ public:
+  virtual ~ControlHook() = default;
+  struct Cutover {
+    std::uint32_t epoch = 0;         // policy epoch to stamp the packet with
+    std::uint32_t extra_cycles = 0;  // cutover work charged to this packet
+  };
+  virtual Cutover on_packet_boundary(unsigned worker, sim::SimTime now) = 0;
+};
+
 /// Passive tap on every pipeline lifecycle event, independent of the
 /// delivery/drop callbacks (which the traffic FlowRouter owns). src/check
 /// attaches its invariant harness here; all hooks default to no-ops so the
@@ -124,6 +141,10 @@ class NicPipeline final : public net::EgressDevice {
   /// Attach a passive observer (nullptr detaches). Not owned; must outlive
   /// the pipeline or be detached first.
   void set_observer(PipelineObserver* observer) { observer_ = observer; }
+
+  /// Attach the control-plane cutover hook (nullptr detaches). Not owned;
+  /// must outlive the pipeline or be detached first.
+  void set_control_hook(ControlHook* hook) { control_hook_ = hook; }
 
   struct Stats {
     std::uint64_t submitted = 0;
@@ -178,6 +199,21 @@ class NicPipeline final : public net::EgressDevice {
   std::uint64_t admission_modulus() const {
     return admission_active_ ? admission_modulus_ : 0;
   }
+
+  // --- Control-plane degradation (src/ctrl) ------------------------------
+  // During a stalled policy rollout the reconfiguration manager may shed
+  // load through the existing admission machinery. While forced, the
+  // watermark automation neither escalates nor disengages it; only
+  // control_release_admission() does.
+
+  /// Engage admission shedding at a fixed modulus (drop every Nth submit).
+  /// No-op when `modulus` is 0.
+  void control_force_admission(std::uint64_t modulus);
+
+  /// Release a forced shed; watermark-driven admission resumes from idle.
+  void control_release_admission();
+
+  bool admission_forced() const { return admission_forced_; }
 
   // --- Fault hooks (src/fault) -------------------------------------------
   // All hooks are deterministic and inert until called. Worker faults mark
@@ -331,12 +367,14 @@ class NicPipeline final : public net::EgressDevice {
 
   // Graceful-degradation admission state.
   bool admission_active_ = false;
+  bool admission_forced_ = false;  // control-plane override (src/ctrl)
   std::uint64_t admission_modulus_ = 0;
   std::uint64_t admission_seq_ = 0;     // submissions seen while active
   unsigned admission_over_ticks_ = 0;   // consecutive ticks over watermark
 
   std::function<void(const net::Packet&, DropReason)> on_dropped_detailed_;
   PipelineObserver* observer_ = nullptr;
+  ControlHook* control_hook_ = nullptr;
 
   Stats stats_;
   std::size_t in_flight_ = 0;

@@ -143,6 +143,37 @@ void recovery_json(JsonWriter& w, const RecoveryTracker& t) {
   w.end_object();
 }
 
+void reconfig_json(JsonWriter& w, const ReconfigTracker& t) {
+  w.begin_object();
+  w.key("updates").value(static_cast<std::uint64_t>(t.records().size()));
+  w.key("committed").value(t.committed());
+  w.key("rolled_back").value(t.rolled_back());
+  w.key("rejected").value(t.rejected());
+  w.key("coalesced").value(t.coalesced());
+  w.key("worst_swap_latency_ns")
+      .value(static_cast<std::int64_t>(t.worst_swap_latency()));
+  w.key("mixed_epoch_packets").value(t.total_mixed_epoch_packets());
+  w.key("records").begin_array();
+  for (const ReconfigRecord& r : t.records()) {
+    w.begin_object()
+        .key("target_epoch").value(r.target_epoch)
+        .key("kind").value(r.kind)
+        .key("submitted_at_ns").value(static_cast<std::int64_t>(r.submitted_at))
+        .key("committed_at_ns").value(static_cast<std::int64_t>(r.committed_at))
+        .key("rolled_back_at_ns").value(static_cast<std::int64_t>(r.rolled_back_at))
+        .key("swap_latency_ns").value(static_cast<std::int64_t>(r.swap_latency()))
+        .key("mixed_epoch_packets").value(r.mixed_epoch_packets)
+        .key("cutover_workers").value(r.cutover_workers)
+        .key("forced_cutovers").value(r.forced_cutovers)
+        .key("stalled").value(r.stalled)
+        .key("shed_engaged").value(r.shed_engaged)
+        .key("outcome").value(r.outcome)
+        .end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
 std::string metrics_to_json(const MetricsHub& hub) {
   JsonWriter w;
   w.begin_object();

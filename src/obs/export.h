@@ -7,6 +7,7 @@
 #include "obs/json_writer.h"
 #include "obs/latency_recorder.h"
 #include "obs/metrics_hub.h"
+#include "obs/reconfig_tracker.h"
 #include "obs/recovery_tracker.h"
 #include "obs/throughput_tracker.h"
 
@@ -29,6 +30,11 @@ void snapshot_json(JsonWriter& w, const CounterSnapshot& s);
 /// Fault-recovery records: {"injected":..,"recovered":..,
 ///  "total_packets_lost":..,"worst_recovery_ns":..,"faults":[...]}.
 void recovery_json(JsonWriter& w, const RecoveryTracker& t);
+
+/// Control-plane reconfiguration records: {"updates":..,"committed":..,
+///  "rolled_back":..,"rejected":..,"coalesced":..,
+///  "worst_swap_latency_ns":..,"mixed_epoch_packets":..,"records":[...]}.
+void reconfig_json(JsonWriter& w, const ReconfigTracker& t);
 
 /// Whole hub: {"counters":...,"latency":...,"throughput":...}.
 std::string metrics_to_json(const MetricsHub& hub);

@@ -1,0 +1,84 @@
+// Control-plane reconfiguration observability: one ReconfigRecord per
+// PolicyUpdate (accepted or rejected), tracking swap latency, the size of
+// the mixed-epoch window, and the commit / rollback outcome. Mirrors
+// recovery_tracker.h; exported to JSON via obs::reconfig_json.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace flowvalve::obs {
+
+struct ReconfigRecord {
+  std::uint32_t target_epoch = 0;  // 0 for rejected updates (never staged)
+  std::string kind;                // "delta" | "script"
+  sim::SimTime submitted_at = 0;
+  sim::SimTime committed_at = -1;    // probation passed; epoch is permanent
+  sim::SimTime rolled_back_at = -1;  // guard tripped; prior policies restored
+
+  /// Packets scheduled against the *old* epoch while the rollout was in
+  /// progress — the bounded mixed-epoch window the tentpole promises.
+  std::uint64_t mixed_epoch_packets = 0;
+  unsigned cutover_workers = 0;   // workers that cut over at a packet boundary
+  unsigned forced_cutovers = 0;   // workers force-cut by the stall handler
+  bool stalled = false;           // rollout hit the stall timeout
+  bool shed_engaged = false;      // admission shedding was forced during the swap
+
+  std::string outcome;  // "committed" | "rolled-back: R" | "rejected: E"
+
+  bool committed() const { return committed_at >= 0; }
+  bool rolled_back() const { return rolled_back_at >= 0; }
+  /// Submit → commit latency (virtual time); -1 if never committed.
+  sim::SimDuration swap_latency() const {
+    return committed() ? committed_at - submitted_at : -1;
+  }
+};
+
+class ReconfigTracker {
+ public:
+  ReconfigRecord& record() {
+    records_.emplace_back();
+    return records_.back();
+  }
+  const std::vector<ReconfigRecord>& records() const { return records_; }
+
+  void note_coalesced() { ++coalesced_; }
+  std::uint64_t coalesced() const { return coalesced_; }
+
+  std::uint64_t committed() const {
+    std::uint64_t n = 0;
+    for (const auto& r : records_) n += r.committed();
+    return n;
+  }
+  std::uint64_t rolled_back() const {
+    std::uint64_t n = 0;
+    for (const auto& r : records_) n += r.rolled_back();
+    return n;
+  }
+  std::uint64_t rejected() const {
+    std::uint64_t n = 0;
+    for (const auto& r : records_) n += (r.target_epoch == 0 && !r.committed());
+    return n;
+  }
+
+  sim::SimDuration worst_swap_latency() const {
+    sim::SimDuration worst = -1;
+    for (const auto& r : records_)
+      if (r.committed() && r.swap_latency() > worst) worst = r.swap_latency();
+    return worst;
+  }
+  std::uint64_t total_mixed_epoch_packets() const {
+    std::uint64_t n = 0;
+    for (const auto& r : records_) n += r.mixed_epoch_packets;
+    return n;
+  }
+
+ private:
+  std::vector<ReconfigRecord> records_;
+  std::uint64_t coalesced_ = 0;
+};
+
+}  // namespace flowvalve::obs

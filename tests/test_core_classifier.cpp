@@ -208,6 +208,68 @@ TEST(ClassifierTest, UnmatchedGetsDefaultLabel) {
   EXPECT_EQ(c.classify(make_packet(0, make_tuple()), 2).label, 77u);
 }
 
+// ---- Epoch-tagged cache entries (live reconfiguration) ----------------------
+
+TEST(FlowCache, StaleEpochEntryInvalidatedInPlace) {
+  ExactMatchFlowCache cache(1024);
+  const FiveTuple t = make_tuple();
+  cache.insert(1, t, 42, 1, /*epoch=*/0);
+  // Same tuple, newer label epoch: the entry is stale — miss, invalidate.
+  EXPECT_FALSE(cache.lookup(1, t, 2, /*epoch=*/1).has_value());
+  EXPECT_EQ(cache.stats().stale_invalidations, 1u);
+  // The slot was invalidated, not left to repeat the stale cost: a second
+  // lookup is a plain miss, not another stale invalidation.
+  EXPECT_FALSE(cache.lookup(1, t, 3, /*epoch=*/1).has_value());
+  EXPECT_EQ(cache.stats().stale_invalidations, 1u);
+  // Re-inserting under the new epoch restores the fast path.
+  cache.insert(1, t, 43, 4, /*epoch=*/1);
+  EXPECT_EQ(*cache.lookup(1, t, 5, /*epoch=*/1), 43u);
+}
+
+TEST(ClassifierTest, ReplaceRulesWithEpochBumpReclassifiesCachedFlows) {
+  Classifier c = make_classifier();
+  net::Packet p = make_packet(3, make_tuple(0x0a000001, 80));
+  EXPECT_EQ(c.classify(p, 1).label, 200u);
+  EXPECT_TRUE(c.classify(p, 2).cache_hit);  // resident under epoch 0
+
+  // Control-plane filter swap: port 80 now maps to label 500. Without the
+  // epoch bump the cached 200 would keep winning.
+  std::vector<FilterRule> swapped;
+  FilterRule web;
+  web.pref = 10;
+  web.dst_port = 80;
+  web.label = 500;
+  swapped.push_back(web);
+  c.replace_rules(std::move(swapped));
+  c.bump_label_epoch();
+  EXPECT_EQ(c.label_epoch(), 1u);
+
+  const auto after = c.classify(p, 3);
+  EXPECT_FALSE(after.cache_hit);  // stale entry invalidated, rules re-walked
+  EXPECT_EQ(after.label, 500u);
+  EXPECT_EQ(c.cache().stats().stale_invalidations, 1u);
+  EXPECT_TRUE(c.classify(p, 4).cache_hit);  // re-cached under epoch 1
+  EXPECT_EQ(c.classify(p, 5).label, 500u);
+}
+
+TEST(ClassifierTest, EpochBumpDoesNotFlushWholeCache) {
+  Classifier c = make_classifier();
+  // Populate many distinct flows, then bump: insertions survive (lazy
+  // invalidation), each paying exactly one re-classification on next use.
+  for (std::uint32_t i = 0; i < 32; ++i)
+    c.classify(make_packet(3, make_tuple(0x0a000100 + i, 80)), i + 1);
+  const std::uint64_t inserted = c.cache().stats().insertions;
+  c.bump_label_epoch();
+  EXPECT_EQ(c.cache().stats().insertions, inserted);  // nothing evicted eagerly
+  std::uint64_t stale = 0;
+  for (std::uint32_t i = 0; i < 32; ++i) {
+    const auto r = c.classify(make_packet(3, make_tuple(0x0a000100 + i, 80)), 100 + i);
+    EXPECT_FALSE(r.cache_hit);
+    ++stale;
+  }
+  EXPECT_EQ(c.cache().stats().stale_invalidations, stale);
+}
+
 TEST(ClassifierTest, CycleCostModelOrdering) {
   // A miss walking many rules costs more than a hit; deeper walks cost more.
   ClassifierCosts costs;

@@ -358,6 +358,118 @@ TEST(SchedTreeReconfigure, RejectsInvalidPolicies) {
   EXPECT_FALSE(m.tree.reconfigure(9999, NodePolicy{}));
 }
 
+TEST(SchedTreeReconfigure, RejectsChildGuaranteesAboveParentCeil) {
+  MotivationTree m;
+  // NC + S1 guarantees would oversubscribe the root's 10G link ceiling.
+  NodePolicy pol = m.tree.at(m.nc).policy;
+  pol.guarantee = Rate::gigabits_per_sec(7);
+  ASSERT_TRUE(m.tree.reconfigure(m.nc, pol));  // alone it fits under 10G
+  NodePolicy pol2 = m.tree.at(m.s1).policy;
+  pol2.guarantee = Rate::gigabits_per_sec(4);  // 7 + 4 > 10
+  EXPECT_FALSE(m.tree.reconfigure(m.s1, pol2));
+  // The rejected policy left the live one untouched.
+  EXPECT_FALSE(m.tree.at(m.s1).policy.has_guarantee());
+}
+
+TEST(SchedTreeValidate, DeltasReportHumanReadableErrors) {
+  MotivationTree m;
+  NodePolicy bad = m.tree.at(m.ws).policy;
+  bad.weight = -2.0;
+  std::string err = m.tree.validate_deltas({{m.ws, bad}});
+  EXPECT_NE(err.find("weight"), std::string::npos) << err;
+
+  NodePolicy inverted = m.tree.at(m.ws).policy;
+  inverted.guarantee = Rate::gigabits_per_sec(5);
+  inverted.ceil = Rate::gigabits_per_sec(1);
+  err = m.tree.validate_deltas({{m.ws, inverted}});
+  EXPECT_NE(err.find("guarantee exceeds ceil"), std::string::npos) << err;
+
+  // The sum check sees the whole manifest merged, not each delta alone:
+  // NC (6G) + S1 (6G) together oversubscribe the root's 10G ceiling.
+  NodePolicy g1 = m.tree.at(m.nc).policy;
+  g1.guarantee = Rate::gigabits_per_sec(6);
+  NodePolicy g2 = m.tree.at(m.s1).policy;
+  g2.guarantee = Rate::gigabits_per_sec(6);
+  err = m.tree.validate_deltas({{m.nc, g1}, {m.s1, g2}});
+  EXPECT_NE(err.find("summing above the parent ceil"), std::string::npos) << err;
+
+  EXPECT_EQ(m.tree.validate_deltas({{m.ws, m.tree.at(m.ws).policy}}), "");
+}
+
+TEST(SchedTreeStaging, StagedPolicyInvisibleUntilCommit) {
+  MotivationTree m;
+  NodePolicy pol = m.tree.at(m.ws).policy;
+  pol.weight = 4.0;
+  EXPECT_EQ(m.tree.policy_epoch(), 0u);
+  EXPECT_FALSE(m.tree.rollout_active());
+
+  const std::uint32_t staged = m.tree.stage({{m.ws, pol}});
+  EXPECT_EQ(staged, 1u);
+  EXPECT_TRUE(m.tree.rollout_active());
+  EXPECT_EQ(m.tree.staged_remaining(), 1u);
+  EXPECT_EQ(m.tree.policy_epoch(), 0u);            // committed epoch unchanged
+  EXPECT_NEAR(m.tree.at(m.ws).policy.weight, 1.0, 1e-9);  // live policy too
+
+  m.tree.commit_class(m.ws, kT0);
+  EXPECT_NEAR(m.tree.at(m.ws).policy.weight, 4.0, 1e-9);
+  EXPECT_EQ(m.tree.staged_remaining(), 0u);
+  EXPECT_TRUE(m.tree.rollout_active());  // epoch advances only via commit_all
+
+  m.tree.commit_all(kT0);
+  EXPECT_EQ(m.tree.policy_epoch(), 1u);
+  EXPECT_FALSE(m.tree.rollout_active());
+}
+
+TEST(SchedTreeStaging, AbandonStageRetractsCleanly) {
+  MotivationTree m;
+  NodePolicy pol = m.tree.at(m.ws).policy;
+  pol.weight = 4.0;
+  m.tree.stage({{m.ws, pol}});
+  m.tree.abandon_stage();
+  EXPECT_FALSE(m.tree.rollout_active());
+  EXPECT_EQ(m.tree.staged_remaining(), 0u);
+  EXPECT_EQ(m.tree.staged_epoch(), m.tree.policy_epoch());
+  EXPECT_NEAR(m.tree.at(m.ws).policy.weight, 1.0, 1e-9);
+  // A commit after abandoning is a no-op for the class.
+  m.tree.commit_class(m.ws, kT0);
+  EXPECT_NEAR(m.tree.at(m.ws).policy.weight, 1.0, 1e-9);
+}
+
+TEST(SchedTreeStaging, EpochsAreMonotonicAcrossRestage) {
+  MotivationTree m;
+  NodePolicy pol = m.tree.at(m.ws).policy;
+  m.tree.stage({{m.ws, pol}});
+  m.tree.commit_all(kT0);
+  EXPECT_EQ(m.tree.policy_epoch(), 1u);
+  // Rollback path: re-stage the prior policy — a NEW epoch, never a reuse.
+  m.tree.stage({{m.ws, pol}});
+  m.tree.commit_all(kT0);
+  EXPECT_EQ(m.tree.policy_epoch(), 2u);
+}
+
+TEST(SchedTreeStaging, CommitRefreshesIdleSiblingTheta) {
+  MotivationTree m;
+  m.tree.at(m.s1).theta = Rate::gigabits_per_sec(9);
+  force_gamma(m.tree, m.ws, Rate::gigabits_per_sec(1), kT0);
+  force_gamma(m.tree, m.s2, Rate::gigabits_per_sec(1), kT0);
+  // Give both siblings a pre-commit θ as the data path would.
+  m.tree.at(m.ws).theta = m.tree.compute_theta(m.ws, kT0);
+  m.tree.at(m.s2).theta = m.tree.compute_theta(m.s2, kT0);
+  EXPECT_NEAR(m.tree.at(m.s2).theta.gbps(), 6.0, 0.05);  // 1:2 split of 9G
+
+  NodePolicy pol = m.tree.at(m.ws).policy;
+  pol.weight = 2.0;  // now 2:2
+  m.tree.stage({{m.ws, pol}});
+  m.tree.commit_class(m.ws, kT0);
+  // S2 never ran update_class, yet its θ reflects the committed weights:
+  // the commit sweep re-derives θ tree-wide (top-down — S1 itself refreshes
+  // to the full 10G with NC idle) so idle siblings cannot keep scheduling
+  // against the old split forever. 2:2 split of S1's refreshed 10G → 5G.
+  EXPECT_NEAR(m.tree.at(m.s2).theta.gbps(), 5.0, 0.05);
+  // And stale lendable can never exceed the freshly shrunk θ.
+  EXPECT_LE(m.tree.at(m.s2).lendable.bps(), m.tree.at(m.s2).theta.bps() + 1);
+}
+
 TEST(SchedTreeReconfigure, GuaranteeCanBeAddedAtRuntime) {
   MotivationTree m;
   m.tree.at(m.s1).theta = Rate::gigabits_per_sec(9);

@@ -36,6 +36,12 @@ void expect_identical(const CheckReport& a, const CheckReport& b) {
   EXPECT_EQ(a.faults_recovered, b.faults_recovered);
   EXPECT_EQ(a.packets_lost_to_faults, b.packets_lost_to_faults);
   EXPECT_EQ(a.worst_recovery, b.worst_recovery);
+  // Control-plane reconfiguration counters: live swaps (and their rollbacks)
+  // must replay exactly, or a failing --reconfig seed is not a repro.
+  EXPECT_EQ(a.reconfigs_applied, b.reconfigs_applied);
+  EXPECT_EQ(a.reconfigs_committed, b.reconfigs_committed);
+  EXPECT_EQ(a.reconfigs_rolled_back, b.reconfigs_rolled_back);
+  EXPECT_EQ(a.mixed_epoch_packets, b.mixed_epoch_packets);
 }
 
 TEST(Determinism, SameSeedSameStats) {
@@ -120,6 +126,34 @@ TEST(Determinism, ChaosRunIsDeterministic) {
     expect_identical(a, b);
     EXPECT_TRUE(a.ok()) << a.summary();
     EXPECT_GT(a.faults_injected, 0u);
+  }
+}
+
+TEST(Determinism, ReconfigRunIsDeterministic) {
+  // Seed-derived live policy updates (and the seed-picked control-plane
+  // fault riding along) replay bit-identically.
+  RunOptions opts;
+  opts.reconfig_updates = 3;
+  for (std::uint64_t seed : {3ull, 5ull}) {
+    const CheckReport a = run_seed(seed, opts);
+    const CheckReport b = run_seed(seed, opts);
+    expect_identical(a, b);
+    EXPECT_TRUE(a.ok()) << a.summary();
+    EXPECT_GT(a.reconfigs_applied, 0u);
+  }
+}
+
+TEST(Determinism, ChaosWithReconfigIsDeterministic) {
+  RunOptions opts;
+  opts.chaos = true;
+  opts.reconfig_updates = 2;
+  for (std::uint64_t seed : {8ull, 10ull}) {
+    const CheckReport a = run_seed(seed, opts);
+    const CheckReport b = run_seed(seed, opts);
+    expect_identical(a, b);
+    EXPECT_TRUE(a.ok()) << a.summary();
+    EXPECT_GT(a.faults_injected, 0u);
+    EXPECT_GT(a.reconfigs_applied, 0u);
   }
 }
 

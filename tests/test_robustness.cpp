@@ -3,8 +3,14 @@
 // and mid-run policy stress.
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "ctrl/reconfig_manager.h"
 #include "exp/scenarios.h"
 #include "host/probes.h"
+#include "obs/reconfig_tracker.h"
 #include "np/flowvalve_processor.h"
 #include "np/nic_pipeline.h"
 #include "sim/simulator.h"
@@ -170,6 +176,130 @@ TEST(Robustness, OverloadAccountingConsistent) {
   EXPECT_EQ(st.submitted, st.vf_ring_drops + st.scheduler_drops + st.tx_ring_drops +
                               st.forwarded_to_wire);
   EXPECT_EQ(pipeline.in_flight(), 0u);
+}
+
+// Live policy reconfiguration under load, with a worker stall injected in
+// the middle of the swap: the staged rollout must still commit and the
+// delivered shares must converge to the NEW weights — not the old ones and
+// not some torn mixture (DESIGN.md §11 degradation guarantees).
+TEST(Robustness, LiveSwapUnderFaultConvergesToNewShares) {
+  sim::Simulator sim;
+  np::NpConfig nic = np::agilio_cx_40g();
+  nic.num_workers = 8;
+  nic.wire_rate = Rate::gigabits_per_sec(10);
+  core::FlowValveEngine engine(np::engine_options_for(nic));
+  ASSERT_EQ(engine.configure(
+                "fv qdisc add dev nic0 root handle 1: htb rate 10gbit\n"
+                "fv class add dev nic0 parent 1: classid 1:10 name gold weight 1\n"
+                "fv class add dev nic0 parent 1: classid 1:11 name silver weight 1\n"
+                "fv filter add dev nic0 pref 1 vf 0 classid 1:10\n"
+                "fv filter add dev nic0 pref 2 vf 1 classid 1:11\n"),
+            "");
+  np::FlowValveProcessor proc(engine);
+  np::NicPipeline pipeline(sim, nic, proc);
+  traffic::IdAllocator ids;
+  traffic::FlowRouter router(pipeline);
+  stats::ThroughputSeries gold_s(sim::milliseconds(100));
+  stats::ThroughputSeries silver_s(sim::milliseconds(100));
+  router.track_app(0, &gold_s);
+  router.track_app(1, &silver_s);
+
+  obs::ReconfigTracker tracker;
+  ctrl::ReconfigManager mgr(sim, pipeline, engine, &tracker);
+
+  sim::Rng rng(21);
+  std::vector<std::unique_ptr<traffic::CbrFlow>> flows;
+  for (unsigned i = 0; i < 2; ++i) {
+    traffic::FlowSpec fs;
+    fs.flow_id = ids.next_flow_id();
+    fs.app_id = i;
+    fs.vf_port = static_cast<std::uint16_t>(i);
+    fs.wire_bytes = 1500;
+    flows.push_back(std::make_unique<traffic::CbrFlow>(
+        sim, router, ids, fs, Rate::gigabits_per_sec(8), rng.split(i), 0.05));
+  }
+  for (auto& f : flows) f->start();
+
+  // Mid-run swap to a 3:1 split, with a worker stalling right as the
+  // rollout's cutover waves are in flight.
+  sim.schedule_at(sim::seconds(3), [&] {
+    ctrl::PolicyDelta d;
+    d.class_name = "gold";
+    d.weight = 3.0;
+    ctrl::PolicyUpdate u;
+    u.deltas.push_back(std::move(d));
+    EXPECT_EQ(mgr.apply(u), "");
+  });
+  sim.schedule_at(sim::seconds(3), [&] {
+    pipeline.fault_stall_worker(0, sim::milliseconds(5));
+  });
+
+  sim.run_until(sim::seconds(6));
+  for (auto& f : flows) f->stop();
+  sim.run_all();
+
+  EXPECT_EQ(mgr.stats().committed, 1u);
+  EXPECT_EQ(mgr.stats().rolled_back, 0u);
+  // Before the swap (1..3 s): even split of the 10G link.
+  EXPECT_NEAR(gold_s.mean_rate(10, 30).gbps(), 5.0, 0.8);
+  EXPECT_NEAR(silver_s.mean_rate(10, 30).gbps(), 5.0, 0.8);
+  // After the swap settles (4..6 s): the NEW 3:1 split.
+  EXPECT_NEAR(gold_s.mean_rate(40, 60).gbps(), 7.5, 0.8);
+  EXPECT_NEAR(silver_s.mean_rate(40, 60).gbps(), 2.5, 0.8);
+}
+
+// The same live swap is bit-reproducible: two runs with identical seed and
+// schedule produce identical wire traces and reconfiguration timelines.
+TEST(Robustness, LiveSwapIsDeterministic) {
+  auto run = [] {
+    sim::Simulator sim;
+    np::NpConfig nic = np::agilio_cx_40g();
+    nic.num_workers = 8;
+    nic.wire_rate = Rate::gigabits_per_sec(10);
+    core::FlowValveEngine engine(np::engine_options_for(nic));
+    EXPECT_EQ(engine.configure(
+                  "fv qdisc add dev nic0 root handle 1: htb rate 10gbit\n"
+                  "fv class add dev nic0 parent 1: classid 1:10 name gold weight 1\n"
+                  "fv class add dev nic0 parent 1: classid 1:11 name silver weight 1\n"
+                  "fv filter add dev nic0 pref 1 vf 0 classid 1:10\n"
+                  "fv filter add dev nic0 pref 2 vf 1 classid 1:11\n"),
+              "");
+    np::FlowValveProcessor proc(engine);
+    np::NicPipeline pipeline(sim, nic, proc);
+    traffic::IdAllocator ids;
+    traffic::FlowRouter router(pipeline);
+    obs::ReconfigTracker tracker;
+    ctrl::ReconfigManager mgr(sim, pipeline, engine, &tracker);
+    sim::Rng rng(33);
+    std::vector<std::unique_ptr<traffic::CbrFlow>> flows;
+    for (unsigned i = 0; i < 2; ++i) {
+      traffic::FlowSpec fs;
+      fs.flow_id = ids.next_flow_id();
+      fs.app_id = i;
+      fs.vf_port = static_cast<std::uint16_t>(i);
+      fs.wire_bytes = 1500;
+      flows.push_back(std::make_unique<traffic::CbrFlow>(
+          sim, router, ids, fs, Rate::gigabits_per_sec(8), rng.split(i), 0.05));
+    }
+    for (auto& f : flows) f->start();
+    sim.schedule_at(sim::milliseconds(500), [&] {
+      ctrl::PolicyDelta d;
+      d.class_name = "silver";
+      d.weight = 2.0;
+      ctrl::PolicyUpdate u;
+      u.deltas.push_back(std::move(d));
+      mgr.apply(u);
+    });
+    sim.run_until(sim::seconds(1));
+    for (auto& f : flows) f->stop();
+    sim.run_all();
+    const auto& r = tracker.records();
+    return std::make_tuple(pipeline.stats().forwarded_to_wire,
+                           pipeline.stats().wire_bytes, sim.events_executed(),
+                           r.empty() ? sim::SimTime(-2) : r[0].committed_at,
+                           mgr.stats().mixed_epoch_packets);
+  };
+  EXPECT_EQ(run(), run());
 }
 
 // Determinism under churn: the full robustness scenario is reproducible.
