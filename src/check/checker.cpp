@@ -100,7 +100,11 @@ void CheckHarness::on_submit(const net::Packet& pkt, sim::SimTime now) {
 void CheckHarness::on_dispatch(const net::Packet& pkt, unsigned worker,
                                std::uint64_t seq, sim::SimTime now,
                                sim::SimDuration busy) {
-  observe_clock(now);
+  // `now` is the packet's logical start within its worker's burst window —
+  // for the 2nd..Nth packet of a burst it runs AHEAD of the simulator
+  // clock by design (the slices tile the busy interval). The kernel-
+  // ordering probe must watch the real clock, not the logical one.
+  observe_clock(sim_.now());
   for (auto& c : checkers_) c->on_dispatch(pkt, worker, seq, now, busy);
 }
 

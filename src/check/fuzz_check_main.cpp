@@ -38,6 +38,9 @@ void usage() {
       "                      check epoch confinement + swap conservation\n"
       "  --expect-violations exit 0 iff at least one seed reports violations\n"
       "  --horizon-ms M      override scenario horizon\n"
+      "  --batch N           force NpConfig::batch_size for every run\n"
+      "                      (1 = legacy per-packet path; 0 = scenario's own\n"
+      "                      seed-derived burst size, the default)\n"
       "  --scheduler K       event queue backend: wheel (default) | heap\n"
       "  -v, --verbose       print the full scenario for every seed\n");
 }
@@ -94,6 +97,8 @@ int main(int argc, char** argv) {
     } else if (!std::strcmp(arg, "--horizon-ms")) {
       opts.horizon_override = sim::milliseconds(
           static_cast<std::int64_t>(parse_u64(value())));
+    } else if (!std::strcmp(arg, "--batch")) {
+      opts.batch_size = static_cast<unsigned>(parse_u64(value()));
     } else if (!std::strcmp(arg, "--scheduler")) {
       const char* k = value();
       if (!std::strcmp(k, "heap")) {
@@ -164,6 +169,8 @@ int main(int argc, char** argv) {
         if (opts.reconfig_updates > 0)
           reconfig_flag =
               " --reconfig " + std::to_string(opts.reconfig_updates);
+        if (opts.batch_size > 0)
+          reconfig_flag += " --batch " + std::to_string(opts.batch_size);
         std::printf("  repro: fuzz_check --seed 0x%llx%s%s%s%s -v\n",
                     static_cast<unsigned long long>(s),
                     opts.differential ? " --differential" : "",

@@ -177,6 +177,14 @@ std::vector<sim::SimTime> plan_reconfig(const FuzzScenario& sc,
 }  // namespace
 
 CheckReport run_scenario(const FuzzScenario& sc, const RunOptions& opts) {
+  if (opts.batch_size > 0 && opts.batch_size != sc.nic.batch_size) {
+    FuzzScenario forced = sc;
+    forced.nic.batch_size = opts.batch_size;
+    RunOptions inner = opts;
+    inner.batch_size = 0;
+    return run_scenario(forced, inner);
+  }
+
   CheckReport report;
   report.seed = sc.seed;
   report.differential = opts.differential;

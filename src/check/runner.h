@@ -44,6 +44,11 @@ struct RunOptions {
   /// seed, so a seed reproduces its full reconfiguration history. The
   /// epoch-confinement and swap-conservation checkers ride along.
   unsigned reconfig_updates = 0;
+  /// If > 0, overrides the scenario's NpConfig::batch_size — the knob the
+  /// batched-vs-unbatched differential oracle turns: the same seed run at
+  /// batch_size 1 (legacy per-packet path) and 32 must agree on every
+  /// invariant and on its delivery/drop accounting.
+  unsigned batch_size = 0;
   /// Event-queue backend for the run. The wheel is the production default;
   /// kHeap pins the reference implementation so fuzz findings can be
   /// reproduced (and the two backends differentially compared) under every

@@ -172,4 +172,14 @@ Classifier::Result Classifier::classify(const net::Packet& pkt, std::uint64_t no
   return r;
 }
 
+Classifier::Result Classifier::classify_repeat(const Result& first) {
+  assert(repeat_would_hit(first));
+  cache_.count_repeat_hit();
+  Result r;
+  r.label = first.label;
+  r.cycles = costs_.cache_hit_cycles;
+  r.cache_hit = true;
+  return r;
+}
+
 }  // namespace flowvalve::core

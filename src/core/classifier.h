@@ -103,6 +103,12 @@ class ExactMatchFlowCache {
   /// evicted or flushed. Returns the number of entries poisoned.
   std::size_t poison(std::size_t stride, ClassLabelId label_count);
 
+  /// Account a repeat hit the batched data path elided: within one worker
+  /// burst, the second and later packets of a flow would each have hit the
+  /// entry the first lookup touched (or just inserted), so the amortized
+  /// path charges hit cycles and books the hit here without re-probing.
+  void count_repeat_hit() { ++stats_.hits; }
+
   const Stats& stats() const { return stats_; }
   std::size_t capacity() const { return ways_.size(); }
 
@@ -153,6 +159,23 @@ class Classifier {
   /// Classify a packet; `now_tick` is any monotonically increasing counter
   /// (we pass virtual time) used for cache aging.
   Result classify(const net::Packet& pkt, std::uint64_t now_tick);
+
+  /// Amortized classification for the 2nd..Nth same-flow packet of one
+  /// worker burst, given the burst-first packet's `first` result at the
+  /// same tick. Produces exactly what classify() would: the entry is
+  /// guaranteed resident (the first lookup hit it, or the miss path just
+  /// inserted it) with last_used == now_tick and the current label epoch,
+  /// so a real probe would hit at cache_hit_cycles with no entry mutation.
+  /// Callers must guard with repeat_would_hit() — when it is false (cache
+  /// disabled, or an unclassified first result was never inserted) the
+  /// repeat must re-run classify().
+  Result classify_repeat(const Result& first);
+  bool repeat_would_hit(const Result& first) const {
+    return cache_enabled_ &&
+           (first.cache_hit || first.label != net::kUnclassified);
+  }
+
+  bool cache_enabled() const { return cache_enabled_; }
 
   const ExactMatchFlowCache& cache() const { return cache_; }
   /// Mutable cache access for fault injection (poison / eviction storms).

@@ -37,4 +37,75 @@ FlowValveEngine::Result FlowValveEngine::process(net::Packet& pkt, sim::SimTime 
   return r;
 }
 
+void FlowValveEngine::process_batch(BatchEntry* entries, std::size_t n,
+                                    sim::SimTime now) {
+  assert(ready() && "configure() the engine first");
+  Classifier& cls = frontend_.classifier();
+  batch_groups_.clear();
+
+  // Scheduler-replay window: the decision taken for the immediately
+  // preceding entry, valid only while the run of same-flow packets is
+  // unbroken (an interleaved flow's borrow walk could refill buckets the
+  // replay assumes unchanged).
+  bool prev_scheduled = false;
+  SchedDecision prev_d;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    net::Packet& pkt = *entries[i].pkt;
+    Result r;
+
+    FlowGroup* group = nullptr;
+    for (FlowGroup& g : batch_groups_) {
+      if (g.vf == pkt.vf_port && g.tuple == pkt.tuple) {
+        group = &g;
+        break;
+      }
+    }
+    Classifier::Result c;
+    if (group != nullptr && cls.repeat_would_hit(group->first) &&
+        cls.cache().stats().insertions == group->insertions_after) {
+      c = cls.classify_repeat(group->first);
+    } else {
+      c = cls.classify(pkt, static_cast<std::uint64_t>(now));
+      if (group != nullptr) {
+        group->first = c;
+        group->insertions_after = cls.cache().stats().insertions;
+      } else {
+        batch_groups_.push_back(
+            {pkt.vf_port, pkt.tuple, c, cls.cache().stats().insertions});
+      }
+    }
+    r.cycles += c.cycles;
+    r.cache_hit = c.cache_hit;
+    pkt.label = c.label;
+
+    if (pkt.label == net::kUnclassified) {
+      r.verdict = Verdict::kDrop;
+      entries[i].result = r;
+      if (process_observer_) process_observer_(pkt, r, now);
+      prev_scheduled = false;
+      continue;
+    }
+
+    SchedDecision d;
+    const bool same_flow_as_prev =
+        i > 0 && entries[i - 1].pkt->vf_port == pkt.vf_port &&
+        entries[i - 1].pkt->tuple == pkt.tuple;
+    if (prev_scheduled && same_flow_as_prev &&
+        sched_->repeat_applicable(*entries[i - 1].pkt, pkt, prev_d)) {
+      d = sched_->repeat_tail_drop(pkt, now, prev_d);
+    } else {
+      d = sched_->schedule(pkt, now);
+    }
+    prev_scheduled = true;
+    prev_d = d;
+
+    r.cycles += d.cycles;
+    r.verdict = d.verdict;
+    r.borrowed = d.borrowed;
+    entries[i].result = r;
+    if (process_observer_) process_observer_(pkt, r, now);
+  }
+}
+
 }  // namespace flowvalve::core

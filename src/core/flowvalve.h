@@ -10,6 +10,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "core/frontend.h"
 #include "core/scheduling_function.h"
@@ -40,6 +41,27 @@ class FlowValveEngine {
   };
   Result process(net::Packet& pkt, sim::SimTime now);
 
+  /// One packet of a worker burst handed to process_batch.
+  struct BatchEntry {
+    net::Packet* pkt = nullptr;
+    Result result;
+  };
+
+  /// Process a worker burst at one instant, in order, filling each entry's
+  /// result. Produces exactly what per-packet process() calls would (the
+  /// batch-1 differential oracle holds it to that) while amortizing the
+  /// per-flow work real NP firmware amortizes across a burst:
+  ///  - EMC lookups: the 2nd..Nth packet of a flow replays the flow's first
+  ///    classification (a guaranteed same-tick cache hit) instead of
+  ///    re-probing — valid only while no intervening classification
+  ///    inserted into the cache, since an insert could evict the entry.
+  ///  - Tail drops: a packet whose burst-predecessor (same flow, adjacent
+  ///    in pull order) took a pure borrow-free tail drop replays that
+  ///    decision instead of re-walking the tree (SchedulingFunction
+  ///    documents why that is a pure replay).
+  /// The process observer fires once per entry, exactly as per-packet.
+  void process_batch(BatchEntry* entries, std::size_t n, sim::SimTime now);
+
   /// Passive tap fired after every process() call with the labeled packet
   /// and the decision taken — src/check hangs its scheduler-conformance
   /// checkers here. Empty (and free) by default.
@@ -59,10 +81,22 @@ class FlowValveEngine {
   bool ready() const { return sched_ != nullptr; }
 
  private:
+  /// Per-burst flow-group scratch (the engine is single-threaded): the
+  /// flow's first classification this burst, and the cache insertion count
+  /// right after it — a changed count means a later miss inserted and the
+  /// replay guarantee is void.
+  struct FlowGroup {
+    std::uint16_t vf = 0;
+    net::FiveTuple tuple;
+    Classifier::Result first;
+    std::uint64_t insertions_after = 0;
+  };
+
   Options options_;
   FvFrontend frontend_;
   std::unique_ptr<SchedulingFunction> sched_;  // created once configured
   ProcessObserver process_observer_;
+  std::vector<FlowGroup> batch_groups_;  // scratch, cleared per burst
 };
 
 }  // namespace flowvalve::core

@@ -19,6 +19,7 @@ std::uint32_t SchedulingFunction::maybe_update(ClassId id, sim::SimTime now,
                             pkt_epoch >= tree_.staged_epoch();
   if (!wants_commit && now - c.last_update < tree_.params().update_interval) return cycles;
   cycles += costs_.lock_attempt_cycles;
+  ++d.lock_attempts;
   if (c.update_lock.try_acquire(now, costs_.lock_hold_ns)) {
     if (wants_commit) {
       // A packet from a cut-over worker pulls the staged policy in under the
@@ -97,6 +98,26 @@ SchedDecision SchedulingFunction::schedule(net::Packet& pkt, sim::SimTime now) {
   leaf_cls.drop_bytes += pkt.wire_bytes;
   ++stats_.dropped;
   return d;
+}
+
+SchedDecision SchedulingFunction::repeat_tail_drop(net::Packet& pkt,
+                                                   sim::SimTime now,
+                                                   const SchedDecision& prev) {
+  assert(pkt.label != net::kUnclassified && "packet must be labeled first");
+  assert(prev.verdict == Verdict::kDrop && !prev.borrowed &&
+         prev.updates_run == 0 && !tree_.rollout_active());
+  (void)now;
+  const QosLabel& label = labels_.get(pkt.label);
+  const ClassId leaf = label.path.back();
+  // With updates_run == 0 every lock attempt the predecessor made was a
+  // failure, and a lock held past `now` fails identically for this packet's
+  // same-instant attempts — re-book them without touching the locks.
+  stats_.lock_failures += prev.lock_attempts;
+  SchedClass& leaf_cls = tree_.at(leaf);
+  ++leaf_cls.drop_packets;
+  leaf_cls.drop_bytes += pkt.wire_bytes;
+  ++stats_.dropped;
+  return prev;
 }
 
 }  // namespace flowvalve::core

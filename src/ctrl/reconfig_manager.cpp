@@ -126,8 +126,8 @@ void ReconfigManager::begin_rollout(ValidatedUpdate&& v, const std::string& kind
   stall_timer_ = sim_.schedule_after(opts_.stall_timeout, [this] { on_stall_timeout(); });
 }
 
-np::ControlHook::Cutover ReconfigManager::on_packet_boundary(unsigned worker,
-                                                             sim::SimTime now) {
+np::ControlHook::Cutover ReconfigManager::on_packet_boundary(
+    unsigned worker, sim::SimTime now, unsigned packets) {
   if (state_ != State::kRollout) return {epoch_, 0};
   const unsigned n = static_cast<unsigned>(cut_.size());
   if (worker < n && cut_[worker]) {
@@ -140,22 +140,25 @@ np::ControlHook::Cutover ReconfigManager::on_packet_boundary(unsigned worker,
     return {target_, 0};
   }
   if (worker < n && !stale_[worker] && cut_count_ < eligible_limit_) {
-    // Safe per-packet boundary cutover: the worker switches its epoch
-    // register before this packet's run-to-completion interval.
+    // Safe burst-boundary cutover: the worker switches its epoch register
+    // before this burst's run-to-completion interval, so every packet of
+    // the burst schedules against the same (new) epoch — a cutover can
+    // never land mid-burst.
     cut_[worker] = true;
     ++cut_count_;
     ++open_.cutover_workers;
     if (cut_count_ == n) finish_rollout(now);
     // Stamp AFTER a possible finish_rollout: a torn-update detected there
-    // rolls back synchronously, and this packet must then carry the
+    // rolls back synchronously, and this burst must then carry the
     // restored epoch, not the vanished target (worker_epoch resolves both
     // cases, including a queued update starting a fresh rollout).
     return {worker_epoch(worker), opts_.cutover_cycles};
   }
-  // Not yet eligible (wave gating) or stale-faulted: the packet is
-  // scheduled against the old epoch — the bounded mixed-epoch window.
-  ++open_.mixed_epoch_packets;
-  ++stats_.mixed_epoch_packets;
+  // Not yet eligible (wave gating) or stale-faulted: every packet of the
+  // burst is scheduled against the old epoch — the bounded mixed-epoch
+  // window, still counted per packet at any batch size.
+  open_.mixed_epoch_packets += packets;
+  stats_.mixed_epoch_packets += packets;
   return {epoch_, 0};
 }
 

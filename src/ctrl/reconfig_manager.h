@@ -139,7 +139,8 @@ class ReconfigManager final : public np::ControlHook {
   };
   const Stats& stats() const { return stats_; }
 
-  Cutover on_packet_boundary(unsigned worker, sim::SimTime now) override;
+  Cutover on_packet_boundary(unsigned worker, sim::SimTime now,
+                             unsigned packets) override;
 
  private:
   unsigned wave() const;

@@ -72,6 +72,10 @@ struct Packet {
 
   SimTime created_at = 0;      // handed to the host NIC driver
   SimTime nic_arrival = 0;     // pulled by a micro-engine / qdisc enqueue
+  SimTime dispatched_at = -1;  // start of the worker's run-to-completion
+                               // interval; -1 until dispatched. A watchdog
+                               // retry overwrites it (last dispatch wins).
+  sim::SimDuration service_busy = 0;  // busy interval of that dispatch
   SimTime tx_enqueue = 0;      // accepted into the Tx FIFO
   SimTime wire_tx_done = 0;    // last bit on the wire
   SimTime delivered_at = 0;    // observed at the receiver (incl. pipeline constants)

@@ -43,20 +43,26 @@ NicPipeline::NicPipeline(sim::Simulator& sim, NpConfig config, PacketProcessor& 
     vf_index_mask_ = config_.num_vfs - 1;
   tx_ring_.reset_capacity(config_.tx_ring_capacity);
   // Window span: the capacity cap bounds buffered completions, and every
-  // other live sequence sits on a busy worker or in the retry queue (at
-  // most a few slots per worker across watchdog rounds). The margin keeps
-  // steady-state wrap-arounds off the grow path.
+  // other live sequence sits on a busy worker's burst or in the retry queue
+  // (at most a few burst-loads per worker across watchdog rounds). The
+  // margin keeps steady-state wrap-arounds off the grow path; at
+  // batch_size 1 this reduces to the legacy derivation exactly.
   {
     std::size_t window = 1;
-    const std::size_t need =
-        config_.reorder_capacity + 4 * config_.num_workers + 64;
+    const std::size_t need = config_.reorder_capacity +
+                             4 * config_.num_workers * config_.batch_size + 64;
     while (window < need) window <<= 1;
     reorder_ring_.resize(window);
     reorder_mask_ = window - 1;
   }
   workers_.resize(config_.num_workers);
   idle_workers_.reserve(config_.num_workers);
-  for (unsigned w = 0; w < config_.num_workers; ++w) idle_workers_.push_back(w);
+  for (unsigned w = 0; w < config_.num_workers; ++w) {
+    workers_[w].burst.reserve(config_.batch_size);
+    idle_workers_.push_back(w);
+  }
+  burst_scratch_.reserve(config_.batch_size);
+  slot_scratch_.reserve(config_.batch_size);
 
   // Resolve the recovery policy: 0 = derive from the cycle model, < 0 =
   // disabled. The auto watchdog budget is far above any legitimate
@@ -135,94 +141,134 @@ bool NicPipeline::submit(net::Packet pkt) {
 }
 
 void NicPipeline::try_dispatch() {
-  // The load balancer hands waiting packets to idle workers. Watchdog-
-  // salvaged packets go first (their ingress slot is the oldest), then VF
-  // rings are polled round-robin so no port starves.
-  while (!idle_workers_.empty()) {
-    if (!retry_queue_.empty()) {
-      RetryEntry e = std::move(retry_queue_.front());
-      retry_queue_.pop_front();
-      const unsigned worker = idle_workers_.back();
-      idle_workers_.pop_back();
-      // Re-execution skips the processor: labeling + scheduling state lives
-      // in shared memory and survived the aborted micro-engine, so the first
-      // verdict (and its meter debits) stands; only the base packet-handling
-      // work is repeated.
-      std::uint64_t cycles = config_.base_rx_cycles;
-      if (e.forward) cycles += config_.base_tx_cycles;
-      stats_.processing_cycles += cycles;
-      ++stats_.processed;
-      dispatch_to(worker, std::move(e.pkt), e.seq, config_.cycles_to_ns(cycles),
-                  e.forward, e.retries);
-      continue;
-    }
-
-    if (vf_waiting_ == 0) return;  // all rings empty; skip the scan
-    net::Packet* next = nullptr;
-    unsigned scanned = 0;
-    while (scanned < config_.num_vfs) {
-      auto& ring = vf_rings_[rr_vf_];
-      if (!ring.empty()) {
-        next = &ring.front();
-        break;
-      }
-      if (++rr_vf_ >= config_.num_vfs) rr_vf_ = 0;
-      ++scanned;
-    }
-    assert(next != nullptr && "vf_waiting_ > 0 but every ring is empty");
-    if (next == nullptr) return;
-
+  // The load balancer hands waiting packets to idle workers in bursts of up
+  // to batch_size. Watchdog-salvaged packets go first (their ingress slot is
+  // the oldest), then VF rings are polled round-robin so no port starves.
+  while (!idle_workers_.empty() &&
+         (!retry_queue_.empty() || vf_waiting_ > 0)) {
     const unsigned worker = idle_workers_.back();
     idle_workers_.pop_back();
-    const std::uint64_t ingress_seq = next_ingress_seq_++;
-
-    // Safe per-packet boundary: the control plane stamps the policy epoch
-    // this worker schedules against and may charge cutover cycles here,
-    // before the run-to-completion interval starts.
-    std::uint32_t ctrl_cycles = 0;
-    if (control_hook_) {
-      const ControlHook::Cutover cut =
-          control_hook_->on_packet_boundary(worker, sim_.now());
-      next->policy_epoch = cut.epoch;
-      ctrl_cycles = cut.extra_cycles;
-    }
-
-    // Run-to-completion: base Rx work + processor + base Tx work. The
-    // processor runs "at" dispatch time; its cycle cost extends the busy
-    // interval. Cycles for dropped packets omit the Tx copy. The packet is
-    // processed in its ring slot and moved straight into the worker context
-    // (one copy, not two); nothing below re-enters the VF rings before the
-    // deferred pop.
-    PacketProcessor::Outcome out = processor_.process(*next, sim_.now());
-    std::uint64_t cycles = config_.base_rx_cycles + ctrl_cycles + out.cycles;
-    if (out.forward) cycles += config_.base_tx_cycles;
-    stats_.processing_cycles += cycles;
-    ++stats_.processed;
-    dispatch_to(worker, std::move(*next), ingress_seq,
-                config_.cycles_to_ns(cycles), out.forward, 0);
-    vf_rings_[rr_vf_].pop_front();
-    --vf_waiting_;
-    if (++rr_vf_ >= config_.num_vfs) rr_vf_ = 0;
+    dispatch_burst(worker);
   }
 }
 
-void NicPipeline::dispatch_to(unsigned worker, net::Packet&& pkt,
-                              std::uint64_t seq, sim::SimDuration busy,
-                              bool forward, unsigned retries) {
+void NicPipeline::dispatch_burst(unsigned worker) {
   WorkerCtx& ctx = workers_[worker];
   const sim::SimTime now = sim_.now();
+  assert(ctx.burst.empty());
+
+  // Pull phase 1 — watchdog retries. Re-execution skips the processor:
+  // labeling + scheduling state lives in shared memory and survived the
+  // aborted micro-engine, so the first verdict (and its meter debits)
+  // stands; only the base packet-handling work is repeated.
+  while (ctx.burst.size() < config_.batch_size && !retry_queue_.empty()) {
+    RetryEntry e = std::move(retry_queue_.front());
+    retry_queue_.pop_front();
+    std::uint64_t cycles = config_.base_rx_cycles;
+    if (e.forward) cycles += config_.base_tx_cycles;
+    stats_.processing_cycles += cycles;
+    ++stats_.processed;
+    BurstItem item;
+    item.pkt = std::move(e.pkt);
+    item.seq = e.seq;
+    item.busy = config_.cycles_to_ns(cycles);
+    item.forward = e.forward;
+    item.retries = e.retries;
+    ctx.burst.push_back(std::move(item));
+  }
+
+  // Pull phase 2 — fresh packets, round-robin over the VF rings in the
+  // exact legacy order (scan from rr_vf_ for the first non-empty ring, take
+  // its front, advance the pointer once, repeat).
+  const std::size_t fresh = std::min<std::size_t>(
+      config_.batch_size - ctx.burst.size(), vf_waiting_);
+  const std::size_t first_fresh = ctx.burst.size();
+
+  // Safe burst boundary: the control plane stamps the policy epoch every
+  // fresh packet of this burst schedules against and may charge cutover
+  // cycles here, before the run-to-completion interval starts. A cutover
+  // can only land here — never mid-burst. Retries keep their original
+  // epoch, and all-retry bursts skip the hook entirely.
+  std::uint32_t ctrl_cycles = 0;
+  std::uint32_t ctrl_epoch = 0;
+  const bool stamp_epoch = control_hook_ != nullptr && fresh > 0;
+  if (stamp_epoch) {
+    const ControlHook::Cutover cut = control_hook_->on_packet_boundary(
+        worker, now, static_cast<unsigned>(fresh));
+    ctrl_epoch = cut.epoch;
+    ctrl_cycles = cut.extra_cycles;
+  }
+
+  for (std::size_t i = 0; i < fresh; ++i) {
+    while (vf_rings_[rr_vf_].empty()) {
+      if (++rr_vf_ >= config_.num_vfs) rr_vf_ = 0;
+    }
+    auto& ring = vf_rings_[rr_vf_];
+    BurstItem item;
+    item.pkt = std::move(ring.front());
+    item.seq = next_ingress_seq_++;
+    if (stamp_epoch) item.pkt.policy_epoch = ctrl_epoch;
+    ring.pop_front();
+    --vf_waiting_;
+    if (++rr_vf_ >= config_.num_vfs) rr_vf_ = 0;
+    ctx.burst.push_back(std::move(item));
+  }
+  if (ctx.burst.empty()) {  // raced empty; return the micro-engine
+    idle_workers_.push_back(worker);
+    return;
+  }
+
+  // Run-to-completion over the fresh slice: base Rx work + processor + base
+  // Tx work per packet, all "at" the dispatch instant. The processor's batch
+  // hook amortizes flow-cache lookups across same-flow packets but must
+  // produce exactly what per-packet calls would (the batch-1 differential
+  // oracle holds it to that). Cutover cycles are charged to the first fresh
+  // packet; cycles for dropped packets omit the Tx copy.
+  if (fresh > 0) {
+    slot_scratch_.clear();
+    for (std::size_t i = first_fresh; i < ctx.burst.size(); ++i)
+      slot_scratch_.push_back({&ctx.burst[i].pkt, {}});
+    processor_.process_batch(slot_scratch_.data(), fresh, now);
+    for (std::size_t i = 0; i < fresh; ++i) {
+      const PacketProcessor::Outcome& out = slot_scratch_[i].out;
+      std::uint64_t cycles = config_.base_rx_cycles + out.cycles;
+      if (i == 0) cycles += ctrl_cycles;
+      if (out.forward) cycles += config_.base_tx_cycles;
+      stats_.processing_cycles += cycles;
+      ++stats_.processed;
+      BurstItem& item = ctx.burst[first_fresh + i];
+      item.busy = config_.cycles_to_ns(cycles);
+      item.forward = out.forward;
+    }
+  }
+
+  // Observers see one dispatch per packet at staggered logical instants
+  // tiling the busy window back-to-back, so per-packet latency
+  // decomposition and worker exclusivity stay exact at any batch size. The
+  // dispatch instant and busy interval are then stamped on the packet like
+  // every other stage timestamp — observers read them at delivery instead
+  // of keeping a per-packet side table. Observe-then-stamp order lets an
+  // observer tell a fresh dispatch (dispatched_at still -1) from a
+  // watchdog retry.
+  sim::SimDuration total_busy = 0;
+  {
+    sim::SimTime t = now;
+    for (BurstItem& item : ctx.burst) {
+      if (observer_) observer_->on_dispatch(item.pkt, worker, item.seq, t, item.busy);
+      item.pkt.dispatched_at = t;
+      item.pkt.service_busy = item.busy;
+      t += item.busy;
+      total_busy += item.busy;
+    }
+  }
+
   ctx.state = WorkerCtx::State::kBusy;
   ++ctx.epoch;
   ctx.busy_start = now;
-  ctx.busy_end = now + busy;
-  ctx.pkt = std::move(pkt);
-  ctx.seq = seq;
-  ctx.forward = forward;
-  ctx.retries = retries;
-  ctx.doomed = false;
-  if (observer_) observer_->on_dispatch(ctx.pkt, worker, seq, now, busy);
+  ctx.busy_end = now + total_busy;
   ctx.completion = sim_.schedule_after(
-      busy, [this, worker, epoch = ctx.epoch] { on_completion(worker, epoch); });
+      total_busy,
+      [this, worker, epoch = ctx.epoch] { on_completion(worker, epoch); });
   maybe_arm_watchdog();
 }
 
@@ -238,14 +284,23 @@ void NicPipeline::on_completion(unsigned worker, std::uint32_t epoch) {
   // intervals straddled the query instant.
   stats_.worker_busy_ns +=
       static_cast<std::uint64_t>(sim_.now() - ctx.busy_start);
-  net::Packet pkt = std::move(ctx.pkt);  // POD move; stale copy is never read
-  const std::uint64_t seq = ctx.seq;
-  const bool forward = ctx.forward;
-  const bool doomed = ctx.doomed;
-  ctx.doomed = false;
 
-  if (!doomed) {
-    if (forward) {
+  // Swap the burst out of the worker context BEFORE running commit
+  // callbacks: a drop/delivery callback may synchronously submit() and
+  // re-enter try_dispatch, and the worker must look cleanly busy-with-
+  // nothing rather than holding a half-committed burst. Completions never
+  // nest (events serialize), so one scratch vector suffices.
+  assert(burst_scratch_.empty());
+  burst_scratch_.swap(ctx.burst);
+
+  for (BurstItem& item : burst_scratch_) {
+    if (item.doomed) {
+      // Doomed executions already gave their packet up to a timeout flush;
+      // the completion only returns the micro-engine.
+      continue;
+    }
+    net::Packet pkt = std::move(item.pkt);  // POD move; stale copy never read
+    if (item.forward) {
       ++forward_count_;
       if (injected_.leak_commit_every != 0 &&
           forward_count_ % injected_.leak_commit_every == 0) {
@@ -257,20 +312,19 @@ void NicPipeline::on_completion(unsigned worker, std::uint32_t epoch) {
         // Injected bug: jump the reorder queue. The ordering checker must
         // notice; committing the hole keeps the rest of the stream moving.
         tx_admit(std::move(pkt));
-        reorder_commit_gap(seq);
+        reorder_commit_gap(item.seq);
       } else if (config_.enforce_reorder) {
-        reorder_commit(seq, std::move(pkt));
+        reorder_commit(item.seq, std::move(pkt));
       } else {
         worker_finish(worker, std::move(pkt));
       }
     } else {
       --in_flight_;
       drop(pkt, DropReason::kScheduler);
-      if (config_.enforce_reorder) reorder_commit_gap(seq);
+      if (config_.enforce_reorder) reorder_commit_gap(item.seq);
     }
   }
-  // `doomed` executions already gave their packet up to a timeout flush;
-  // the completion only returns the micro-engine.
+  burst_scratch_.clear();
 
   if (ctx.fault_frozen) {
     ctx.state = WorkerCtx::State::kHung;  // still faulty; awaits repair
@@ -432,11 +486,13 @@ void NicPipeline::reorder_timeout_flush() {
   // queue) is dropped NOW, before survivors release, so drops always
   // precede the deliveries that overtake them.
   for (WorkerCtx& ctx : workers_) {
-    if (ctx.state == WorkerCtx::State::kBusy && !ctx.doomed &&
-        ctx.seq >= next_release_seq_ && ctx.seq < head) {
-      ctx.doomed = true;
-      --in_flight_;
-      drop(ctx.pkt, DropReason::kReorderTimeout);
+    if (ctx.state != WorkerCtx::State::kBusy) continue;
+    for (BurstItem& item : ctx.burst) {
+      if (!item.doomed && item.seq >= next_release_seq_ && item.seq < head) {
+        item.doomed = true;
+        --in_flight_;
+        drop(item.pkt, DropReason::kReorderTimeout);
+      }
     }
   }
   for (auto it = retry_queue_.begin(); it != retry_queue_.end();) {
@@ -473,23 +529,58 @@ std::size_t NicPipeline::effective_tx_capacity() const {
 void NicPipeline::arm_tx_drain() {
   if (tx_draining_ || tx_ring_.empty() || wire_factor_ <= 0.0) return;
   tx_draining_ = true;
-  const auto& head = tx_ring_.front();
-  const std::uint32_t occ = head.wire_occupancy_bytes();
-  sim::SimDuration ser;
-  if (wire_factor_ == 1.0 && occ == ser_cache_bytes_) {
-    // Uniform traffic hits this memo every time; the double divide in
-    // serialization_delay is measurable at millions of packets per second.
-    ser = ser_cache_delay_;
-  } else {
-    ser = config_.wire_rate.serialization_delay(occ);
-    if (wire_factor_ < 1.0) {  // injected wire dip: the port drains slower
-      ser = static_cast<sim::SimDuration>(static_cast<double>(ser) / wire_factor_ + 0.5);
+  if (config_.batch_size <= 1) {
+    // Legacy single-frame path: one event per frame, wire_tx_done stamped
+    // at the completion instant. Kept bit-identical as the batch-1 side of
+    // the differential oracle.
+    const auto& head = tx_ring_.front();
+    const std::uint32_t occ = head.wire_occupancy_bytes();
+    sim::SimDuration ser;
+    if (wire_factor_ == 1.0 && occ == ser_cache_bytes_) {
+      // Uniform traffic hits this memo every time; the double divide in
+      // serialization_delay is measurable at millions of packets per second.
+      ser = ser_cache_delay_;
     } else {
-      ser_cache_bytes_ = occ;
-      ser_cache_delay_ = ser;
+      ser = config_.wire_rate.serialization_delay(occ);
+      if (wire_factor_ < 1.0) {  // injected wire dip: the port drains slower
+        ser = static_cast<sim::SimDuration>(static_cast<double>(ser) / wire_factor_ + 0.5);
+      } else {
+        ser_cache_bytes_ = occ;
+        ser_cache_delay_ = ser;
+      }
     }
+    sim_.schedule_after(ser, [this] { tx_drain_complete(); });
+    return;
   }
-  sim_.schedule_after(ser, [this] { tx_drain_complete(); });
+  // Batched traffic manager: serialize up to batch_size queued frames under
+  // ONE event. Each frame's wire_tx_done is computed analytically NOW, at
+  // arm time, with the current wire_factor — a mid-batch wire dip cannot
+  // retroactively corrupt timestamps the wire model already committed to
+  // (the batch in flight finishes at the rate it started at, the same way
+  // the legacy path lets the frame currently serializing finish).
+  const std::size_t frames =
+      std::min<std::size_t>(tx_ring_.size(), config_.batch_size);
+  sim::SimTime t = sim_.now();
+  for (std::size_t i = 0; i < frames; ++i) {
+    net::Packet& pkt = tx_ring_[i];
+    const std::uint32_t occ = pkt.wire_occupancy_bytes();
+    sim::SimDuration ser;
+    if (wire_factor_ == 1.0 && occ == ser_cache_bytes_) {
+      ser = ser_cache_delay_;
+    } else {
+      ser = config_.wire_rate.serialization_delay(occ);
+      if (wire_factor_ < 1.0) {
+        ser = static_cast<sim::SimDuration>(static_cast<double>(ser) / wire_factor_ + 0.5);
+      } else {
+        ser_cache_bytes_ = occ;
+        ser_cache_delay_ = ser;
+      }
+    }
+    t += ser;
+    pkt.wire_tx_done = t;
+  }
+  tx_inflight_frames_ = frames;
+  sim_.schedule_at(t, [this, frames] { tx_drain_batch_complete(frames); });
 }
 
 void NicPipeline::tx_drain_complete() {
@@ -514,6 +605,55 @@ void NicPipeline::tx_drain_complete() {
   });
   tx_ring_.pop_front();
   arm_tx_drain();
+}
+
+void NicPipeline::tx_drain_batch_complete(std::size_t frames) {
+  tx_draining_ = false;
+  tx_inflight_frames_ = 0;
+  // The first `frames` ring entries are exactly the ones stamped at arm
+  // time: drains are the only pops and this event is the only drain in
+  // flight, so nothing overtook them. Account + hand each to the coalesced
+  // delivery queue; every per-packet timestamp was already final.
+  for (std::size_t i = 0; i < frames; ++i) {
+    assert(!tx_ring_.empty());
+    net::Packet& head = tx_ring_.front();
+    --in_flight_;
+    ++stats_.forwarded_to_wire;
+    stats_.wire_bytes += head.wire_bytes;
+    if (observer_) observer_->on_wire_tx(head, sim_.now());
+    head.delivered_at = head.wire_tx_done + config_.fixed_pipeline_delay;
+    delivery_queue_.push_back(std::move(head));
+    tx_ring_.pop_front();
+  }
+  if (!delivery_armed_ && !delivery_queue_.empty()) {
+    // One flush event per drain batch, armed at the queue tail's
+    // delivered_at (delivered_at is monotone along the queue, so the tail
+    // covers everything queued).
+    delivery_armed_ = true;
+    sim_.schedule_at(delivery_queue_.back().delivered_at,
+                     [this] { delivery_flush(); });
+  }
+  arm_tx_drain();
+}
+
+void NicPipeline::delivery_flush() {
+  delivery_armed_ = false;
+  const sim::SimTime now = sim_.now();
+  while (!delivery_queue_.empty() &&
+         delivery_queue_.front().delivered_at <= now) {
+    net::Packet pkt = std::move(delivery_queue_.front());
+    delivery_queue_.pop_front();
+    if (observer_) observer_->on_delivered(pkt, now);
+    deliver(pkt);
+    // deliver() may synchronously submit (closed-loop traffic) and re-arm
+    // the drain, which can re-arm delivery for frames queued behind us —
+    // the loop keeps draining its own prefix either way.
+  }
+  if (!delivery_queue_.empty() && !delivery_armed_) {
+    delivery_armed_ = true;
+    sim_.schedule_at(delivery_queue_.back().delivered_at,
+                     [this] { delivery_flush(); });
+  }
 }
 
 // --- Watchdog / recovery ---------------------------------------------------
@@ -547,8 +687,15 @@ void NicPipeline::watchdog_tick() {
     bool aborted = false;
     for (unsigned w = 0; w < workers_.size(); ++w) {
       WorkerCtx& ctx = workers_[w];
-      if (ctx.state == WorkerCtx::State::kBusy &&
-          sim_.now() - ctx.busy_start >= watchdog_budget_) {
+      if (ctx.state != WorkerCtx::State::kBusy) continue;
+      // The budget bounds ONE packet's service; a burst's legitimate
+      // run-to-completion window is proportionally longer, so the stuck
+      // check scales with the number of packets the worker is holding —
+      // a healthy full burst never trips at any batch size.
+      const sim::SimDuration allowance =
+          watchdog_budget_ *
+          static_cast<sim::SimDuration>(std::max<std::size_t>(1, ctx.burst.size()));
+      if (sim_.now() - ctx.busy_start >= allowance) {
         watchdog_abort(w);
         aborted = true;
       }
@@ -567,23 +714,27 @@ void NicPipeline::watchdog_abort(unsigned worker) {
   ctx.completion.cancel();
   stats_.worker_busy_ns +=
       static_cast<std::uint64_t>(sim_.now() - ctx.busy_start);
-  net::Packet pkt = std::move(ctx.pkt);
-  ctx.pkt = net::Packet{};
-  if (!ctx.doomed) {
-    if (observer_) observer_->on_watchdog(pkt, worker, ctx.seq, sim_.now());
-    if (ctx.retries < config_.recovery.watchdog_max_retries) {
+  // The whole in-flight burst is salvaged: every live packet is requeued
+  // under its original ingress_seq (a salvaged micro-engine context loses
+  // all the frames it was holding, not just one), or dropped once its
+  // retry budget is gone.
+  for (BurstItem& item : ctx.burst) {
+    net::Packet pkt = std::move(item.pkt);
+    if (item.doomed) continue;
+    if (observer_) observer_->on_watchdog(pkt, worker, item.seq, sim_.now());
+    if (item.retries < config_.recovery.watchdog_max_retries) {
       ++stats_.watchdog_requeues;
       retry_queue_.push_back(
-          RetryEntry{std::move(pkt), ctx.seq, ctx.forward, ctx.retries + 1});
+          RetryEntry{std::move(pkt), item.seq, item.forward, item.retries + 1});
     } else {
       // Retry budget exhausted: the packet is declared lost and its
       // sequence slot committed empty so the window moves on.
       --in_flight_;
       drop(pkt, DropReason::kWatchdogAbort);
-      if (config_.enforce_reorder) reorder_commit_gap(ctx.seq);
+      if (config_.enforce_reorder) reorder_commit_gap(item.seq);
     }
   }
-  ctx.doomed = false;
+  ctx.burst.clear();
   if (ctx.fault_frozen) {
     ctx.state = WorkerCtx::State::kHung;  // dead until repair_worker()
   } else {

@@ -41,6 +41,24 @@ class PacketProcessor {
     std::uint32_t cycles = 0;
   };
   virtual Outcome process(net::Packet& pkt, sim::SimTime now) = 0;
+
+  /// One packet of a worker burst handed to process_batch. The pipeline
+  /// fills `pkt`; the processor fills `out`.
+  struct BatchSlot {
+    net::Packet* pkt = nullptr;
+    Outcome out;
+  };
+
+  /// Process a burst of fresh packets pulled by one worker at the same
+  /// instant. The default loops process() per slot, so every processor is
+  /// batch-correct by construction; FlowValveProcessor overrides this to
+  /// amortize EMC flow-cache lookups across same-flow packets. Must fill
+  /// every slot's `out` with exactly what per-packet process() calls at
+  /// `now` would have produced (the batch-1-vs-32 differential oracle in
+  /// tests/test_np_batch_diff.cpp holds implementations to that).
+  virtual void process_batch(BatchSlot* slots, std::size_t n, sim::SimTime now) {
+    for (std::size_t i = 0; i < n; ++i) slots[i].out = process(*slots[i].pkt, now);
+  }
 };
 
 /// Forwards everything at zero extra cost — the "FlowValve disabled" mode
@@ -79,21 +97,26 @@ struct InjectedFaults {
   bool any() const { return leak_commit_every || bypass_reorder_every; }
 };
 
-/// Control-plane hook consulted at each worker's safe per-packet boundary —
-/// the instant an idle worker picks a fresh packet, before its
-/// run-to-completion interval starts. The hook decides which policy epoch
-/// the packet is stamped with and may charge extra micro-engine cycles for
-/// a cutover performed at this boundary (src/ctrl staged rollout). Watchdog
-/// retries are NOT re-stamped: the packet keeps the epoch of its original
-/// dispatch, as a real salvaged context would.
+/// Control-plane hook consulted at each worker's safe burst boundary — the
+/// instant an idle worker pulls fresh packets, before its run-to-completion
+/// interval starts. The hook decides which policy epoch every fresh packet
+/// of the burst is stamped with (a cutover can only land between bursts,
+/// never mid-burst) and may charge extra micro-engine cycles for a cutover
+/// performed at this boundary (src/ctrl staged rollout). `packets` is the
+/// number of fresh packets the boundary covers, so per-packet accounting
+/// (e.g. the mixed-epoch window) stays exact at any batch size. Watchdog
+/// retries are NOT re-stamped: a salvaged packet keeps the epoch of its
+/// original dispatch, as a real salvaged context would, and all-retry
+/// bursts skip the hook entirely.
 class ControlHook {
  public:
   virtual ~ControlHook() = default;
   struct Cutover {
-    std::uint32_t epoch = 0;         // policy epoch to stamp the packet with
-    std::uint32_t extra_cycles = 0;  // cutover work charged to this packet
+    std::uint32_t epoch = 0;         // policy epoch to stamp the burst with
+    std::uint32_t extra_cycles = 0;  // cutover work charged to this burst
   };
-  virtual Cutover on_packet_boundary(unsigned worker, sim::SimTime now) = 0;
+  virtual Cutover on_packet_boundary(unsigned worker, sim::SimTime now,
+                                     unsigned packets) = 0;
 };
 
 /// Passive tap on every pipeline lifecycle event, independent of the
@@ -106,7 +129,11 @@ class PipelineObserver {
   /// Host submitted a packet (before the VF-ring admission check).
   virtual void on_submit(const net::Packet&, sim::SimTime) {}
   /// The load balancer handed the packet to an idle worker; `busy` is the
-  /// run-to-completion interval the worker is occupied for. Fires again
+  /// packet's own slice of the run-to-completion interval. Within a burst
+  /// the hook fires once per packet at staggered logical instants that tile
+  /// the burst's busy window back-to-back (packet i starts where packet
+  /// i-1's slice ends), so per-packet latency decomposition and the
+  /// worker-exclusivity invariant stay exact at any batch size. Fires again
   /// with the same ingress_seq if the watchdog requeues the packet.
   virtual void on_dispatch(const net::Packet&, unsigned /*worker*/,
                            std::uint64_t /*ingress_seq*/, sim::SimTime,
@@ -250,6 +277,18 @@ class NicPipeline final : public net::EgressDevice {
   const InjectedFaults& injected_faults() const { return injected_; }
 
  private:
+  /// One packet of a worker's in-flight burst. `busy` is this packet's own
+  /// slice of the run-to-completion interval; the burst's slices tile the
+  /// worker's busy window back-to-back in pull order.
+  struct BurstItem {
+    net::Packet pkt;
+    std::uint64_t seq = 0;
+    sim::SimDuration busy = 0;
+    bool forward = false;
+    unsigned retries = 0;           // re-executions already consumed
+    bool doomed = false;            // packet already dropped by a flush
+  };
+
   struct WorkerCtx {
     enum class State : std::uint8_t { kIdle, kBusy, kHung };
     State state = State::kIdle;
@@ -257,11 +296,7 @@ class NicPipeline final : public net::EgressDevice {
     sim::SimTime busy_start = 0;    // valid while kBusy
     sim::SimTime busy_end = 0;      // scheduled completion instant
     sim::EventHandle completion;
-    net::Packet pkt;                // valid while kBusy
-    std::uint64_t seq = 0;
-    bool forward = false;
-    unsigned retries = 0;           // re-executions already consumed
-    bool doomed = false;            // packet already dropped by a flush
+    std::vector<BurstItem> burst;   // valid while kBusy; ≤ batch_size items
     bool fault_frozen = false;      // stall/crash injected; awaits repair
   };
 
@@ -282,8 +317,14 @@ class NicPipeline final : public net::EgressDevice {
   };
 
   void try_dispatch();
-  void dispatch_to(unsigned worker, net::Packet&& pkt, std::uint64_t seq,
-                   sim::SimDuration busy, bool forward, unsigned retries);
+  /// Pull up to batch_size packets (retries first, then round-robin over the
+  /// VF rings in the legacy pull order) into `worker`'s burst, consult the
+  /// control hook once, run the processor's batch hook, fire staggered
+  /// per-packet on_dispatch observers, and schedule ONE completion event at
+  /// busy_start + Σ per-packet busy. Precondition: the worker is idle,
+  /// already popped from idle_workers_, and work is pending (retry queue or
+  /// VF rings non-empty).
+  void dispatch_burst(unsigned worker);
   void on_completion(unsigned worker, std::uint32_t epoch);
   void worker_finish(unsigned worker, net::Packet pkt);
   /// Reorder system: commit `seq` with a packet to transmit and release any
@@ -304,8 +345,18 @@ class NicPipeline final : public net::EgressDevice {
   /// preserves the old map's grow-without-bound semantics).
   void grow_reorder_ring(std::uint64_t seq);
   void tx_admit(net::Packet pkt);
+  /// Arm the traffic-manager drain. At batch_size == 1 this serializes one
+  /// frame per event (legacy). At batch_size > 1 it serializes up to
+  /// batch_size queued frames under ONE event, stamping each frame's
+  /// wire_tx_done analytically AT ARM TIME (so a mid-batch wire_factor
+  /// fault cannot corrupt timestamps already committed to the wire model).
   void arm_tx_drain();
   void tx_drain_complete();
+  void tx_drain_batch_complete(std::size_t frames);
+  /// Deliver every queued packet whose delivered_at ≤ now (coalesced
+  /// delivery: one event per drain batch, armed at the queue tail's
+  /// delivered_at), then re-arm for the new tail if any remains.
+  void delivery_flush();
   void drop(const net::Packet& pkt, DropReason reason);
 
   // Watchdog machinery: a lazily armed one-shot chain that ticks only while
@@ -339,10 +390,24 @@ class NicPipeline final : public net::EgressDevice {
 
   sim::FixedRing<net::Packet> tx_ring_;
   bool tx_draining_ = false;
+  std::size_t tx_inflight_frames_ = 0;    // frames under the armed drain event
   std::uint32_t ser_cache_bytes_ = 0;     // memo: serialization_delay of the
   sim::SimDuration ser_cache_delay_ = 0;  // last wire occupancy (factor 1.0)
   double wire_factor_ = 1.0;          // injected wire dip (1 = healthy)
   std::size_t tx_capacity_override_ = 0;  // injected backpressure (0 = none)
+
+  // Coalesced receiver-side delivery (batch_size > 1): packets whose
+  // delivered_at is already stamped wait here for one flush event armed at
+  // the queue tail's delivered_at.
+  std::deque<net::Packet> delivery_queue_;
+  bool delivery_armed_ = false;
+
+  // Completion-scratch: on_completion swaps the worker's burst here before
+  // running commit callbacks, so a synchronous submit() from a drop callback
+  // can safely re-dispatch the same worker. Completions never nest (events
+  // serialize), so one scratch suffices.
+  std::vector<BurstItem> burst_scratch_;
+  std::vector<PacketProcessor::BatchSlot> slot_scratch_;
 
   // Reorder system state.
   std::uint64_t next_ingress_seq_ = 0;   // assigned at dispatch

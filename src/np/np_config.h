@@ -43,6 +43,15 @@ struct NpConfig {
   /// Number of SR-IOV virtual function ports.
   unsigned num_vfs = 8;
 
+  /// Worker burst size: an idle micro-engine pulls up to this many packets
+  /// from the load balancer in one go (retries first, then round-robin over
+  /// the VF rings), runs them back-to-back as one run-to-completion interval
+  /// and completes them with a single timing-wheel event. 1 recovers the
+  /// legacy one-packet-per-event path exactly (the differential oracle in
+  /// tests/test_np_batch_diff.cpp holds the two equivalent); 32 matches
+  /// what real NP/DPDK data paths move per burst.
+  unsigned batch_size = 32;
+
   /// The reorder system (Fig. 4): when enabled, packets enter the Tx FIFO
   /// in their NIC-arrival order even if a later packet's worker finished
   /// first (run-to-completion cores take different cycle counts per packet).
@@ -79,11 +88,13 @@ struct NpConfig {
   /// while admission control defaults OFF so baseline drop accounting is
   /// unchanged unless a scenario opts in.
   struct Recovery {
-    /// Watchdog: a worker busy past this budget is declared stuck; its
-    /// in-flight packet is requeued (up to watchdog_max_retries) or dropped
-    /// with DropReason::kWatchdogAbort. 0 derives the budget from the cycle
-    /// model: max(250 µs, 64 × cycles_to_ns(base_rx + base_tx)); negative
-    /// disables the watchdog entirely.
+    /// Watchdog: the budget bounds ONE packet's service time; a worker busy
+    /// past budget × (packets in its burst) is declared stuck and its whole
+    /// in-flight burst is salvaged — each packet requeued (up to
+    /// watchdog_max_retries) or dropped with DropReason::kWatchdogAbort.
+    /// 0 derives the budget from the cycle model: max(250 µs,
+    /// 64 × cycles_to_ns(base_rx + base_tx)); negative disables the
+    /// watchdog entirely.
     SimDuration watchdog_budget = 0;
 
     /// Watchdog scan period. 0 derives budget / 4 (min 1 µs).
@@ -125,6 +136,8 @@ struct NpConfig {
     };
     if (num_workers == 0) reject("num_workers must be >= 1");
     if (num_vfs == 0) reject("num_vfs must be >= 1");
+    if (batch_size == 0) reject("batch_size must be >= 1");
+    if (batch_size > 4096) reject("batch_size must be <= 4096");
     if (vf_ring_capacity == 0) reject("vf_ring_capacity must be >= 1");
     if (tx_ring_capacity == 0) reject("tx_ring_capacity must be >= 1");
     if (reorder_capacity == 0) reject("reorder_capacity must be >= 1");

@@ -6,15 +6,6 @@
 
 namespace flowvalve::obs {
 
-std::size_t LogHistogram::bucket_index(std::uint64_t value) {
-  if (value < kSubBuckets) return static_cast<std::size_t>(value);
-  const int msb = 63 - std::countl_zero(value);
-  const int shift = msb - 4;  // keep the top 4 bits after the leading one
-  const std::uint64_t sub = (value >> shift) & (kSubBuckets - 1);
-  return static_cast<std::size_t>((msb - 3)) * kSubBuckets +
-         static_cast<std::size_t>(sub);
-}
-
 std::uint64_t LogHistogram::bucket_mid(std::size_t index) {
   if (index < kSubBuckets) return static_cast<std::uint64_t>(index);
   const int msb = static_cast<int>(index / kSubBuckets) + 3;
@@ -23,16 +14,6 @@ std::uint64_t LogHistogram::bucket_mid(std::size_t index) {
   const std::uint64_t lo = (kSubBuckets + sub) << shift;
   const std::uint64_t width = std::uint64_t{1} << shift;
   return lo + width / 2;
-}
-
-void LogHistogram::record(std::uint64_t value) {
-  const std::size_t idx = bucket_index(value);
-  if (idx >= buckets_.size()) buckets_.resize(idx + 1, 0);
-  ++buckets_[idx];
-  if (count_ == 0 || value < min_) min_ = value;
-  max_ = std::max(max_, value);
-  sum_ += static_cast<double>(value);
-  ++count_;
 }
 
 double LogHistogram::mean() const {

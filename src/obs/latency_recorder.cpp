@@ -16,36 +16,47 @@ const char* segment_name(Segment s) {
   return "?";
 }
 
-void LatencyRecorder::on_dispatch(const net::Packet& pkt, sim::SimTime now,
-                                  sim::SimDuration busy) {
-  pending_[pkt.id] = Pending{now, busy};
+void LatencyRecorder::on_dispatch(const net::Packet& pkt, sim::SimTime /*now*/,
+                                  sim::SimDuration /*busy*/) {
+  // The pipeline stamps dispatched_at AFTER notifying observers, so a
+  // still-unstamped packet is a fresh dispatch and a stamped one is a
+  // watchdog retry of a dispatch already counted here.
+  if (pkt.dispatched_at < 0) ++pending_;
 }
 
 void LatencyRecorder::on_drop(const net::Packet& pkt) {
-  pending_.erase(pkt.id);
+  if (pkt.dispatched_at >= 0) --pending_;
 }
 
 void LatencyRecorder::on_delivered(const net::Packet& pkt) {
-  const auto it = pending_.find(pkt.id);
-  if (it == pending_.end()) return;  // bypassed dispatch (shouldn't happen)
-  const Pending p = it->second;
-  pending_.erase(it);
+  if (pkt.dispatched_at < 0) return;  // bypassed dispatch (shouldn't happen)
+  --pending_;
 
   auto rec = [this](Segment s, sim::SimDuration d) {
     segments_[static_cast<std::size_t>(s)].record(
         static_cast<std::uint64_t>(std::max<sim::SimDuration>(d, 0)));
   };
-  const sim::SimTime service_done = p.dispatched_at + p.busy;
-  rec(Segment::kVfWait, p.dispatched_at - pkt.nic_arrival);
-  rec(Segment::kService, p.busy);
+  const sim::SimTime service_done = pkt.dispatched_at + pkt.service_busy;
+  rec(Segment::kVfWait, pkt.dispatched_at - pkt.nic_arrival);
+  rec(Segment::kService, pkt.service_busy);
   rec(Segment::kReorderHold, pkt.tx_enqueue - service_done);
   rec(Segment::kTxWait, pkt.wire_tx_done - pkt.tx_enqueue);
   rec(Segment::kWireFixed, pkt.delivered_at - pkt.wire_tx_done);
   const sim::SimDuration total = pkt.delivered_at - pkt.nic_arrival;
   rec(Segment::kTotal, total);
+  if (per_class_total_.size() <= pkt.vf_port)
+    per_class_total_.resize(std::size_t(pkt.vf_port) + 1);
   per_class_total_[pkt.vf_port].record(
       static_cast<std::uint64_t>(std::max<sim::SimDuration>(total, 0)));
   ++recorded_;
+}
+
+std::map<std::uint16_t, LogHistogram> LatencyRecorder::per_class_total() const {
+  std::map<std::uint16_t, LogHistogram> out;
+  for (std::size_t vf = 0; vf < per_class_total_.size(); ++vf)
+    if (per_class_total_[vf].count() > 0)
+      out.emplace(static_cast<std::uint16_t>(vf), per_class_total_[vf]);
+  return out;
 }
 
 }  // namespace flowvalve::obs

@@ -11,17 +11,18 @@
 //   wire_fixed   delivered_at − wire_tx_done fixed pipeline constant
 //   total        delivered_at − nic_arrival  whole-NIC sojourn
 //
-// The decomposition needs only the timestamps the pipeline already stamps
-// on net::Packet plus the dispatch instant and busy interval reported by
-// on_dispatch, which the recorder remembers per packet id until delivery
-// or drop. All segments go into LogHistograms (p50/p90/p99/p999); the
-// total additionally goes into a per-class histogram keyed by VF port.
+// The decomposition needs only timestamps the pipeline stamps on
+// net::Packet — including the dispatch instant and busy interval
+// (dispatched_at / service_busy), so the recorder keeps no per-packet side
+// state at all; on_dispatch only maintains the outstanding-dispatch count
+// (leak telltale). All segments go into LogHistograms (p50/p90/p99/p999);
+// the total additionally goes into a per-class histogram keyed by VF port.
 #pragma once
 
 #include <array>
 #include <cstdint>
 #include <map>
-#include <unordered_map>
+#include <vector>
 
 #include "net/packet.h"
 #include "obs/histogram.h"
@@ -52,23 +53,19 @@ class LatencyRecorder {
     return segments_[static_cast<std::size_t>(s)];
   }
   /// Whole-NIC sojourn per VF port (≡ leaf class in the benches).
-  const std::map<std::uint16_t, LogHistogram>& per_class_total() const {
-    return per_class_total_;
-  }
+  std::map<std::uint16_t, LogHistogram> per_class_total() const;
 
   std::uint64_t recorded() const { return recorded_; }
   /// Packets dispatched but not yet delivered/dropped (leak telltale).
-  std::size_t pending() const { return pending_.size(); }
+  std::size_t pending() const { return static_cast<std::size_t>(pending_); }
 
  private:
-  struct Pending {
-    sim::SimTime dispatched_at = 0;
-    sim::SimDuration busy = 0;
-  };
-
   std::array<LogHistogram, kNumSegments> segments_;
-  std::map<std::uint16_t, LogHistogram> per_class_total_;
-  std::unordered_map<std::uint64_t, Pending> pending_;
+  // Flat per-VF histograms (VF ports are small dense integers); converted
+  // to the map shape only when read — record() runs once per delivered
+  // packet and must not pay a tree lookup.
+  std::vector<LogHistogram> per_class_total_;
+  std::int64_t pending_ = 0;
   std::uint64_t recorded_ = 0;
 };
 

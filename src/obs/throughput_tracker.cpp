@@ -10,34 +10,52 @@ sim::Rate ThroughputTracker::Window::rate(std::uint16_t vf) const {
 }
 
 void ThroughputTracker::on_wire_tx(const net::Packet& pkt) {
-  auto& c = current_.classes[pkt.vf_port];
+  ClassWindow& c = slot(current_classes_, pkt.vf_port);
   c.tx_bytes += pkt.wire_bytes;
   ++c.tx_packets;
-  auto& t = totals_[pkt.vf_port];
+  ClassWindow& t = slot(totals_, pkt.vf_port);
   t.tx_bytes += pkt.wire_bytes;
   ++t.tx_packets;
 }
 
 void ThroughputTracker::on_drop(const net::Packet& pkt) {
-  ++current_.classes[pkt.vf_port].drops;
-  ++totals_[pkt.vf_port].drops;
+  ++slot(current_classes_, pkt.vf_port).drops;
+  ++slot(totals_, pkt.vf_port).drops;
 }
 
 void ThroughputTracker::on_borrow(const net::Packet& pkt) {
-  ++current_.classes[pkt.vf_port].borrows;
-  ++totals_[pkt.vf_port].borrows;
+  ++slot(current_classes_, pkt.vf_port).borrows;
+  ++slot(totals_, pkt.vf_port).borrows;
 }
 
 void ThroughputTracker::sample(sim::SimTime now) {
-  current_.end = now;
-  if (current_.end > current_.start) windows_.push_back(current_);
-  current_ = Window{};
-  current_.start = now;
+  if (now > current_start_) {
+    Window w;
+    w.start = current_start_;
+    w.end = now;
+    w.classes = to_map(current_classes_);
+    windows_.push_back(std::move(w));
+  }
+  current_classes_.clear();
+  current_start_ = now;
+}
+
+std::map<std::uint16_t, ThroughputTracker::ClassWindow>
+ThroughputTracker::to_map(const std::vector<ClassWindow>& v) {
+  // A class is "present" iff some tap touched it; every tap increments at
+  // least one counter, so all-zero slots are exactly the untouched ones.
+  std::map<std::uint16_t, ClassWindow> out;
+  for (std::size_t vf = 0; vf < v.size(); ++vf) {
+    const ClassWindow& c = v[vf];
+    if (c.tx_packets | c.tx_bytes | c.drops | c.borrows)
+      out.emplace(static_cast<std::uint16_t>(vf), c);
+  }
+  return out;
 }
 
 std::map<std::uint16_t, ThroughputTracker::ClassWindow>
 ThroughputTracker::totals() const {
-  return totals_;
+  return to_map(totals_);
 }
 
 }  // namespace flowvalve::obs

@@ -49,9 +49,22 @@ class ThroughputTracker {
   std::map<std::uint16_t, ClassWindow> totals() const;
 
  private:
+  /// Hot-path accumulator: VF ports are small dense integers, so per-class
+  /// counters live in a flat vector indexed by port (grown on demand) and
+  /// are folded into the map-shaped Window only when a window closes —
+  /// the per-packet taps fire for every wire/drop event and must not pay
+  /// a tree lookup each time.
+  ClassWindow& slot(std::vector<ClassWindow>& v, std::uint16_t vf) {
+    if (v.size() <= vf) v.resize(std::size_t(vf) + 1);
+    return v[vf];
+  }
+  static std::map<std::uint16_t, ClassWindow> to_map(
+      const std::vector<ClassWindow>& v);
+
   std::vector<Window> windows_;
-  Window current_;
-  std::map<std::uint16_t, ClassWindow> totals_;
+  sim::SimTime current_start_ = 0;
+  std::vector<ClassWindow> current_classes_;
+  std::vector<ClassWindow> totals_;
 };
 
 }  // namespace flowvalve::obs

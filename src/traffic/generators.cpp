@@ -7,14 +7,15 @@ namespace flowvalve::traffic {
 // -------------------------------------------------------------- CbrFlow --
 
 CbrFlow::CbrFlow(sim::Simulator& sim, FlowRouter& router, IdAllocator& ids, FlowSpec spec,
-                 Rate rate, sim::Rng rng, double jitter_frac)
+                 Rate rate, sim::Rng rng, double jitter_frac, unsigned clump)
     : sim_(sim),
       router_(router),
       ids_(ids),
       spec_(spec),
       rate_(rate),
       rng_(rng),
-      jitter_frac_(jitter_frac) {
+      jitter_frac_(jitter_frac),
+      clump_(clump < 1 ? 1 : clump) {
   router_.register_flow(spec_.flow_id, this);
 }
 
@@ -36,11 +37,14 @@ void CbrFlow::stop() {
 
 void CbrFlow::send_next() {
   if (!active_) return;
-  net::Packet pkt = make_packet(spec_, ids_, sim_.now(), seq_++);
-  ++sent_;
-  router_.device().submit(std::move(pkt));
-  const double gap_ns =
-      static_cast<double>(spec_.wire_bytes) * 8e9 / std::max(rate_.bps(), 1e3);
+  for (unsigned i = 0; i < clump_; ++i) {
+    net::Packet pkt = make_packet(spec_, ids_, sim_.now(), seq_++);
+    ++sent_;
+    router_.device().submit(std::move(pkt));
+  }
+  const double gap_ns = static_cast<double>(clump_) *
+                        static_cast<double>(spec_.wire_bytes) * 8e9 /
+                        std::max(rate_.bps(), 1e3);
   const double jitter = 1.0 + jitter_frac_ * (rng_.next_double() - 0.5);
   send_event_ = sim_.schedule_after(
       std::max<SimDuration>(1, static_cast<SimDuration>(gap_ns * jitter)),

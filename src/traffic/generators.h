@@ -10,11 +10,14 @@
 namespace flowvalve::traffic {
 
 /// Constant-bit-rate sender (optionally jittered). Ignores loss feedback —
-/// models UDP or a hardware packet generator.
+/// models UDP or a hardware packet generator. `clump` > 1 emits that many
+/// back-to-back packets per timer firing with the inter-firing gap scaled
+/// to keep the average rate — the arrival shape of a segmentation-offload
+/// (TSO/GSO) host, where the NIC sees sender bursts, not paced singles.
 class CbrFlow final : public TrafficSource {
  public:
   CbrFlow(sim::Simulator& sim, FlowRouter& router, IdAllocator& ids, FlowSpec spec,
-          Rate rate, sim::Rng rng, double jitter_frac = 0.0);
+          Rate rate, sim::Rng rng, double jitter_frac = 0.0, unsigned clump = 1);
   ~CbrFlow() override;
 
   void start();
@@ -38,6 +41,7 @@ class CbrFlow final : public TrafficSource {
   Rate rate_;
   sim::Rng rng_;
   double jitter_frac_;
+  unsigned clump_;
   bool active_ = false;
   std::uint64_t seq_ = 0;
   std::uint64_t sent_ = 0;
