@@ -8,6 +8,7 @@
 // std::multiset the PIFO comparator uses, and test the queue semantics.
 #pragma once
 
+#include <algorithm>
 #include <bit>
 #include <cstdint>
 #include <deque>
@@ -22,11 +23,18 @@ template <typename T>
 class BucketQueue {
  public:
   static constexpr std::size_t kWordBits = 64;
+  /// Two-level bitmap ceiling: one root word indexes at most 64 words of 64
+  /// buckets. Requests beyond it are clamped — a larger count would make
+  /// `root_ |= 1ull << w` shift by ≥ 64 (UB) for the excess words. Requests
+  /// of 0 are clamped up to one word so push()'s saturation rank exists.
+  static constexpr std::size_t kMaxBuckets = kWordBits * kWordBits;  // 4096
 
-  /// `num_buckets` is rounded up to a multiple of 64 (max 4096 for the
-  /// two-level bitmap to stay a single root word).
-  explicit BucketQueue(std::size_t num_buckets = 4096)
-      : num_buckets_(((num_buckets + kWordBits - 1) / kWordBits) * kWordBits) {
+  /// `num_buckets` is rounded up to a multiple of 64 and clamped into
+  /// [64, 4096].
+  explicit BucketQueue(std::size_t num_buckets = kMaxBuckets)
+      : num_buckets_(std::clamp<std::size_t>(
+            ((num_buckets + kWordBits - 1) / kWordBits) * kWordBits, kWordBits,
+            kMaxBuckets)) {
     buckets_.resize(num_buckets_);
     words_.resize(num_buckets_ / kWordBits, 0);
   }

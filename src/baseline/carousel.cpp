@@ -31,10 +31,14 @@ bool CarouselShaper::submit(net::Packet pkt) {
 
   // Timestamping: the flow's next release time advances by the packet's
   // serialization time at the pacing rate (leaky-bucket pacing). Keying by
-  // app id matches how the benches express per-class policies.
+  // app id matches how the benches express per-class policies. Read-only
+  // lookup here: a horizon-dropped packet must not default-insert pacing
+  // state for a class the wheel never admitted (that map entry would
+  // otherwise live — and grow the map — forever under flow churn).
   const SimTime now = sim_.now();
-  SimTime& next = next_release_[pkt.app_id];
-  const SimTime release = std::max(now, next);
+  const auto it = next_release_.find(pkt.app_id);
+  const SimTime release =
+      it == next_release_.end() ? now : std::max(now, it->second);
 
   // Bounded wheel: beyond-horizon releases are dropped (Carousel's
   // "deferred completion" backpressure appears to our TCP as loss, which is
@@ -48,7 +52,8 @@ bool CarouselShaper::submit(net::Packet pkt) {
     notify_drop(pkt);
     return false;
   }
-  next = release + rate.serialization_delay(pkt.wire_occupancy_bytes());
+  next_release_[pkt.app_id] =
+      release + rate.serialization_delay(pkt.wire_occupancy_bytes());
 
   const auto offset = static_cast<std::size_t>((release - wheel_epoch_) /
                                                config_.slot_width);
@@ -71,6 +76,23 @@ void CarouselShaper::tick() {
   }
   cursor_ = (cursor_ + 1) % config_.num_slots;
   wheel_epoch_ += config_.slot_width;
+
+  // Pacing-state GC, once per wheel revolution: an entry whose release
+  // clock has fallen behind `now` no longer constrains anything (release =
+  // max(now, next) would pick `now` anyway), so idle classes are evicted
+  // and the map stays bounded by the classes active within one revolution.
+  if (++ticks_since_gc_ >= config_.num_slots) {
+    ticks_since_gc_ = 0;
+    const SimTime now = sim_.now();
+    for (auto it = next_release_.begin(); it != next_release_.end();) {
+      if (it->second <= now) {
+        it = next_release_.erase(it);
+        ++stats_.pacing_evictions;
+      } else {
+        ++it;
+      }
+    }
+  }
   wire_drain();
 }
 

@@ -60,9 +60,13 @@ class CarouselShaper final : public net::EgressDevice {
     std::uint64_t transmitted = 0;
     std::uint64_t wire_bytes = 0;
     std::uint64_t cpu_cycles = 0;
+    std::uint64_t pacing_evictions = 0;  // GC'd idle pacing-state entries
   };
   const Stats& stats() const { return stats_; }
   std::size_t backlog() const { return backlog_; }
+  /// Live per-class pacing-state entries (bounded: entries whose release
+  /// clock has passed are garbage-collected each wheel revolution).
+  std::size_t pacing_flows() const { return next_release_.size(); }
 
   /// CPU cores consumed by the shaper so far (Σ cycles / freq / elapsed).
   double cores_used(SimTime now) const;
@@ -78,7 +82,10 @@ class CarouselShaper final : public net::EgressDevice {
   std::vector<std::deque<net::Packet>> slots_;
   std::size_t cursor_ = 0;          // slot under the drain hand
   SimTime wheel_epoch_ = 0;         // time of the cursor slot's left edge
-  // Per-class pacing state: next allowed release time.
+  std::size_t ticks_since_gc_ = 0;  // pacing-state GC cadence counter
+  // Per-class pacing state: next allowed release time. An entry whose time
+  // has passed is equivalent to no entry (release = max(now, next)), so GC
+  // may prune it; only admitted packets may create or advance one.
   std::unordered_map<std::uint32_t, SimTime> next_release_;
 
   std::deque<net::Packet> wire_fifo_;

@@ -47,6 +47,25 @@ bool PifoScheduler::submit(net::Packet pkt) {
     // tag (within a class tags are monotone, so the global worst entry is
     // that class's most recent enqueue): evicted packets must not consume
     // virtual service the class never received.
+    //
+    // That monotonicity argument must survive rank ties BETWEEN classes:
+    // the multiset orders by (rank, seq), so prev(end) is the strict
+    // maximum under that order — any same-class entry with a later seq
+    // would itself be the worst (equal rank ⇒ larger seq wins; within a
+    // class start tags never decrease, even across rollbacks, so a later
+    // enqueue can't have a smaller rank). Verify both halves in debug
+    // builds before mutating the tag.
+#ifndef NDEBUG
+    for (const Ranked& e : heap_) {
+      if (&e == &*worst || e.pkt.label != worst->pkt.label) continue;
+      assert(e.seq != worst->seq);
+      assert((e.rank < worst->rank ||
+              (e.rank == worst->rank && e.seq < worst->seq)) &&
+             "push-out victim must be its class's most recent enqueue");
+    }
+    assert(worst->rank <= victim.last_finish &&
+           "rollback must never advance the victim's finish tag");
+#endif
     victim.last_finish = worst->rank;
     ++stats_.pushed_out;
     notify_drop(worst->pkt);

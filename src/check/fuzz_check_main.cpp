@@ -41,6 +41,9 @@ void usage() {
       "  --batch N           force NpConfig::batch_size for every run\n"
       "                      (1 = legacy per-packet path; 0 = scenario's own\n"
       "                      seed-derived burst size, the default)\n"
+      "  --backend K         force the scheduling discipline for every run:\n"
+      "                      fv (default tree) | stfq | eiffel | sppifo\n"
+      "                      (unset = scenario's own seed-derived backend)\n"
       "  --scheduler K       event queue backend: wheel (default) | heap\n"
       "  -v, --verbose       print the full scenario for every seed\n");
 }
@@ -99,6 +102,16 @@ int main(int argc, char** argv) {
           static_cast<std::int64_t>(parse_u64(value())));
     } else if (!std::strcmp(arg, "--batch")) {
       opts.batch_size = static_cast<unsigned>(parse_u64(value()));
+    } else if (!std::strcmp(arg, "--backend")) {
+      const char* k = value();
+      core::BackendKind kind = core::BackendKind::kFlowValve;
+      if (!core::parse_backend_kind(k, kind)) {
+        std::fprintf(stderr,
+                     "fuzz_check: unknown backend '%s' (fv|stfq|eiffel|sppifo)\n",
+                     k);
+        return 2;
+      }
+      opts.backend = kind;
     } else if (!std::strcmp(arg, "--scheduler")) {
       const char* k = value();
       if (!std::strcmp(k, "heap")) {
@@ -171,6 +184,9 @@ int main(int argc, char** argv) {
               " --reconfig " + std::to_string(opts.reconfig_updates);
         if (opts.batch_size > 0)
           reconfig_flag += " --batch " + std::to_string(opts.batch_size);
+        if (opts.backend)
+          reconfig_flag += std::string(" --backend ") +
+                           core::backend_kind_name(*opts.backend);
         std::printf("  repro: fuzz_check --seed 0x%llx%s%s%s%s -v\n",
                     static_cast<unsigned long long>(s),
                     opts.differential ? " --differential" : "",

@@ -155,6 +155,18 @@ FuzzScenario generate_scenario(std::uint64_t seed) {
   const unsigned batch_choices[] = {1, 2, 31, 32, 33};
   sc.nic.batch_size = batch_choices[batch_rng.next_below(5)];
 
+  // Scheduling discipline, from its own split (adding it never perturbed
+  // older seeds' scenarios). FlowValve keeps half the corpus — it is the
+  // production default and the only backend with the full checker set —
+  // while the rank valves split the rest so every discipline soaks in the
+  // same scenario space.
+  Rng backend_rng = root_rng.split("backend");
+  const core::BackendKind backend_choices[] = {
+      core::BackendKind::kFlowValve, core::BackendKind::kFlowValve,
+      core::BackendKind::kFlowValve, core::BackendKind::kStfq,
+      core::BackendKind::kEiffel, core::BackendKind::kSpPifo};
+  sc.nic.backend = backend_choices[backend_rng.next_below(6)];
+
   // -- policy tree ---------------------------------------------------------
   Rng pol_rng = root_rng.split("policy");
   GenNode tree_root;
@@ -337,7 +349,8 @@ std::string FuzzScenario::describe() const {
     << link_rate.to_string() << ", " << nic.num_workers << " workers, "
     << nic.num_vfs << " VFs (ring " << nic.vf_ring_capacity << "), tx ring "
     << nic.tx_ring_capacity << ", reorder "
-    << (nic.enforce_reorder ? "on" : "off") << ", horizon "
+    << (nic.enforce_reorder ? "on" : "off") << ", batch " << nic.batch_size
+    << ", backend " << core::backend_kind_name(nic.backend) << ", horizon "
     << sim::to_millis(horizon) << " ms\n";
   s << "policy:\n" << fv_script;
   s << "flows:\n";

@@ -423,7 +423,14 @@ std::vector<std::unique_ptr<InvariantChecker>> standard_checkers(
   out.push_back(std::make_unique<WireConformanceChecker>(config.wire_rate));
   out.push_back(std::make_unique<WorkerExclusivityChecker>());
   out.push_back(std::make_unique<TreeArithmeticChecker>());
-  out.push_back(std::make_unique<CeilConformanceChecker>());
+  // Ceil conformance is the one FlowValve-specific checker: it restates
+  // token-bucket conformance (Eq. 1) over the leaf's own bucket. Rank
+  // backends bound a class by its live theta (<= ceil) instead of a
+  // metered bucket, so the bucket-shaped budget does not describe their
+  // mechanism; every other checker above is discipline-generic (see
+  // DESIGN.md par.13).
+  if (config.backend == core::BackendKind::kFlowValve)
+    out.push_back(std::make_unique<CeilConformanceChecker>());
   return out;
 }
 

@@ -177,17 +177,21 @@ std::vector<sim::SimTime> plan_reconfig(const FuzzScenario& sc,
 }  // namespace
 
 CheckReport run_scenario(const FuzzScenario& sc, const RunOptions& opts) {
-  if (opts.batch_size > 0 && opts.batch_size != sc.nic.batch_size) {
+  if ((opts.batch_size > 0 && opts.batch_size != sc.nic.batch_size) ||
+      (opts.backend && *opts.backend != sc.nic.backend)) {
     FuzzScenario forced = sc;
-    forced.nic.batch_size = opts.batch_size;
+    if (opts.batch_size > 0) forced.nic.batch_size = opts.batch_size;
+    if (opts.backend) forced.nic.backend = *opts.backend;
     RunOptions inner = opts;
     inner.batch_size = 0;
+    inner.backend.reset();
     return run_scenario(forced, inner);
   }
 
   CheckReport report;
   report.seed = sc.seed;
   report.differential = opts.differential;
+  report.backend = sc.nic.backend;
 
   sim::Simulator sim(opts.scheduler);
   core::FlowValveEngine engine(np::engine_options_for(sc.nic));
@@ -362,7 +366,10 @@ CheckReport run_seed(std::uint64_t seed, const RunOptions& opts) {
 std::string CheckReport::summary() const {
   std::ostringstream s;
   s << "seed 0x" << std::hex << seed << std::dec
-    << (differential ? " [diff]" : "") << ": " << (ok() ? "OK" : "FAIL") << " ("
+    << (differential ? " [diff]" : "");
+  if (backend != core::BackendKind::kFlowValve)
+    s << " [" << core::backend_kind_name(backend) << "]";
+  s << ": " << (ok() ? "OK" : "FAIL") << " ("
     << nic.submitted << " submitted, " << nic.forwarded_to_wire << " on wire, "
     << (nic.vf_ring_drops + nic.scheduler_drops + nic.tx_ring_drops +
         nic.reorder_flush_drops + nic.reorder_timeout_drops +

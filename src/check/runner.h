@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -49,6 +50,11 @@ struct RunOptions {
   /// batch_size 1 (legacy per-packet path) and 32 must agree on every
   /// invariant and on its delivery/drop accounting.
   unsigned batch_size = 0;
+  /// If set, overrides the scenario's seed-derived scheduling discipline
+  /// (NpConfig::backend) — the knob behind `fuzz_check --backend`: the same
+  /// seed can be pinned to FlowValve, STFQ, Eiffel, or SP-PIFO and must
+  /// pass every discipline-generic invariant under each.
+  std::optional<core::BackendKind> backend;
   /// Event-queue backend for the run. The wheel is the production default;
   /// kHeap pins the reference implementation so fuzz findings can be
   /// reproduced (and the two backends differentially compared) under every
@@ -59,6 +65,7 @@ struct RunOptions {
 struct CheckReport {
   std::uint64_t seed = 0;
   bool differential = false;
+  core::BackendKind backend = core::BackendKind::kFlowValve;  // as run
   np::NicPipeline::Stats nic;
   std::uint64_t events = 0;
   std::uint64_t delivered = 0;

@@ -4,15 +4,23 @@
 
 namespace flowvalve::core {
 
+FlowValveEngine::FlowValveEngine() : FlowValveEngine(Options{}) {}
+
 FlowValveEngine::FlowValveEngine(Options options)
     : options_(options), frontend_(options.params) {}
 
 std::string FlowValveEngine::configure(std::string_view fv_script, sim::SimTime now) {
   frontend_.apply_script(fv_script);
   if (auto err = frontend_.finalize(now); !err.empty()) return err;
-  sched_ = std::make_unique<SchedulingFunction>(frontend_.tree(), frontend_.labels(),
-                                                options_.sched_costs);
+  sched_ = make_backend(options_.backend, frontend_.tree(), frontend_.labels(),
+                        options_.sched_costs);
   return {};
+}
+
+SchedulingFunction& FlowValveEngine::scheduler() {
+  assert(ready() && sched_->kind() == BackendKind::kFlowValve &&
+         "scheduler() is only valid under the FlowValve backend");
+  return static_cast<SchedulingFunction&>(*sched_);
 }
 
 FlowValveEngine::Result FlowValveEngine::process(net::Packet& pkt, sim::SimTime now) {

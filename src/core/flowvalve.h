@@ -23,9 +23,17 @@ class FlowValveEngine {
     FvParams params;
     SchedulerCosts sched_costs;
     ClassifierCosts classifier_costs;
+    /// Scheduling discipline run behind the shared contention structure
+    /// (scheduler_backend.h). The FlowValve tree is the default; rank
+    /// backends reuse the same labeling, update walk, and batching path.
+    BackendKind backend = BackendKind::kFlowValve;
   };
 
-  explicit FlowValveEngine(Options options = {});
+  // Two overloads rather than `Options options = {}`: GCC defers parsing a
+  // nested class's default member initializers to the end of the enclosing
+  // class, so a brace default argument here can't see Options::backend's.
+  FlowValveEngine();
+  explicit FlowValveEngine(Options options);
 
   /// Apply an fv policy script and finalize. Throws std::invalid_argument
   /// on parse errors; returns a non-empty error string on semantic errors.
@@ -75,7 +83,14 @@ class FlowValveEngine {
   const FvFrontend& frontend() const { return frontend_; }
   SchedulingTree& tree() { return frontend_.tree(); }
   const SchedulingTree& tree() const { return frontend_.tree(); }
-  SchedulingFunction& scheduler() { return *sched_; }
+  /// The configured discipline (any backend).
+  SchedulerBackend& backend() { return *sched_; }
+  const SchedulerBackend& backend() const { return *sched_; }
+  BackendKind backend_kind() const { return options_.backend; }
+  /// The FlowValve scheduling function. Only valid under the default
+  /// backend (asserts otherwise) — legacy accessor for the ablation
+  /// benches and FlowValve-specific tests.
+  SchedulingFunction& scheduler();
   Classifier& classifier() { return frontend_.classifier(); }
 
   bool ready() const { return sched_ != nullptr; }
@@ -94,7 +109,7 @@ class FlowValveEngine {
 
   Options options_;
   FvFrontend frontend_;
-  std::unique_ptr<SchedulingFunction> sched_;  // created once configured
+  std::unique_ptr<SchedulerBackend> sched_;  // created once configured
   ProcessObserver process_observer_;
   std::vector<FlowGroup> batch_groups_;  // scratch, cleared per burst
 };

@@ -6,40 +6,7 @@ namespace flowvalve::core {
 
 SchedulingFunction::SchedulingFunction(SchedulingTree& tree, const LabelTable& labels,
                                        SchedulerCosts costs)
-    : tree_(tree), labels_(labels), costs_(costs) {
-  assert(tree.finalized() && "finalize() the tree before scheduling");
-}
-
-std::uint32_t SchedulingFunction::maybe_update(ClassId id, sim::SimTime now,
-                                               std::uint32_t pkt_epoch,
-                                               SchedDecision& d) {
-  SchedClass& c = tree_.at(id);
-  std::uint32_t cycles = 0;
-  const bool wants_commit = tree_.rollout_active() && c.has_staged &&
-                            pkt_epoch >= tree_.staged_epoch();
-  if (!wants_commit && now - c.last_update < tree_.params().update_interval) return cycles;
-  cycles += costs_.lock_attempt_cycles;
-  ++d.lock_attempts;
-  if (c.update_lock.try_acquire(now, costs_.lock_hold_ns)) {
-    if (wants_commit) {
-      // A packet from a cut-over worker pulls the staged policy in under the
-      // same lock the update subprocedure already takes (Fig. 8): no extra
-      // synchronization, just commit_cycles more inside the guarded section.
-      tree_.commit_class(id, now);
-      cycles += costs_.commit_cycles;
-      ++stats_.policy_commits;
-    }
-    tree_.update_class(id, now);
-    cycles += costs_.update_cycles;
-    ++d.updates_run;
-    ++stats_.updates;
-  } else {
-    // Another core is updating this class right now; we only meter
-    // (Fig. 8 — this does not compromise validity).
-    ++stats_.lock_failures;
-  }
-  return cycles;
-}
+    : SchedulerBackend(tree, labels, costs) {}
 
 SchedDecision SchedulingFunction::schedule(net::Packet& pkt, sim::SimTime now) {
   SchedDecision d;
@@ -47,15 +14,8 @@ SchedDecision SchedulingFunction::schedule(net::Packet& pkt, sim::SimTime now) {
   const QosLabel& label = labels_.get(pkt.label);
   assert(!label.path.empty());
 
-  // Record activity first: even packets that end up dropped represent
-  // demand, which the expiry logic must see.
-  tree_.touch(label.path, now);
-
-  // Lines 1-5: walk the hierarchy class label, refreshing token buckets.
-  for (ClassId id : label.path) {
-    d.cycles += maybe_update(id, now, pkt.policy_epoch, d);
-    d.cycles += costs_.count_cycles;
-  }
+  // Lines 1-5: activity touch + update walk (shared contention structure).
+  walk_path(label, pkt, now, d);
 
   // Lines 6-8: meter at the leaf. Tokens are charged for full wire
   // occupancy (frame + preamble + IFG): an on-NIC scheduler meters what the
@@ -93,31 +53,8 @@ SchedDecision SchedulingFunction::schedule(net::Packet& pkt, sim::SimTime now) {
 
   // Line 16: drop.
   d.verdict = Verdict::kDrop;
-  SchedClass& leaf_cls = tree_.at(leaf);
-  ++leaf_cls.drop_packets;
-  leaf_cls.drop_bytes += pkt.wire_bytes;
-  ++stats_.dropped;
+  book_drop(leaf, pkt);
   return d;
-}
-
-SchedDecision SchedulingFunction::repeat_tail_drop(net::Packet& pkt,
-                                                   sim::SimTime now,
-                                                   const SchedDecision& prev) {
-  assert(pkt.label != net::kUnclassified && "packet must be labeled first");
-  assert(prev.verdict == Verdict::kDrop && !prev.borrowed &&
-         prev.updates_run == 0 && !tree_.rollout_active());
-  (void)now;
-  const QosLabel& label = labels_.get(pkt.label);
-  const ClassId leaf = label.path.back();
-  // With updates_run == 0 every lock attempt the predecessor made was a
-  // failure, and a lock held past `now` fails identically for this packet's
-  // same-instant attempts — re-book them without touching the locks.
-  stats_.lock_failures += prev.lock_attempts;
-  SchedClass& leaf_cls = tree_.at(leaf);
-  ++leaf_cls.drop_packets;
-  leaf_cls.drop_bytes += pkt.wire_bytes;
-  ++stats_.dropped;
-  return prev;
 }
 
 }  // namespace flowvalve::core

@@ -1,4 +1,5 @@
-// The scheduling function — paper Algorithm 1.
+// The FlowValve scheduling function — paper Algorithm 1 — as the default
+// SchedulerBackend.
 //
 // Executed by every (virtual) micro-engine for every packet after labeling:
 // walk the hierarchy class label root→leaf, try-locking each class to run
@@ -6,54 +7,27 @@
 // and on RED walk the borrowing class label's shadow buckets. The function
 // never queues a packet: the decision is FORWARD (into the shared Tx FIFO)
 // or DROP (the "specialized tail drop" that assigns buffers conceptually).
+//
+// The walk/try-lock/commit scaffolding lives in SchedulerBackend (shared
+// with the rank backends in rank_backends.h); this class adds what is
+// FlowValve-specific — leaf metering and shadow-bucket borrowing.
 #pragma once
 
 #include <cstdint>
 
-#include "core/classifier.h"
-#include "core/sched_tree.h"
-#include "net/packet.h"
-#include "sim/time.h"
+#include "core/scheduler_backend.h"
 
 namespace flowvalve::core {
 
-enum class Verdict : std::uint8_t { kForward, kDrop };
-
-/// Cycle cost model for Algorithm 1's constituent operations on the NFP:
-/// atomic counter adds and the meter instruction are cheap hardware ops;
-/// the update subprocedure does guarded multiplies/divides (§IV-D).
-struct SchedulerCosts {
-  std::uint32_t lock_attempt_cycles = 10;
-  std::uint32_t update_cycles = 320;        // guarded θ recomputation
-  std::uint32_t count_cycles = 18;          // atomic add per class
-  std::uint32_t meter_cycles = 40;          // atomic meter instruction
-  std::uint32_t borrow_query_cycles = 55;   // shadow bucket meter per lender
-  std::uint32_t commit_cycles = 48;         // staged-policy word swap under the lock
-
-  /// Virtual-time duration the update lock is held (update_cycles at the
-  /// core frequency); the NP pipeline overrides this from its clock.
-  sim::SimDuration lock_hold_ns = 267;
-};
-
-/// Per-call outcome with the micro-engine cycles consumed, fed into the NP
-/// pipeline's capacity model.
-struct SchedDecision {
-  Verdict verdict = Verdict::kDrop;
-  std::uint32_t cycles = 0;
-  bool metered_green = false;   // leaf bucket had tokens
-  bool borrowed = false;        // forwarded via a lender's shadow bucket
-  ClassId borrowed_from = kNoClass;
-  std::uint32_t updates_run = 0;    // classes whose update we executed
-  std::uint32_t lock_attempts = 0;  // try-locks attempted (won or lost)
-};
-
-class SchedulingFunction {
+class SchedulingFunction final : public SchedulerBackend {
  public:
   SchedulingFunction(SchedulingTree& tree, const LabelTable& labels,
                      SchedulerCosts costs = {});
 
+  BackendKind kind() const override { return BackendKind::kFlowValve; }
+
   /// Algorithm 1. `now` is the virtual time at which the worker core runs.
-  SchedDecision schedule(net::Packet& pkt, sim::SimTime now);
+  SchedDecision schedule(net::Packet& pkt, sim::SimTime now) override;
 
   /// Amortized replay for the 2nd..Nth same-flow packet of one worker burst
   /// whose burst-predecessor's decision `prev` (same label, same wire
@@ -66,44 +40,14 @@ class SchedulingFunction {
   /// instant, and the borrow walk re-queries the same empty shadows — so
   /// only the drop bookkeeping is re-run. Callers must check
   /// repeat_applicable() first.
-  SchedDecision repeat_tail_drop(net::Packet& pkt, sim::SimTime now,
-                                 const SchedDecision& prev);
   bool repeat_applicable(const net::Packet& prev_pkt, const net::Packet& pkt,
-                         const SchedDecision& prev) const {
+                         const SchedDecision& prev) const override {
     return prev.verdict == Verdict::kDrop && !prev.borrowed &&
            prev.updates_run == 0 && !tree_.rollout_active() &&
            pkt.wire_occupancy_bytes() == prev_pkt.wire_occupancy_bytes() &&
            pkt.label == prev_pkt.label &&
            pkt.policy_epoch == prev_pkt.policy_epoch;
   }
-
-  /// Aggregate statistics for the ablation benches.
-  struct Stats {
-    std::uint64_t forwarded = 0;
-    std::uint64_t dropped = 0;
-    std::uint64_t borrowed = 0;
-    std::uint64_t updates = 0;
-    std::uint64_t lock_failures = 0;
-    std::uint64_t policy_commits = 0;  // staged policies committed on-path
-  };
-  const Stats& stats() const { return stats_; }
-  void reset_stats() { stats_ = Stats{}; }
-
-  SchedulingTree& tree() { return tree_; }
-
- private:
-  /// Run the update subprocedure for `id` if its epoch elapsed and the
-  /// try-lock is won; returns cycles spent. `pkt_epoch` is the policy epoch
-  /// the dispatching worker had cut over to: a new-epoch packet that wins a
-  /// class's lock also commits that class's staged policy (monotonic
-  /// per-class cutover riding the paper's try-lock cycle budget).
-  std::uint32_t maybe_update(ClassId id, sim::SimTime now, std::uint32_t pkt_epoch,
-                             SchedDecision& d);
-
-  SchedulingTree& tree_;
-  const LabelTable& labels_;
-  SchedulerCosts costs_;
-  Stats stats_;
 };
 
 }  // namespace flowvalve::core

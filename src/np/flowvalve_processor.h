@@ -6,10 +6,12 @@
 
 namespace flowvalve::np {
 
-/// Engine options whose virtual-time lock hold matches the NP clock.
+/// Engine options whose virtual-time lock hold matches the NP clock and
+/// whose scheduling discipline follows the NIC's configured backend.
 inline core::FlowValveEngine::Options engine_options_for(const NpConfig& cfg) {
   core::FlowValveEngine::Options opt;
   opt.sched_costs.lock_hold_ns = cfg.cycles_to_ns(opt.sched_costs.update_cycles);
+  opt.backend = cfg.backend;
   return opt;
 }
 

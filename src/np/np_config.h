@@ -13,6 +13,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "core/scheduler_backend.h"
 #include "sim/time.h"
 
 namespace flowvalve::np {
@@ -51,6 +52,12 @@ struct NpConfig {
   /// tests/test_np_batch_diff.cpp holds the two equivalent); 32 matches
   /// what real NP/DPDK data paths move per burst.
   unsigned batch_size = 32;
+
+  /// Scheduling discipline the worker micro-engines run behind the shared
+  /// labeling + try-lock contention structure (core/scheduler_backend.h).
+  /// FlowValve's tree is the default; STFQ/Eiffel/SP-PIFO rank valves are
+  /// selectable per NIC (and per fuzz scenario / fuzz_check --backend).
+  core::BackendKind backend = core::BackendKind::kFlowValve;
 
   /// The reorder system (Fig. 4): when enabled, packets enter the Tx FIFO
   /// in their NIC-arrival order even if a later packet's worker finished

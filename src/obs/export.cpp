@@ -105,11 +105,18 @@ void snapshot_json(JsonWriter& w, const CounterSnapshot& s) {
       .end_object();
   if (s.have_sched) {
     w.key("sched").begin_object()
+        .key("backend").value(core::backend_kind_name(s.backend))
         .key("forwarded").value(s.sched.forwarded)
         .key("dropped").value(s.sched.dropped)
         .key("borrowed").value(s.sched.borrowed)
         .key("updates").value(s.sched.updates)
         .key("lock_failures").value(s.sched.lock_failures)
+        .key("policy_commits").value(s.sched.policy_commits)
+        .key("rank_admissions").value(s.sched.rank_admissions)
+        .key("rank_lead_drops").value(s.sched.rank_lead_drops)
+        .key("rank_horizon_drops").value(s.sched.rank_horizon_drops)
+        .key("calendar_rebases").value(s.sched.calendar_rebases)
+        .key("band_adaptations").value(s.sched.band_adaptations)
         .end_object();
   }
   w.key("worker_utilization").value(s.worker_utilization);

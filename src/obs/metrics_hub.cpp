@@ -40,7 +40,8 @@ CounterSnapshot MetricsHub::snapshot() const {
   s.at = sim_.now();
   s.nic = pipeline_.stats();
   if (engine_ && engine_->ready()) {
-    s.sched = engine_->scheduler().stats();
+    s.sched = engine_->backend().stats();
+    s.backend = engine_->backend_kind();
     s.have_sched = true;
   }
   s.worker_utilization = pipeline_.worker_utilization(sim_.now());

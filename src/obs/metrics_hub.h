@@ -28,7 +28,8 @@ namespace flowvalve::obs {
 struct CounterSnapshot {
   sim::SimTime at = 0;
   np::NicPipeline::Stats nic;
-  core::SchedulingFunction::Stats sched;  // zeros unless an engine is attached
+  core::SchedulerBackend::Stats sched;  // zeros unless an engine is attached
+  core::BackendKind backend = core::BackendKind::kFlowValve;
   bool have_sched = false;
   double worker_utilization = 0.0;
   std::uint64_t reorder_occupancy = 0;

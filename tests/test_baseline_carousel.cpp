@@ -125,6 +125,88 @@ TEST(CarouselTest, PacingSmoothsBursts) {
     EXPECT_NEAR(static_cast<double>(tx[i] - tx[i - 1]), 12304.0, 2500.0);
 }
 
+// Regression: the horizon-drop path used to run `next_release_[app]`
+// (a default-inserting/advancing lookup) and nothing ever pruned the map —
+// under flow churn pacing state grew without bound and a drop could touch
+// the release clock. Now only admitted packets create or advance an entry,
+// and a dropped packet leaves the clock exactly where it was.
+TEST(CarouselTest, HorizonDropLeavesPacingStateUntouched) {
+  sim::Simulator sim;
+  CarouselConfig cfg;
+  cfg.slot_width = sim::microseconds(2);
+  cfg.num_slots = 16;  // 32 µs horizon: trivial to overrun
+  auto shaper_ptr = make_shaper(sim, Rate::megabits_per_sec(10), cfg);
+  CarouselShaper& shaper = *shaper_ptr;
+  sim.schedule_at(0, [&] {
+    // First packet admits at t=0 and pushes app 0's release clock ~1.2 ms
+    // out — far past the 32 µs wheel — so follow-ups are horizon drops
+    // that must not consume pacing budget or add map entries.
+    EXPECT_TRUE(shaper.submit(packet_for(0)));
+    EXPECT_FALSE(shaper.submit(packet_for(0)));
+    EXPECT_FALSE(shaper.submit(packet_for(0)));
+    EXPECT_EQ(shaper.stats().horizon_drops, 2u);
+    EXPECT_EQ(shaper.pacing_flows(), 1u);
+  });
+  // Had the drops advanced the clock (2 × ~1.2 ms), the class would still
+  // be blocked at t=2 ms; instead its entry expired at ~1.2 ms, a GC sweep
+  // (every 32 µs here) pruned it, and a fresh packet admits immediately.
+  sim.schedule_at(sim::milliseconds(2), [&] {
+    EXPECT_EQ(shaper.pacing_flows(), 0u);
+    EXPECT_GE(shaper.stats().pacing_evictions, 1u);
+    EXPECT_TRUE(shaper.submit(packet_for(0)));
+    EXPECT_EQ(shaper.stats().horizon_drops, 2u);
+  });
+  sim.run_until(sim::milliseconds(3));
+}
+
+TEST(CarouselTest, IdlePacingStateIsGarbageCollected) {
+  sim::Simulator sim;
+  CarouselConfig cfg;
+  cfg.slot_width = sim::microseconds(8);
+  cfg.num_slots = 64;  // one revolution (= GC cadence) every 512 µs
+  auto shaper_ptr = make_shaper(sim, Rate::gigabits_per_sec(5), cfg);
+  CarouselShaper& shaper = *shaper_ptr;
+  // Ten classes send one packet each, then go idle forever.
+  sim.schedule_at(0, [&] {
+    for (std::uint32_t app = 0; app < 10; ++app)
+      EXPECT_TRUE(shaper.submit(packet_for(app)));
+  });
+  sim.schedule_at(sim::microseconds(100),
+                  [&] { EXPECT_EQ(shaper.pacing_flows(), 10u); });
+  // After a full revolution every release clock has fallen behind `now`,
+  // so the sweep evicts all ten entries.
+  sim.run_until(sim::milliseconds(2));
+  EXPECT_EQ(shaper.pacing_flows(), 0u);
+  EXPECT_EQ(shaper.stats().pacing_evictions, 10u);
+}
+
+TEST(CarouselTest, ActiveFlowSurvivesGcAndStaysPaced) {
+  // GC must never evict a class whose release clock is still ahead of
+  // `now` — otherwise an active flow would forget its pacing debt and
+  // burst. Keep one flow saturated across many GC sweeps and check the
+  // paced rate still holds.
+  sim::Simulator sim;
+  CarouselConfig cfg;
+  cfg.num_slots = 256;  // GC every ~2 ms with 8 µs slots
+  auto shaper_ptr = make_shaper(sim, Rate::gigabits_per_sec(2), cfg);
+  CarouselShaper& shaper = *shaper_ptr;
+  constexpr sim::SimTime kFrom = sim::milliseconds(10);
+  constexpr sim::SimTime kTo = sim::milliseconds(50);
+  std::uint64_t bytes = 0;
+  shaper.set_on_delivered([&](const net::Packet& p) {
+    if (p.wire_tx_done >= kFrom && p.wire_tx_done < kTo) bytes += p.wire_bytes;
+  });
+  const double gap = 1538.0 * 8e9 / 4e9;  // 4G offered vs 2G pace
+  for (double t = 0; t < sim::milliseconds(60); t += gap)
+    sim.schedule_at(static_cast<sim::SimTime>(t),
+                    [&] { shaper.submit(packet_for(0)); });
+  sim.run_until(sim::milliseconds(62));
+  const double gbps =
+      static_cast<double>(bytes) * 8.0 / static_cast<double>(kTo - kFrom);
+  EXPECT_NEAR(gbps, 2.0, 0.2);
+  EXPECT_LE(shaper.pacing_flows(), 1u);
+}
+
 TEST(CarouselTest, SingleCoreCostModel) {
   sim::Simulator sim;
   auto shaper_ptr = make_shaper(sim, Rate::gigabits_per_sec(9));

@@ -103,6 +103,62 @@ TEST(PifoTest, CapacityTailDrop) {
   EXPECT_EQ(pifo.stats().dropped, static_cast<std::uint64_t>(drops));
 }
 
+// Push-out audit under rank ties: the full-heap eviction rolls the victim
+// class's finish tag back to the evicted rank, which is only sound if the
+// global worst entry is that class's MOST RECENT enqueue — including when
+// two classes' worst ranks tie and (rank, seq) ordering breaks the tie.
+// The debug assertions in submit() verify the invariant on every eviction;
+// this test drives a deterministic tie-then-evict sequence through them
+// and checks both victim selection and the rollback's visible effect.
+TEST(PifoTest, PushOutUnderRankTiesEvictsLatestAndRollsBack) {
+  sim::Simulator sim;
+  PifoConfig cfg;
+  cfg.capacity = 3;
+  cfg.port_rate = Rate::megabits_per_sec(10);  // slow: heap fills at t=0
+  PifoScheduler pifo(sim, cfg);
+  pifo.add_class("a", 1);
+  pifo.add_class("b", 1);
+  pifo.add_class("c", 1);
+  pifo.set_classifier(
+      [](const net::Packet& p) { return static_cast<int>(p.app_id); });
+  std::vector<std::uint64_t> dropped_ids;
+  pifo.set_on_dropped(
+      [&](const net::Packet& p) { dropped_ids.push_back(p.id); });
+  std::vector<std::uint32_t> delivered_apps;
+  pifo.set_on_delivered(
+      [&](const net::Packet& p) { delivered_apps.push_back(p.app_id); });
+
+  // t=0, equal weights, equal sizes → start tags: a1=0 (goes straight to
+  // the wire), a2=1518, b1=0, b2=1518. Heap is now full at capacity 3 with
+  // a2 and b2 TIED on rank 1518; (rank, seq) makes b2 — class b's most
+  // recent enqueue — the strict maximum.
+  EXPECT_TRUE(pifo.submit(packet_for(0, 1518, /*id=*/1)));  // a1
+  EXPECT_TRUE(pifo.submit(packet_for(0, 1518, /*id=*/2)));  // a2
+  EXPECT_TRUE(pifo.submit(packet_for(1, 1518, /*id=*/3)));  // b1
+  EXPECT_TRUE(pifo.submit(packet_for(1, 1518, /*id=*/4)));  // b2
+  // A fresh class ranks at start 0 < 1518: push-out must evict b2 (id 4),
+  // not the tied a2 (id 2) and not the earlier b1 (id 3), and must roll
+  // b's finish tag back from 3036 to 1518.
+  EXPECT_TRUE(pifo.submit(packet_for(2, 1518, /*id=*/5)));  // c1
+  ASSERT_EQ(dropped_ids, (std::vector<std::uint64_t>{4}));
+  EXPECT_EQ(pifo.stats().pushed_out, 1u);
+
+  // Drain everything (a1, b1, c1, a2), then probe the rollback: after the
+  // queue empties, virtual time sits at 1518. Class b's next start tag is
+  // the ROLLED-BACK 1518 — tying class c's — so b, submitted after c,
+  // still transmits first only because its seq is smaller at equal rank.
+  // Without the rollback b would restart at 3036 and lose to c.
+  sim.schedule_at(sim::milliseconds(20), [&] {
+    EXPECT_TRUE(pifo.submit(packet_for(0, 1518, /*id=*/6)));  // straight to wire
+    EXPECT_TRUE(pifo.submit(packet_for(1, 1518, /*id=*/7)));
+    EXPECT_TRUE(pifo.submit(packet_for(2, 1518, /*id=*/8)));
+  });
+  sim.run_until(sim::milliseconds(40));
+  ASSERT_EQ(delivered_apps.size(), 7u);
+  const std::vector<std::uint32_t> expect = {0, 1, 2, 0, 0, 1, 2};
+  EXPECT_EQ(delivered_apps, expect);
+}
+
 TEST(PifoTest, UnmatchedClassifierDrops) {
   sim::Simulator sim;
   PifoScheduler pifo = make_pifo(sim, 1, 1);

@@ -62,6 +62,43 @@ TEST(BucketQueueTest, RoundsBucketsToWordMultiple) {
   EXPECT_EQ(q.num_buckets(), 128u);
 }
 
+// Regression: a request beyond the two-level bitmap's 4096-bucket ceiling
+// used to be accepted verbatim, making push() execute `1ull << w` with
+// w ≥ 64 (undefined behavior) for high ranks. The constructor now clamps.
+TEST(BucketQueueTest, ClampsToBitmapCeiling) {
+  BucketQueue<int> q(1'000'000);
+  EXPECT_EQ(q.num_buckets(), BucketQueue<int>::kMaxBuckets);
+  EXPECT_EQ(q.num_buckets(), 4096u);
+  // A huge rank saturates into the (clamped) last bucket instead of
+  // indexing past the bitmap.
+  q.push(1'000'000, 7);
+  q.push(0, 8);
+  EXPECT_EQ(q.min_rank(), 0u);
+  EXPECT_EQ(q.pop_max(), 7);
+  EXPECT_EQ(q.pop_min(), 8);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(BucketQueueTest, ZeroBucketsClampsUpToOneWord) {
+  BucketQueue<int> q(0);
+  EXPECT_EQ(q.num_buckets(), BucketQueue<int>::kWordBits);
+  q.push(999, 1);  // saturates into bucket 63 rather than underflowing
+  EXPECT_EQ(q.min_rank(), 63u);
+  EXPECT_EQ(q.pop_min(), 1);
+}
+
+TEST(BucketQueueTest, PopMaxOnSingleElementBucket) {
+  BucketQueue<int> q(256);
+  q.push(200, 1);
+  EXPECT_EQ(q.pop_max(), 1);  // sole entry: max == min
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.min_rank().has_value());
+  // The bitmap must be fully cleared: a fresh push lands clean.
+  q.push(3, 2);
+  EXPECT_EQ(q.min_rank(), 3u);
+  EXPECT_EQ(q.pop_max(), 2);
+}
+
 TEST(BucketQueueTest, ClearResets) {
   BucketQueue<int> q(64);
   q.push(1, 1);
@@ -69,6 +106,20 @@ TEST(BucketQueueTest, ClearResets) {
   q.clear();
   EXPECT_TRUE(q.empty());
   EXPECT_FALSE(q.min_rank().has_value());
+}
+
+TEST(BucketQueueTest, ClearThenReuseBehavesFresh) {
+  BucketQueue<int> q(128);
+  for (std::size_t r = 0; r < 128; ++r) q.push(r, static_cast<int>(r));
+  q.clear();
+  EXPECT_FALSE(q.pop_min().has_value());
+  EXPECT_FALSE(q.pop_max().has_value());
+  q.push(64, 1);  // second word of the bitmap
+  q.push(5, 2);
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.pop_min(), 2);
+  EXPECT_EQ(q.pop_min(), 1);
+  EXPECT_TRUE(q.empty());
 }
 
 TEST(BucketQueueTest, WordBoundaryRanks) {
