@@ -43,7 +43,7 @@ void CheckHarness::add(std::unique_ptr<InvariantChecker> checker) {
 }
 
 void CheckHarness::add_standard_checkers() {
-  for (auto& c : standard_checkers(pipeline_.config())) add(std::move(c));
+  for (auto& c : standard_checkers(pipeline_.config(), engine_)) add(std::move(c));
 }
 
 SystemView CheckHarness::view() const {

@@ -33,6 +33,8 @@ void usage() {
       "  --every N           fault period for --inject-fault (default 97)\n"
       "  --chaos             arm a seed-derived fault schedule per run and\n"
       "                      check the pipeline survives + re-converges\n"
+      "  --storm K           arm a flow-table storm over the middle half of\n"
+      "                      every run: collision | churn | both\n"
       "  --reconfig N        submit N seed-derived live policy updates per\n"
       "                      run (usually with one control-plane fault) and\n"
       "                      check epoch confinement + swap conservation\n"
@@ -93,6 +95,20 @@ int main(int argc, char** argv) {
       fault_every = parse_u64(value());
     } else if (!std::strcmp(arg, "--chaos")) {
       opts.chaos = true;
+    } else if (!std::strcmp(arg, "--storm")) {
+      const char* k = value();
+      if (!std::strcmp(k, "collision")) {
+        opts.storm_collision = true;
+      } else if (!std::strcmp(k, "churn")) {
+        opts.storm_churn = true;
+      } else if (!std::strcmp(k, "both")) {
+        opts.storm_collision = opts.storm_churn = true;
+      } else {
+        std::fprintf(stderr,
+                     "fuzz_check: unknown storm '%s' (collision|churn|both)\n",
+                     k);
+        return 2;
+      }
     } else if (!std::strcmp(arg, "--reconfig")) {
       opts.reconfig_updates = static_cast<unsigned>(parse_u64(value()));
     } else if (!std::strcmp(arg, "--expect-violations")) {
@@ -187,6 +203,11 @@ int main(int argc, char** argv) {
         if (opts.backend)
           reconfig_flag += std::string(" --backend ") +
                            core::backend_kind_name(*opts.backend);
+        if (opts.storm_collision || opts.storm_churn)
+          reconfig_flag += std::string(" --storm ") +
+                           (opts.storm_collision && opts.storm_churn
+                                ? "both"
+                                : opts.storm_collision ? "collision" : "churn");
         std::printf("  repro: fuzz_check --seed 0x%llx%s%s%s%s -v\n",
                     static_cast<unsigned long long>(s),
                     opts.differential ? " --differential" : "",

@@ -124,6 +124,7 @@ const char* FuzzFlow::kind_name() const {
     case Kind::kPoisson: return "poisson";
     case Kind::kOnOff: return "onoff";
     case Kind::kTcp: return "tcp";
+    case Kind::kChurn: return "churn";
   }
   return "?";
 }
@@ -252,6 +253,31 @@ FuzzScenario generate_scenario(std::uint64_t seed) {
       sc.flows.push_back(flow);
     }
   }
+
+  // -- flow-table stress ---------------------------------------------------
+  // EMC geometry and churn ride their own splits so seeds minted before the
+  // cuckoo flow table produce the same policy/workload as before, just with
+  // a randomized cache on top.
+  Rng emc_rng = root_rng.split("emc");
+  const std::size_t emc_caps[] = {4096, 16384, 65536, 262144};
+  sc.nic.emc_capacity = emc_caps[emc_rng.next_below(4)];
+  Rng churn_rng = root_rng.split("churn");
+  if (churn_rng.chance(0.35)) {
+    // One churn source sharing the link with the leaf-targeted flows. Its
+    // live-flow ceiling deliberately straddles the EMC capacity so some
+    // scenarios fit in cache and others thrash it.
+    FuzzFlow flow;
+    flow.kind = FuzzFlow::Kind::kChurn;
+    flow.vf = 0;
+    flow.app_id = next_app++;
+    const std::size_t live_choices[] = {1024, 8192, 65536, 131072};
+    flow.live_flows = live_choices[churn_rng.next_below(4)];
+    flow.rate = sc.link_rate * churn_rng.uniform(0.1, 0.5);
+    flow.frame_bytes = 1518;
+    flow.start = 0;
+    flow.stop = sc.horizon;
+    sc.flows.push_back(flow);
+  }
   return sc;
 }
 
@@ -350,14 +376,17 @@ std::string FuzzScenario::describe() const {
     << nic.num_vfs << " VFs (ring " << nic.vf_ring_capacity << "), tx ring "
     << nic.tx_ring_capacity << ", reorder "
     << (nic.enforce_reorder ? "on" : "off") << ", batch " << nic.batch_size
-    << ", backend " << core::backend_kind_name(nic.backend) << ", horizon "
-    << sim::to_millis(horizon) << " ms\n";
+    << ", backend " << core::backend_kind_name(nic.backend) << ", emc "
+    << nic.emc_capacity << ", horizon " << sim::to_millis(horizon) << " ms\n";
   s << "policy:\n" << fv_script;
   s << "flows:\n";
-  for (const auto& f : flows)
+  for (const auto& f : flows) {
     s << "  vf" << f.vf << " app" << f.app_id << " " << f.kind_name() << " "
       << f.rate.to_string() << " frame " << f.frame_bytes << "B ["
-      << sim::to_millis(f.start) << ", " << sim::to_millis(f.stop) << ") ms\n";
+      << sim::to_millis(f.start) << ", " << sim::to_millis(f.stop) << ") ms";
+    if (f.kind == FuzzFlow::Kind::kChurn) s << " live " << f.live_flows;
+    s << "\n";
+  }
   return s.str();
 }
 

@@ -28,7 +28,7 @@ struct FuzzLeaf {
 
 /// One traffic source of the generated workload.
 struct FuzzFlow {
-  enum class Kind : std::uint8_t { kCbr, kPoisson, kOnOff, kTcp };
+  enum class Kind : std::uint8_t { kCbr, kPoisson, kOnOff, kTcp, kChurn };
   Kind kind = Kind::kCbr;
   std::uint16_t vf = 0;
   std::uint32_t app_id = 0;
@@ -36,6 +36,9 @@ struct FuzzFlow {
   std::uint32_t frame_bytes = 1518;
   sim::SimTime start = 0;
   sim::SimTime stop = 0;
+  /// kChurn only: concurrently-live flow ceiling of the churn workload
+  /// (it spreads over every VF itself; `vf` is ignored for this kind).
+  std::size_t live_flows = 0;
 
   const char* kind_name() const;
 };

@@ -412,10 +412,70 @@ class CeilConformanceChecker final : public InvariantChecker {
   std::vector<std::uint64_t> green_bytes_;  // indexed by ClassLabelId
 };
 
+// -------------------------------------------------------- cache coherence --
+
+/// Flow-cache coherence: an EMC hit is only correct if it returns exactly
+/// the label a fresh rule walk would assign at that instant. Replaying the
+/// rule walk on every hit catches wrong-label deliveries from any cache
+/// pathology — silent poison (fixed-up integrity tags), entries surviving a
+/// label-epoch bump, cuckoo kick paths dropping or duplicating entries, and
+/// degraded-mode readmission serving stale state. Each epoch it also audits
+/// the table's structural books: the occupancy histogram must sum to the
+/// bucket count and weigh out to exactly size() live entries ≤ capacity().
+class CacheCoherenceChecker final : public InvariantChecker {
+ public:
+  explicit CacheCoherenceChecker(core::FlowValveEngine* engine)
+      : engine_(engine) {}
+
+  std::string_view name() const override { return "cache-coherence"; }
+
+  void on_engine_result(const net::Packet& pkt,
+                        const core::FlowValveEngine::Result& r,
+                        sim::SimTime now) override {
+    if (!r.cache_hit || engine_ == nullptr || !engine_->ready()) return;
+    ++hits_checked_;
+    const net::ClassLabelId walked =
+        engine_->classifier().rule_walk_label(pkt.vf_port, pkt.tuple);
+    if (pkt.label != walked)
+      fail(now, "EMC hit on vf " + std::to_string(pkt.vf_port) +
+                    " returned label " + std::to_string(pkt.label) +
+                    " but a fresh rule walk gives " + std::to_string(walked));
+  }
+
+  void on_epoch(const SystemView&, sim::SimTime now) override {
+    if (engine_ == nullptr) return;
+    const core::ExactMatchFlowCache& cache = engine_->classifier().cache();
+    const auto hist = cache.occupancy_histogram();
+    std::uint64_t buckets = 0;
+    std::uint64_t entries = 0;
+    for (std::size_t occ = 0; occ < hist.size(); ++occ) {
+      buckets += hist[occ];
+      entries += hist[occ] * occ;
+    }
+    if (buckets != cache.bucket_count())
+      fail(now, "occupancy histogram covers " + fmt_u64(buckets) +
+                    " buckets != table's " + fmt_u64(cache.bucket_count()));
+    if (entries != cache.size())
+      fail(now, "occupancy histogram holds " + fmt_u64(entries) +
+                    " entries != live size " + fmt_u64(cache.size()));
+    if (cache.size() > cache.capacity())
+      fail(now, "live entries " + fmt_u64(cache.size()) + " exceed capacity " +
+                    fmt_u64(cache.capacity()));
+  }
+
+  void on_finish(const SystemView& v, sim::SimTime now) override {
+    on_epoch(v, now);
+  }
+
+ private:
+  core::FlowValveEngine* engine_;
+  std::uint64_t hits_checked_ = 0;
+};
+
 }  // namespace
 
 std::vector<std::unique_ptr<InvariantChecker>> standard_checkers(
-    const np::NpConfig& config) {
+    const np::NpConfig& config, core::FlowValveEngine* engine) {
   std::vector<std::unique_ptr<InvariantChecker>> out;
   out.push_back(std::make_unique<ConservationChecker>());
   out.push_back(std::make_unique<OrderingChecker>(config.enforce_reorder));
@@ -431,6 +491,10 @@ std::vector<std::unique_ptr<InvariantChecker>> standard_checkers(
   // DESIGN.md par.13).
   if (config.backend == core::BackendKind::kFlowValve)
     out.push_back(std::make_unique<CeilConformanceChecker>());
+  // Cache coherence replays rule walks against the live classifier, so it
+  // needs the engine; harnesses without one (pipeline-only runs) skip it.
+  if (engine != nullptr)
+    out.push_back(std::make_unique<CacheCoherenceChecker>(engine));
   return out;
 }
 

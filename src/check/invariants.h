@@ -20,6 +20,11 @@
 //   ceil-conformance    per-leaf non-borrowed (own-bucket) bytes respect
 //                       rate+burst over every prefix window (token-bucket
 //                       conformance, Eq. 1)
+//   cache-coherence     every EMC hit returns exactly the label a fresh
+//                       rule walk would assign right now — across poison,
+//                       label-epoch bumps, cuckoo kicks/evictions, and
+//                       degraded-mode transitions — and the cuckoo table's
+//                       occupancy books balance at every epoch
 #pragma once
 
 #include <memory>
@@ -31,7 +36,10 @@
 namespace flowvalve::check {
 
 /// All standard checkers, configured for a pipeline with `config`.
+/// `engine` may be null; the cache-coherence checker (which needs to
+/// replay rule walks against the live classifier) is only added when it
+/// is provided.
 std::vector<std::unique_ptr<InvariantChecker>> standard_checkers(
-    const np::NpConfig& config);
+    const np::NpConfig& config, core::FlowValveEngine* engine = nullptr);
 
 }  // namespace flowvalve::check

@@ -13,6 +13,7 @@
 #include "np/flowvalve_processor.h"
 #include "obs/reconfig_tracker.h"
 #include "obs/recovery_tracker.h"
+#include "traffic/churn.h"
 #include "traffic/generators.h"
 #include "traffic/tcp.h"
 
@@ -47,24 +48,27 @@ struct Source {
   std::unique_ptr<traffic::PoissonFlow> poisson;
   std::unique_ptr<traffic::OnOffFlow> onoff;
   std::unique_ptr<traffic::TcpAimdFlow> tcp;
+  std::unique_ptr<traffic::ChurnWorkload> churn;
 
   void start() {
     if (cbr) cbr->start();
     if (poisson) poisson->start();
     if (onoff) onoff->start();
     if (tcp) tcp->start();
+    if (churn) churn->start();
   }
   void stop() {
     if (cbr) cbr->stop();
     if (poisson) poisson->stop();
     if (onoff) onoff->stop();
     if (tcp) tcp->stop();
+    if (churn) churn->stop();
   }
 };
 
 Source make_source(sim::Simulator& sim, traffic::FlowRouter& router,
                    traffic::IdAllocator& ids, const FuzzFlow& f,
-                   sim::Rng rng) {
+                   unsigned vf_count, sim::Rng rng) {
   traffic::FlowSpec spec;
   spec.flow_id = ids.next_flow_id();
   spec.app_id = f.app_id;
@@ -95,6 +99,17 @@ Source make_source(sim::Simulator& sim, traffic::FlowRouter& router,
       cfg.additive_increase = f.rate * 0.1;
       src.tcp = std::make_unique<traffic::TcpAimdFlow>(sim, router, ids, spec,
                                                        cfg, rng);
+      break;
+    }
+    case FuzzFlow::Kind::kChurn: {
+      traffic::ChurnWorkloadConfig cfg;
+      cfg.target_live_flows = f.live_flows > 0 ? f.live_flows : 1024;
+      cfg.aggregate_rate = f.rate;
+      cfg.wire_bytes = f.frame_bytes;
+      cfg.app_id = f.app_id;
+      cfg.vf_count = std::max(1u, vf_count);
+      src.churn = std::make_unique<traffic::ChurnWorkload>(sim, router, ids,
+                                                           cfg, rng);
       break;
     }
   }
@@ -268,8 +283,8 @@ CheckReport run_scenario(const FuzzScenario& sc, const RunOptions& opts) {
   std::vector<Source> sources;
   sources.reserve(sc.flows.size());
   for (const FuzzFlow& f : sc.flows)
-    sources.push_back(
-        make_source(sim, router, ids, f, rng.split("src").split(f.app_id)));
+    sources.push_back(make_source(sim, router, ids, f, sc.nic.num_vfs,
+                                  rng.split("src").split(f.app_id)));
   for (std::size_t i = 0; i < sc.flows.size(); ++i) {
     Source* src = &sources[i];
     sim.schedule_at(sc.flows[i].start, [src] { src->start(); });
@@ -341,6 +356,16 @@ CheckReport run_seed(std::uint64_t seed, const RunOptions& opts) {
         fault::generate_fault_schedule(seed, sc.horizon, sc.nic);
     effective.faults.insert(effective.faults.end(), extra.begin(), extra.end());
   }
+  // Explicit storm opt-ins (`fuzz_check --storm ...`): one default-intensity
+  // event over the middle half of the run, cleared well before the horizon
+  // so degraded-mode hysteresis has room to heal.
+  const auto arm_storm = [&](fault::FaultKind kind) {
+    fault::FaultSchedule one =
+        fault::single_fault(kind, sc.horizon / 4, sc.horizon / 2, sc.nic);
+    effective.faults.insert(effective.faults.end(), one.begin(), one.end());
+  };
+  if (opts.storm_collision) arm_storm(fault::FaultKind::kHashCollisionStorm);
+  if (opts.storm_churn) arm_storm(fault::FaultKind::kChurnStorm);
   if (!effective.faults.empty()) {
     // Fault runs exercise the full recovery layer, including graceful
     // degradation; the admission knob defaults off to keep fault-free

@@ -31,6 +31,12 @@ struct RunOptions {
   /// Also derive a seed-specific chaos schedule (generate_fault_schedule)
   /// and arm it alongside `faults`.
   bool chaos = false;
+  /// Arm a default-intensity kHashCollisionStorm (same-bucket cuckoo keys)
+  /// over the middle half of the run, on top of `faults`/chaos.
+  bool storm_collision = false;
+  /// Arm a default-intensity kChurnStorm (synthetic flow arrival spike)
+  /// over the middle half of the run, on top of `faults`/chaos.
+  bool storm_churn = false;
   /// Settling time after the last timed fault clears before the share
   /// re-convergence window opens (differential runs with faults only).
   sim::SimDuration recovery_settle = sim::milliseconds(30);

@@ -16,11 +16,21 @@ ClassLabelId LabelTable::intern(QosLabel label) {
 // ---------------------------------------------------------- FilterRule ----
 
 namespace {
+
 bool prefix_match(std::uint32_t addr, std::uint32_t rule_addr, std::uint8_t len) {
   if (len == 0) return true;
   const std::uint32_t mask = len >= 32 ? 0xffffffffu : ~(0xffffffffu >> len);
   return (addr & mask) == (rule_addr & mask);
 }
+
+// The splitmix64 finalizer lives on ExactMatchFlowCache (classifier.h) so
+// the distribution test can lock its avalanche property; member functions
+// below reach it unqualified.
+constexpr std::uint64_t kVfSalt = 0x9e3779b97f4a7c15ULL;
+constexpr std::uint64_t kLabelSalt = 0xc2b2ae3d27d4eb4fULL;
+constexpr std::uint64_t kEpochSalt = 0x165667b19e3779f9ULL;
+constexpr std::uint64_t kTagSalt = 0x27d4eb2f165667c5ULL;
+
 }  // namespace
 
 bool FilterRule::matches(std::uint16_t pkt_vf, const FiveTuple& t,
@@ -37,96 +47,442 @@ bool FilterRule::matches(std::uint16_t pkt_vf, const FiveTuple& t,
 
 // ------------------------------------------------- ExactMatchFlowCache ----
 
-ExactMatchFlowCache::ExactMatchFlowCache(std::size_t capacity) {
-  sets_ = std::max<std::size_t>(1, std::bit_ceil(capacity / kWays));
-  ways_.resize(sets_ * kWays);
+ExactMatchFlowCache::ExactMatchFlowCache(Options options) : options_(options) {
+  // Capacity clamp: at least two buckets (cuckoo needs two distinct
+  // candidates), rounded up to a power of two so the index masks hold for
+  // any requested capacity, including 0 and non-multiples of kSlots.
+  const std::size_t want_buckets =
+      std::max<std::size_t>(1, (options_.capacity + kSlots - 1) / kSlots);
+  buckets_ = std::max<std::size_t>(2, std::bit_ceil(want_buckets));
+  slots_.resize(buckets_ * kSlots);
+
+  // Threshold sanity clamps — a zero interval or budget would deadlock the
+  // state machine or the kick search.
+  options_.kick_budget = std::max<std::uint32_t>(options_.kick_budget, 2);
+  options_.max_kick_depth = std::max<std::uint32_t>(options_.max_kick_depth, 1);
+  options_.decay_interval_lookups =
+      std::max<std::uint32_t>(options_.decay_interval_lookups, 1);
+  options_.recovery_admit_every =
+      std::max<std::uint32_t>(options_.recovery_admit_every, 1);
+  options_.degrade_threshold = std::max<std::uint32_t>(options_.degrade_threshold, 1);
+  options_.relapse_threshold = std::max<std::uint32_t>(options_.relapse_threshold, 1);
+  options_.failure_score_cap =
+      std::max(options_.failure_score_cap, options_.degrade_threshold);
 }
 
-std::size_t ExactMatchFlowCache::set_index(std::uint16_t vf, const FiveTuple& t) const {
-  return static_cast<std::size_t>((t.hash() ^ (static_cast<std::uint64_t>(vf) * 0x9e37U)) &
-                                  (sets_ - 1));
+std::uint64_t ExactMatchFlowCache::key_hash(std::uint16_t vf, const FiveTuple& t) const {
+  return mix64(t.hash() ^ (kVfSalt * (static_cast<std::uint64_t>(vf) + 1)));
+}
+
+std::uint32_t ExactMatchFlowCache::bucket_of(std::uint64_t hash) const {
+  return static_cast<std::uint32_t>(hash & (buckets_ - 1));
+}
+
+std::uint32_t ExactMatchFlowCache::alt_bucket_of(std::uint64_t hash,
+                                                 std::uint32_t b1) const {
+  std::uint32_t b2 = static_cast<std::uint32_t>((hash >> 32) & (buckets_ - 1));
+  if (b2 == b1) b2 ^= 1;  // buckets_ >= 2 and a power of two, so b2 is valid
+  return b2;
+}
+
+std::uint64_t ExactMatchFlowCache::entry_tag(std::uint64_t hash, ClassLabelId label,
+                                             std::uint32_t epoch) const {
+  return mix64(hash ^ (static_cast<std::uint64_t>(label) * kLabelSalt) ^
+               (static_cast<std::uint64_t>(epoch) * kEpochSalt) ^ kTagSalt);
+}
+
+ExactMatchFlowCache::Entry* ExactMatchFlowCache::find_slot(std::uint32_t bucket,
+                                                           std::uint64_t hash,
+                                                           std::uint16_t vf,
+                                                           const FiveTuple& t) {
+  Entry* base = &slots_[static_cast<std::size_t>(bucket) * kSlots];
+  for (std::size_t s = 0; s < kSlots; ++s) {
+    Entry& e = base[s];
+    if (e.valid && e.hash == hash && e.vf == vf && e.tuple == t) return &e;
+  }
+  return nullptr;
+}
+
+const ExactMatchFlowCache::Entry* ExactMatchFlowCache::find_slot(
+    std::uint32_t bucket, std::uint64_t hash, std::uint16_t vf,
+    const FiveTuple& t) const {
+  return const_cast<ExactMatchFlowCache*>(this)->find_slot(bucket, hash, vf, t);
+}
+
+void ExactMatchFlowCache::note_lookup() {
+  ++lookup_serial_;
+  if (failure_score_ > 0 && lookup_serial_ % options_.decay_interval_lookups == 0)
+    --failure_score_;
+  switch (health_) {
+    case Health::kHealthy:
+      break;
+    case Health::kDegraded:
+      ++stats_.degraded_dwell_lookups;
+      ++dwell_;
+      if (dwell_ >= options_.min_degraded_dwell && failure_score_ == 0) {
+        health_ = Health::kRecovering;
+        dwell_ = 0;
+        admit_counter_ = 0;
+      }
+      break;
+    case Health::kRecovering:
+      ++stats_.recovering_dwell_lookups;
+      ++dwell_;
+      if (dwell_ >= options_.recovery_clean_lookups && failure_score_ == 0) {
+        health_ = Health::kHealthy;
+        dwell_ = 0;
+      }
+      break;
+  }
+}
+
+void ExactMatchFlowCache::note_kick_failure() {
+  ++stats_.kick_failures;
+  // A failed kick search on a mostly-full table is ordinary capacity
+  // pressure — the stalest-eviction fallback is the honest hardware
+  // behavior and costs bounded work. A failed search while the table has
+  // free space is pathological (adversarial same-bucket keys); only that
+  // raises the pressure score that drives degradation.
+  if (live_ * 8 >= capacity() * 7) return;
+  failure_score_ = std::min(failure_score_ + 1, options_.failure_score_cap);
+  const bool degrade =
+      (health_ == Health::kHealthy && failure_score_ >= options_.degrade_threshold) ||
+      (health_ == Health::kRecovering && failure_score_ >= options_.relapse_threshold);
+  if (degrade) {
+    health_ = Health::kDegraded;
+    ++stats_.degraded_transitions;
+    dwell_ = 0;
+  }
+}
+
+void ExactMatchFlowCache::sweep_idle(std::uint64_t now_tick) {
+  if (options_.idle_timeout_ticks == 0) return;
+  const std::uint32_t bucket =
+      static_cast<std::uint32_t>(sweep_cursor_++ & (buckets_ - 1));
+  Entry* base = &slots_[static_cast<std::size_t>(bucket) * kSlots];
+  for (std::size_t s = 0; s < kSlots; ++s) {
+    Entry& e = base[s];
+    if (e.valid && now_tick > e.last_used &&
+        now_tick - e.last_used > options_.idle_timeout_ticks) {
+      invalidate(e);
+      ++stats_.idle_evictions;
+    }
+  }
 }
 
 std::optional<ClassLabelId> ExactMatchFlowCache::lookup(std::uint16_t vf,
                                                         const FiveTuple& t,
                                                         std::uint64_t now_tick,
                                                         std::uint32_t epoch) {
-  Entry* set = &ways_[set_index(vf, t) * kWays];
-  for (std::size_t w = 0; w < kWays; ++w) {
-    Entry& e = set[w];
-    if (e.valid && e.vf == vf && e.tuple == t) {
-      if (e.epoch != epoch) {
-        // Stale label epoch: a reconfiguration changed the label bindings
-        // since this entry was cached. Invalidate just this entry and fall
-        // through to the rule walk (lazy, per-flow re-classification).
-        e = Entry{};
-        ++stats_.stale_invalidations;
-        break;
-      }
-      e.last_used = now_tick;
+  note_lookup();
+  const std::uint64_t h = key_hash(vf, t);
+  const std::uint32_t b1 = bucket_of(h);
+  Entry* e = find_slot(b1, h, vf, t);
+  if (e == nullptr) e = find_slot(alt_bucket_of(h, b1), h, vf, t);
+  sweep_idle(now_tick);
+  if (e != nullptr) {
+    if (e->epoch != epoch) {
+      // Stale label epoch: a reconfiguration changed the label bindings
+      // since this entry was cached. Invalidate just this entry and fall
+      // through to the rule walk (lazy, per-flow re-classification).
+      invalidate(*e);
+      ++stats_.stale_invalidations;
+    } else if (e->tag != entry_tag(e->hash, e->label, e->epoch)) {
+      // Integrity tag mismatch: the entry's state was corrupted (cache
+      // poison fault). Detect, invalidate, and take the honest miss path
+      // rather than serving a wrong label.
+      invalidate(*e);
+      ++stats_.corruption_detected;
+    } else {
+      e->last_used = now_tick;
       ++stats_.hits;
-      return e.label;
+      return e->label;
     }
   }
   ++stats_.misses;
   return std::nullopt;
 }
 
-void ExactMatchFlowCache::insert(std::uint16_t vf, const FiveTuple& t, ClassLabelId label,
-                                 std::uint64_t now_tick, std::uint32_t epoch) {
-  Entry* set = &ways_[set_index(vf, t) * kWays];
-  Entry* victim = &set[0];
-  for (std::size_t w = 0; w < kWays; ++w) {
-    Entry& e = set[w];
-    if (e.valid && e.vf == vf && e.tuple == t) {  // refresh existing
-      e.label = label;
-      e.last_used = now_tick;
-      e.epoch = epoch;
-      return;
+std::optional<ClassLabelId> ExactMatchFlowCache::peek(std::uint16_t vf,
+                                                      const FiveTuple& t,
+                                                      std::uint32_t epoch) const {
+  const std::uint64_t h = key_hash(vf, t);
+  const std::uint32_t b1 = bucket_of(h);
+  const Entry* e = find_slot(b1, h, vf, t);
+  if (e == nullptr) e = find_slot(alt_bucket_of(h, b1), h, vf, t);
+  if (e == nullptr || e->epoch != epoch) return std::nullopt;
+  if (e->tag != entry_tag(e->hash, e->label, e->epoch)) return std::nullopt;
+  return e->label;
+}
+
+ExactMatchFlowCache::Entry* ExactMatchFlowCache::bfs_free_slot(std::uint32_t b1,
+                                                               std::uint32_t b2,
+                                                               std::uint32_t* kicks) {
+  // Breadth-first search over buckets reachable by displacing residents,
+  // bounded by kick_budget expanded buckets and max_kick_depth chain
+  // length. Nodes record how they were reached so the kick chain can be
+  // replayed backwards once a free slot is found.
+  struct Node {
+    std::uint32_t bucket;
+    std::int32_t parent;      // index into nodes, -1 for roots
+    std::uint8_t slot;        // slot in parent bucket whose entry leads here
+    std::uint8_t depth;
+  };
+  std::vector<Node> nodes;
+  nodes.reserve(options_.kick_budget);
+  nodes.push_back({b1, -1, 0, 0});
+  if (b2 != b1) nodes.push_back({b2, -1, 0, 0});
+
+  for (std::size_t head = 0; head < nodes.size(); ++head) {
+    const Node n = nodes[head];
+    Entry* base = &slots_[static_cast<std::size_t>(n.bucket) * kSlots];
+    // A free slot in this bucket terminates the search: walk the chain
+    // backwards, moving each predecessor's entry into the freed slot.
+    for (std::size_t s = 0; s < kSlots; ++s) {
+      if (base[s].valid) continue;
+      Entry* freed = &base[s];
+      std::int32_t cur = static_cast<std::int32_t>(head);
+      while (nodes[cur].parent >= 0) {
+        const Node& link = nodes[cur];
+        Entry& from =
+            slots_[static_cast<std::size_t>(nodes[link.parent].bucket) * kSlots +
+                   link.slot];
+        *freed = from;
+        freed->alt_bucket = nodes[link.parent].bucket;
+        from.valid = false;
+        freed = &from;
+        ++stats_.kicks;
+        ++*kicks;
+        cur = link.parent;
+      }
+      return freed;  // a now-free slot in b1 or b2
     }
-    if (!e.valid) {
-      victim = &e;
-      break;
+    if (n.depth >= options_.max_kick_depth) continue;
+    for (std::size_t s = 0; s < kSlots && nodes.size() < options_.kick_budget; ++s) {
+      const std::uint32_t target = base[s].alt_bucket;
+      bool seen = false;
+      for (const Node& m : nodes) {
+        if (m.bucket == target) {
+          seen = true;
+          break;
+        }
+      }
+      if (seen) continue;
+      nodes.push_back({target, static_cast<std::int32_t>(head),
+                       static_cast<std::uint8_t>(s),
+                       static_cast<std::uint8_t>(n.depth + 1)});
     }
-    if (e.last_used < victim->last_used) victim = &e;
   }
-  if (victim->valid) ++stats_.evictions;
-  *victim = Entry{true, vf, t, label, now_tick, epoch};
-  ++stats_.insertions;
+  return nullptr;
+}
+
+ExactMatchFlowCache::InsertOutcome ExactMatchFlowCache::insert_at(
+    std::uint32_t b1, std::uint32_t b2, std::uint64_t hash, std::uint16_t vf,
+    const FiveTuple& t, ClassLabelId label, std::uint64_t now_tick,
+    std::uint32_t epoch) {
+  // Refresh an existing entry in place (not an insert; no admission gate).
+  Entry* e = find_slot(b1, hash, vf, t);
+  if (e == nullptr) e = find_slot(b2, hash, vf, t);
+  if (e != nullptr) {
+    // A label or epoch change mutates a resident entry, which must advance
+    // the mutation stamp (the batch replay guard keys off it).
+    if (e->label != label || e->epoch != epoch) ++stats_.insertions;
+    e->label = label;
+    e->epoch = epoch;
+    e->last_used = now_tick;
+    e->tag = entry_tag(hash, label, epoch);
+    return {true, 0};
+  }
+
+  // Degraded-mode admission gate (DESIGN.md §14).
+  if (health_ == Health::kDegraded) {
+    ++stats_.suppressed_inserts;
+    return {false, 0};
+  }
+  if (health_ == Health::kRecovering &&
+      (admit_counter_++ % options_.recovery_admit_every) != 0) {
+    ++stats_.suppressed_inserts;
+    return {false, 0};
+  }
+
+  const auto place = [&](Entry* slot, std::uint32_t in_bucket,
+                         std::uint32_t kicks) -> InsertOutcome {
+    slot->valid = true;
+    slot->vf = vf;
+    slot->tuple = t;
+    slot->label = label;
+    slot->epoch = epoch;
+    slot->last_used = now_tick;
+    slot->hash = hash;
+    slot->alt_bucket = in_bucket == b1 ? b2 : b1;
+    slot->tag = entry_tag(hash, label, epoch);
+    ++live_;
+    ++stats_.insertions;
+    return {true, kicks};
+  };
+
+  // Direct free slot in either candidate bucket.
+  for (std::uint32_t b : {b1, b2}) {
+    Entry* base = &slots_[static_cast<std::size_t>(b) * kSlots];
+    for (std::size_t s = 0; s < kSlots; ++s)
+      if (!base[s].valid) return place(&base[s], b, 0);
+  }
+
+  // Bounded BFS kick path.
+  std::uint32_t kicks = 0;
+  if (Entry* freed = bfs_free_slot(b1, b2, &kicks)) {
+    const std::uint32_t in_bucket =
+        static_cast<std::uint32_t>((freed - slots_.data()) / kSlots);
+    return place(freed, in_bucket, kicks);
+  }
+
+  // Kick budget exhausted: evict the stalest resident of the two candidate
+  // buckets (the hardware-honest bounded fallback) and record the failure —
+  // repeated failures at low table load raise the degradation score.
+  note_kick_failure();
+  Entry* victim = nullptr;
+  std::uint32_t victim_bucket = b1;
+  for (std::uint32_t b : {b1, b2}) {
+    Entry* base = &slots_[static_cast<std::size_t>(b) * kSlots];
+    for (std::size_t s = 0; s < kSlots; ++s) {
+      if (victim == nullptr || base[s].last_used < victim->last_used) {
+        victim = &base[s];
+        victim_bucket = b;
+      }
+    }
+  }
+  if (health_ == Health::kDegraded) {
+    // note_kick_failure() tripped the threshold on this very insert: the
+    // gate closes now, including for this packet.
+    ++stats_.suppressed_inserts;
+    return {false, kicks};
+  }
+  ++stats_.evictions;
+  --live_;
+  return place(victim, victim_bucket, kicks);
+}
+
+ExactMatchFlowCache::InsertOutcome ExactMatchFlowCache::insert(
+    std::uint16_t vf, const FiveTuple& t, ClassLabelId label,
+    std::uint64_t now_tick, std::uint32_t epoch) {
+  const std::uint64_t h = key_hash(vf, t);
+  const std::uint32_t b1 = bucket_of(h);
+  return insert_at(b1, alt_bucket_of(h, b1), h, vf, t, label, now_tick, epoch);
 }
 
 void ExactMatchFlowCache::clear() {
-  std::fill(ways_.begin(), ways_.end(), Entry{});
+  std::fill(slots_.begin(), slots_.end(), Entry{});
+  live_ = 0;
   stats_ = Stats{};
+  ++clears_;
+  health_ = Health::kHealthy;
+  failure_score_ = 0;
+  lookup_serial_ = 0;
+  dwell_ = 0;
+  admit_counter_ = 0;
+  sweep_cursor_ = 0;
 }
 
 std::size_t ExactMatchFlowCache::invalidate_all() {
   std::size_t flushed = 0;
-  for (Entry& e : ways_) {
+  for (Entry& e : slots_) {
     if (!e.valid) continue;
-    e = Entry{};
+    invalidate(e);
     ++flushed;
   }
   stats_.evictions += flushed;
   return flushed;
 }
 
-std::size_t ExactMatchFlowCache::poison(std::size_t stride, ClassLabelId label_count) {
+std::size_t ExactMatchFlowCache::poison(std::size_t stride, ClassLabelId label_count,
+                                        bool fix_tag) {
   if (stride == 0 || label_count < 2) return 0;
   std::size_t seen = 0, poisoned = 0;
-  for (Entry& e : ways_) {
+  for (Entry& e : slots_) {
     if (!e.valid) continue;
     if (seen++ % stride != 0) continue;
     e.label = static_cast<ClassLabelId>((e.label + 1) % label_count);
+    if (fix_tag) e.tag = entry_tag(e.hash, e.label, e.epoch);
     ++poisoned;
   }
   return poisoned;
 }
 
+std::size_t ExactMatchFlowCache::fault_collision_storm(std::uint64_t seed,
+                                                       std::size_t n,
+                                                       std::uint64_t now_tick) {
+  // All storm keys are pinned to one seed-chosen bucket pair, regardless of
+  // their own hashes — the model of an attacker who found same-bucket
+  // five-tuples. They still pass through the normal admission path, so the
+  // degraded-mode gate sees (and eventually refuses) them.
+  const std::uint64_t s = mix64(seed ^ kTagSalt);
+  const std::uint32_t p = bucket_of(s);
+  const std::uint32_t q = alt_bucket_of(s, p);
+  std::size_t admitted = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t r = mix64(seed + (i + 1) * kVfSalt);
+    FiveTuple t;
+    t.src_ip = static_cast<std::uint32_t>(r >> 32);
+    t.dst_ip = static_cast<std::uint32_t>(r);
+    t.src_port = static_cast<std::uint16_t>(i);
+    t.dst_port = static_cast<std::uint16_t>(i >> 16);
+    t.proto = IpProto::kUdp;
+    const std::uint64_t h = key_hash(kCollisionStormVf, t);
+    admitted += insert_at(p, q, h, kCollisionStormVf, t, /*label=*/0, now_tick,
+                          /*epoch=*/0)
+                    .inserted;
+  }
+  return admitted;
+}
+
+std::size_t ExactMatchFlowCache::fault_churn_storm(std::uint64_t seed, std::size_t n,
+                                                   std::uint64_t now_tick) {
+  std::size_t admitted = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t r = mix64(seed + (i + 1) * kLabelSalt);
+    FiveTuple t;
+    t.src_ip = static_cast<std::uint32_t>(r >> 32);
+    t.dst_ip = static_cast<std::uint32_t>(r);
+    t.src_port = static_cast<std::uint16_t>(i);
+    t.dst_port = static_cast<std::uint16_t>(i >> 16);
+    t.proto = IpProto::kUdp;
+    admitted +=
+        insert(kChurnStormVf, t, /*label=*/0, now_tick, /*epoch=*/0).inserted;
+  }
+  return admitted;
+}
+
+std::array<std::uint64_t, ExactMatchFlowCache::kSlots + 1>
+ExactMatchFlowCache::occupancy_histogram() const {
+  std::array<std::uint64_t, kSlots + 1> hist{};
+  for (std::size_t b = 0; b < buckets_; ++b) {
+    std::size_t occ = 0;
+    for (std::size_t s = 0; s < kSlots; ++s)
+      occ += slots_[b * kSlots + s].valid ? 1 : 0;
+    ++hist[occ];
+  }
+  return hist;
+}
+
+const char* health_name(ExactMatchFlowCache::Health h) {
+  switch (h) {
+    case ExactMatchFlowCache::Health::kHealthy:
+      return "healthy";
+    case ExactMatchFlowCache::Health::kDegraded:
+      return "degraded";
+    case ExactMatchFlowCache::Health::kRecovering:
+      return "recovering";
+  }
+  return "unknown";
+}
+
 // ---------------------------------------------------------- Classifier ----
 
 Classifier::Classifier(ClassifierCosts costs, std::size_t cache_capacity)
-    : costs_(costs), cache_(cache_capacity) {}
+    : Classifier(costs, ExactMatchFlowCache::Options{.capacity = cache_capacity}) {}
+
+Classifier::Classifier(ClassifierCosts costs, ExactMatchFlowCache::Options cache_options)
+    : costs_(costs), cache_(cache_options) {}
 
 void Classifier::add_rule(FilterRule rule) {
   rules_.push_back(std::move(rule));
@@ -140,6 +496,12 @@ void Classifier::replace_rules(std::vector<FilterRule> rules) {
                    [](const FilterRule& a, const FilterRule& b) { return a.pref < b.pref; });
 }
 
+ClassLabelId Classifier::rule_walk_label(std::uint16_t vf, const FiveTuple& t) const {
+  for (const auto& rule : rules_)
+    if (rule.matches(vf, t, /*pkt_dscp=*/0)) return rule.label;
+  return default_label_;
+}
+
 Classifier::Result Classifier::classify(const net::Packet& pkt, std::uint64_t now_tick) {
   Result r;
   if (cache_enabled_) {
@@ -147,6 +509,7 @@ Classifier::Result Classifier::classify(const net::Packet& pkt, std::uint64_t no
       r.label = *hit;
       r.cycles = costs_.cache_hit_cycles;
       r.cache_hit = true;
+      r.resident = true;
       return r;
     }
     r.cycles += costs_.cache_miss_cycles;
@@ -166,8 +529,14 @@ Classifier::Result Classifier::classify(const net::Packet& pkt, std::uint64_t no
   r.cycles += walked * costs_.per_rule_cycles;
   r.label = matched;
   if (cache_enabled_ && matched != net::kUnclassified) {
-    cache_.insert(pkt.vf_port, pkt.tuple, matched, now_tick, label_epoch_);
-    r.cycles += costs_.cache_insert_cycles;
+    const auto out =
+        cache_.insert(pkt.vf_port, pkt.tuple, matched, now_tick, label_epoch_);
+    if (out.inserted) {
+      // A suppressed insert (degraded mode) charges nothing extra: the
+      // packet already paid the honest miss + rule-walk cost.
+      r.cycles += costs_.cache_insert_cycles + out.kicks * costs_.per_kick_cycles;
+      r.resident = true;
+    }
   }
   return r;
 }
@@ -179,6 +548,7 @@ Classifier::Result Classifier::classify_repeat(const Result& first) {
   r.label = first.label;
   r.cycles = costs_.cache_hit_cycles;
   r.cache_hit = true;
+  r.resident = true;
   return r;
 }
 

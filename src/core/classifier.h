@@ -1,8 +1,18 @@
 // The labeling function (paper Fig. 5): filter rules, the exact-match flow
 // cache (modeling Netronome's EMC with its dedicated lookup engines,
 // Observation 2), and the label table mapping match results to QoS labels.
+//
+// The flow cache is a bucketized cuckoo hash table (DESIGN.md §14) sized
+// for millions of concurrent (vf, five-tuple) keys: two bucket candidates
+// derived from one splitmix64-mixed 64-bit hash, 4-slot buckets, a
+// bounded-length BFS kick path on insert (never an unbounded loop on the
+// data path), idle-entry eviction amortized into lookups, and an explicit
+// degraded mode — under a collision storm the cache stops admitting
+// inserts, classification falls back to the honest rule-walk cost, and
+// admission resumes gradually (hysteresis, no flush) once pressure clears.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -59,14 +69,68 @@ struct ClassifierCosts {
   std::uint32_t cache_miss_cycles = 250;     // hash + failed lookup
   std::uint32_t per_rule_cycles = 90;        // wildcard rule comparison
   std::uint32_t cache_insert_cycles = 150;
+  std::uint32_t per_kick_cycles = 35;        // one cuckoo displacement
 };
 
-/// Exact-match flow cache: (vf, five-tuple) → label. Fixed capacity with
-/// bucketed eviction (4-way set associative, evict the stalest way), which
-/// is how hardware flow caches behave under pressure.
+/// Exact-match flow cache: (vf, five-tuple) → label. Bucketized cuckoo hash
+/// table: every key has exactly two candidate buckets of kSlots entries
+/// each; inserts displace residents along a BFS-discovered kick path of
+/// bounded length, falling back to a stalest-entry eviction when no path
+/// exists within the budget.
 class ExactMatchFlowCache {
  public:
-  explicit ExactMatchFlowCache(std::size_t capacity = 64 * 1024);
+  static constexpr std::size_t kSlots = 4;  // entries per bucket
+
+  /// VF ids reserved for fault-injected synthetic keys; real traffic never
+  /// carries them, so storm entries can never alias a live flow's label.
+  static constexpr std::uint16_t kCollisionStormVf = 0xFFFF;
+  static constexpr std::uint16_t kChurnStormVf = 0xFFFE;
+
+  /// splitmix64 finalizer behind every hash in the table (bucket indices
+  /// and integrity tags): full avalanche, so every output bit depends on
+  /// every key bit. The old `hash ^ vf * 0x9e37` mix barely perturbed the
+  /// high half and aliased VFs into the same sets; public so the
+  /// distribution test can lock the avalanche property directly.
+  static constexpr std::uint64_t mix64(std::uint64_t z) {
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  struct Options {
+    /// Requested capacity in entries. Clamped in the constructor: at least
+    /// two buckets (a cuckoo table needs two distinct candidates), rounded
+    /// up to a power-of-two bucket count so the index masks are valid for
+    /// any value — zero and non-multiples of kSlots are safe.
+    std::size_t capacity = 64 * 1024;
+    /// Evict entries not touched for this many ticks, amortized into
+    /// lookups (one extra bucket swept per probe). 0 disables idle
+    /// eviction, preserving pure-LRU pressure eviction.
+    std::uint64_t idle_timeout_ticks = 0;
+    /// BFS kick search: at most this many buckets expanded per insert, and
+    /// no kick chain longer than max_kick_depth displacements.
+    std::uint32_t kick_budget = 64;
+    std::uint32_t max_kick_depth = 4;
+    /// Degraded-mode state machine (all thresholds in lookups, so the
+    /// machine is deterministic for a deterministic packet sequence).
+    std::uint32_t degrade_threshold = 16;   // failure score → kDegraded
+    std::uint32_t relapse_threshold = 4;    // score during kRecovering → back
+    std::uint32_t failure_score_cap = 64;
+    std::uint32_t decay_interval_lookups = 64;   // score -1 per interval
+    std::uint32_t min_degraded_dwell = 1024;     // lookups before recovery
+    std::uint32_t recovery_admit_every = 8;      // admit 1-in-N inserts
+    std::uint32_t recovery_clean_lookups = 1024; // quiet lookups → healthy
+  };
+
+  /// Insert-admission health (DESIGN.md §14). kDegraded suppresses all new
+  /// inserts; kRecovering admits 1-in-recovery_admit_every. Lookups always
+  /// proceed. Transitions are driven by the lookup stream, so a cache that
+  /// stops seeing misses still heals.
+  enum class Health : std::uint8_t { kHealthy, kDegraded, kRecovering };
+
+  explicit ExactMatchFlowCache(std::size_t capacity = 64 * 1024)
+      : ExactMatchFlowCache(Options{.capacity = capacity}) {}
+  explicit ExactMatchFlowCache(Options options);
 
   struct Stats {
     std::uint64_t hits = 0;
@@ -74,9 +138,27 @@ class ExactMatchFlowCache {
     std::uint64_t insertions = 0;
     std::uint64_t evictions = 0;
     /// Entries lazily invalidated because their label epoch was stale — a
-    /// live reconfiguration moved the label space from under them (tentpole
-    /// satellite: no full flush, stale hits re-classify instead).
+    /// live reconfiguration moved the label space from under them (no full
+    /// flush, stale hits re-classify instead).
     std::uint64_t stale_invalidations = 0;
+    /// Idle entries reclaimed by the amortized lookup-time sweep.
+    std::uint64_t idle_evictions = 0;
+    /// Cuckoo displacements performed (one per entry moved on a kick path).
+    std::uint64_t kicks = 0;
+    /// Inserts whose BFS found no kick path within budget (fell back to
+    /// stalest-entry eviction, or were the trigger for degradation).
+    std::uint64_t kick_failures = 0;
+    /// Hits rejected because the entry's integrity tag did not match its
+    /// (key, label, epoch) — poisoned state detected and invalidated.
+    std::uint64_t corruption_detected = 0;
+    /// Inserts refused by the degraded/recovering admission gate.
+    std::uint64_t suppressed_inserts = 0;
+    /// Times the cache entered kDegraded.
+    std::uint64_t degraded_transitions = 0;
+    /// Lookups served while degraded / while recovering (dwell counters —
+    /// deterministic for a deterministic run, and exported via obs).
+    std::uint64_t degraded_dwell_lookups = 0;
+    std::uint64_t recovering_dwell_lookups = 0;
     double hit_rate() const {
       const auto total = hits + misses;
       return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
@@ -88,9 +170,22 @@ class ExactMatchFlowCache {
   /// entry costs one re-classification instead of a full cache flush.
   std::optional<ClassLabelId> lookup(std::uint16_t vf, const FiveTuple& t,
                                      std::uint64_t now_tick, std::uint32_t epoch = 0);
-  void insert(std::uint16_t vf, const FiveTuple& t, ClassLabelId label,
-              std::uint64_t now_tick, std::uint32_t epoch = 0);
+
+  /// Outcome of an insert attempt: whether the entry is now resident, and
+  /// how many cuckoo displacements the kick path performed (0 on a direct
+  /// slot, a refresh, or a suppressed insert).
+  struct InsertOutcome {
+    bool inserted = false;
+    std::uint32_t kicks = 0;
+  };
+  InsertOutcome insert(std::uint16_t vf, const FiveTuple& t, ClassLabelId label,
+                       std::uint64_t now_tick, std::uint32_t epoch = 0);
   void clear();
+
+  /// Observational probe: is (vf, t) resident under `epoch` right now?
+  /// Touches no stats and mutates nothing — for checkers and tests.
+  std::optional<ClassLabelId> peek(std::uint16_t vf, const FiveTuple& t,
+                                   std::uint32_t epoch = 0) const;
 
   /// Fault injection: drop every valid entry (an eviction storm). Unlike
   /// clear(), running stats survive and the flushed entries count as
@@ -99,9 +194,28 @@ class ExactMatchFlowCache {
 
   /// Fault injection: corrupt the label of every `stride`-th valid entry to
   /// (label + 1) % label_count — a deterministic model of EMC state
-  /// corruption. Subsequent hits return the wrong class until the entry is
-  /// evicted or flushed. Returns the number of entries poisoned.
-  std::size_t poison(std::size_t stride, ClassLabelId label_count);
+  /// corruption. By default the integrity tag is left stale, so the next
+  /// lookup detects the corruption, invalidates the entry, and re-walks the
+  /// rules (counted in corruption_detected). With fix_tag the tag is
+  /// recomputed — silent corruption that serves the wrong class until the
+  /// entry is evicted or flushed (used to validate the coherence checker).
+  std::size_t poison(std::size_t stride, ClassLabelId label_count,
+                     bool fix_tag = false);
+
+  /// Fault injection, kHashCollisionStorm: force `n` synthetic keys
+  /// (vf = kCollisionStormVf, tuples derived from `seed`) through the
+  /// normal admission path but pinned to one seed-chosen bucket pair —
+  /// adversarial same-bucket pressure that exhausts the kick budget while
+  /// the table is mostly empty. Returns the number actually admitted.
+  std::size_t fault_collision_storm(std::uint64_t seed, std::size_t n,
+                                    std::uint64_t now_tick);
+
+  /// Fault injection, kChurnStorm: force `n` synthetic uniformly-hashed
+  /// keys (vf = kChurnStormVf) through the normal admission path — a flow
+  /// arrival-rate spike that churns occupancy everywhere. Returns the
+  /// number actually admitted.
+  std::size_t fault_churn_storm(std::uint64_t seed, std::size_t n,
+                                std::uint64_t now_tick);
 
   /// Account a repeat hit the batched data path elided: within one worker
   /// burst, the second and later packets of a flow would each have hit the
@@ -110,7 +224,30 @@ class ExactMatchFlowCache {
   void count_repeat_hit() { ++stats_.hits; }
 
   const Stats& stats() const { return stats_; }
-  std::size_t capacity() const { return ways_.size(); }
+  Health health() const { return health_; }
+  /// Current insert-failure pressure score (decays with lookups).
+  std::uint32_t failure_score() const { return failure_score_; }
+  /// Live entries currently resident.
+  std::size_t size() const { return live_; }
+  /// Total entry slots (buckets × kSlots) after constructor clamping.
+  std::size_t capacity() const { return slots_.size(); }
+  std::size_t bucket_count() const { return buckets_; }
+
+  /// Monotonic counter that changes whenever any resident entry could have
+  /// been added, removed, or relabeled — the batched data path's replay
+  /// guard: an unchanged stamp means a previously-probed entry is still
+  /// resident and unmodified.
+  std::uint64_t mutation_stamp() const {
+    return stats_.insertions + stats_.evictions + stats_.stale_invalidations +
+           stats_.idle_evictions + stats_.corruption_detected + clears_;
+  }
+
+  /// Buckets by live-slot count (index 0..kSlots) — the per-set occupancy
+  /// distribution exported via obs. O(capacity); for snapshots, not the
+  /// data path.
+  std::array<std::uint64_t, kSlots + 1> occupancy_histogram() const;
+
+  const Options& options() const { return options_; }
 
  private:
   struct Entry {
@@ -118,17 +255,58 @@ class ExactMatchFlowCache {
     std::uint16_t vf = 0;
     FiveTuple tuple;
     ClassLabelId label = net::kUnclassified;
+    std::uint32_t epoch = 0;       // label epoch the entry was inserted under
     std::uint64_t last_used = 0;
-    std::uint32_t epoch = 0;  // label epoch the entry was inserted under
+    std::uint64_t hash = 0;        // mixed 64-bit key hash (bucket source)
+    std::uint32_t alt_bucket = 0;  // the key's other candidate bucket
+    std::uint64_t tag = 0;         // integrity tag over (hash, label, epoch)
   };
-  static constexpr std::size_t kWays = 4;
 
-  std::size_t set_index(std::uint16_t vf, const FiveTuple& t) const;
+  std::uint64_t key_hash(std::uint16_t vf, const FiveTuple& t) const;
+  std::uint32_t bucket_of(std::uint64_t hash) const;
+  std::uint32_t alt_bucket_of(std::uint64_t hash, std::uint32_t b1) const;
+  std::uint64_t entry_tag(std::uint64_t hash, ClassLabelId label,
+                          std::uint32_t epoch) const;
 
-  std::vector<Entry> ways_;  // sets_ * kWays entries
-  std::size_t sets_ = 0;
+  Entry* find_slot(std::uint32_t bucket, std::uint64_t hash, std::uint16_t vf,
+                   const FiveTuple& t);
+  const Entry* find_slot(std::uint32_t bucket, std::uint64_t hash,
+                         std::uint16_t vf, const FiveTuple& t) const;
+
+  /// The full admission path with explicit candidate buckets (the fault
+  /// hooks pin these; normal inserts derive them from the hash).
+  InsertOutcome insert_at(std::uint32_t b1, std::uint32_t b2, std::uint64_t hash,
+                          std::uint16_t vf, const FiveTuple& t, ClassLabelId label,
+                          std::uint64_t now_tick, std::uint32_t epoch);
+  /// BFS for a kick path from {b1, b2} to a free slot within the budget.
+  /// On success performs the displacements and returns the freed slot.
+  Entry* bfs_free_slot(std::uint32_t b1, std::uint32_t b2, std::uint32_t* kicks);
+  void note_kick_failure();
+  void note_lookup();
+  void sweep_idle(std::uint64_t now_tick);
+  void invalidate(Entry& e) {
+    e.valid = false;
+    --live_;
+  }
+
+  Options options_;
+  std::vector<Entry> slots_;  // buckets_ × kSlots entries
+  std::size_t buckets_ = 0;
+  std::size_t live_ = 0;
   Stats stats_;
+  std::uint64_t clears_ = 0;
+
+  // Degraded-mode state machine (lookup-driven, deterministic).
+  Health health_ = Health::kHealthy;
+  std::uint32_t failure_score_ = 0;
+  std::uint64_t lookup_serial_ = 0;
+  std::uint64_t dwell_ = 0;          // lookups in the current non-healthy state
+  std::uint64_t admit_counter_ = 0;  // 1-in-N admission while recovering
+
+  std::size_t sweep_cursor_ = 0;  // amortized idle-sweep position (buckets)
 };
+
+const char* health_name(ExactMatchFlowCache::Health h);
 
 /// The full labeling function: flow-cache fast path falling back to an
 /// ordered rule walk; resolved labels are cached. A default label (e.g. a
@@ -136,6 +314,7 @@ class ExactMatchFlowCache {
 class Classifier {
  public:
   explicit Classifier(ClassifierCosts costs = {}, std::size_t cache_capacity = 64 * 1024);
+  Classifier(ClassifierCosts costs, ExactMatchFlowCache::Options cache_options);
 
   void add_rule(FilterRule rule);
   /// Replace the whole rule set atomically (control-plane script swap).
@@ -154,6 +333,11 @@ class Classifier {
     ClassLabelId label = net::kUnclassified;
     std::uint32_t cycles = 0;
     bool cache_hit = false;
+    /// The flow's entry is guaranteed resident after this classification
+    /// (it hit, or the miss path admitted the insert). False when the cache
+    /// is disabled, the label was unclassified, or the degraded-mode gate
+    /// suppressed the insert.
+    bool resident = false;
   };
 
   /// Classify a packet; `now_tick` is any monotonically increasing counter
@@ -167,12 +351,11 @@ class Classifier {
   /// inserted it) with last_used == now_tick and the current label epoch,
   /// so a real probe would hit at cache_hit_cycles with no entry mutation.
   /// Callers must guard with repeat_would_hit() — when it is false (cache
-  /// disabled, or an unclassified first result was never inserted) the
+  /// disabled, or the first classification left no resident entry) the
   /// repeat must re-run classify().
   Result classify_repeat(const Result& first);
   bool repeat_would_hit(const Result& first) const {
-    return cache_enabled_ &&
-           (first.cache_hit || first.label != net::kUnclassified);
+    return cache_enabled_ && first.resident;
   }
 
   bool cache_enabled() const { return cache_enabled_; }
@@ -184,6 +367,10 @@ class Classifier {
   /// Rules in evaluation (pref) order — used by the MAT compiler and tests.
   const std::vector<FilterRule>& rules() const { return rules_; }
   ClassLabelId default_label() const { return default_label_; }
+
+  /// The label a fresh rule walk would assign right now — the coherence
+  /// oracle (CacheCoherenceChecker): every cache hit must agree with this.
+  ClassLabelId rule_walk_label(std::uint16_t vf, const FiveTuple& t) const;
 
  private:
   ClassifierCosts costs_;

@@ -7,7 +7,8 @@ namespace flowvalve::core {
 FlowValveEngine::FlowValveEngine() : FlowValveEngine(Options{}) {}
 
 FlowValveEngine::FlowValveEngine(Options options)
-    : options_(options), frontend_(options.params) {}
+    : options_(options),
+      frontend_(options.params, options.classifier_costs, options.emc) {}
 
 std::string FlowValveEngine::configure(std::string_view fv_script, sim::SimTime now) {
   frontend_.apply_script(fv_script);
@@ -71,16 +72,16 @@ void FlowValveEngine::process_batch(BatchEntry* entries, std::size_t n,
     }
     Classifier::Result c;
     if (group != nullptr && cls.repeat_would_hit(group->first) &&
-        cls.cache().stats().insertions == group->insertions_after) {
+        cls.cache().mutation_stamp() == group->stamp_after) {
       c = cls.classify_repeat(group->first);
     } else {
       c = cls.classify(pkt, static_cast<std::uint64_t>(now));
       if (group != nullptr) {
         group->first = c;
-        group->insertions_after = cls.cache().stats().insertions;
+        group->stamp_after = cls.cache().mutation_stamp();
       } else {
         batch_groups_.push_back(
-            {pkt.vf_port, pkt.tuple, c, cls.cache().stats().insertions});
+            {pkt.vf_port, pkt.tuple, c, cls.cache().mutation_stamp()});
       }
     }
     r.cycles += c.cycles;

@@ -23,6 +23,8 @@ class FlowValveEngine {
     FvParams params;
     SchedulerCosts sched_costs;
     ClassifierCosts classifier_costs;
+    /// Flow-cache geometry and degraded-mode thresholds (DESIGN.md §14).
+    ExactMatchFlowCache::Options emc;
     /// Scheduling discipline run behind the shared contention structure
     /// (scheduler_backend.h). The FlowValve tree is the default; rank
     /// backends reuse the same labeling, update walk, and batching path.
@@ -97,14 +99,16 @@ class FlowValveEngine {
 
  private:
   /// Per-burst flow-group scratch (the engine is single-threaded): the
-  /// flow's first classification this burst, and the cache insertion count
-  /// right after it — a changed count means a later miss inserted and the
-  /// replay guarantee is void.
+  /// flow's first classification this burst, and the cache mutation stamp
+  /// right after it — a changed stamp means a later classification added,
+  /// removed, or relabeled some entry (insert, kick-path eviction, stale or
+  /// idle invalidation, corruption detection) and the replay guarantee is
+  /// void.
   struct FlowGroup {
     std::uint16_t vf = 0;
     net::FiveTuple tuple;
     Classifier::Result first;
-    std::uint64_t insertions_after = 0;
+    std::uint64_t stamp_after = 0;
   };
 
   Options options_;

@@ -78,7 +78,11 @@ std::uint32_t parse_ipv4(std::string_view text) {
   return out;
 }
 
-FvFrontend::FvFrontend(FvParams params) : params_(params), tree_(params) {}
+FvFrontend::FvFrontend(FvParams params) : FvFrontend(params, {}, {}) {}
+
+FvFrontend::FvFrontend(FvParams params, ClassifierCosts classifier_costs,
+                       ExactMatchFlowCache::Options emc)
+    : params_(params), tree_(params), classifier_(classifier_costs, emc) {}
 
 void FvFrontend::apply(std::string_view command) {
   auto tok = tokenize(command);

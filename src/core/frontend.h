@@ -41,6 +41,10 @@ std::uint32_t parse_ipv4(std::string_view text);
 class FvFrontend {
  public:
   explicit FvFrontend(FvParams params = {});
+  /// Full plumbing: cycle-cost model and flow-cache geometry for the
+  /// classifier (FlowValveEngine::Options carries both).
+  FvFrontend(FvParams params, ClassifierCosts classifier_costs,
+             ExactMatchFlowCache::Options emc);
 
   /// Apply one fv command. Throws std::invalid_argument with a message
   /// pointing at the offending token on parse errors.

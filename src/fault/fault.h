@@ -19,6 +19,11 @@
 //   kReorderStall    the reorder release pointer freezes; completions park
 //   kCacheStorm      periodic full eviction of the exact-match flow cache
 //   kCachePoison     a fraction of cached labels is corrupted in place
+//   kHashCollisionStorm  adversarial same-bucket keys hammer one cuckoo
+//                    bucket pair each period until the kick budget trips
+//                    the cache into degraded mode (DESIGN.md §14)
+//   kChurnStorm      a flow arrival/death rate spike: waves of synthetic
+//                    short-lived keys churn cache occupancy everywhere
 //   kLeakCommit      every Nth forwarded packet vanishes uncommitted
 //                    (checker-validation bug, not a survivable fault)
 //   kBypassReorder   every Nth forwarded packet jumps the reorder queue
@@ -54,6 +59,8 @@ enum class FaultKind : std::uint8_t {
   kReorderStall,
   kCacheStorm,
   kCachePoison,
+  kHashCollisionStorm,
+  kChurnStorm,
   kLeakCommit,
   kBypassReorder,
   kTornUpdate,
@@ -73,10 +80,13 @@ struct FaultEvent {
   unsigned worker_count = 1;
 
   // Kind-specific intensity: wire factor (kWireDip), capacity fraction
-  // (kTxBackpressure), poisoned fraction (kCachePoison). Unused otherwise.
+  // (kTxBackpressure), poisoned fraction (kCachePoison), same-bucket keys
+  // per period relative to the default wave (kHashCollisionStorm), fraction
+  // of cache capacity churned per period (kChurnStorm). Unused otherwise.
   double magnitude = 0.0;
 
-  // kCacheStorm: eviction interval (0 ⇒ duration / 8).
+  // kCacheStorm / kHashCollisionStorm / kChurnStorm: storm interval
+  // (0 ⇒ duration / 8).
   // kLeakCommit / kBypassReorder: the every-Nth modulo (0 ⇒ 97).
   // kUpdateStorm: number of back-to-back updates (0 ⇒ 8).
   sim::SimDuration period = 0;

@@ -17,6 +17,8 @@ const char* fault_kind_name(FaultKind kind) {
     case FaultKind::kReorderStall: return "reorder-stall";
     case FaultKind::kCacheStorm: return "cache-storm";
     case FaultKind::kCachePoison: return "cache-poison";
+    case FaultKind::kHashCollisionStorm: return "hash-collision-storm";
+    case FaultKind::kChurnStorm: return "churn-storm";
     case FaultKind::kLeakCommit: return "leak-commit";
     case FaultKind::kBypassReorder: return "bypass-reorder";
     case FaultKind::kTornUpdate: return "torn-update";
@@ -41,6 +43,10 @@ std::string FaultEvent::describe() const {
       break;
     case FaultKind::kCacheStorm:
       s << " period=" << period << "ns";
+      break;
+    case FaultKind::kHashCollisionStorm:
+    case FaultKind::kChurnStorm:
+      s << " magnitude=" << magnitude << " period=" << period << "ns";
       break;
     case FaultKind::kLeakCommit:
     case FaultKind::kBypassReorder:
@@ -81,6 +87,8 @@ bool needs_duration_floor(FaultKind kind) {
     case FaultKind::kTxBackpressure:
     case FaultKind::kReorderStall:
     case FaultKind::kCacheStorm:
+    case FaultKind::kHashCollisionStorm:
+    case FaultKind::kChurnStorm:
     // Control-plane faults are latched/sticky on the reconfiguration
     // manager: the floor guarantees a clear() runs to un-latch them and
     // start the recovery probe that closes the FaultRecord.
@@ -111,6 +119,14 @@ FaultSchedule single_fault(FaultKind kind, sim::SimTime at,
     case FaultKind::kTxBackpressure: ev.magnitude = 0.10; break;
     case FaultKind::kCachePoison: ev.magnitude = 0.50; break;
     case FaultKind::kCacheStorm: ev.period = duration / 8; break;
+    case FaultKind::kHashCollisionStorm:
+      ev.magnitude = 1.0;
+      ev.period = duration / 8;
+      break;
+    case FaultKind::kChurnStorm:
+      ev.magnitude = 0.25;
+      ev.period = duration / 8;
+      break;
     case FaultKind::kReorderStall: break;
     case FaultKind::kLeakCommit:
     case FaultKind::kBypassReorder:
@@ -138,7 +154,8 @@ FaultSchedule generate_fault_schedule(std::uint64_t seed,
       FaultKind::kWorkerStall,  FaultKind::kWorkerCrash,
       FaultKind::kWireDip,      FaultKind::kTxBackpressure,
       FaultKind::kReorderStall, FaultKind::kCacheStorm,
-      FaultKind::kCachePoison,
+      FaultKind::kCachePoison,  FaultKind::kHashCollisionStorm,
+      FaultKind::kChurnStorm,
   };
   const std::size_t n = 1 + rng.next_below(4);
   FaultSchedule out;
@@ -177,6 +194,14 @@ FaultSchedule generate_fault_schedule(std::uint64_t seed,
         ev.magnitude = rng.uniform(0.25, 0.75);
         break;
       case FaultKind::kCacheStorm:
+        ev.period = ev.duration / (4 + rng.next_below(8));
+        break;
+      case FaultKind::kHashCollisionStorm:
+        ev.magnitude = rng.uniform(0.5, 2.0);
+        ev.period = ev.duration / (4 + rng.next_below(8));
+        break;
+      case FaultKind::kChurnStorm:
+        ev.magnitude = rng.uniform(0.1, 0.5);
         ev.period = ev.duration / (4 + rng.next_below(8));
         break;
       case FaultKind::kReorderStall:
@@ -278,12 +303,14 @@ void FaultPlane::inject(ActiveFault& f) {
     case FaultKind::kReorderStall:
       pipeline_.fault_freeze_reorder(true);
       break;
-    case FaultKind::kCacheStorm: {
+    case FaultKind::kCacheStorm:
+    case FaultKind::kHashCollisionStorm:
+    case FaultKind::kChurnStorm: {
       if (!engine_) break;
-      engine_->classifier().cache_for_fault().invalidate_all();
+      storm_action(f, 0);
       sim::SimDuration period = ev.period > 0 ? ev.period : ev.duration / 8;
       period = std::max<sim::SimDuration>(period, sim::microseconds(10));
-      storm_tick(&f, sim_.now() + ev.duration, period);
+      storm_tick(&f, sim_.now() + ev.duration, period, 1);
       break;
     }
     case FaultKind::kCachePoison: {
@@ -326,13 +353,52 @@ void FaultPlane::inject(ActiveFault& f) {
   }
 }
 
+void FaultPlane::storm_action(ActiveFault& f, std::uint64_t tick) {
+  if (!engine_) return;
+  auto& cache = engine_->classifier().cache_for_fault();
+  const auto now_tick = static_cast<std::uint64_t>(sim_.now());
+  switch (f.ev.kind) {
+    case FaultKind::kCacheStorm:
+      cache.invalidate_all();
+      break;
+    case FaultKind::kHashCollisionStorm: {
+      // Same seed every tick: the attack hammers one bucket pair with one
+      // stable adversarial key set for the fault's whole lifetime. Resident
+      // keys refresh; the overflow keys fail their kick search again each
+      // wave, keeping the pressure score up while the storm lasts.
+      const std::uint64_t seed =
+          0x9e3779b97f4a7c15ULL *
+          (static_cast<std::uint64_t>(f.ev.at) + 0x1dULL);
+      const double m = f.ev.magnitude > 0.0 ? f.ev.magnitude : 1.0;
+      const auto n = static_cast<std::size_t>(std::clamp(m, 0.25, 4.0) * 64.0);
+      cache.fault_collision_storm(seed, n, now_tick);
+      break;
+    }
+    case FaultKind::kChurnStorm: {
+      // Fresh keys every tick: an arrival-rate spike of short-lived flows.
+      const std::uint64_t seed =
+          0x9e3779b97f4a7c15ULL *
+          (static_cast<std::uint64_t>(f.ev.at) + tick + 0x2eULL);
+      const double m =
+          std::clamp(f.ev.magnitude > 0.0 ? f.ev.magnitude : 0.25, 0.01, 1.0);
+      const auto n = std::max<std::size_t>(
+          64, static_cast<std::size_t>(
+                  static_cast<double>(cache.capacity()) * m / 8.0));
+      cache.fault_churn_storm(seed, n, now_tick);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
 void FaultPlane::storm_tick(ActiveFault* f, sim::SimTime end,
-                            sim::SimDuration period) {
+                            sim::SimDuration period, std::uint64_t tick) {
   const sim::SimTime next = sim_.now() + period;
   if (next >= end) return;
-  sim_.schedule_at(next, [this, f, end, period] {
-    if (engine_) engine_->classifier().cache_for_fault().invalidate_all();
-    storm_tick(f, end, period);
+  sim_.schedule_at(next, [this, f, end, period, tick] {
+    storm_action(*f, tick);
+    storm_tick(f, end, period, tick + 1);
   });
 }
 
@@ -355,7 +421,12 @@ void FaultPlane::clear(ActiveFault& f) {
       pipeline_.fault_freeze_reorder(false);
       break;
     case FaultKind::kCacheStorm:
-      break;  // the storm chain stops on its own at `end`
+    case FaultKind::kHashCollisionStorm:
+    case FaultKind::kChurnStorm:
+      // The storm chains stop on their own at `end`. No flush: degraded-
+      // mode hysteresis must re-admit gradually on its own (DESIGN.md §14);
+      // leftover synthetic entries age out under normal pressure.
+      break;
     case FaultKind::kCachePoison:
       // Flush the corrupted entries so correct labels repopulate.
       if (engine_) engine_->classifier().cache_for_fault().invalidate_all();
@@ -392,7 +463,11 @@ void FaultPlane::probe(ActiveFault& f) {
   const bool quiescent = now_c.watchdog_drops == f.at_last_probe.watchdog_drops &&
                          now_c.timeout_drops == f.at_last_probe.timeout_drops &&
                          now_c.admission_drops == f.at_last_probe.admission_drops;
-  if (quiescent && pipeline_.hung_workers() == 0 &&
+  const bool cache_healthy =
+      engine_ == nullptr ||
+      engine_->classifier().cache().health() ==
+          core::ExactMatchFlowCache::Health::kHealthy;
+  if (quiescent && cache_healthy && pipeline_.hung_workers() == 0 &&
       pipeline_.retry_backlog() == 0 && (!reconfig_ || !reconfig_->busy())) {
     close(f, sim_.now());
     return;

@@ -82,7 +82,11 @@ class FaultPlane {
   void clear(ActiveFault& f);
   void probe(ActiveFault& f);
   void close(ActiveFault& f, sim::SimTime recovered_at);
-  void storm_tick(ActiveFault* f, sim::SimTime end, sim::SimDuration period);
+  /// One wave of a periodic cache storm (full eviction, same-bucket
+  /// collision keys, or churn keys, per the fault's kind).
+  void storm_action(ActiveFault& f, std::uint64_t tick);
+  void storm_tick(ActiveFault* f, sim::SimTime end, sim::SimDuration period,
+                  std::uint64_t tick);
   sim::SimDuration probe_period() const;
 
   sim::Simulator& sim_;

@@ -400,11 +400,15 @@ void NicPipeline::reorder_committed() {
   if (!reorder_frozen_) {
     release_reorder_prefix();
     // Capacity cap: a stalled hole (e.g. a leaked completion) must not grow
-    // the buffer without bound. Declare the missing head sequence(s) lost,
-    // jump the release pointer to the oldest buffered completion, and drain.
+    // the buffer without bound. Declare the missing head sequence(s) lost —
+    // dropping any occupant still alive on a worker or in the retry queue
+    // BEFORE survivors behind it release — then jump the release pointer to
+    // the oldest buffered completion and drain.
     while (reorder_count_ > config_.reorder_capacity) {
       ++stats_.reorder_flushes;
-      next_release_seq_ = oldest_buffered_seq();
+      const std::uint64_t head = oldest_buffered_seq();
+      doom_flushed_range(head, DropReason::kReorderFlush);
+      next_release_seq_ = head;
       release_reorder_prefix();
     }
   }
@@ -482,32 +486,34 @@ void NicPipeline::reorder_timeout_flush() {
   if (reorder_count_ == 0) return;  // hole closed since the last commit
   const std::uint64_t head = oldest_buffered_seq();
   // The hole [next_release_seq_, head) aged out: its slots are declared
-  // lost. Any live occupant (a packet still on a worker or in the retry
-  // queue) is dropped NOW, before survivors release, so drops always
-  // precede the deliveries that overtake them.
+  // lost and any live occupant is dropped before survivors release.
+  doom_flushed_range(head, DropReason::kReorderTimeout);
+  ++stats_.reorder_timeout_flushes;
+  next_release_seq_ = head;
+  release_reorder_prefix();
+  update_hole_tracking();
+}
+
+void NicPipeline::doom_flushed_range(std::uint64_t head, DropReason reason) {
   for (WorkerCtx& ctx : workers_) {
     if (ctx.state != WorkerCtx::State::kBusy) continue;
     for (BurstItem& item : ctx.burst) {
       if (!item.doomed && item.seq >= next_release_seq_ && item.seq < head) {
         item.doomed = true;
         --in_flight_;
-        drop(item.pkt, DropReason::kReorderTimeout);
+        drop(item.pkt, reason);
       }
     }
   }
   for (auto it = retry_queue_.begin(); it != retry_queue_.end();) {
     if (it->seq >= next_release_seq_ && it->seq < head) {
       --in_flight_;
-      drop(it->pkt, DropReason::kReorderTimeout);
+      drop(it->pkt, reason);
       it = retry_queue_.erase(it);
     } else {
       ++it;
     }
   }
-  ++stats_.reorder_timeout_flushes;
-  next_release_seq_ = head;
-  release_reorder_prefix();
-  update_hole_tracking();
 }
 
 void NicPipeline::tx_admit(net::Packet pkt) {
@@ -873,7 +879,9 @@ void NicPipeline::fault_freeze_reorder(bool frozen) {
   release_reorder_prefix();
   while (reorder_count_ > config_.reorder_capacity) {
     ++stats_.reorder_flushes;
-    next_release_seq_ = oldest_buffered_seq();
+    const std::uint64_t head = oldest_buffered_seq();
+    doom_flushed_range(head, DropReason::kReorderFlush);
+    next_release_seq_ = head;
     release_reorder_prefix();
   }
   update_hole_tracking();

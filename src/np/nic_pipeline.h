@@ -338,6 +338,11 @@ class NicPipeline final : public net::EgressDevice {
   ReorderSlot& reorder_slot_for(std::uint64_t seq);
   void reorder_committed();
   void release_reorder_prefix();
+  /// Drop every live occupant (worker-burst item or retry-queue entry) of
+  /// the hole [next_release_seq_, head) that a flush is about to skip, so
+  /// drops always precede the deliveries that overtake them. Every path
+  /// that jumps the release pointer past a hole must call this first.
+  void doom_flushed_range(std::uint64_t head, DropReason reason);
   void update_hole_tracking();
   /// Oldest buffered (non-empty) sequence; precondition reorder_count_ > 0.
   std::uint64_t oldest_buffered_seq() const;

@@ -59,6 +59,17 @@ struct NpConfig {
   /// selectable per NIC (and per fuzz scenario / fuzz_check --backend).
   core::BackendKind backend = core::BackendKind::kFlowValve;
 
+  /// Exact-match flow-cache capacity in entries (the cuckoo EMC clamps this
+  /// to at least two 4-slot buckets and a power-of-two bucket count). The
+  /// million-flow scale bench raises it; the default matches the Agilio
+  /// EMC's 64k-flow table.
+  std::size_t emc_capacity = 64 * 1024;
+
+  /// Evict EMC entries idle for longer than this (amortized into lookups).
+  /// 0 keeps idle eviction off — pure LRU-under-pressure, the legacy
+  /// behavior every differential oracle runs with.
+  SimDuration emc_idle_timeout = 0;
+
   /// The reorder system (Fig. 4): when enabled, packets enter the Tx FIFO
   /// in their NIC-arrival order even if a later packet's worker finished
   /// first (run-to-completion cores take different cycle counts per packet).
@@ -151,6 +162,7 @@ struct NpConfig {
     if (!(freq_ghz > 0.0)) reject("freq_ghz must be > 0");
     if (wire_rate.is_zero()) reject("wire_rate must be > 0");
     if (fixed_pipeline_delay < 0) reject("fixed_pipeline_delay must be >= 0");
+    if (emc_idle_timeout < 0) reject("emc_idle_timeout must be >= 0");
     if (recovery.watchdog_max_retries == 0)
       reject("recovery.watchdog_max_retries must be >= 1");
     if (!(recovery.admission_high_watermark > 0.0) ||

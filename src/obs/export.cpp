@@ -119,6 +119,30 @@ void snapshot_json(JsonWriter& w, const CounterSnapshot& s) {
         .key("band_adaptations").value(s.sched.band_adaptations)
         .end_object();
   }
+  if (s.have_emc) {
+    w.key("emc").begin_object()
+        .key("health").value(core::health_name(s.emc_health))
+        .key("size").value(s.emc_size)
+        .key("capacity").value(s.emc_capacity)
+        .key("hits").value(s.emc.hits)
+        .key("misses").value(s.emc.misses)
+        .key("hit_rate").value(s.emc.hit_rate())
+        .key("insertions").value(s.emc.insertions)
+        .key("evictions").value(s.emc.evictions)
+        .key("stale_invalidations").value(s.emc.stale_invalidations)
+        .key("idle_evictions").value(s.emc.idle_evictions)
+        .key("kicks").value(s.emc.kicks)
+        .key("kick_failures").value(s.emc.kick_failures)
+        .key("corruption_detected").value(s.emc.corruption_detected)
+        .key("suppressed_inserts").value(s.emc.suppressed_inserts)
+        .key("degraded_transitions").value(s.emc.degraded_transitions)
+        .key("degraded_dwell_lookups").value(s.emc.degraded_dwell_lookups)
+        .key("recovering_dwell_lookups").value(s.emc.recovering_dwell_lookups);
+    w.key("bucket_occupancy").begin_array();
+    for (std::uint64_t n : s.emc_occupancy) w.value(n);
+    w.end_array();
+    w.end_object();
+  }
   w.key("worker_utilization").value(s.worker_utilization);
   w.key("reorder_occupancy").value(s.reorder_occupancy);
   w.key("in_flight").value(s.in_flight);

@@ -44,6 +44,15 @@ CounterSnapshot MetricsHub::snapshot() const {
     s.backend = engine_->backend_kind();
     s.have_sched = true;
   }
+  if (engine_) {
+    const core::ExactMatchFlowCache& cache = engine_->classifier().cache();
+    s.emc = cache.stats();
+    s.emc_health = cache.health();
+    s.emc_occupancy = cache.occupancy_histogram();
+    s.emc_size = cache.size();
+    s.emc_capacity = cache.capacity();
+    s.have_emc = true;
+  }
   s.worker_utilization = pipeline_.worker_utilization(sim_.now());
   s.reorder_occupancy = pipeline_.reorder_occupancy();
   s.in_flight = pipeline_.in_flight();

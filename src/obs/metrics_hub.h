@@ -34,6 +34,15 @@ struct CounterSnapshot {
   double worker_utilization = 0.0;
   std::uint64_t reorder_occupancy = 0;
   std::uint64_t in_flight = 0;
+  // Flow-cache (cuckoo EMC) state; zeros unless an engine is attached.
+  core::ExactMatchFlowCache::Stats emc;
+  core::ExactMatchFlowCache::Health emc_health =
+      core::ExactMatchFlowCache::Health::kHealthy;
+  std::array<std::uint64_t, core::ExactMatchFlowCache::kSlots + 1>
+      emc_occupancy{};  // buckets holding 0..kSlots live entries
+  std::uint64_t emc_size = 0;
+  std::uint64_t emc_capacity = 0;
+  bool have_emc = false;
 };
 
 class MetricsHub final : public np::PipelineObserver {

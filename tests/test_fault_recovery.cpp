@@ -80,7 +80,9 @@ INSTANTIATE_TEST_SUITE_P(
                       fault::FaultKind::kTxBackpressure,
                       fault::FaultKind::kReorderStall,
                       fault::FaultKind::kCacheStorm,
-                      fault::FaultKind::kCachePoison),
+                      fault::FaultKind::kCachePoison,
+                      fault::FaultKind::kHashCollisionStorm,
+                      fault::FaultKind::kChurnStorm),
     [](const ::testing::TestParamInfo<fault::FaultKind>& info) {
       std::string name = fault::fault_kind_name(info.param);
       for (char& c : name)

@@ -1,0 +1,431 @@
+// Tier-1 coverage for the bucketized cuckoo flow table (DESIGN.md §14):
+// the splitmix64 mixer's avalanche/distribution lock, constructor capacity
+// clamping, the bounded BFS kick path, idle eviction amortized into
+// lookups, integrity-tag poison detection, the poison × label-epoch ×
+// eviction interleavings, the degraded-mode state machine's determinism,
+// and the million-flow churn soak across every scheduler backend and both
+// batch sizes with the cache-coherence checker armed.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "check/fuzzer.h"
+#include "check/runner.h"
+#include "core/classifier.h"
+#include "net/packet.h"
+
+namespace flowvalve::core {
+namespace {
+
+FiveTuple tuple_n(std::uint64_t serial) {
+  FiveTuple t;
+  t.src_ip = 0x0a000000u + static_cast<std::uint32_t>(serial >> 16);
+  t.dst_ip = 0x0a0000ffu;
+  t.src_port = static_cast<std::uint16_t>(serial & 0xFFFF);
+  t.dst_port = 443;
+  t.proto = IpProto::kTcp;
+  return t;
+}
+
+// ---- splitmix64 mixer (the set-index distribution lock) -------------------
+
+TEST(Mix64, FullAvalancheOnEveryInputBit) {
+  // Flipping any single input bit must flip close to half the output bits.
+  // The weak pre-cuckoo mix (hash ^ vf * 0x9e37) fails this immediately for
+  // high input bits, which is exactly how VFs aliased into the same sets.
+  const std::uint64_t bases[] = {0u, 1u, 0xdeadbeefu, 0x0123456789abcdefULL,
+                                 ~0ULL};
+  double total = 0.0;
+  int samples = 0;
+  for (std::uint64_t x : bases) {
+    for (int bit = 0; bit < 64; ++bit) {
+      const int flipped = std::popcount(
+          ExactMatchFlowCache::mix64(x) ^
+          ExactMatchFlowCache::mix64(x ^ (std::uint64_t{1} << bit)));
+      EXPECT_GE(flipped, 12) << "base " << x << " bit " << bit;
+      EXPECT_LE(flipped, 52) << "base " << x << " bit " << bit;
+      total += flipped;
+      ++samples;
+    }
+  }
+  EXPECT_NEAR(total / samples, 32.0, 2.0);
+}
+
+TEST(Mix64, SequentialKeysSpreadEvenlyAcrossSets) {
+  // Low-entropy sequential inputs (the serial-derived churn tuples) must
+  // land uniformly in a power-of-two index space: 4096 keys over 1024
+  // buckets should look Poisson(4), not clumped.
+  constexpr std::size_t kBuckets = 1024;
+  std::vector<std::uint32_t> count(kBuckets, 0);
+  for (std::uint64_t i = 0; i < 4 * kBuckets; ++i)
+    ++count[ExactMatchFlowCache::mix64(i) & (kBuckets - 1)];
+  std::uint32_t worst = 0, empty = 0;
+  for (std::uint32_t c : count) {
+    worst = std::max(worst, c);
+    empty += c == 0;
+  }
+  EXPECT_LE(worst, 20u);   // P(Poisson(4) > 20) ~ 1e-10 per bucket
+  EXPECT_LE(empty, 60u);   // expected e^-4 * 1024 ~ 19 empty buckets
+}
+
+// ---- constructor capacity clamping ----------------------------------------
+
+TEST(FlowTable, CapacityClampHandlesZeroAndOddSizes) {
+  for (std::size_t requested : {std::size_t{0}, std::size_t{1}, std::size_t{5},
+                                std::size_t{3000}, std::size_t{4096}}) {
+    ExactMatchFlowCache cache(
+        ExactMatchFlowCache::Options{.capacity = requested});
+    EXPECT_GE(cache.bucket_count(), 2u) << "requested " << requested;
+    EXPECT_TRUE(std::has_single_bit(cache.bucket_count()))
+        << "requested " << requested;
+    EXPECT_EQ(cache.capacity(),
+              cache.bucket_count() * ExactMatchFlowCache::kSlots);
+    EXPECT_GE(cache.capacity(), requested) << "requested " << requested;
+    // The clamped table must actually work, even when 0 was requested.
+    cache.insert(1, tuple_n(7), 42, 1);
+    EXPECT_EQ(cache.peek(1, tuple_n(7)), std::optional<ClassLabelId>(42));
+  }
+}
+
+// ---- kick path ------------------------------------------------------------
+
+TEST(FlowTable, KickPathRelocatesResidentsWithoutLoss) {
+  // 16 buckets x 4 slots at load 0.875: direct slots run out, the BFS kick
+  // path must relocate residents — and every key stays findable.
+  ExactMatchFlowCache cache(ExactMatchFlowCache::Options{.capacity = 64});
+  constexpr std::uint64_t kKeys = 56;
+  for (std::uint64_t i = 0; i < kKeys; ++i) {
+    const auto out = cache.insert(0, tuple_n(i), static_cast<ClassLabelId>(i), i);
+    ASSERT_TRUE(out.inserted) << "key " << i;
+  }
+  EXPECT_GT(cache.stats().kicks, 0u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  EXPECT_EQ(cache.size(), kKeys);
+  for (std::uint64_t i = 0; i < kKeys; ++i)
+    EXPECT_EQ(cache.peek(0, tuple_n(i)),
+              std::optional<ClassLabelId>(static_cast<ClassLabelId>(i)))
+        << "key " << i;
+}
+
+TEST(FlowTable, FullTablePressureEvictsStalestButNeverDegrades) {
+  // 2 buckets x 4 slots, 64 inserts: kick failures at high load are honest
+  // capacity pressure — stalest-entry eviction, no degraded transition.
+  ExactMatchFlowCache cache(ExactMatchFlowCache::Options{.capacity = 8});
+  for (std::uint64_t i = 0; i < 64; ++i)
+    cache.insert(0, tuple_n(i), static_cast<ClassLabelId>(i), /*now_tick=*/i);
+  EXPECT_GT(cache.stats().kick_failures, 0u);
+  EXPECT_GT(cache.stats().evictions, 0u);
+  EXPECT_LE(cache.size(), cache.capacity());
+  EXPECT_EQ(cache.health(), ExactMatchFlowCache::Health::kHealthy);
+  EXPECT_EQ(cache.stats().degraded_transitions, 0u);
+  // The most recent insert survived the eviction fallback.
+  EXPECT_TRUE(cache.peek(0, tuple_n(63)).has_value());
+}
+
+// ---- idle eviction --------------------------------------------------------
+
+TEST(FlowTable, IdleEntriesReclaimedByAmortizedLookupSweep) {
+  ExactMatchFlowCache cache(
+      ExactMatchFlowCache::Options{.capacity = 64, .idle_timeout_ticks = 100});
+  constexpr std::uint64_t kKeys = 16;
+  for (std::uint64_t i = 0; i < kKeys; ++i)
+    cache.insert(0, tuple_n(i), 1, /*now_tick=*/0);
+  EXPECT_EQ(cache.size(), kKeys);
+  // Each lookup sweeps one bucket; a full cursor revolution at a tick past
+  // the timeout reclaims every idle entry without any explicit flush call.
+  for (std::uint64_t i = 0; i < cache.bucket_count(); ++i)
+    cache.lookup(9, tuple_n(1000 + i), /*now_tick=*/500);
+  EXPECT_EQ(cache.stats().idle_evictions, kKeys);
+  EXPECT_EQ(cache.size(), 0u);
+  for (std::uint64_t i = 0; i < kKeys; ++i)
+    EXPECT_FALSE(cache.peek(0, tuple_n(i)).has_value());
+}
+
+TEST(FlowTable, RecentlyTouchedEntriesSurviveTheSweep) {
+  ExactMatchFlowCache cache(
+      ExactMatchFlowCache::Options{.capacity = 64, .idle_timeout_ticks = 100});
+  cache.insert(0, tuple_n(0), 1, /*now_tick=*/0);
+  cache.insert(0, tuple_n(1), 2, /*now_tick=*/0);
+  EXPECT_TRUE(cache.lookup(0, tuple_n(0), /*now_tick=*/450).has_value());
+  for (std::uint64_t i = 0; i < cache.bucket_count(); ++i)
+    cache.lookup(9, tuple_n(1000 + i), /*now_tick=*/500);
+  EXPECT_TRUE(cache.peek(0, tuple_n(0)).has_value());   // touched at 450
+  EXPECT_FALSE(cache.peek(0, tuple_n(1)).has_value());  // idle since 0
+}
+
+// ---- integrity tags and poison × epoch × eviction interleavings -----------
+
+TEST(FlowTable, PoisonDetectedByIntegrityTagOnNextLookup) {
+  ExactMatchFlowCache cache(1024);
+  constexpr std::uint64_t kKeys = 8;
+  for (std::uint64_t i = 0; i < kKeys; ++i)
+    cache.insert(0, tuple_n(i), static_cast<ClassLabelId>(i % 4), 1);
+  ASSERT_EQ(cache.poison(/*stride=*/1, /*label_count=*/4), kKeys);
+  for (std::uint64_t i = 0; i < kKeys; ++i)
+    EXPECT_FALSE(cache.lookup(0, tuple_n(i), 2).has_value())
+        << "poisoned entry " << i << " served a label";
+  EXPECT_EQ(cache.stats().corruption_detected, kKeys);
+  // The slots were invalidated; reinsertion restores the fast path.
+  cache.insert(0, tuple_n(0), 0, 3);
+  EXPECT_EQ(cache.lookup(0, tuple_n(0), 4), std::optional<ClassLabelId>(0));
+}
+
+TEST(FlowTable, SilentPoisonServesWrongLabel) {
+  // fix_tag recomputes the integrity tag over the corrupted label — the
+  // undetectable case that exists to validate the cache-coherence checker.
+  ExactMatchFlowCache cache(1024);
+  cache.insert(0, tuple_n(0), 1, 1);
+  ASSERT_EQ(cache.poison(1, /*label_count=*/4, /*fix_tag=*/true), 1u);
+  const auto hit = cache.lookup(0, tuple_n(0), 2);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, 2u);  // (1 + 1) % 4 — silently wrong
+  EXPECT_EQ(cache.stats().corruption_detected, 0u);
+}
+
+TEST(FlowTable, PoisonedEntryNeverSurvivesEpochBumpAsFreshHit) {
+  // Interleaving: poison (silent, fix_tag) then a label-epoch bump. The
+  // stale-epoch check must invalidate the entry before its (corrupted)
+  // label can be served under the new epoch.
+  ExactMatchFlowCache cache(1024);
+  cache.insert(0, tuple_n(0), 1, 1, /*epoch=*/0);
+  ASSERT_EQ(cache.poison(1, 4, /*fix_tag=*/true), 1u);
+  EXPECT_FALSE(cache.lookup(0, tuple_n(0), 2, /*epoch=*/1).has_value());
+  EXPECT_EQ(cache.stats().stale_invalidations, 1u);
+  // And the other order — detectable poison, then bump: still never a hit.
+  cache.insert(0, tuple_n(1), 1, 3, /*epoch=*/1);
+  ASSERT_EQ(cache.poison(1, 4, /*fix_tag=*/false), 1u);
+  EXPECT_FALSE(cache.lookup(0, tuple_n(1), 4, /*epoch=*/2).has_value());
+  EXPECT_FALSE(cache.peek(0, tuple_n(1), /*epoch=*/2).has_value());
+  // Re-inserting under the new epoch restores a correct fresh hit.
+  cache.insert(0, tuple_n(1), 3, 5, /*epoch=*/2);
+  EXPECT_EQ(cache.lookup(0, tuple_n(1), 6, /*epoch=*/2),
+            std::optional<ClassLabelId>(3));
+}
+
+TEST(FlowTable, MutationStampAdvancesOnEveryMutationClass) {
+  ExactMatchFlowCache cache(
+      ExactMatchFlowCache::Options{.capacity = 64, .idle_timeout_ticks = 100});
+  std::uint64_t stamp = cache.mutation_stamp();
+  const auto advanced = [&] {
+    const bool moved = cache.mutation_stamp() != stamp;
+    stamp = cache.mutation_stamp();
+    return moved;
+  };
+  cache.insert(0, tuple_n(0), 1, 1);
+  EXPECT_TRUE(advanced()) << "insertion";
+  cache.lookup(0, tuple_n(0), 2, /*epoch=*/1);  // stale-epoch invalidation
+  EXPECT_TRUE(advanced()) << "stale invalidation";
+  cache.insert(0, tuple_n(1), 1, 3);
+  cache.poison(1, 4, /*fix_tag=*/false);
+  stamp = cache.mutation_stamp();
+  cache.lookup(0, tuple_n(1), 4);  // corruption detection
+  EXPECT_TRUE(advanced()) << "corruption detection";
+  cache.insert(0, tuple_n(2), 1, 5);
+  stamp = cache.mutation_stamp();
+  cache.invalidate_all();  // eviction storm
+  EXPECT_TRUE(advanced()) << "eviction";
+  cache.insert(0, tuple_n(3), 1, 6);
+  stamp = cache.mutation_stamp();
+  for (std::uint64_t i = 0; i < cache.bucket_count(); ++i)
+    cache.lookup(9, tuple_n(1000 + i), /*now_tick=*/500);  // idle sweep
+  EXPECT_TRUE(advanced()) << "idle eviction";
+  cache.clear();
+  EXPECT_TRUE(advanced()) << "clear";
+}
+
+TEST(ClassifierRepeat, ReplayGuardRefusesAfterMidBurstEviction) {
+  // The batched data path replays a burst-first classification only while
+  // repeat_would_hit() holds AND the mutation stamp is unchanged. Any
+  // eviction between the packets of one burst must break the guard.
+  Classifier c;
+  FilterRule r;
+  r.pref = 10;
+  r.label = 7;
+  c.add_rule(r);
+  net::Packet p;
+  p.vf_port = 0;
+  p.tuple = tuple_n(0);
+  const auto first = c.classify(p, 1);
+  ASSERT_TRUE(first.resident);
+  ASSERT_TRUE(c.repeat_would_hit(first));
+  const std::uint64_t stamp = c.cache().mutation_stamp();
+
+  // Mid-burst eviction: the entry the replay would have trusted is gone.
+  ASSERT_GT(c.cache_for_fault().invalidate_all(), 0u);
+  EXPECT_NE(c.cache().mutation_stamp(), stamp)
+      << "eviction must advance the stamp or the replay serves a dead entry";
+
+  // The fallback classify() reinstates the entry and the guard re-arms.
+  const auto again = c.classify(p, 2);
+  EXPECT_EQ(again.label, 7u);
+  EXPECT_TRUE(again.resident);
+  EXPECT_TRUE(c.repeat_would_hit(again));
+}
+
+TEST(ClassifierRepeat, SuppressedInsertLeavesNoReplayableResult) {
+  // While degraded the miss path cannot admit the entry, so the first
+  // result must not claim residency — repeat_would_hit() is the gate.
+  ExactMatchFlowCache::Options opt;
+  opt.capacity = 4096;
+  opt.degrade_threshold = 4;
+  Classifier c(ClassifierCosts{}, opt);
+  FilterRule r;
+  r.pref = 10;
+  r.label = 7;
+  c.add_rule(r);
+  c.cache_for_fault().fault_collision_storm(/*seed=*/42, /*n=*/64,
+                                            /*now_tick=*/1);
+  ASSERT_EQ(c.cache().health(), ExactMatchFlowCache::Health::kDegraded);
+  net::Packet p;
+  p.vf_port = 0;
+  p.tuple = tuple_n(0);
+  const auto first = c.classify(p, 2);
+  EXPECT_EQ(first.label, 7u);  // rule walk still labels correctly
+  EXPECT_FALSE(first.resident);
+  EXPECT_FALSE(c.repeat_would_hit(first));
+}
+
+// ---- degraded-mode state machine ------------------------------------------
+
+ExactMatchFlowCache::Options small_degrade_options() {
+  ExactMatchFlowCache::Options opt;
+  opt.capacity = 1024;
+  opt.degrade_threshold = 4;
+  opt.relapse_threshold = 2;
+  opt.failure_score_cap = 8;
+  opt.decay_interval_lookups = 4;
+  opt.min_degraded_dwell = 16;
+  opt.recovery_admit_every = 4;
+  opt.recovery_clean_lookups = 16;
+  return opt;
+}
+
+/// Drive one full degrade → recover → heal lifecycle and return the stats.
+ExactMatchFlowCache::Stats run_degrade_lifecycle() {
+  ExactMatchFlowCache cache(small_degrade_options());
+
+  // Collision storm at low load: kick failures raise the pressure score
+  // past the threshold and the admission gate closes.
+  cache.fault_collision_storm(/*seed=*/42, /*n=*/32, /*now_tick=*/1);
+  EXPECT_EQ(cache.health(), ExactMatchFlowCache::Health::kDegraded);
+  EXPECT_EQ(cache.stats().degraded_transitions, 1u);
+
+  // All inserts are suppressed while degraded — and lookups still work.
+  EXPECT_FALSE(cache.insert(0, tuple_n(0), 1, 2).inserted);
+  EXPECT_GT(cache.stats().suppressed_inserts, 0u);
+
+  // The lookup stream decays the score and serves the dwell: after enough
+  // quiet lookups the gate reopens partially (kRecovering).
+  std::uint64_t tick = 10;
+  while (cache.health() == ExactMatchFlowCache::Health::kDegraded) {
+    cache.lookup(0, tuple_n(9999), tick++);
+    if (tick >= 10'000) {
+      ADD_FAILURE() << "degraded mode never released";
+      break;
+    }
+  }
+  EXPECT_EQ(cache.health(), ExactMatchFlowCache::Health::kRecovering);
+
+  // Recovering admits 1-in-recovery_admit_every inserts (hysteresis, not a
+  // reopened floodgate).
+  std::uint64_t admitted = 0;
+  for (std::uint64_t i = 0; i < 8; ++i)
+    admitted += cache.insert(0, tuple_n(100 + i), 1, tick++).inserted;
+  EXPECT_EQ(admitted, 2u);
+
+  // A clean lookup run completes the recovery; admission is full again.
+  while (cache.health() == ExactMatchFlowCache::Health::kRecovering) {
+    cache.lookup(0, tuple_n(9999), tick++);
+    if (tick >= 10'000) {
+      ADD_FAILURE() << "recovery never completed";
+      break;
+    }
+  }
+  EXPECT_EQ(cache.health(), ExactMatchFlowCache::Health::kHealthy);
+  EXPECT_TRUE(cache.insert(0, tuple_n(200), 1, tick).inserted);
+  // No flush anywhere in the lifecycle: entries survived degradation.
+  EXPECT_GT(cache.size(), 0u);
+  return cache.stats();
+}
+
+TEST(FlowTable, DegradedLifecycleEngagesAndDisengagesDeterministically) {
+  const ExactMatchFlowCache::Stats a = run_degrade_lifecycle();
+  const ExactMatchFlowCache::Stats b = run_degrade_lifecycle();
+  EXPECT_EQ(a.degraded_transitions, b.degraded_transitions);
+  EXPECT_EQ(a.degraded_dwell_lookups, b.degraded_dwell_lookups);
+  EXPECT_EQ(a.recovering_dwell_lookups, b.recovering_dwell_lookups);
+  EXPECT_EQ(a.suppressed_inserts, b.suppressed_inserts);
+  EXPECT_EQ(a.kick_failures, b.kick_failures);
+  EXPECT_EQ(a.kicks, b.kicks);
+  EXPECT_EQ(a.insertions, b.insertions);
+  EXPECT_EQ(a.evictions, b.evictions);
+  EXPECT_GT(a.degraded_dwell_lookups, 0u);
+  EXPECT_GT(a.recovering_dwell_lookups, 0u);
+}
+
+TEST(FlowTable, RelapseDuringRecoveryReclosesTheGate) {
+  ExactMatchFlowCache cache(small_degrade_options());
+  cache.fault_collision_storm(42, 32, 1);
+  ASSERT_EQ(cache.health(), ExactMatchFlowCache::Health::kDegraded);
+  std::uint64_t tick = 10;
+  while (cache.health() == ExactMatchFlowCache::Health::kDegraded)
+    cache.lookup(0, tuple_n(9999), tick++);
+  ASSERT_EQ(cache.health(), ExactMatchFlowCache::Health::kRecovering);
+  // The storm resumes: a lower relapse threshold closes the gate again.
+  // (It must be larger than the first — while recovering, the admission
+  // gate already swallows 3 of every 4 storm keys before they can fail.)
+  cache.fault_collision_storm(43, 128, tick);
+  EXPECT_EQ(cache.health(), ExactMatchFlowCache::Health::kDegraded);
+  EXPECT_EQ(cache.stats().degraded_transitions, 2u);
+}
+
+}  // namespace
+}  // namespace flowvalve::core
+
+// ---- million-flow churn soak ----------------------------------------------
+
+namespace flowvalve::check {
+namespace {
+
+/// The acceptance soak: a fuzz scenario carrying a 10^6-concurrently-live
+/// churn workload, both storm kinds over the middle half, every scheduler
+/// backend, batch 1 and 32 — all invariant checkers armed, including the
+/// cache-coherence checker (every EMC hit replayed against the rule walk).
+TEST(ChurnSoak, MillionLiveFlowsSurviveStormsOnEveryBackendAndBatch) {
+  FuzzScenario sc = generate_scenario(0x50AC);
+  sc.nic.emc_capacity = std::size_t{1} << 21;
+  FuzzFlow churn;
+  churn.kind = FuzzFlow::Kind::kChurn;
+  churn.live_flows = 1'000'000;
+  churn.rate = sc.link_rate * 0.3;
+  churn.frame_bytes = 1518;
+  churn.start = 0;
+  churn.stop = sc.horizon;
+  sc.flows.push_back(churn);
+
+  for (core::BackendKind backend :
+       {core::BackendKind::kFlowValve, core::BackendKind::kStfq,
+        core::BackendKind::kEiffel, core::BackendKind::kSpPifo}) {
+    for (unsigned batch : {1u, 32u}) {
+      RunOptions opts;
+      opts.backend = backend;
+      opts.batch_size = batch;
+      opts.storm_collision = true;
+      opts.storm_churn = true;
+      const CheckReport report = run_scenario(sc, opts);
+      EXPECT_TRUE(report.ok())
+          << core::backend_kind_name(backend) << " batch " << batch << ": "
+          << report.summary() << "\n"
+          << (report.violations.empty()
+                  ? std::string("(none stored)")
+                  : report.violations.front().to_string());
+      EXPECT_GT(report.delivered, 0u)
+          << core::backend_kind_name(backend) << " batch " << batch;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace flowvalve::check

@@ -2,9 +2,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <tuple>
+#include <utility>
 #include <vector>
 
 #include "sim/simulator.h"
+#include "traffic/churn.h"
 #include "traffic/workload.h"
 
 namespace flowvalve::traffic {
@@ -130,6 +133,86 @@ TEST(DatacenterWorkloadTest, DeliveriesRouteBack) {
   sim.run_until(sim::milliseconds(200));
   EXPECT_GT(wl.packets_delivered(), 0u);
   EXPECT_EQ(wl.packets_dropped(), 0u);
+}
+
+// ---- ChurnWorkload ----------------------------------------------------------
+
+TEST(ChurnWorkloadTest, HoldsTargetLiveFlowsUnderReplacement) {
+  sim::Simulator sim;
+  SinkDevice sink(sim);
+  IdAllocator ids;
+  FlowRouter router(sink);
+  ChurnWorkloadConfig cfg;
+  cfg.target_live_flows = 2048;
+  cfg.flows_per_sec = 200'000;  // replacements easily keep up with deaths
+  cfg.aggregate_rate = Rate::gigabits_per_sec(20);
+  ChurnWorkload wl(sim, router, ids, cfg, sim::Rng(8));
+  wl.start();
+  sim.run_until(sim::milliseconds(40));
+  // Flows die and are replaced, but the live population sits at the target.
+  EXPECT_GT(wl.flows_completed(), 100u);
+  EXPECT_EQ(wl.flows_live(), cfg.target_live_flows);
+  EXPECT_GT(wl.flows_started(), cfg.target_live_flows);
+  EXPECT_GT(wl.packets_delivered(), 0u);
+  wl.stop();
+  EXPECT_EQ(wl.flows_live(), 0u);
+}
+
+TEST(ChurnWorkloadTest, AggregateRateIndependentOfLiveFlowCount) {
+  // The knob churn turns is how one fixed aggregate rate is spread across
+  // flows — 100x the live flows must not change the offered load.
+  const auto offered = [](std::size_t live) {
+    sim::Simulator sim;
+    SinkDevice sink(sim);
+    IdAllocator ids;
+    FlowRouter router(sink);
+    ChurnWorkloadConfig cfg;
+    cfg.target_live_flows = live;
+    cfg.flows_per_sec = 0;  // no replacement: pure round-robin service
+    cfg.min_packets = 1 << 20;  // flows never complete inside the horizon
+    cfg.max_packets = 1 << 21;
+    cfg.aggregate_rate = Rate::gigabits_per_sec(10);
+    ChurnWorkload wl(sim, router, ids, cfg, sim::Rng(9));
+    wl.start();
+    sim.run_until(sim::milliseconds(50));
+    return static_cast<double>(wl.bytes_sent()) * 8.0 / sim::milliseconds(50);
+  };
+  const double small = offered(64);
+  const double large = offered(6400);
+  EXPECT_NEAR(small, 10.0, 1.0);
+  EXPECT_NEAR(large, small, small * 0.05);
+}
+
+TEST(ChurnWorkloadTest, SerialSchemeYieldsUniqueKeysAcrossVfs) {
+  // tuple_for/vf_for is the shared contract with bench/scale_sweep's table
+  // primer: (vf, tuple) keys must be unique per serial.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> keys;
+  for (std::uint64_t serial = 0; serial < 200'000; ++serial) {
+    const net::FiveTuple t = ChurnWorkload::tuple_for(serial);
+    keys.emplace_back(
+        (static_cast<std::uint64_t>(t.src_ip) << 16) | t.src_port,
+        ChurnWorkload::vf_for(serial, 4));
+  }
+  std::sort(keys.begin(), keys.end());
+  EXPECT_EQ(std::adjacent_find(keys.begin(), keys.end()), keys.end());
+}
+
+TEST(ChurnWorkloadTest, SameSeedSameChurnHistory) {
+  const auto run = [] {
+    sim::Simulator sim;
+    SinkDevice sink(sim);
+    IdAllocator ids;
+    FlowRouter router(sink);
+    ChurnWorkloadConfig cfg;
+    cfg.target_live_flows = 512;
+    cfg.flows_per_sec = 100'000;
+    ChurnWorkload wl(sim, router, ids, cfg, sim::Rng(10));
+    wl.start();
+    sim.run_until(sim::milliseconds(30));
+    return std::tuple{wl.packets_sent(), wl.bytes_sent(), wl.flows_started(),
+                      wl.flows_completed()};
+  };
+  EXPECT_EQ(run(), run());
 }
 
 }  // namespace
