@@ -1,0 +1,240 @@
+// Parallel experiment-runtime bench: fans the standard fuzz corpus across
+// the work-stealing runner at increasing --jobs and writes
+// BENCH_parallel.json — the scenarios/sec scaling curve from 1 thread to
+// every host core, with the sequential-equivalence oracle enforced at every
+// rung (each seed's CheckReport under --jobs N must be bit-identical to the
+// --jobs 1 reference; any divergence fails the bench immediately).
+//
+// Speedup is reported against the jobs=1 rung; efficiency normalizes by
+// min(jobs, hardware threads), so the committed artifact is meaningful on
+// any machine: a 1-core container honestly records ~1.0x while an 8-core
+// host is expected to clear ~4x at the top rung (efficiency >= ~0.5).
+//
+// CI's perf-smoke job re-runs the reduced ladder with --quick --check: the
+// gate is machine-independent — the oracle must hold at every rung and the
+// top rung's parallel efficiency must not fall below the floor.
+//
+// Usage: bench_parallel [--out PATH] [--quick] [--seeds N]
+//                       [--check BASELINE.json] [--efficiency-floor F]
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/runner.h"
+#include "exp/parallel_runner.h"
+#include "obs/export.h"
+#include "obs/json_writer.h"
+#include "stats/stats.h"
+
+namespace {
+
+using namespace flowvalve;
+
+/// Best-of reps per ladder rung: wall-clock samples on a shared machine
+/// scatter, and the max is the honest estimate of what the machine can do.
+constexpr int kReps = 3;
+
+std::string outcome_fingerprint(const check::SeedOutcome& o) {
+  if (o.crashed) return "CRASH|" + o.crash_what;
+  return check::report_fingerprint(o.report);
+}
+
+struct Rung {
+  unsigned jobs = 0;
+  double wall_ms = 0.0;          // best (minimum) wall time across reps
+  double scenarios_per_sec = 0.0;
+  double speedup = 1.0;          // vs the jobs=1 rung
+  double efficiency = 1.0;       // speedup / min(jobs, hardware threads)
+};
+
+/// Ladder: 1, 2, 4, ... up to every hardware thread (the top rung is always
+/// exactly hardware_jobs()). A 1-core host still gets the 2-thread rung so
+/// the pool and the oracle are exercised even where no speedup is possible.
+std::vector<unsigned> jobs_ladder() {
+  const unsigned hw = exp::hardware_jobs();
+  std::vector<unsigned> ladder{1};
+  for (unsigned j = 2; j < hw; j *= 2) ladder.push_back(j);
+  if (hw > 1) ladder.push_back(hw);
+  if (hw == 1) ladder.push_back(2);
+  return ladder;
+}
+
+bool extract_number(const std::string& json, const std::string& key,
+                    double* out) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t pos = json.find(needle);
+  if (pos == std::string::npos) return false;
+  *out = std::strtod(json.c_str() + pos + needle.size(), nullptr);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_parallel.json";
+  std::string check_path;
+  double efficiency_floor = 0.45;
+  bool quick = false;
+  std::uint64_t num_seeds = 0;  // 0 = per-mode default below
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--check") == 0 && i + 1 < argc) {
+      check_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--efficiency-floor") == 0 && i + 1 < argc) {
+      efficiency_floor = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--seeds") == 0 && i + 1 < argc) {
+      num_seeds = std::strtoull(argv[++i], nullptr, 0);
+    } else {
+      std::cerr << "usage: bench_parallel [--out PATH] [--quick] [--seeds N] "
+                   "[--check BASELINE.json] [--efficiency-floor F]\n";
+      return 2;
+    }
+  }
+  if (num_seeds == 0) num_seeds = quick ? 16 : 32;
+
+  // The standard fuzz corpus: seed-derived scenarios, no forced options —
+  // exactly what `fuzz_check --seeds N` runs.
+  std::vector<std::uint64_t> seeds;
+  for (std::uint64_t s = 1; s <= num_seeds; ++s) seeds.push_back(s);
+  const check::RunOptions opts;
+
+  const unsigned hw = exp::hardware_jobs();
+  const std::vector<unsigned> ladder = jobs_ladder();
+
+  // Sequential reference: fingerprints every rung must reproduce exactly.
+  std::vector<std::string> reference;
+  {
+    const std::vector<check::SeedOutcome> outcomes =
+        check::run_corpus(seeds, opts, /*jobs=*/1);
+    reference.reserve(outcomes.size());
+    for (const check::SeedOutcome& o : outcomes) {
+      if (o.crashed) {
+        std::cerr << "corpus seed 0x" << std::hex << o.seed << std::dec
+                  << " crashed: " << o.crash_what << "\n";
+        return 1;
+      }
+      reference.push_back(outcome_fingerprint(o));
+    }
+  }
+
+  stats::TablePrinter table(
+      {"jobs", "wall_ms", "scen_per_sec", "speedup", "efficiency", "oracle"});
+  std::vector<Rung> rungs;
+  bool oracle_ok = true;
+  for (unsigned jobs : ladder) {
+    Rung r;
+    r.jobs = jobs;
+    double best_wall_s = 0.0;
+    for (int rep = 0; rep < (quick ? 2 : kReps); ++rep) {
+      const auto start = std::chrono::steady_clock::now();
+      const std::vector<check::SeedOutcome> outcomes =
+          check::run_corpus(seeds, opts, jobs);
+      const double wall_s =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      if (best_wall_s == 0.0 || wall_s < best_wall_s) best_wall_s = wall_s;
+      for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        if (outcome_fingerprint(outcomes[i]) != reference[i]) {
+          std::cerr << "ORACLE FAILURE: seed 0x" << std::hex << seeds[i]
+                    << std::dec << " diverges from the sequential run at "
+                    << jobs << " jobs\n";
+          oracle_ok = false;
+        }
+      }
+    }
+    r.wall_ms = best_wall_s * 1e3;
+    r.scenarios_per_sec =
+        best_wall_s > 0.0 ? static_cast<double>(seeds.size()) / best_wall_s : 0.0;
+    if (!rungs.empty() && r.wall_ms > 0.0)
+      r.speedup = rungs.front().wall_ms / r.wall_ms;
+    r.efficiency = r.speedup / static_cast<double>(std::min(jobs, hw));
+    rungs.push_back(r);
+    table.add_row({std::to_string(r.jobs),
+                   stats::TablePrinter::fmt(r.wall_ms, 1),
+                   stats::TablePrinter::fmt(r.scenarios_per_sec, 1),
+                   stats::TablePrinter::fmt(r.speedup, 2),
+                   stats::TablePrinter::fmt(r.efficiency, 2),
+                   oracle_ok ? "ok" : "FAIL"});
+  }
+  table.print();
+
+  const Rung& top = rungs.back();
+  std::cout << "corpus " << seeds.size() << " seeds, " << hw
+            << " hardware threads: " << top.speedup << "x at " << top.jobs
+            << " jobs (efficiency " << top.efficiency << "), oracle "
+            << (oracle_ok ? "bit-identical" : "FAILED") << "\n";
+  if (!oracle_ok) return 1;
+
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("bench").value("bench_parallel");
+  w.key("corpus_seeds").value(static_cast<std::uint64_t>(seeds.size()));
+  w.key("start_seed").value(std::uint64_t{1});
+  w.key("hardware_threads").value(hw);
+  w.key("reps").value(quick ? 2 : kReps);
+  w.key("oracle_bit_identical").value(oracle_ok);
+  w.key("runs").begin_array();
+  for (const Rung& r : rungs) {
+    w.begin_object()
+        .key("jobs").value(r.jobs)
+        .key("wall_ms").value(r.wall_ms)
+        .key("scenarios_per_sec").value(r.scenarios_per_sec)
+        .key("speedup").value(r.speedup)
+        .key("efficiency").value(r.efficiency)
+        .end_object();
+  }
+  w.end_array();
+  w.key("max_jobs").value(top.jobs);
+  w.key("speedup_at_max").value(top.speedup);
+  w.key("efficiency_at_max").value(top.efficiency);
+  w.end_object();
+
+  if (!check_path.empty()) {
+    // Scaling-curve gate. The committed artifact may come from a machine
+    // with a different core count, so the gate is normalized, not absolute:
+    // (1) the baseline must be a complete bench_parallel artifact, (2) this
+    // machine's top-rung efficiency must clear the floor (0.45 ⇒ an 8-core
+    // host runs the corpus >= ~4x faster than --jobs 1), and (3) the
+    // equivalence oracle must have held at every rung (checked above).
+    std::ifstream in(check_path);
+    if (!in) {
+      std::cerr << "cannot read baseline " << check_path << "\n";
+      return 1;
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+    double base_sps = 0.0;
+    if (!extract_number(ss.str(), "scenarios_per_sec", &base_sps)) {
+      std::cerr << "baseline has no scenarios_per_sec\n";
+      return 1;
+    }
+    std::cout << "scaling gate: efficiency " << top.efficiency << " at "
+              << top.jobs << " jobs (floor " << efficiency_floor
+              << "), committed reference " << base_sps
+              << " scenarios/sec at 1 job\n";
+    if (top.efficiency < efficiency_floor) {
+      std::cerr << "FAIL: parallel efficiency fell below " << efficiency_floor
+                << " — the fan-out is no longer scaling\n";
+      return 1;
+    }
+    std::cout << "gate OK\n";
+    return 0;  // check mode does not rewrite the committed artifact
+  }
+
+  if (!obs::write_json_file(out_path, w.str())) {
+    std::cerr << "failed to write " << out_path << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+}

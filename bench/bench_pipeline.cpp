@@ -9,7 +9,14 @@
 // --quick --check on every push.
 //
 // Usage: bench_pipeline [--out PATH] [--quick] [--horizon-ms N]
-//                       [--check BASELINE.json [--tolerance F]]
+//                       [--check BASELINE.json [--tolerance F]] [--jobs N]
+//   --jobs N  fan sweep points across N threads (0 = all host cores).
+//             Defaults to 1: this bench gates on WALL-CLOCK pkts/sec, and
+//             concurrent cells contend for cores, deflating every sample.
+//             Use >1 only for exploratory sweeps where relative shape,
+//             not the absolute gate number, is what matters. Simulation
+//             counters/latency percentiles are virtual-time and stay
+//             bit-identical at any job count; output merges in sweep order.
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
@@ -22,6 +29,7 @@
 #include <vector>
 
 #include "core/flowvalve.h"
+#include "exp/parallel_runner.h"
 #include "np/flowvalve_processor.h"
 #include "np/nic_pipeline.h"
 #include "obs/export.h"
@@ -102,11 +110,13 @@ struct PointResult {
   double pkts_per_sec = 0.0;  // worker-processed packets / wall second
   double wall_ms = 0.0;
   std::uint64_t events = 0;
+  std::string json;               // the point's complete "runs" entry
+  std::vector<std::string> row;   // its table row
 };
 
-/// Run one sweep point and append its JSON object to `w`.
-PointResult run_point(const RunSpec& spec, sim::SimTime horizon,
-                      obs::JsonWriter& w, stats::TablePrinter& table) {
+/// Run one sweep point; renders its JSON/table output locally so points can
+/// run on any thread and still merge in deterministic sweep order.
+PointResult run_point(const RunSpec& spec, sim::SimTime horizon) {
   np::NpConfig cfg = np::agilio_cx_40g();
   cfg.num_workers = spec.workers;
   cfg.batch_size = spec.batch;
@@ -162,6 +172,7 @@ PointResult run_point(const RunSpec& spec, sim::SimTime horizon,
       wall_s > 0.0 ? static_cast<double>(snap.nic.processed) / wall_s : 0.0;
   res.events = sim.events_executed();
 
+  obs::JsonWriter w;
   w.begin_object()
       .key("workers").value(spec.workers)
       .key("load").value(spec.load)
@@ -178,6 +189,7 @@ PointResult run_point(const RunSpec& spec, sim::SimTime horizon,
   w.key("throughput");
   obs::throughput_json(w, hub.throughput());
   w.end_object();
+  res.json = w.str();
 
   const auto& total = hub.latency().segment(obs::Segment::kTotal);
   const double delivered_gbps =
@@ -186,16 +198,16 @@ PointResult run_point(const RunSpec& spec, sim::SimTime horizon,
   const std::uint64_t drops = snap.nic.vf_ring_drops + snap.nic.scheduler_drops +
                               snap.nic.tx_ring_drops +
                               snap.nic.reorder_flush_drops;
-  table.add_row({std::to_string(spec.workers),
-                 stats::TablePrinter::fmt(spec.load, 1), spec.policy_name,
-                 std::to_string(spec.batch),
-                 stats::TablePrinter::fmt(offered.gbps(), 1),
-                 stats::TablePrinter::fmt(delivered_gbps, 2),
-                 stats::TablePrinter::fmt(snap.worker_utilization, 3),
-                 stats::TablePrinter::fmt(double(total.p50()) / 1e3, 1),
-                 stats::TablePrinter::fmt(double(total.p99()) / 1e3, 1),
-                 std::to_string(drops),
-                 stats::TablePrinter::fmt(res.pkts_per_sec / 1e6, 2)});
+  res.row = {std::to_string(spec.workers),
+             stats::TablePrinter::fmt(spec.load, 1), spec.policy_name,
+             std::to_string(spec.batch),
+             stats::TablePrinter::fmt(offered.gbps(), 1),
+             stats::TablePrinter::fmt(delivered_gbps, 2),
+             stats::TablePrinter::fmt(snap.worker_utilization, 3),
+             stats::TablePrinter::fmt(double(total.p50()) / 1e3, 1),
+             stats::TablePrinter::fmt(double(total.p99()) / 1e3, 1),
+             std::to_string(drops),
+             stats::TablePrinter::fmt(res.pkts_per_sec / 1e6, 2)};
   return res;
 }
 
@@ -218,6 +230,7 @@ int main(int argc, char** argv) {
   double tolerance = 0.30;
   bool quick = false;
   std::int64_t horizon_ms = 20;
+  unsigned jobs = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
@@ -229,9 +242,12 @@ int main(int argc, char** argv) {
       quick = true;
     } else if (std::strcmp(argv[i], "--horizon-ms") == 0 && i + 1 < argc) {
       horizon_ms = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 0));
     } else {
       std::cerr << "usage: bench_pipeline [--out PATH] [--quick] "
-                   "[--horizon-ms N] [--check BASELINE.json [--tolerance F]]\n";
+                   "[--horizon-ms N] [--check BASELINE.json [--tolerance F]] "
+                   "[--jobs N]\n";
       return 2;
     }
   }
@@ -268,7 +284,14 @@ int main(int argc, char** argv) {
   w.key("classes").value(kNumClasses);
   w.key("horizon_ns").value(static_cast<std::int64_t>(horizon));
   w.key("link_gbps").value(np::agilio_cx_40g().wire_rate.gbps());
-  w.key("runs").begin_array();
+  // Flatten the sweep — every (spec, rep) pair is one task — then fan the
+  // list across the runner and merge JSON/table/best-of-N in sweep order
+  // after the barrier, so output matches a sequential run exactly.
+  struct PointTask {
+    RunSpec spec;
+    bool gate_cell = false;
+  };
+  std::vector<PointTask> tasks;
   for (unsigned nw : workers)
     for (double load : loads)
       for (const std::string& policy : policies)
@@ -276,17 +299,32 @@ int main(int argc, char** argv) {
           const bool gate_cell = nw == 8 && load == 1.3 && policy == "flat" &&
                                  (batch == gate_batch || batch == 1);
           const int reps = gate_cell ? kGateReps : 1;
-          double best = 0.0;
-          for (int rep = 0; rep < reps; ++rep) {
-            const PointResult r =
-                run_point({nw, load, policy, batch}, horizon, w, table);
-            best = std::max(best, r.pkts_per_sec);
-          }
-          if (gate_cell) {
-            if (batch == gate_batch) gate_pps = best;
-            if (batch == 1) unbatched_pps = best;
-          }
+          for (int rep = 0; rep < reps; ++rep)
+            tasks.push_back({{nw, load, policy, batch}, gate_cell});
         }
+
+  exp::ParallelRunner runner(jobs);
+  auto points = runner.map<PointResult>(tasks.size(), [&](std::size_t i) {
+    return run_point(tasks[i].spec, horizon);
+  });
+
+  w.key("runs").begin_array();
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (!points[i].ok()) {
+      std::cerr << "sweep point " << i
+                << " crashed: " << points[i].failure->what << "\n";
+      return 1;
+    }
+    const PointResult& r = *points[i].result;
+    w.raw_value(r.json);
+    table.add_row(r.row);
+    if (tasks[i].gate_cell) {
+      if (tasks[i].spec.batch == gate_batch)
+        gate_pps = std::max(gate_pps, r.pkts_per_sec);
+      if (tasks[i].spec.batch == 1)
+        unbatched_pps = std::max(unbatched_pps, r.pkts_per_sec);
+    }
+  }
   w.end_array();
   w.key("prechange_unbatched_pps").value(kPrechangeUnbatchedPps);
   w.key("unbatched_pkts_per_sec").value(unbatched_pps);

@@ -6,6 +6,11 @@
 // recovered, and the loss column is the price the recovery layer paid.
 //
 // Usage: fault_sweep [--out PATH] [--quick] [--horizon-ms N] [--seed S]
+//                    [--jobs N]
+//   --jobs N  fan fault kinds across N threads (0 = all host cores). Each
+//             cell is an independent simulation measured in virtual time,
+//             so results are bit-identical at any job count; cells merge
+//             into the JSON/table in sweep order after the barrier.
 #include <cstdint>
 #include <cstring>
 #include <iostream>
@@ -15,6 +20,7 @@
 #include <vector>
 
 #include "core/flowvalve.h"
+#include "exp/parallel_runner.h"
 #include "fault/fault_plane.h"
 #include "np/flowvalve_processor.h"
 #include "np/nic_pipeline.h"
@@ -53,9 +59,16 @@ const fault::FaultKind kSweep[] = {
     fault::FaultKind::kCachePoison,
 };
 
-/// Run one fault kind and append its JSON object to `w`.
-void run_kind(fault::FaultKind kind, sim::SimTime horizon, std::uint64_t seed,
-              obs::JsonWriter& w, stats::TablePrinter& table) {
+/// One cell's outputs, rendered locally so cells can run on any thread and
+/// still merge into the document in deterministic sweep order.
+struct CellOutput {
+  std::string json;                 // the cell's complete "runs" entry
+  std::vector<std::string> row;     // its table row
+};
+
+/// Run one fault kind; the whole simulation universe is local to the call.
+CellOutput run_kind(fault::FaultKind kind, sim::SimTime horizon,
+                    std::uint64_t seed) {
   np::NpConfig cfg = np::agilio_cx_40g();
   cfg.recovery.admission_enabled = true;
 
@@ -107,6 +120,7 @@ void run_kind(fault::FaultKind kind, sim::SimTime horizon, std::uint64_t seed,
   plane.finalize();
 
   const obs::CounterSnapshot snap = hub.snapshot();
+  obs::JsonWriter w;
   w.begin_object()
       .key("fault").value(fault::fault_kind_name(kind))
       .key("injected_at_ns").value(static_cast<std::int64_t>(horizon / 3))
@@ -121,7 +135,9 @@ void run_kind(fault::FaultKind kind, sim::SimTime horizon, std::uint64_t seed,
       tracker.records().empty() ? nullptr : &tracker.records().front();
   const double delivered_gbps = static_cast<double>(snap.nic.wire_bytes) * 8.0 /
                                 static_cast<double>(horizon);
-  table.add_row(
+  CellOutput out;
+  out.json = w.str();
+  out.row =
       {fault::fault_kind_name(kind),
        stats::TablePrinter::fmt(delivered_gbps, 2),
        rec && rec->recovered() ? "yes" : "NO",
@@ -131,7 +147,8 @@ void run_kind(fault::FaultKind kind, sim::SimTime horizon, std::uint64_t seed,
        std::to_string(rec ? rec->lost_watchdog : 0),
        std::to_string(rec ? rec->lost_timeout : 0),
        std::to_string(rec ? rec->lost_admission : 0),
-       std::to_string(snap.nic.workers_repaired)});
+       std::to_string(snap.nic.workers_repaired)};
+  return out;
 }
 
 }  // namespace
@@ -141,6 +158,7 @@ int main(int argc, char** argv) {
   bool quick = false;
   std::int64_t horizon_ms = 60;
   std::uint64_t seed = 0xfau;
+  unsigned jobs = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
@@ -150,9 +168,11 @@ int main(int argc, char** argv) {
       horizon_ms = std::atoll(argv[++i]);
     } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
       seed = std::strtoull(argv[++i], nullptr, 0);
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 0));
     } else {
       std::cerr << "usage: fault_sweep [--out PATH] [--quick] "
-                   "[--horizon-ms N] [--seed S]\n";
+                   "[--horizon-ms N] [--seed S] [--jobs N]\n";
       return 2;
     }
   }
@@ -170,9 +190,24 @@ int main(int argc, char** argv) {
   w.key("horizon_ns").value(static_cast<std::int64_t>(horizon));
   w.key("offered_load").value(1.3);
   w.key("seed").value(static_cast<std::int64_t>(seed));
+  // Fan the sweep cells across the runner; merge JSON fragments and table
+  // rows in sweep order after the barrier, so output is identical to a
+  // sequential run.
+  exp::ParallelRunner runner(jobs);
+  const std::size_t num_kinds = sizeof(kSweep) / sizeof(kSweep[0]);
+  auto cells = runner.map<CellOutput>(num_kinds, [&](std::size_t i) {
+    return run_kind(kSweep[i], horizon, seed);
+  });
   w.key("runs").begin_array();
-  for (fault::FaultKind kind : kSweep)
-    run_kind(kind, horizon, seed, w, table);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (!cells[i].ok()) {
+      std::cerr << "fault cell " << fault::fault_kind_name(kSweep[i])
+                << " crashed: " << cells[i].failure->what << "\n";
+      return 1;
+    }
+    w.raw_value(cells[i].result->json);
+    table.add_row(cells[i].result->row);
+  }
   w.end_array();
   w.end_object();
 

@@ -16,7 +16,11 @@
 // reproduce within the tolerance.
 //
 // Usage: reconfig_sweep [--out PATH] [--quick] [--horizon-ms N] [--seed S]
-//                       [--check BASELINE.json [--tolerance F]]
+//                       [--check BASELINE.json [--tolerance F]] [--jobs N]
+//   --jobs N  fan sweep cells (baseline, staged grid, gate) across N threads
+//             (0 = all host cores). Cells are independent virtual-time
+//             simulations, so results are bit-identical at any job count;
+//             they merge into the JSON/table in sweep order.
 #include <cstdint>
 #include <cstring>
 #include <fstream>
@@ -28,6 +32,7 @@
 
 #include "core/flowvalve.h"
 #include "ctrl/reconfig_manager.h"
+#include "exp/parallel_runner.h"
 #include "np/flowvalve_processor.h"
 #include "np/nic_pipeline.h"
 #include "obs/export.h"
@@ -202,6 +207,7 @@ int main(int argc, char** argv) {
   bool quick = false;
   std::int64_t horizon_ms = 60;
   std::uint64_t seed = 0xc0f1u;
+  unsigned jobs = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
@@ -215,10 +221,12 @@ int main(int argc, char** argv) {
       check_path = argv[++i];
     } else if (std::strcmp(argv[i], "--tolerance") == 0 && i + 1 < argc) {
       tolerance = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 0));
     } else {
       std::cerr << "usage: reconfig_sweep [--out PATH] [--quick] "
                    "[--horizon-ms N] [--seed S] "
-                   "[--check BASELINE.json [--tolerance F]]\n";
+                   "[--check BASELINE.json [--tolerance F]] [--jobs N]\n";
       return 2;
     }
   }
@@ -268,6 +276,39 @@ int main(int argc, char** argv) {
                              "rolled_back", "coalesced", "mixed_epoch_pkts",
                              "swap_latency_ms", "delivered_gbps"});
 
+  // Flatten every cell of the sweep — the baseline trio, the staged grid,
+  // and the fixed gate cell — into one task list, fan it across the runner,
+  // and emit in sweep order after the barrier.
+  struct CellSpec {
+    unsigned workers;
+    sim::SimDuration interval;
+    bool staged;
+    bool gate;
+  };
+  std::vector<CellSpec> specs;
+  for (unsigned workers : worker_sweep)
+    specs.push_back({workers, sim::milliseconds(8), false, false});
+  const std::size_t staged_begin = specs.size();
+  for (unsigned workers : worker_sweep)
+    for (sim::SimDuration interval : interval_sweep)
+      specs.push_back({workers, interval, true, false});
+  const std::size_t gate_index = specs.size();
+  specs.push_back({kGateWorkers, sim::milliseconds(8), true, true});
+
+  exp::ParallelRunner runner(jobs);
+  auto cells = runner.map<CellResult>(specs.size(), [&](std::size_t i) {
+    const CellSpec& s = specs[i];
+    if (s.gate) return run_gate_cell();
+    return run_cell(s.workers, s.interval, horizon, seed, s.staged);
+  });
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (!cells[i].ok()) {
+      std::cerr << "reconfig cell " << i
+                << " crashed: " << cells[i].failure->what << "\n";
+      return 1;
+    }
+  }
+
   obs::JsonWriter w;
   w.begin_object();
   w.key("bench").value("reconfig_sweep");
@@ -285,29 +326,27 @@ int main(int argc, char** argv) {
       "and has no rollback — a latency floor, not an alternative");
   w.key("swap_latency_ns").value(0);
   w.key("runs").begin_array();
-  for (unsigned workers : worker_sweep)
-    emit_cell(w, run_cell(workers, sim::milliseconds(8), horizon, seed, false));
+  for (std::size_t i = 0; i < staged_begin; ++i)
+    emit_cell(w, *cells[i].result);
   w.end_array();
   w.end_object();
 
   w.key("runs").begin_array();
-  for (unsigned workers : worker_sweep) {
-    for (sim::SimDuration interval : interval_sweep) {
-      const CellResult c = run_cell(workers, interval, horizon, seed, true);
-      emit_cell(w, c);
-      table.add_row(
-          {std::to_string(c.workers),
-           stats::TablePrinter::fmt(double(c.interval) / 1e6, 0),
-           std::to_string(c.submitted), std::to_string(c.committed),
-           std::to_string(c.rolled_back), std::to_string(c.coalesced),
-           std::to_string(c.mixed_epoch_packets),
-           stats::TablePrinter::fmt(double(c.worst_swap_latency) / 1e6, 2),
-           stats::TablePrinter::fmt(c.delivered_gbps, 2)});
-    }
+  for (std::size_t i = staged_begin; i < gate_index; ++i) {
+    const CellResult& c = *cells[i].result;
+    emit_cell(w, c);
+    table.add_row(
+        {std::to_string(c.workers),
+         stats::TablePrinter::fmt(double(c.interval) / 1e6, 0),
+         std::to_string(c.submitted), std::to_string(c.committed),
+         std::to_string(c.rolled_back), std::to_string(c.coalesced),
+         std::to_string(c.mixed_epoch_packets),
+         stats::TablePrinter::fmt(double(c.worst_swap_latency) / 1e6, 2),
+         stats::TablePrinter::fmt(c.delivered_gbps, 2)});
   }
   w.end_array();
 
-  const CellResult gate = run_gate_cell();
+  const CellResult gate = *cells[gate_index].result;
   w.key("gate").begin_object()
       .key("workers").value(kGateWorkers)
       .key("update_interval_ns")

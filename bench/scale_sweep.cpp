@@ -8,9 +8,12 @@
 // stay high and health must stay out of degraded mode at every point.
 //
 // Usage: scale_sweep [--out PATH] [--quick] [--check] [--horizon-ms N]
-//                    [--seed S]
+//                    [--seed S] [--jobs N]
 //   --check  exit non-zero unless the largest cell ends healthy with a
 //            steady-state hit rate >= 0.90 (the CI gate for BENCH_scale.json)
+//   --jobs N fan sweep cells across N threads (0 = all host cores). Cells
+//            are independent virtual-time simulations, so results are
+//            bit-identical at any job count; they merge in sweep order.
 #include <cstdint>
 #include <cstring>
 #include <iostream>
@@ -20,6 +23,7 @@
 #include <vector>
 
 #include "core/flowvalve.h"
+#include "exp/parallel_runner.h"
 #include "np/flowvalve_processor.h"
 #include "np/nic_pipeline.h"
 #include "obs/export.h"
@@ -58,11 +62,12 @@ struct CellResult {
   double steady_hit_rate = 0.0;
   core::ExactMatchFlowCache::Health health =
       core::ExactMatchFlowCache::Health::kHealthy;
+  std::string json;               // the cell's complete "runs" entry
+  std::vector<std::string> row;   // its table row
 };
 
 CellResult run_cell(std::size_t live_flows, sim::SimTime horizon,
-                    std::uint64_t seed, obs::JsonWriter& w,
-                    stats::TablePrinter& table) {
+                    std::uint64_t seed) {
   np::NpConfig cfg = np::agilio_cx_40g();
   cfg.num_vfs = kNumClasses;
   cfg.emc_capacity = kEmcCapacity;
@@ -146,6 +151,7 @@ CellResult run_cell(std::size_t live_flows, sim::SimTime horizon,
           : static_cast<double>(d_hits) / static_cast<double>(d_hits + d_misses);
   res.health = snap.emc_health;
 
+  obs::JsonWriter w;
   w.begin_object()
       .key("live_flows").value(static_cast<std::uint64_t>(live_flows))
       .key("flows_started").value(churn.flows_started())
@@ -155,15 +161,16 @@ CellResult run_cell(std::size_t live_flows, sim::SimTime horizon,
   w.key("counters");
   obs::snapshot_json(w, snap);
   w.end_object();
+  res.json = w.str();
 
-  table.add_row({std::to_string(live_flows),
-                 stats::TablePrinter::fmt(res.delivered_gbps, 2),
-                 stats::TablePrinter::fmt(100.0 * res.steady_hit_rate, 2),
-                 stats::TablePrinter::fmt(100.0 * end.hit_rate(), 2),
-                 std::to_string(end.kicks),
-                 std::to_string(end.evictions + end.idle_evictions),
-                 std::to_string(end.degraded_transitions),
-                 core::health_name(res.health)});
+  res.row = {std::to_string(live_flows),
+             stats::TablePrinter::fmt(res.delivered_gbps, 2),
+             stats::TablePrinter::fmt(100.0 * res.steady_hit_rate, 2),
+             stats::TablePrinter::fmt(100.0 * end.hit_rate(), 2),
+             std::to_string(end.kicks),
+             std::to_string(end.evictions + end.idle_evictions),
+             std::to_string(end.degraded_transitions),
+             core::health_name(res.health)};
   return res;
 }
 
@@ -175,6 +182,7 @@ int main(int argc, char** argv) {
   bool check = false;
   std::int64_t horizon_ms = 80;
   std::uint64_t seed = 0x5ca1eu;
+  unsigned jobs = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
@@ -186,9 +194,11 @@ int main(int argc, char** argv) {
       horizon_ms = std::atoll(argv[++i]);
     } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
       seed = std::strtoull(argv[++i], nullptr, 0);
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 0));
     } else {
       std::cerr << "usage: scale_sweep [--out PATH] [--quick] [--check] "
-                   "[--horizon-ms N] [--seed S]\n";
+                   "[--horizon-ms N] [--seed S] [--jobs N]\n";
       return 2;
     }
   }
@@ -207,10 +217,26 @@ int main(int argc, char** argv) {
   w.key("emc_capacity").value(static_cast<std::uint64_t>(kEmcCapacity));
   w.key("horizon_ns").value(static_cast<std::int64_t>(horizon));
   w.key("seed").value(static_cast<std::int64_t>(seed));
+  // Fan the sweep cells across the runner; merge JSON fragments and table
+  // rows in sweep order after the barrier, so output is identical to a
+  // sequential run.
+  exp::ParallelRunner runner(jobs);
+  const std::size_t num_cells = sizeof(sweep) / sizeof(sweep[0]);
+  auto cells = runner.map<CellResult>(num_cells, [&](std::size_t i) {
+    return run_cell(sweep[i], horizon, seed);
+  });
   w.key("runs").begin_array();
   std::vector<CellResult> results;
-  for (std::size_t flows : sweep)
-    results.push_back(run_cell(flows, horizon, seed, w, table));
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (!cells[i].ok()) {
+      std::cerr << "scale cell " << sweep[i]
+                << " crashed: " << cells[i].failure->what << "\n";
+      return 1;
+    }
+    w.raw_value(cells[i].result->json);
+    table.add_row(cells[i].result->row);
+    results.push_back(*cells[i].result);
+  }
   w.end_array();
   w.end_object();
 

@@ -1,6 +1,7 @@
 // fuzz_check — deterministic scenario fuzzer driver.
 //
 //   fuzz_check --seeds 100                 # standard invariant fuzzing
+//   fuzz_check --seeds 100 --jobs 0        # same corpus, all host cores
 //   fuzz_check --seeds 10 --differential   # FlowValve-vs-HTB share oracle
 //   fuzz_check --seed 0x2a -v              # re-run one seed, print scenario
 //   fuzz_check --seeds 3 --inject-fault leak --expect-violations
@@ -8,12 +9,17 @@
 //
 // Every failing seed prints a one-line repro command; the same seed always
 // regenerates the identical scenario (see src/check/fuzzer.h) and — under
-// --chaos — the identical fault schedule (see src/fault/fault.h).
+// --chaos — the identical fault schedule (see src/fault/fault.h). Seeds are
+// mutually independent, so --jobs N fans them across N threads and merges
+// the reports in seed order: the output (and every repro line) is identical
+// to a sequential run, which --verify-sequential re-proves per seed by
+// rerunning the corpus inline and diffing bit-exact report fingerprints.
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "check/fuzzer.h"
 #include "check/runner.h"
@@ -27,6 +33,13 @@ void usage() {
       "  --seeds N           number of seeds to run (default 50)\n"
       "  --start S           first seed (default 1; hex with 0x prefix)\n"
       "  --seed S            run exactly one seed\n"
+      "  --jobs N            fan seeds across N threads (0 = all host\n"
+      "                      cores; default 1 = sequential). Reports merge\n"
+      "                      in seed order, so output is identical to\n"
+      "                      --jobs 1\n"
+      "  --verify-sequential after a parallel run, re-run every seed\n"
+      "                      sequentially and fail unless each report is\n"
+      "                      bit-identical (the --jobs equivalence oracle)\n"
       "  --differential      differential scenario family (FV vs HTB oracle)\n"
       "  --tolerance F       differential share tolerance (default 0.1)\n"
       "  --inject-fault K    deliberate pipeline bug: leak | bypass\n"
@@ -64,6 +77,8 @@ int main(int argc, char** argv) {
   bool single_seed = false;
   bool expect_violations = false;
   bool verbose = false;
+  bool verify_sequential = false;
+  unsigned jobs = 1;
   std::uint64_t fault_every = 97;
   const char* fault_kind = nullptr;
   check::RunOptions opts;
@@ -85,6 +100,10 @@ int main(int argc, char** argv) {
       start_seed = parse_u64(value());
       num_seeds = 1;
       single_seed = true;
+    } else if (!std::strcmp(arg, "--jobs")) {
+      jobs = static_cast<unsigned>(parse_u64(value()));
+    } else if (!std::strcmp(arg, "--verify-sequential")) {
+      verify_sequential = true;
     } else if (!std::strcmp(arg, "--differential")) {
       opts.differential = true;
     } else if (!std::strcmp(arg, "--tolerance")) {
@@ -168,9 +187,22 @@ int main(int argc, char** argv) {
     opts.faults.push_back(ev);
   }
 
+  std::vector<std::uint64_t> seeds;
+  seeds.reserve(num_seeds);
+  for (std::uint64_t s = start_seed; s < start_seed + num_seeds; ++s)
+    seeds.push_back(s);
+
+  // Fan the corpus across the thread pool; outcomes come back in seed
+  // order regardless of completion order, so the report below is identical
+  // to a sequential run's.
+  const std::vector<check::SeedOutcome> outcomes =
+      check::run_corpus(seeds, opts, jobs);
+
   std::uint64_t failures = 0;
   std::uint64_t caught = 0;
-  for (std::uint64_t s = start_seed; s < start_seed + num_seeds; ++s) {
+  std::uint64_t crashes = 0;
+  for (const check::SeedOutcome& outcome : outcomes) {
+    const std::uint64_t s = outcome.seed;
     if (verbose) {
       const check::FuzzScenario sc =
           opts.differential ? check::generate_differential_scenario(s)
@@ -182,7 +214,39 @@ int main(int argc, char** argv) {
                        .c_str(),
                    stdout);
     }
-    const check::CheckReport report = check::run_seed(s, opts);
+    // Repro flags shared by the failure and crash paths.
+    std::string extra_flags;
+    if (opts.reconfig_updates > 0)
+      extra_flags = " --reconfig " + std::to_string(opts.reconfig_updates);
+    if (opts.batch_size > 0)
+      extra_flags += " --batch " + std::to_string(opts.batch_size);
+    if (opts.backend)
+      extra_flags += std::string(" --backend ") +
+                     core::backend_kind_name(*opts.backend);
+    if (opts.storm_collision || opts.storm_churn)
+      extra_flags += std::string(" --storm ") +
+                     (opts.storm_collision && opts.storm_churn
+                          ? "both"
+                          : opts.storm_collision ? "collision" : "churn");
+    if (outcome.crashed) {
+      // Structured crash record: the seed's exception, isolated to its own
+      // slot — every other seed in the batch completed and merged normally.
+      ++failures;
+      ++crashes;
+      std::printf("seed 0x%llx: CRASH (%s)\n",
+                  static_cast<unsigned long long>(s),
+                  outcome.crash_what.c_str());
+      if (!single_seed)
+        std::printf("  repro: fuzz_check --seed 0x%llx%s%s%s%s -v\n",
+                    static_cast<unsigned long long>(s),
+                    opts.differential ? " --differential" : "",
+                    opts.chaos ? " --chaos" : "", extra_flags.c_str(),
+                    fault_kind ? (std::string(" --inject-fault ") + fault_kind)
+                                     .c_str()
+                               : "");
+      continue;
+    }
+    const check::CheckReport& report = outcome.report;
     std::printf("%s\n", report.summary().c_str());
     if (!report.ok()) {
       ++failures;
@@ -194,24 +258,10 @@ int main(int argc, char** argv) {
                     static_cast<unsigned long long>(report.violation_total -
                                                     report.violations.size()));
       if (!single_seed) {
-        std::string reconfig_flag;
-        if (opts.reconfig_updates > 0)
-          reconfig_flag =
-              " --reconfig " + std::to_string(opts.reconfig_updates);
-        if (opts.batch_size > 0)
-          reconfig_flag += " --batch " + std::to_string(opts.batch_size);
-        if (opts.backend)
-          reconfig_flag += std::string(" --backend ") +
-                           core::backend_kind_name(*opts.backend);
-        if (opts.storm_collision || opts.storm_churn)
-          reconfig_flag += std::string(" --storm ") +
-                           (opts.storm_collision && opts.storm_churn
-                                ? "both"
-                                : opts.storm_collision ? "collision" : "churn");
         std::printf("  repro: fuzz_check --seed 0x%llx%s%s%s%s -v\n",
                     static_cast<unsigned long long>(s),
                     opts.differential ? " --differential" : "",
-                    opts.chaos ? " --chaos" : "", reconfig_flag.c_str(),
+                    opts.chaos ? " --chaos" : "", extra_flags.c_str(),
                     fault_kind ? (std::string(" --inject-fault ") + fault_kind)
                                      .c_str()
                                : "");
@@ -219,6 +269,42 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Sequential-equivalence oracle: the corpus rerun inline on this thread
+  // must produce a bit-identical report for every seed.
+  if (verify_sequential) {
+    const std::vector<check::SeedOutcome> sequential =
+        check::run_corpus(seeds, opts, /*jobs=*/1);
+    std::uint64_t divergent = 0;
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+      const bool same =
+          outcomes[i].crashed == sequential[i].crashed &&
+          (outcomes[i].crashed
+               ? outcomes[i].crash_what == sequential[i].crash_what
+               : check::report_fingerprint(outcomes[i].report) ==
+                     check::report_fingerprint(sequential[i].report));
+      if (!same) {
+        ++divergent;
+        std::printf(
+            "seed 0x%llx: parallel run DIVERGES from sequential rerun\n",
+            static_cast<unsigned long long>(outcomes[i].seed));
+      }
+    }
+    if (divergent) {
+      std::printf("fuzz_check: %llu/%llu seeds diverged under --jobs %u\n",
+                  static_cast<unsigned long long>(divergent),
+                  static_cast<unsigned long long>(num_seeds), jobs);
+      return 1;
+    }
+    std::printf("fuzz_check: all %llu seeds bit-identical to sequential\n",
+                static_cast<unsigned long long>(num_seeds));
+  }
+
+  if (crashes) {
+    std::printf("fuzz_check: %llu/%llu seeds CRASHED\n",
+                static_cast<unsigned long long>(crashes),
+                static_cast<unsigned long long>(num_seeds));
+    return 1;
+  }
   if (expect_violations) {
     // Some scenarios legitimately mask a fault (e.g. a pipeline that never
     // reorders makes the bypass fault unobservable), so require the bug to

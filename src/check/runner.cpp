@@ -1,8 +1,11 @@
 #include "check/runner.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <memory>
 #include <sstream>
+
+#include "exp/parallel_runner.h"
 
 #include "check/convergence.h"
 #include "check/differential.h"
@@ -386,6 +389,94 @@ CheckReport run_seed(std::uint64_t seed, const RunOptions& opts) {
     }
   }
   return run_scenario(sc, effective);
+}
+
+namespace {
+
+/// Hexfloat rendering: every bit of the double lands in the string, so the
+/// fingerprint distinguishes values an ostream's default precision would
+/// conflate.
+void append_double(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%a", v);
+  out += buf;
+  out += '|';
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  out += std::to_string(v);
+  out += '|';
+}
+
+}  // namespace
+
+std::string report_fingerprint(const CheckReport& r) {
+  std::string fp;
+  fp.reserve(512);
+  append_u64(fp, r.seed);
+  append_u64(fp, r.differential ? 1 : 0);
+  fp += core::backend_kind_name(r.backend);
+  fp += '|';
+  const np::NicPipeline::Stats& n = r.nic;
+  for (std::uint64_t v :
+       {n.submitted, n.vf_ring_drops, n.scheduler_drops, n.tx_ring_drops,
+        n.reorder_flush_drops, n.forwarded_to_wire, n.wire_bytes,
+        n.worker_busy_ns, n.processed, n.processing_cycles, n.reorder_flushes,
+        n.reorder_occupancy_peak, n.watchdog_requeues, n.watchdog_drops,
+        n.reorder_timeout_flushes, n.reorder_timeout_drops, n.admission_drops,
+        n.workers_repaired})
+    append_u64(fp, v);
+  append_u64(fp, r.events);
+  append_u64(fp, r.delivered);
+  append_u64(fp, r.violation_total);
+  for (const Violation& v : r.violations) {
+    fp += v.checker;
+    fp += '@';
+    append_u64(fp, static_cast<std::uint64_t>(v.at));
+    fp += v.detail;
+    fp += '|';
+  }
+  for (const std::vector<double>* shares :
+       {&r.fv_shares, &r.ref_shares, &r.expected_shares}) {
+    append_u64(fp, shares->size());
+    for (double s : *shares) append_double(fp, s);
+  }
+  append_double(fp, r.worst_share_delta);
+  append_u64(fp, r.faults_injected);
+  append_u64(fp, r.faults_recovered);
+  append_u64(fp, r.packets_lost_to_faults);
+  append_u64(fp, static_cast<std::uint64_t>(r.worst_recovery));
+  append_u64(fp, r.reconfigs_applied);
+  append_u64(fp, r.reconfigs_committed);
+  append_u64(fp, r.reconfigs_rolled_back);
+  append_u64(fp, r.mixed_epoch_packets);
+  return fp;
+}
+
+std::vector<SeedOutcome> run_corpus_with(
+    const std::vector<std::uint64_t>& seeds,
+    const std::function<CheckReport(std::uint64_t)>& body, unsigned jobs) {
+  exp::ParallelRunner runner(jobs);
+  auto outcomes = runner.map<CheckReport>(
+      seeds.size(), [&](std::size_t i) { return body(seeds[i]); });
+  std::vector<SeedOutcome> merged(seeds.size());
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    merged[i].seed = seeds[i];
+    if (outcomes[i].ok()) {
+      merged[i].report = std::move(*outcomes[i].result);
+    } else {
+      merged[i].crashed = true;
+      merged[i].crash_what = std::move(outcomes[i].failure->what);
+    }
+  }
+  return merged;
+}
+
+std::vector<SeedOutcome> run_corpus(const std::vector<std::uint64_t>& seeds,
+                                    const RunOptions& opts, unsigned jobs) {
+  return run_corpus_with(
+      seeds, [&opts](std::uint64_t seed) { return run_seed(seed, opts); },
+      jobs);
 }
 
 std::string CheckReport::summary() const {

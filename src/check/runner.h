@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -108,5 +109,37 @@ CheckReport run_scenario(const FuzzScenario& sc, const RunOptions& opts = {});
 /// Expand `seed` (standard or differential family per opts), apply option
 /// overrides, and run it.
 CheckReport run_seed(std::uint64_t seed, const RunOptions& opts = {});
+
+/// One corpus entry as merged by run_corpus: either the seed's CheckReport
+/// or — if the scenario escaped with an exception — a structured crash
+/// record. A crash never kills the batch: the remaining seeds complete and
+/// merge normally.
+struct SeedOutcome {
+  std::uint64_t seed = 0;
+  bool crashed = false;
+  std::string crash_what;  // exception text; empty unless crashed
+  CheckReport report;      // default-constructed when crashed
+  bool ok() const { return !crashed && report.ok(); }
+};
+
+/// Canonical byte-exact serialization of every CheckReport field (doubles
+/// rendered as hexfloat, so no precision is lost). Two reports are
+/// "bit-identical" iff their fingerprints compare equal — this is the
+/// currency of the parallel-vs-sequential equivalence oracle.
+std::string report_fingerprint(const CheckReport& r);
+
+/// Run every seed under `opts` across `jobs` threads (0 = all host cores,
+/// 1 = inline sequential — the oracle's reference). One Simulator +
+/// pipeline + seed-derived Rng per task, nothing shared; outcomes are
+/// returned in seed order regardless of completion order, so the merged
+/// result is bit-identical at any job count.
+std::vector<SeedOutcome> run_corpus(const std::vector<std::uint64_t>& seeds,
+                                    const RunOptions& opts, unsigned jobs);
+
+/// run_corpus with a custom per-seed body (tests use this to inject a
+/// deliberately-throwing scenario among real ones).
+std::vector<SeedOutcome> run_corpus_with(
+    const std::vector<std::uint64_t>& seeds,
+    const std::function<CheckReport(std::uint64_t)>& body, unsigned jobs);
 
 }  // namespace flowvalve::check

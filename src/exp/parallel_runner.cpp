@@ -1,0 +1,106 @@
+#include "exp/parallel_runner.h"
+
+#include <algorithm>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace flowvalve::exp {
+
+namespace {
+
+/// One worker's task queue. The owner pops from the front (cache-warm,
+/// preserves its dealt order); thieves take from the back, so owner and
+/// thief only collide on the last task. A plain mutex per deque is plenty:
+/// tasks here are whole simulations (milliseconds to seconds), so queue
+/// traffic is measured in dozens of operations, not millions.
+struct WorkDeque {
+  std::mutex mu;
+  std::deque<std::size_t> tasks;
+};
+
+std::optional<TaskFailure> execute(
+    std::size_t index, const std::function<void(std::size_t)>& fn) {
+  try {
+    fn(index);
+    return std::nullopt;
+  } catch (const std::exception& e) {
+    return TaskFailure{index, e.what()};
+  } catch (...) {
+    return TaskFailure{index, "non-std exception"};
+  }
+}
+
+}  // namespace
+
+unsigned hardware_jobs() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1u : hw;
+}
+
+unsigned resolve_jobs(unsigned requested) {
+  return requested == 0 ? hardware_jobs() : requested;
+}
+
+std::vector<std::optional<TaskFailure>> ParallelRunner::run(
+    std::size_t num_tasks, const std::function<void(std::size_t)>& fn) {
+  std::vector<std::optional<TaskFailure>> failures(num_tasks);
+  const unsigned workers = static_cast<unsigned>(
+      std::min<std::size_t>(jobs_, std::max<std::size_t>(num_tasks, 1)));
+
+  if (workers <= 1) {
+    // Sequential reference path: inline, index order, no threads. The
+    // equivalence oracle diffs parallel output against exactly this.
+    for (std::size_t i = 0; i < num_tasks; ++i) failures[i] = execute(i, fn);
+    return failures;
+  }
+
+  // Deal tasks round-robin so every worker starts with ~n/workers local
+  // tasks; stealing only moves work once a worker drains its own deque.
+  std::vector<WorkDeque> deques(workers);
+  for (std::size_t i = 0; i < num_tasks; ++i)
+    deques[i % workers].tasks.push_back(i);
+
+  // The task set is fixed up front (tasks never spawn tasks), so "every
+  // deque is empty" is a monotone exit condition: once a worker scans all
+  // deques and finds nothing, no work can ever appear again.
+  auto worker_loop = [&](unsigned self) {
+    for (;;) {
+      std::size_t task = 0;
+      bool found = false;
+      {
+        std::lock_guard<std::mutex> lock(deques[self].mu);
+        if (!deques[self].tasks.empty()) {
+          task = deques[self].tasks.front();
+          deques[self].tasks.pop_front();
+          found = true;
+        }
+      }
+      if (!found) {
+        for (unsigned off = 1; off < workers && !found; ++off) {
+          WorkDeque& victim = deques[(self + off) % workers];
+          std::lock_guard<std::mutex> lock(victim.mu);
+          if (!victim.tasks.empty()) {
+            task = victim.tasks.back();  // steal the coldest task
+            victim.tasks.pop_back();
+            found = true;
+          }
+        }
+      }
+      if (!found) return;
+      // Each slot is written by exactly one thread (the task's executor)
+      // and read only after join — no synchronization needed beyond it.
+      failures[task] = execute(task, fn);
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w)
+    threads.emplace_back(worker_loop, w);
+  for (std::thread& t : threads) t.join();
+  return failures;
+}
+
+}  // namespace flowvalve::exp

@@ -1,0 +1,89 @@
+// Parallel experiment runtime: fans independent scenario executions across
+// host cores.
+//
+// The DES kernel itself is single-threaded by design (one virtual clock,
+// strict (at, seq) order), but every *consumer* of it — the fuzz corpus,
+// bench reps, sweep grid cells, the chaos matrix — is a bag of mutually
+// independent tasks: each one builds its own Simulator + pipeline + engine
+// and owns every byte of its state, including its seed-derived Rng. This
+// runner exploits exactly that: tasks are fanned across a small
+// work-stealing thread pool, and results land in slots indexed by task id,
+// so the merged output is in deterministic task order regardless of which
+// thread finished which task when.
+//
+// Isolation invariants (DESIGN.md §15):
+//  - One task == one fully-owned simulation universe. Nothing in src/sim,
+//    src/np, src/core, src/obs or src/traffic has static mutable state, so
+//    two Simulators in one process never observe each other.
+//  - A task that throws is captured as a structured TaskFailure in its own
+//    slot; the remaining tasks run to completion and merge normally.
+//  - `jobs == 1` executes every task inline on the calling thread in index
+//    order — the sequential reference the equivalence oracle compares
+//    against (tasks are deterministic, so N-thread output must be
+//    bit-identical to this).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace flowvalve::exp {
+
+/// Number of concurrent hardware threads, floored at 1 (the standard allows
+/// hardware_concurrency() == 0 when unknown).
+unsigned hardware_jobs();
+
+/// CLI convention shared by fuzz_check and the bench sweeps:
+/// 0 means "use every host core", anything else is taken literally.
+unsigned resolve_jobs(unsigned requested);
+
+/// Structured failure record for one task: the exception that escaped it.
+/// The task's result slot stays empty; no other task is affected.
+struct TaskFailure {
+  std::size_t index = 0;
+  std::string what;
+};
+
+class ParallelRunner {
+ public:
+  /// `jobs` threads execute the tasks; 0 resolves to hardware_jobs().
+  explicit ParallelRunner(unsigned jobs) : jobs_(resolve_jobs(jobs)) {}
+
+  unsigned jobs() const { return jobs_; }
+
+  /// Execute fn(0..num_tasks-1). Tasks are pre-dealt round-robin into
+  /// per-thread deques; an idle thread steals from the back of a victim's
+  /// deque. Returns one slot per task: empty on success, the captured
+  /// failure otherwise. With jobs() == 1 (or a single task) everything runs
+  /// inline on the calling thread, in index order, with identical
+  /// failure-capture semantics.
+  std::vector<std::optional<TaskFailure>> run(
+      std::size_t num_tasks, const std::function<void(std::size_t)>& fn);
+
+  template <class R>
+  struct Outcome {
+    std::optional<R> result;            // set iff the task returned
+    std::optional<TaskFailure> failure; // set iff the task threw
+    bool ok() const { return !failure.has_value(); }
+  };
+
+  /// run() for value-returning tasks: outcome i holds fn(i)'s result or its
+  /// failure, merged in task order regardless of completion order.
+  template <class R, class Fn>
+  std::vector<Outcome<R>> map(std::size_t num_tasks, Fn&& fn) {
+    std::vector<Outcome<R>> out(num_tasks);
+    std::vector<std::optional<TaskFailure>> failures =
+        run(num_tasks, [&](std::size_t i) { out[i].result.emplace(fn(i)); });
+    for (std::size_t i = 0; i < num_tasks; ++i)
+      out[i].failure = std::move(failures[i]);
+    return out;
+  }
+
+ private:
+  unsigned jobs_;
+};
+
+}  // namespace flowvalve::exp

@@ -1,6 +1,9 @@
 #include "obs/export.h"
 
+#include <cstdio>
 #include <fstream>
+
+#include <unistd.h>
 
 namespace flowvalve::obs {
 
@@ -223,10 +226,28 @@ std::string metrics_to_json(const MetricsHub& hub) {
 }
 
 bool write_json_file(const std::string& path, const std::string& json) {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) return false;
-  out << json << "\n";
-  return static_cast<bool>(out);
+  // Atomic publish: write a sibling temp file, then rename over the target.
+  // A parallel or interrupted run can therefore never commit a truncated
+  // BENCH_*.json — readers see either the old artifact or the complete new
+  // one. The temp name is pid-qualified so two writers racing on the same
+  // path cannot interleave inside one temp file either.
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return false;
+    out << json << "\n";
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
 }
 
 }  // namespace flowvalve::obs

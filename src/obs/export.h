@@ -39,7 +39,9 @@ void reconfig_json(JsonWriter& w, const ReconfigTracker& t);
 /// Whole hub: {"counters":...,"latency":...,"throughput":...}.
 std::string metrics_to_json(const MetricsHub& hub);
 
-/// Write a JSON string to `path`; returns false on I/O failure.
+/// Write a JSON string to `path` atomically (temp file + rename): readers
+/// never observe a truncated artifact, even if the writer is interrupted or
+/// several processes race on the same path. Returns false on I/O failure.
 bool write_json_file(const std::string& path, const std::string& json);
 
 }  // namespace flowvalve::obs

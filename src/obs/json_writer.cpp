@@ -109,4 +109,10 @@ JsonWriter& JsonWriter::value(bool v) {
   return *this;
 }
 
+JsonWriter& JsonWriter::raw_value(std::string_view json) {
+  comma_if_needed();
+  out_ += json;
+  return *this;
+}
+
 }  // namespace flowvalve::obs

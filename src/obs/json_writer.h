@@ -32,6 +32,12 @@ class JsonWriter {
   JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
   JsonWriter& value(bool v);
 
+  /// Splice an already-rendered JSON value (object, array, or scalar) in
+  /// value position. The parallel sweeps use this to merge per-cell
+  /// fragments — each produced by an independent JsonWriter on its own
+  /// thread — into the final document in deterministic cell order.
+  JsonWriter& raw_value(std::string_view json);
+
   const std::string& str() const { return out_; }
 
  private:

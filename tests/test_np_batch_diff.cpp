@@ -300,23 +300,10 @@ TEST(NpBatchDiff, DeliveredThroughputAgreesWithinTolerance) {
   }
 }
 
-/// Full-report fingerprint for the determinism tier — here nothing at all
-/// may differ, including event and cycle counts.
-std::string report_fingerprint(const check::CheckReport& r) {
-  std::ostringstream s;
-  s << "events=" << r.events << " delivered=" << r.delivered
-    << " violations=" << r.violation_total
-    << " submitted=" << r.nic.submitted << " processed=" << r.nic.processed
-    << " wire=" << r.nic.forwarded_to_wire
-    << " wire_bytes=" << r.nic.wire_bytes
-    << " sched_drops=" << r.nic.scheduler_drops
-    << " vf_drops=" << r.nic.vf_ring_drops
-    << " tx_drops=" << r.nic.tx_ring_drops
-    << " reorder_flushes=" << r.nic.reorder_flushes
-    << " watchdog_requeues=" << r.nic.watchdog_requeues
-    << " cycles=" << r.nic.processing_cycles;
-  return s.str();
-}
+// Full-report fingerprint for the determinism tier — here nothing at all
+// may differ, so use the canonical check::report_fingerprint (every
+// CheckReport field, hexfloat doubles).
+using check::report_fingerprint;
 
 TEST(NpBatchDiff, FixedBatchRunsAreDeterministic) {
   for (std::uint64_t seed : {2ull, 17ull}) {

@@ -174,23 +174,9 @@ TEST(SimKernelDiff, PeriodicRearmMatchesHeapEmulation) {
   }
 }
 
-/// Flatten the scenario-visible outcome of a fuzz run into one string so
-/// heap and wheel runs can be compared wholesale.
-std::string report_fingerprint(const check::CheckReport& r) {
-  std::ostringstream s;
-  s << "events=" << r.events << " delivered=" << r.delivered
-    << " violations=" << r.violation_total
-    << " submitted=" << r.nic.submitted << " processed=" << r.nic.processed
-    << " wire=" << r.nic.forwarded_to_wire
-    << " sched_drops=" << r.nic.scheduler_drops
-    << " vf_drops=" << r.nic.vf_ring_drops
-    << " tx_drops=" << r.nic.tx_ring_drops
-    << " reorder_flushes=" << r.nic.reorder_flushes
-    << " reorder_peak=" << r.nic.reorder_occupancy_peak
-    << " watchdog_requeues=" << r.nic.watchdog_requeues
-    << " cycles=" << r.nic.processing_cycles;
-  return s.str();
-}
+// Heap and wheel runs are compared wholesale via the canonical
+// check::report_fingerprint (every CheckReport field, hexfloat doubles).
+using check::report_fingerprint;
 
 TEST(SimKernelDiff, FuzzScenariosProduceIdenticalStats) {
   // Full NP-stack differential: same fuzz seeds, both backends, identical
