@@ -5,205 +5,75 @@
 //   fuzz_check --seeds 10 --differential   # FlowValve-vs-HTB share oracle
 //   fuzz_check --seed 0x2a -v              # re-run one seed, print scenario
 //   fuzz_check --seeds 3 --inject-fault leak --expect-violations
-//   fuzz_check --seeds 10 --chaos           # seeded fault schedules + recovery
+//   fuzz_check --seeds 10 --chaos          # seeded fault schedules + recovery
+//   fuzz_check --seeds 10 --campaign       # compound campaigns + recovery SLO
+//   fuzz_check --seed 0x2a --campaign --minimize   # shrink a failing schedule
 //
 // Every failing seed prints a one-line repro command; the same seed always
 // regenerates the identical scenario (see src/check/fuzzer.h) and — under
-// --chaos — the identical fault schedule (see src/fault/fault.h). Seeds are
+// --chaos / --campaign — the identical fault schedule (see src/fault/fault.h).
+// The repro line is emitted by the same module that parses the flags
+// (src/check/cli_options.h), so it round-trips every RunOptions field, and
+// --minimize first delta-debugs the failing seed's resolved schedule down to
+// a minimal failing subset printed as explicit --fault-event flags. Seeds are
 // mutually independent, so --jobs N fans them across N threads and merges
 // the reports in seed order: the output (and every repro line) is identical
 // to a sequential run, which --verify-sequential re-proves per seed by
 // rerunning the corpus inline and diffing bit-exact report fingerprints.
 #include <cstdint>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <string>
 #include <vector>
 
+#include "check/cli_options.h"
 #include "check/fuzzer.h"
 #include "check/runner.h"
 #include "fault/fault.h"
 
-namespace {
-
-void usage() {
-  std::puts(
-      "usage: fuzz_check [options]\n"
-      "  --seeds N           number of seeds to run (default 50)\n"
-      "  --start S           first seed (default 1; hex with 0x prefix)\n"
-      "  --seed S            run exactly one seed\n"
-      "  --jobs N            fan seeds across N threads (0 = all host\n"
-      "                      cores; default 1 = sequential). Reports merge\n"
-      "                      in seed order, so output is identical to\n"
-      "                      --jobs 1\n"
-      "  --verify-sequential after a parallel run, re-run every seed\n"
-      "                      sequentially and fail unless each report is\n"
-      "                      bit-identical (the --jobs equivalence oracle)\n"
-      "  --differential      differential scenario family (FV vs HTB oracle)\n"
-      "  --tolerance F       differential share tolerance (default 0.1)\n"
-      "  --inject-fault K    deliberate pipeline bug: leak | bypass\n"
-      "  --every N           fault period for --inject-fault (default 97)\n"
-      "  --chaos             arm a seed-derived fault schedule per run and\n"
-      "                      check the pipeline survives + re-converges\n"
-      "  --storm K           arm a flow-table storm over the middle half of\n"
-      "                      every run: collision | churn | both\n"
-      "  --reconfig N        submit N seed-derived live policy updates per\n"
-      "                      run (usually with one control-plane fault) and\n"
-      "                      check epoch confinement + swap conservation\n"
-      "  --expect-violations exit 0 iff at least one seed reports violations\n"
-      "  --horizon-ms M      override scenario horizon\n"
-      "  --batch N           force NpConfig::batch_size for every run\n"
-      "                      (1 = legacy per-packet path; 0 = scenario's own\n"
-      "                      seed-derived burst size, the default)\n"
-      "  --backend K         force the scheduling discipline for every run:\n"
-      "                      fv (default tree) | stfq | eiffel | sppifo\n"
-      "                      (unset = scenario's own seed-derived backend)\n"
-      "  --scheduler K       event queue backend: wheel (default) | heap\n"
-      "  -v, --verbose       print the full scenario for every seed\n");
-}
-
-std::uint64_t parse_u64(const char* s) {
-  return std::strtoull(s, nullptr, 0);  // base 0: accepts 0x... and decimal
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   using namespace flowvalve;
 
-  std::uint64_t num_seeds = 50;
-  std::uint64_t start_seed = 1;
-  bool single_seed = false;
-  bool expect_violations = false;
-  bool verbose = false;
-  bool verify_sequential = false;
-  unsigned jobs = 1;
-  std::uint64_t fault_every = 97;
-  const char* fault_kind = nullptr;
-  check::RunOptions opts;
-
-  for (int i = 1; i < argc; ++i) {
-    const char* arg = argv[i];
-    auto value = [&]() -> const char* {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "fuzz_check: %s needs a value\n", arg);
-        std::exit(2);
-      }
-      return argv[++i];
-    };
-    if (!std::strcmp(arg, "--seeds")) {
-      num_seeds = parse_u64(value());
-    } else if (!std::strcmp(arg, "--start")) {
-      start_seed = parse_u64(value());
-    } else if (!std::strcmp(arg, "--seed")) {
-      start_seed = parse_u64(value());
-      num_seeds = 1;
-      single_seed = true;
-    } else if (!std::strcmp(arg, "--jobs")) {
-      jobs = static_cast<unsigned>(parse_u64(value()));
-    } else if (!std::strcmp(arg, "--verify-sequential")) {
-      verify_sequential = true;
-    } else if (!std::strcmp(arg, "--differential")) {
-      opts.differential = true;
-    } else if (!std::strcmp(arg, "--tolerance")) {
-      opts.share_tolerance = std::atof(value());
-    } else if (!std::strcmp(arg, "--inject-fault")) {
-      fault_kind = value();
-    } else if (!std::strcmp(arg, "--every")) {
-      fault_every = parse_u64(value());
-    } else if (!std::strcmp(arg, "--chaos")) {
-      opts.chaos = true;
-    } else if (!std::strcmp(arg, "--storm")) {
-      const char* k = value();
-      if (!std::strcmp(k, "collision")) {
-        opts.storm_collision = true;
-      } else if (!std::strcmp(k, "churn")) {
-        opts.storm_churn = true;
-      } else if (!std::strcmp(k, "both")) {
-        opts.storm_collision = opts.storm_churn = true;
-      } else {
-        std::fprintf(stderr,
-                     "fuzz_check: unknown storm '%s' (collision|churn|both)\n",
-                     k);
-        return 2;
-      }
-    } else if (!std::strcmp(arg, "--reconfig")) {
-      opts.reconfig_updates = static_cast<unsigned>(parse_u64(value()));
-    } else if (!std::strcmp(arg, "--expect-violations")) {
-      expect_violations = true;
-    } else if (!std::strcmp(arg, "--horizon-ms")) {
-      opts.horizon_override = sim::milliseconds(
-          static_cast<std::int64_t>(parse_u64(value())));
-    } else if (!std::strcmp(arg, "--batch")) {
-      opts.batch_size = static_cast<unsigned>(parse_u64(value()));
-    } else if (!std::strcmp(arg, "--backend")) {
-      const char* k = value();
-      core::BackendKind kind = core::BackendKind::kFlowValve;
-      if (!core::parse_backend_kind(k, kind)) {
-        std::fprintf(stderr,
-                     "fuzz_check: unknown backend '%s' (fv|stfq|eiffel|sppifo)\n",
-                     k);
-        return 2;
-      }
-      opts.backend = kind;
-    } else if (!std::strcmp(arg, "--scheduler")) {
-      const char* k = value();
-      if (!std::strcmp(k, "heap")) {
-        opts.scheduler = sim::SchedulerKind::kHeap;
-      } else if (!std::strcmp(k, "wheel")) {
-        opts.scheduler = sim::SchedulerKind::kWheel;
-      } else {
-        std::fprintf(stderr, "fuzz_check: unknown scheduler '%s' (heap|wheel)\n",
-                     k);
-        return 2;
-      }
-    } else if (!std::strcmp(arg, "-v") || !std::strcmp(arg, "--verbose")) {
-      verbose = true;
-    } else if (!std::strcmp(arg, "-h") || !std::strcmp(arg, "--help")) {
-      usage();
+  check::CliOptions cli;
+  switch (check::parse_cli(argc, argv, cli)) {
+    case check::CliParseResult::kOk:
+      break;
+    case check::CliParseResult::kHelp:
       return 0;
-    } else {
-      std::fprintf(stderr, "fuzz_check: unknown option %s\n", arg);
-      usage();
+    case check::CliParseResult::kError:
       return 2;
-    }
   }
-
-  if (fault_kind) {
-    fault::FaultEvent ev;  // permanent from t=0: the legacy injected bugs
-    ev.at = 0;
-    ev.duration = 0;
-    ev.period = fault_every;
-    if (!std::strcmp(fault_kind, "leak")) {
-      ev.kind = fault::FaultKind::kLeakCommit;
-    } else if (!std::strcmp(fault_kind, "bypass")) {
-      ev.kind = fault::FaultKind::kBypassReorder;
-    } else {
-      std::fprintf(stderr, "fuzz_check: unknown fault '%s' (leak|bypass)\n",
-                   fault_kind);
-      return 2;
-    }
-    opts.faults.push_back(ev);
-  }
+  const check::RunOptions& opts = cli.opts;
 
   std::vector<std::uint64_t> seeds;
-  seeds.reserve(num_seeds);
-  for (std::uint64_t s = start_seed; s < start_seed + num_seeds; ++s)
+  seeds.reserve(cli.num_seeds);
+  for (std::uint64_t s = cli.start_seed; s < cli.start_seed + cli.num_seeds;
+       ++s)
     seeds.push_back(s);
 
   // Fan the corpus across the thread pool; outcomes come back in seed
   // order regardless of completion order, so the report below is identical
   // to a sequential run's.
   const std::vector<check::SeedOutcome> outcomes =
-      check::run_corpus(seeds, opts, jobs);
+      check::run_corpus(seeds, opts, cli.jobs);
+
+  // Shrink a failing seed's resolved fault schedule, then print the minimal
+  // subset as an explicit --fault-event repro (schedule-deriving flags
+  // dropped — the events now say it all).
+  const auto print_minimized = [&](std::uint64_t s) {
+    const check::ResolvedSeed resolved = check::resolve_seed(s, opts);
+    const fault::FaultSchedule minimal = check::minimize_schedule(resolved);
+    std::printf("  minimized: %zu/%zu fault events still fail\n",
+                minimal.size(), resolved.opts.faults.size());
+    std::printf("  repro: %s\n",
+                check::repro_command_with_faults(cli, s, minimal).c_str());
+  };
 
   std::uint64_t failures = 0;
   std::uint64_t caught = 0;
   std::uint64_t crashes = 0;
   for (const check::SeedOutcome& outcome : outcomes) {
     const std::uint64_t s = outcome.seed;
-    if (verbose) {
+    if (cli.verbose) {
       const check::FuzzScenario sc =
           opts.differential ? check::generate_differential_scenario(s)
                             : check::generate_scenario(s);
@@ -213,21 +83,13 @@ int main(int argc, char** argv) {
                        fault::generate_fault_schedule(s, sc.horizon, sc.nic))
                        .c_str(),
                    stdout);
+      if (opts.campaign)
+        std::fputs(
+            fault::describe_schedule(
+                fault::generate_campaign_schedule(s, sc.horizon, sc.nic))
+                .c_str(),
+            stdout);
     }
-    // Repro flags shared by the failure and crash paths.
-    std::string extra_flags;
-    if (opts.reconfig_updates > 0)
-      extra_flags = " --reconfig " + std::to_string(opts.reconfig_updates);
-    if (opts.batch_size > 0)
-      extra_flags += " --batch " + std::to_string(opts.batch_size);
-    if (opts.backend)
-      extra_flags += std::string(" --backend ") +
-                     core::backend_kind_name(*opts.backend);
-    if (opts.storm_collision || opts.storm_churn)
-      extra_flags += std::string(" --storm ") +
-                     (opts.storm_collision && opts.storm_churn
-                          ? "both"
-                          : opts.storm_collision ? "collision" : "churn");
     if (outcome.crashed) {
       // Structured crash record: the seed's exception, isolated to its own
       // slot — every other seed in the batch completed and merged normally.
@@ -236,14 +98,10 @@ int main(int argc, char** argv) {
       std::printf("seed 0x%llx: CRASH (%s)\n",
                   static_cast<unsigned long long>(s),
                   outcome.crash_what.c_str());
-      if (!single_seed)
-        std::printf("  repro: fuzz_check --seed 0x%llx%s%s%s%s -v\n",
-                    static_cast<unsigned long long>(s),
-                    opts.differential ? " --differential" : "",
-                    opts.chaos ? " --chaos" : "", extra_flags.c_str(),
-                    fault_kind ? (std::string(" --inject-fault ") + fault_kind)
-                                     .c_str()
-                               : "");
+      if (cli.minimize)
+        print_minimized(s);
+      else if (!cli.single_seed)
+        std::printf("  repro: %s\n", check::repro_command(cli, s).c_str());
       continue;
     }
     const check::CheckReport& report = outcome.report;
@@ -257,21 +115,16 @@ int main(int argc, char** argv) {
         std::printf("    ... and %llu more\n",
                     static_cast<unsigned long long>(report.violation_total -
                                                     report.violations.size()));
-      if (!single_seed) {
-        std::printf("  repro: fuzz_check --seed 0x%llx%s%s%s%s -v\n",
-                    static_cast<unsigned long long>(s),
-                    opts.differential ? " --differential" : "",
-                    opts.chaos ? " --chaos" : "", extra_flags.c_str(),
-                    fault_kind ? (std::string(" --inject-fault ") + fault_kind)
-                                     .c_str()
-                               : "");
-      }
+      if (cli.minimize)
+        print_minimized(s);
+      else if (!cli.single_seed)
+        std::printf("  repro: %s\n", check::repro_command(cli, s).c_str());
     }
   }
 
   // Sequential-equivalence oracle: the corpus rerun inline on this thread
   // must produce a bit-identical report for every seed.
-  if (verify_sequential) {
+  if (cli.verify_sequential) {
     const std::vector<check::SeedOutcome> sequential =
         check::run_corpus(seeds, opts, /*jobs=*/1);
     std::uint64_t divergent = 0;
@@ -292,35 +145,35 @@ int main(int argc, char** argv) {
     if (divergent) {
       std::printf("fuzz_check: %llu/%llu seeds diverged under --jobs %u\n",
                   static_cast<unsigned long long>(divergent),
-                  static_cast<unsigned long long>(num_seeds), jobs);
+                  static_cast<unsigned long long>(cli.num_seeds), cli.jobs);
       return 1;
     }
     std::printf("fuzz_check: all %llu seeds bit-identical to sequential\n",
-                static_cast<unsigned long long>(num_seeds));
+                static_cast<unsigned long long>(cli.num_seeds));
   }
 
   if (crashes) {
     std::printf("fuzz_check: %llu/%llu seeds CRASHED\n",
                 static_cast<unsigned long long>(crashes),
-                static_cast<unsigned long long>(num_seeds));
+                static_cast<unsigned long long>(cli.num_seeds));
     return 1;
   }
-  if (expect_violations) {
+  if (cli.expect_violations) {
     // Some scenarios legitimately mask a fault (e.g. a pipeline that never
     // reorders makes the bypass fault unobservable), so require the bug to
     // be caught on at least one seed rather than all of them.
     std::printf("fuzz_check: injected fault caught on %llu/%llu seeds\n",
                 static_cast<unsigned long long>(caught),
-                static_cast<unsigned long long>(num_seeds));
+                static_cast<unsigned long long>(cli.num_seeds));
     return caught > 0 ? 0 : 1;
   }
   if (failures) {
     std::printf("fuzz_check: %llu/%llu seeds FAILED\n",
                 static_cast<unsigned long long>(failures),
-                static_cast<unsigned long long>(num_seeds));
+                static_cast<unsigned long long>(cli.num_seeds));
     return 1;
   }
   std::printf("fuzz_check: %llu seeds clean\n",
-              static_cast<unsigned long long>(num_seeds));
+              static_cast<unsigned long long>(cli.num_seeds));
   return 0;
 }

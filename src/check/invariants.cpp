@@ -36,13 +36,15 @@ class ConservationChecker final : public InvariantChecker {
       case np::DropReason::kReorderTimeout: ++timeout_drops_; break;
       case np::DropReason::kWatchdogAbort: ++watchdog_drops_; break;
       case np::DropReason::kAdmission: ++admission_drops_; break;
+      case np::DropReason::kIslandRestart: ++restart_drops_; break;
     }
   }
 
   void on_epoch(const SystemView& v, sim::SimTime now) override {
     const std::uint64_t accounted = wire_ + vf_drops_ + sched_drops_ +
                                     tx_drops_ + flush_drops_ + timeout_drops_ +
-                                    watchdog_drops_ + admission_drops_;
+                                    watchdog_drops_ + admission_drops_ +
+                                    restart_drops_;
     if (accounted > submitted_) {
       fail(now, "accounted " + fmt_u64(accounted) + " packets > submitted " +
                     fmt_u64(submitted_));
@@ -59,7 +61,8 @@ class ConservationChecker final : public InvariantChecker {
     const auto& s = v.pipeline->stats();
     const std::uint64_t drops = vf_drops_ + sched_drops_ + tx_drops_ +
                                 flush_drops_ + timeout_drops_ +
-                                watchdog_drops_ + admission_drops_;
+                                watchdog_drops_ + admission_drops_ +
+                                restart_drops_;
     if (submitted_ != wire_ + drops)
       fail(now, "at drain: submitted " + fmt_u64(submitted_) + " != wire " +
                     fmt_u64(wire_) + " + drops " + fmt_u64(drops));
@@ -70,7 +73,8 @@ class ConservationChecker final : public InvariantChecker {
         s.tx_ring_drops != tx_drops_ || s.reorder_flush_drops != flush_drops_ ||
         s.reorder_timeout_drops != timeout_drops_ ||
         s.watchdog_drops != watchdog_drops_ ||
-        s.admission_drops != admission_drops_)
+        s.admission_drops != admission_drops_ ||
+        s.island_restart_drops != restart_drops_)
       fail(now, "pipeline Stats disagree with observed events (stats: " +
                     fmt_u64(s.submitted) + "/" + fmt_u64(s.forwarded_to_wire) +
                     "/" + fmt_u64(s.vf_ring_drops) + "/" +
@@ -83,7 +87,8 @@ class ConservationChecker final : public InvariantChecker {
                     fmt_u64(vf_drops_) + "/" + fmt_u64(sched_drops_) + "/" +
                     fmt_u64(tx_drops_) + "/" + fmt_u64(flush_drops_) + "/" +
                     fmt_u64(timeout_drops_) + "/" + fmt_u64(watchdog_drops_) +
-                    "/" + fmt_u64(admission_drops_) + ")");
+                    "/" + fmt_u64(admission_drops_) + "/" +
+                    fmt_u64(restart_drops_) + ")");
     if (v.delivered_packets != wire_)
       fail(now, "delivered " + fmt_u64(v.delivered_packets) +
                     " != wire transmissions " + fmt_u64(wire_));
@@ -99,6 +104,7 @@ class ConservationChecker final : public InvariantChecker {
   std::uint64_t timeout_drops_ = 0;
   std::uint64_t watchdog_drops_ = 0;
   std::uint64_t admission_drops_ = 0;
+  std::uint64_t restart_drops_ = 0;
 };
 
 // -------------------------------------------------------------- ordering --

@@ -35,6 +35,7 @@ void SwapConservationChecker::on_drop(const net::Packet&, np::DropReason reason,
                                       sim::SimTime now) {
   if (reason != np::DropReason::kAdmission) return;
   if (!pipeline_->admission_forced()) return;  // watermark automation, not ours
+  if (pipeline_->restart_probation_active()) return;  // island-restart probation
   if (mgr_->state() == ctrl::ReconfigManager::State::kIdle)
     fail(now,
          "admission drop under control-plane forced shedding with no update "

@@ -10,6 +10,7 @@
 #include "check/convergence.h"
 #include "check/differential.h"
 #include "check/reconfig_check.h"
+#include "check/recovery_slo.h"
 #include "core/flowvalve.h"
 #include "ctrl/reconfig_manager.h"
 #include "fault/fault_plane.h"
@@ -134,6 +135,20 @@ bool has_permanent_fault(const fault::FaultSchedule& schedule) {
   return false;
 }
 
+/// Fair per-VF wire-byte fractions from the differential scenario's static
+/// shares (empty when the leaves carry no share plan).
+std::vector<double> expected_vf_fractions(const FuzzScenario& sc) {
+  double total_bps = 0.0;
+  for (const FuzzLeaf& l : sc.leaves) total_bps += l.static_share.bps();
+  std::vector<double> expected;
+  if (total_bps <= 0.0) return expected;
+  for (const FuzzLeaf& l : sc.leaves) {
+    if (l.vf >= expected.size()) expected.resize(l.vf + 1, 0.0);
+    expected[l.vf] += l.static_share.bps() / total_bps;
+  }
+  return expected;
+}
+
 /// Build and submit one seed-derived live policy update against the current
 /// tree: a leaf's weight is rescaled, which always passes shadow validation
 /// (positive, finite, guarantees untouched) and genuinely moves shares.
@@ -252,33 +267,49 @@ CheckReport run_scenario(const FuzzScenario& sc, const RunOptions& opts) {
 
   obs::RecoveryTracker tracker;
   std::unique_ptr<fault::FaultPlane> plane;
+  RecoverySloChecker* slo = nullptr;
   if (!armed.empty()) {
     plane = std::make_unique<fault::FaultPlane>(sim, pipeline, &engine,
                                                 &tracker);
     plane->set_reconfig(reconfig.get());
     plane->arm(armed);
 
+    // A fair static share plan exists only for the differential family,
+    // only when every armed fault actually clears before the horizon, and
+    // only without live updates (a committed update legitimately moves the
+    // shares off the static plan).
+    const bool fair_plan_valid = opts.differential &&
+                                 !has_permanent_fault(armed) &&
+                                 opts.reconfig_updates == 0;
+
     // Re-convergence bar: after the last timed fault clears and the pipeline
     // has had `recovery_settle` to heal, per-VF wire shares must match the
-    // weighted-fair allocation. Only meaningful for the differential family
-    // (whose fair shares have a closed form), only when every armed fault
-    // actually clears before the horizon, and only without live updates
-    // (a committed update legitimately moves the shares off the static plan).
+    // weighted-fair allocation.
     const sim::SimTime from = last_fault_clear(armed) + opts.recovery_settle;
-    if (opts.differential && !has_permanent_fault(armed) &&
-        opts.reconfig_updates == 0 && from < sc.horizon) {
-      double total_bps = 0.0;
-      for (const FuzzLeaf& l : sc.leaves) total_bps += l.static_share.bps();
-      std::vector<double> expected;
-      if (total_bps > 0.0) {
-        for (const FuzzLeaf& l : sc.leaves) {
-          if (l.vf >= expected.size()) expected.resize(l.vf + 1, 0.0);
-          expected[l.vf] += l.static_share.bps() / total_bps;
-        }
+    if (fair_plan_valid && from < sc.horizon) {
+      std::vector<double> expected = expected_vf_fractions(sc);
+      if (!expected.empty())
         harness.add(std::make_unique<ShareConvergenceChecker>(
             std::move(expected), from, sc.horizon,
             opts.convergence_tolerance));
-      }
+    }
+
+    // Recovery-SLO oracle: campaign runs must bound every episode's MTTR,
+    // and (when a fair plan exists) the post-quiet share-reconvergence time.
+    if (opts.campaign) {
+      RecoverySloChecker::Options so;
+      so.quiet_at = last_fault_clear(armed);
+      so.horizon = sc.horizon;
+      so.recovery_bound = opts.slo_recovery_bound > 0
+                              ? opts.slo_recovery_bound
+                              : fault::FaultPlane::Options{}.probe_deadline +
+                                    sim::milliseconds(10);
+      so.share_tolerance = opts.convergence_tolerance;
+      if (fair_plan_valid && so.quiet_at < sc.horizon)
+        so.expected_fractions = expected_vf_fractions(sc);
+      auto c = std::make_unique<RecoverySloChecker>(&tracker, so);
+      slo = c.get();
+      harness.add(std::move(c));
     }
   }
 
@@ -314,6 +345,7 @@ CheckReport run_scenario(const FuzzScenario& sc, const RunOptions& opts) {
   report.faults_recovered = tracker.recovered();
   report.packets_lost_to_faults = tracker.total_packets_lost();
   report.worst_recovery = tracker.worst_recovery_time();
+  if (slo) report.share_reconvergence = slo->share_reconvergence();
   if (reconfig) {
     const ctrl::ReconfigManager::Stats& rs = reconfig->stats();
     report.reconfigs_applied = rs.applied;
@@ -350,13 +382,18 @@ CheckReport run_scenario(const FuzzScenario& sc, const RunOptions& opts) {
   return report;
 }
 
-CheckReport run_seed(std::uint64_t seed, const RunOptions& opts) {
+ResolvedSeed resolve_seed(std::uint64_t seed, const RunOptions& opts) {
   FuzzScenario sc = opts.differential ? generate_differential_scenario(seed)
                                       : generate_scenario(seed);
   RunOptions effective = opts;
   if (opts.chaos) {
     fault::FaultSchedule extra =
         fault::generate_fault_schedule(seed, sc.horizon, sc.nic);
+    effective.faults.insert(effective.faults.end(), extra.begin(), extra.end());
+  }
+  if (opts.campaign) {
+    fault::FaultSchedule extra =
+        fault::generate_campaign_schedule(seed, sc.horizon, sc.nic);
     effective.faults.insert(effective.faults.end(), extra.begin(), extra.end());
   }
   // Explicit storm opt-ins (`fuzz_check --storm ...`): one default-intensity
@@ -388,7 +425,43 @@ CheckReport run_seed(std::uint64_t seed, const RunOptions& opts) {
       if (f.stop <= f.start) f.stop = sc.horizon;
     }
   }
-  return run_scenario(sc, effective);
+  return {std::move(sc), std::move(effective)};
+}
+
+CheckReport run_seed(std::uint64_t seed, const RunOptions& opts) {
+  ResolvedSeed r = resolve_seed(seed, opts);
+  return run_scenario(r.sc, r.opts);
+}
+
+fault::FaultSchedule minimize_schedule(const ResolvedSeed& resolved) {
+  const auto still_fails = [&](const fault::FaultSchedule& faults) {
+    RunOptions o = resolved.opts;
+    o.faults = faults;
+    try {
+      return !run_scenario(resolved.sc, o).ok();
+    } catch (...) {
+      return true;  // a crash is the strongest kind of "still fails"
+    }
+  };
+  fault::FaultSchedule current = resolved.opts.faults;
+  bool shrunk = true;
+  while (shrunk && !current.empty()) {
+    shrunk = false;
+    // One removal can unlock another (compound failures), so sweep to a
+    // fixpoint rather than stopping after the first clean pass.
+    for (std::size_t i = 0; i < current.size();) {
+      fault::FaultSchedule candidate = current;
+      candidate.erase(candidate.begin() +
+                      static_cast<std::ptrdiff_t>(i));
+      if (still_fails(candidate)) {
+        current = std::move(candidate);
+        shrunk = true;
+      } else {
+        ++i;
+      }
+    }
+  }
+  return current;
 }
 
 namespace {
@@ -424,7 +497,7 @@ std::string report_fingerprint(const CheckReport& r) {
         n.worker_busy_ns, n.processed, n.processing_cycles, n.reorder_flushes,
         n.reorder_occupancy_peak, n.watchdog_requeues, n.watchdog_drops,
         n.reorder_timeout_flushes, n.reorder_timeout_drops, n.admission_drops,
-        n.workers_repaired})
+        n.workers_repaired, n.island_restart_drops, n.islands_restarted})
     append_u64(fp, v);
   append_u64(fp, r.events);
   append_u64(fp, r.delivered);
@@ -450,6 +523,7 @@ std::string report_fingerprint(const CheckReport& r) {
   append_u64(fp, r.reconfigs_committed);
   append_u64(fp, r.reconfigs_rolled_back);
   append_u64(fp, r.mixed_epoch_packets);
+  append_u64(fp, static_cast<std::uint64_t>(r.share_reconvergence));
   return fp;
 }
 
@@ -489,7 +563,7 @@ std::string CheckReport::summary() const {
     << nic.submitted << " submitted, " << nic.forwarded_to_wire << " on wire, "
     << (nic.vf_ring_drops + nic.scheduler_drops + nic.tx_ring_drops +
         nic.reorder_flush_drops + nic.reorder_timeout_drops +
-        nic.watchdog_drops + nic.admission_drops)
+        nic.watchdog_drops + nic.admission_drops + nic.island_restart_drops)
     << " dropped, " << events << " events";
   if (differential) s << ", worst share delta " << worst_share_delta;
   if (faults_injected > 0)

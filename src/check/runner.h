@@ -32,6 +32,15 @@ struct RunOptions {
   /// Also derive a seed-specific chaos schedule (generate_fault_schedule)
   /// and arm it alongside `faults`.
   bool chaos = false;
+  /// Derive a seed-specific compound campaign (generate_campaign_schedule:
+  /// overlapping episodes over disjoint islands — blackout, flapping, ctrl
+  /// partition, plus global kinds) and arm it alongside `faults`. Campaign
+  /// runs also arm the RecoverySloChecker: every cleared episode must probe
+  /// healthy within `slo_recovery_bound`, and (differential runs) per-VF
+  /// shares must reconverge to fair within a horizon-scaled bound.
+  bool campaign = false;
+  /// RecoverySloChecker per-episode MTTR bound (0 ⇒ probe deadline + 10 ms).
+  sim::SimDuration slo_recovery_bound = 0;
   /// Arm a default-intensity kHashCollisionStorm (same-bucket cuckoo keys)
   /// over the middle half of the run, on top of `faults`/chaos.
   bool storm_collision = false;
@@ -91,6 +100,9 @@ struct CheckReport {
   std::uint64_t faults_recovered = 0;
   std::uint64_t packets_lost_to_faults = 0;
   sim::SimDuration worst_recovery = 0;  // longest clear→healthy interval
+  /// Campaign extras: post-quiet share-reconvergence time measured by the
+  /// RecoverySloChecker (-1 when the SLO share half was not armed).
+  sim::SimDuration share_reconvergence = -1;
 
   // Reconfiguration extras (zero when reconfig_updates == 0).
   std::uint64_t reconfigs_applied = 0;
@@ -109,6 +121,26 @@ CheckReport run_scenario(const FuzzScenario& sc, const RunOptions& opts = {});
 /// Expand `seed` (standard or differential family per opts), apply option
 /// overrides, and run it.
 CheckReport run_seed(std::uint64_t seed, const RunOptions& opts = {});
+
+/// Everything run_seed derives before handing off to run_scenario: the
+/// expanded scenario (with every fault-driven config mutation and horizon
+/// override already applied) and the options with the full resolved fault
+/// schedule (chaos + campaign + storms + explicit events) in `.faults`.
+/// run_scenario(sc, opts) on the result reproduces run_seed exactly.
+struct ResolvedSeed {
+  FuzzScenario sc;
+  RunOptions opts;
+};
+ResolvedSeed resolve_seed(std::uint64_t seed, const RunOptions& opts = {});
+
+/// Delta-debugging for `fuzz_check --minimize`: greedily re-run `resolved.sc`
+/// with one fault event removed at a time, keeping every removal after which
+/// the run still fails (any violation, or an escaped exception), until no
+/// single removal preserves the failure. The scenario config stays fixed as
+/// resolved for the ORIGINAL schedule — the point is a smaller trigger for
+/// the same run, not a re-derivation. Returns the minimal failing subset
+/// (empty if the failure does not depend on the schedule at all).
+fault::FaultSchedule minimize_schedule(const ResolvedSeed& resolved);
 
 /// One corpus entry as merged by run_corpus: either the seed's CheckReport
 /// or — if the scenario escaped with an exception — a structured crash

@@ -304,6 +304,43 @@ void SchedulingTree::refresh_theta(sim::SimTime now) {
   }
 }
 
+SchedulingTree::RuntimeSnapshot SchedulingTree::snapshot_runtime() const {
+  RuntimeSnapshot snap;
+  snap.classes.reserve(nodes_.size());
+  for (const auto& c : nodes_) {
+    ClassRuntime r;
+    r.gamma_valid = c.gamma_bps.has_value();
+    r.gamma_value = r.gamma_valid ? c.gamma_bps.value() : 0.0;
+    r.last_seen = c.last_seen;
+    r.ever_seen = c.ever_seen;
+    snap.classes.push_back(r);
+  }
+  return snap;
+}
+
+void SchedulingTree::restore_runtime(const RuntimeSnapshot& snap,
+                                     sim::SimTime now) {
+  if (snap.classes.size() != nodes_.size()) return;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    SchedClass& c = nodes_[i];
+    const ClassRuntime& r = snap.classes[i];
+    // Zero credit, not pre-crash credit: a dead worker may have consumed
+    // tokens it never reported, so any restored balance risks over-grant.
+    // Under-grant self-heals within one replenish epoch.
+    c.bucket.reset(0.0);
+    c.shadow.reset(0.0);
+    c.consumed_bytes = 0.0;
+    c.last_update = now;
+    c.gamma_bps.reset();
+    // Ewma's first observe() adopts the value directly, so this restores
+    // the pre-crash Γ estimate exactly rather than re-warming from zero.
+    if (r.gamma_valid) c.gamma_bps.observe(now, r.gamma_value);
+    c.last_seen = r.last_seen;
+    c.ever_seen = r.ever_seen;
+  }
+  refresh_theta(now);
+}
+
 void SchedulingTree::commit_all(sim::SimTime now) {
   for (auto& n : nodes_)
     if (n.has_staged) commit_class(n.id, now);

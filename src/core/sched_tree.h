@@ -182,6 +182,39 @@ class SchedulingTree {
   /// Drop all staged policies and retract the staged epoch.
   void abandon_stage();
 
+  // -- crash-recovery runtime snapshots (src/fault island restarts) --------
+  // An island blackout wipes the workers that were actively mutating the
+  // shared runtime block mid-burst; the restart path reconstructs a sane
+  // runtime from a snapshot taken at injection instead of trusting whatever
+  // half-written state the dead workers left behind (DESIGN.md §16).
+
+  /// Per-class runtime worth persisting across a crash: the slow-moving Γ
+  /// estimate and activity timestamps. Token/shadow credit and the epoch
+  /// consumption counter are deliberately NOT captured — restoring them
+  /// could double-grant bandwidth already spent before the crash.
+  struct ClassRuntime {
+    double gamma_value = 0.0;
+    bool gamma_valid = false;
+    sim::SimTime last_seen = 0;
+    bool ever_seen = false;
+  };
+  struct RuntimeSnapshot {
+    sim::SimTime at = 0;
+    std::vector<ClassRuntime> classes;  // indexed by ClassId
+  };
+
+  RuntimeSnapshot snapshot_runtime() const;
+
+  /// Crash-only restart: rebuild every class's runtime block conservatively
+  /// from `snap` — buckets drained to zero (never grant burst credit the
+  /// pre-crash epoch may already have spent), consumption counters reset,
+  /// Γ/activity restored from the snapshot, then a full refresh_theta sweep
+  /// re-derives θ/lendable top-down. Safe while traffic is flowing: every
+  /// field it writes is one the data path re-derives on the next update
+  /// epoch. Ignores snapshots whose class count mismatches (a reconfig that
+  /// changed the tree shape between snapshot and restore).
+  void restore_runtime(const RuntimeSnapshot& snap, sim::SimTime now);
+
  private:
   double sibling_weight_sum(const SchedClass& parent) const;
 

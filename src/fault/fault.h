@@ -39,6 +39,24 @@
 //                    a rollout including it stalls and rolls back
 //   kUpdateStorm     `period` back-to-back policy updates submitted at
 //                    once; all but the newest pending one must coalesce
+//
+// Correlated compound-campaign kinds (ISSUE 10, DESIGN.md §16):
+//   kIslandBlackout  a contiguous worker island (NpConfig failure domain)
+//                    dies as a unit: crash-only, every in-flight occupant
+//                    is dropped (DropReason::kIslandRestart), and the
+//                    clearing is a crash-recovery restart — scheduler/meter
+//                    runtime reconstructed from a SchedulingTree snapshot,
+//                    flow cache re-warmed lazily, workers re-entering under
+//                    admission-control probation. `worker` is the ISLAND
+//                    index (not a worker id) for this kind.
+//   kFlappingWorker  targets [worker, worker+worker_count) crash and heal
+//                    every period/2, stressing the watchdog epoch guard
+//                    with overlapping salvage/repair cycles
+//   kCtrlPartition   the control plane is partitioned from the targeted
+//                    worker range mid-rollout: every rollout including one
+//                    of them stalls at the ack wave and must take the
+//                    probation/rollback path; the clearing heals the
+//                    partition (no-op without a ReconfigManager)
 #pragma once
 
 #include <cstdint>
@@ -66,9 +84,34 @@ enum class FaultKind : std::uint8_t {
   kTornUpdate,
   kStaleEpoch,
   kUpdateStorm,
+  kIslandBlackout,
+  kFlappingWorker,
+  kCtrlPartition,
 };
 
+/// Every FaultKind, in enum order. New kinds MUST be appended here (and to
+/// the fault_kind_name switch, which compiles with no default case, so a
+/// missing name is a -Werror=switch build break, not a stale string). The
+/// exhaustiveness test in tests/ iterates this array and asserts density.
+inline constexpr FaultKind kAllFaultKinds[] = {
+    FaultKind::kWorkerStall,    FaultKind::kWorkerCrash,
+    FaultKind::kWireDip,        FaultKind::kTxBackpressure,
+    FaultKind::kReorderStall,   FaultKind::kCacheStorm,
+    FaultKind::kCachePoison,    FaultKind::kHashCollisionStorm,
+    FaultKind::kChurnStorm,     FaultKind::kLeakCommit,
+    FaultKind::kBypassReorder,  FaultKind::kTornUpdate,
+    FaultKind::kStaleEpoch,     FaultKind::kUpdateStorm,
+    FaultKind::kIslandBlackout, FaultKind::kFlappingWorker,
+    FaultKind::kCtrlPartition,
+};
+inline constexpr std::size_t kFaultKindCount =
+    sizeof(kAllFaultKinds) / sizeof(kAllFaultKinds[0]);
+
 const char* fault_kind_name(FaultKind kind);
+
+/// Inverse of fault_kind_name: resolves a name against kAllFaultKinds (so
+/// it is exhaustive by construction). Returns false on an unknown name.
+bool fault_kind_from_name(const std::string& name, FaultKind& out);
 
 struct FaultEvent {
   FaultKind kind = FaultKind::kWorkerStall;
@@ -76,6 +119,7 @@ struct FaultEvent {
   sim::SimDuration duration = 0;  // 0 ⇒ permanent (worker/leak/bypass kinds)
 
   // Worker faults: contiguous targets [worker, worker + worker_count).
+  // kIslandBlackout: `worker` is the island index, worker_count unused.
   unsigned worker = 0;
   unsigned worker_count = 1;
 
@@ -87,6 +131,7 @@ struct FaultEvent {
 
   // kCacheStorm / kHashCollisionStorm / kChurnStorm: storm interval
   // (0 ⇒ duration / 8).
+  // kFlappingWorker: full crash+heal cycle length (0 ⇒ duration / 6).
   // kLeakCommit / kBypassReorder: the every-Nth modulo (0 ⇒ 97).
   // kUpdateStorm: number of back-to-back updates (0 ⇒ 8).
   sim::SimDuration period = 0;
@@ -96,9 +141,19 @@ struct FaultEvent {
 
 using FaultSchedule = std::vector<FaultEvent>;
 
+/// Machine round-trippable one-token encoding of an event, suitable for a
+/// CLI flag: `kind@at,dur,worker,count,magnitude,period` with the magnitude
+/// rendered at full double precision. format→parse→format is the identity.
+std::string format_fault_event(const FaultEvent& ev);
+
+/// Inverse of format_fault_event. Returns false (out untouched) on any
+/// syntax error or unknown kind name.
+bool parse_fault_event(const std::string& text, FaultEvent& out);
+
 /// One fault of `kind` at its ISSUE-3 "default intensity": a quarter of the
 /// workers stalled/crashed, the wire dipped to 25%, the Tx ring cut to 10%,
-/// half the flow cache poisoned, an eviction storm every duration/8.
+/// half the flow cache poisoned, an eviction storm every duration/8, island
+/// 0 blacked out, one island flapping every duration/6.
 FaultSchedule single_fault(FaultKind kind, sim::SimTime at,
                            sim::SimDuration duration, const np::NpConfig& cfg);
 
@@ -108,6 +163,18 @@ FaultSchedule single_fault(FaultKind kind, sim::SimTime at,
 FaultSchedule generate_fault_schedule(std::uint64_t seed,
                                       sim::SimDuration horizon,
                                       const np::NpConfig& cfg);
+
+/// Seeded compound-fault campaign (ISSUE 10): 2–5 OVERLAPPING episodes
+/// drawn from the survivable kinds plus the correlated campaign kinds
+/// (island blackout, flapping workers, control-plane partition). Worker-
+/// targeting episodes are assigned pairwise-disjoint islands — the failure
+/// domains fail independently, so every clearing restores exactly the
+/// workers its injection took — while at most one episode of each global
+/// kind is drawn. Everything clears by 0.9 × horizon. Same seed ⇒
+/// identical campaign.
+FaultSchedule generate_campaign_schedule(std::uint64_t seed,
+                                         sim::SimDuration horizon,
+                                         const np::NpConfig& cfg);
 
 std::string describe_schedule(const FaultSchedule& schedule);
 

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <sstream>
+#include <type_traits>
 
 #include "ctrl/reconfig_manager.h"
 
@@ -24,8 +27,21 @@ const char* fault_kind_name(FaultKind kind) {
     case FaultKind::kTornUpdate: return "torn-update";
     case FaultKind::kStaleEpoch: return "stale-epoch";
     case FaultKind::kUpdateStorm: return "update-storm";
+    case FaultKind::kIslandBlackout: return "island-blackout";
+    case FaultKind::kFlappingWorker: return "flapping-worker";
+    case FaultKind::kCtrlPartition: return "ctrl-partition";
   }
   return "unknown";
+}
+
+bool fault_kind_from_name(const std::string& name, FaultKind& out) {
+  for (FaultKind k : kAllFaultKinds) {
+    if (name == fault_kind_name(k)) {
+      out = k;
+      return true;
+    }
+  }
+  return false;
 }
 
 std::string FaultEvent::describe() const {
@@ -61,10 +77,66 @@ std::string FaultEvent::describe() const {
     case FaultKind::kUpdateStorm:
       s << " updates=" << (period > 0 ? period : 8);
       break;
+    case FaultKind::kIslandBlackout:
+      s << " island=" << worker;
+      break;
+    case FaultKind::kFlappingWorker:
+      s << " workers=[" << worker << "," << worker + worker_count << ")"
+        << " period=" << period << "ns";
+      break;
+    case FaultKind::kCtrlPartition:
+      s << " workers=[" << worker << "," << worker + worker_count << ")";
+      break;
     case FaultKind::kReorderStall:
       break;
   }
   return s.str();
+}
+
+std::string format_fault_event(const FaultEvent& ev) {
+  char mag[64];
+  std::snprintf(mag, sizeof(mag), "%.17g", ev.magnitude);
+  std::ostringstream s;
+  s << fault_kind_name(ev.kind) << '@' << ev.at << ',' << ev.duration << ','
+    << ev.worker << ',' << ev.worker_count << ',' << mag << ',' << ev.period;
+  return s.str();
+}
+
+bool parse_fault_event(const std::string& text, FaultEvent& out) {
+  const std::size_t at_pos = text.find('@');
+  if (at_pos == std::string::npos) return false;
+  FaultEvent ev;
+  if (!fault_kind_from_name(text.substr(0, at_pos), ev.kind)) return false;
+  const char* p = text.c_str() + at_pos + 1;
+  char* end = nullptr;
+  auto comma = [&]() {
+    if (*p != ',') return false;
+    ++p;
+    return true;
+  };
+  auto i64 = [&](auto& v) {
+    v = static_cast<std::decay_t<decltype(v)>>(std::strtoll(p, &end, 10));
+    if (end == p) return false;
+    p = end;
+    return true;
+  };
+  auto u32 = [&](unsigned& v) {
+    const unsigned long raw = std::strtoul(p, &end, 10);
+    if (end == p) return false;
+    v = static_cast<unsigned>(raw);
+    p = end;
+    return true;
+  };
+  if (!i64(ev.at) || !comma() || !i64(ev.duration) || !comma() ||
+      !u32(ev.worker) || !comma() || !u32(ev.worker_count) || !comma())
+    return false;
+  ev.magnitude = std::strtod(p, &end);
+  if (end == p) return false;
+  p = end;
+  if (!comma() || !i64(ev.period)) return false;
+  if (*p != '\0') return false;
+  out = ev;
+  return true;
 }
 
 std::string describe_schedule(const FaultSchedule& schedule) {
@@ -95,6 +167,12 @@ bool needs_duration_floor(FaultKind kind) {
     case FaultKind::kTornUpdate:
     case FaultKind::kStaleEpoch:
     case FaultKind::kUpdateStorm:
+    // A blackout that never restarts (or a partition/flap that never heals)
+    // leaves an island dead and, for the blackout, its restart path never
+    // exercised — the clearing IS the recovery under test.
+    case FaultKind::kIslandBlackout:
+    case FaultKind::kFlappingWorker:
+    case FaultKind::kCtrlPartition:
       return true;
     default:
       return false;
@@ -138,6 +216,22 @@ FaultSchedule single_fault(FaultKind kind, sim::SimTime at,
       ev.worker_count = 1;
       break;
     case FaultKind::kUpdateStorm: ev.period = 8; break;
+    case FaultKind::kIslandBlackout:
+      ev.worker = 0;  // island index
+      break;
+    case FaultKind::kFlappingWorker: {
+      const auto range = cfg.island_range(0);
+      ev.worker = range.first;
+      ev.worker_count = range.second - range.first;
+      ev.period = duration / 6;
+      break;
+    }
+    case FaultKind::kCtrlPartition: {
+      const auto range = cfg.island_range(0);
+      ev.worker = range.first;
+      ev.worker_count = range.second - range.first;
+      break;
+    }
   }
   return {ev};
 }
@@ -210,7 +304,122 @@ FaultSchedule generate_fault_schedule(std::uint64_t seed,
       case FaultKind::kTornUpdate:
       case FaultKind::kStaleEpoch:
       case FaultKind::kUpdateStorm:
+      case FaultKind::kIslandBlackout:
+      case FaultKind::kFlappingWorker:
+      case FaultKind::kCtrlPartition:
         break;
+    }
+    out.push_back(ev);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FaultEvent& a, const FaultEvent& b) { return a.at < b.at; });
+  return out;
+}
+
+FaultSchedule generate_campaign_schedule(std::uint64_t seed,
+                                         sim::SimDuration horizon,
+                                         const np::NpConfig& cfg) {
+  sim::Rng rng = sim::Rng(seed).split("fault-campaign");
+  // Episodes deliberately OVERLAP (at-windows interleave), unlike the
+  // single-fault chaos generator. Independence comes from the failure-
+  // domain geometry instead: every worker-scoped episode owns a distinct
+  // island, so each clearing restores exactly the workers its injection
+  // took, and global kinds are drawn at most once each.
+  const unsigned n_islands = cfg.effective_islands();
+  std::vector<unsigned> islands;
+  for (unsigned i = 0; i < n_islands; ++i) islands.push_back(i);
+  std::vector<FaultKind> worker_pool = {
+      FaultKind::kIslandBlackout, FaultKind::kFlappingWorker,
+      FaultKind::kWorkerStall,    FaultKind::kWorkerCrash,
+      FaultKind::kCtrlPartition,
+  };
+  std::vector<FaultKind> global_pool = {
+      FaultKind::kWireDip,     FaultKind::kTxBackpressure,
+      FaultKind::kReorderStall, FaultKind::kCacheStorm,
+      FaultKind::kCachePoison, FaultKind::kHashCollisionStorm,
+      FaultKind::kChurnStorm,
+  };
+  const std::size_t n = 2 + rng.next_below(4);  // 2–5 overlapping episodes
+  const sim::SimTime latest_clear =
+      static_cast<sim::SimTime>(static_cast<double>(horizon) * 0.9);
+  FaultSchedule out;
+  for (std::size_t i = 0; i < n; ++i) {
+    // The first episode is always worker-scoped, so every campaign
+    // exercises at least one correlated failure-domain fault.
+    const bool pick_worker =
+        !worker_pool.empty() && !islands.empty() &&
+        (i == 0 || global_pool.empty() || rng.next_below(2) == 0);
+    if (!pick_worker && global_pool.empty()) break;
+
+    FaultEvent ev;
+    ev.at = static_cast<sim::SimTime>(static_cast<double>(horizon) *
+                                      rng.uniform(0.15, 0.55));
+    ev.duration = static_cast<sim::SimDuration>(static_cast<double>(horizon) *
+                                                rng.uniform(0.08, 0.25));
+    if (ev.at + ev.duration > latest_clear)
+      ev.duration = std::max<sim::SimDuration>(latest_clear - ev.at,
+                                               sim::microseconds(200));
+    if (pick_worker) {
+      std::size_t pick = rng.next_below(worker_pool.size());
+      ev.kind = worker_pool[pick];
+      worker_pool.erase(worker_pool.begin() +
+                        static_cast<std::ptrdiff_t>(pick));
+      pick = rng.next_below(islands.size());
+      const unsigned island = islands[pick];
+      islands.erase(islands.begin() + static_cast<std::ptrdiff_t>(pick));
+      const auto range = cfg.island_range(island);
+      const unsigned size = range.second - range.first;
+      switch (ev.kind) {
+        case FaultKind::kIslandBlackout:
+          ev.worker = island;  // island index, not a worker id
+          break;
+        case FaultKind::kFlappingWorker:
+          ev.worker = range.first;
+          ev.worker_count = 1 + static_cast<unsigned>(rng.next_below(size));
+          // 3–6 full crash/heal cycles across the episode.
+          ev.period = ev.duration /
+                      static_cast<sim::SimDuration>(3 + rng.next_below(4));
+          break;
+        case FaultKind::kCtrlPartition:
+          ev.worker = range.first;
+          ev.worker_count = size;  // the whole island loses the ctrl plane
+          break;
+        case FaultKind::kWorkerStall:
+        case FaultKind::kWorkerCrash:
+          ev.worker_count = 1 + static_cast<unsigned>(rng.next_below(size));
+          ev.worker = range.first + static_cast<unsigned>(rng.next_below(
+                                        size - ev.worker_count + 1));
+          break;
+        default:
+          break;
+      }
+    } else {
+      const std::size_t pick = rng.next_below(global_pool.size());
+      ev.kind = global_pool[pick];
+      global_pool.erase(global_pool.begin() +
+                        static_cast<std::ptrdiff_t>(pick));
+      switch (ev.kind) {
+        case FaultKind::kWireDip: ev.magnitude = rng.uniform(0.1, 0.5); break;
+        case FaultKind::kTxBackpressure:
+          ev.magnitude = rng.uniform(0.05, 0.3);
+          break;
+        case FaultKind::kCachePoison:
+          ev.magnitude = rng.uniform(0.25, 0.75);
+          break;
+        case FaultKind::kCacheStorm:
+          ev.period = ev.duration / (4 + rng.next_below(8));
+          break;
+        case FaultKind::kHashCollisionStorm:
+          ev.magnitude = rng.uniform(0.5, 2.0);
+          ev.period = ev.duration / (4 + rng.next_below(8));
+          break;
+        case FaultKind::kChurnStorm:
+          ev.magnitude = rng.uniform(0.1, 0.5);
+          ev.period = ev.duration / (4 + rng.next_below(8));
+          break;
+        default:
+          break;
+      }
     }
     out.push_back(ev);
   }
@@ -239,11 +448,12 @@ sim::SimDuration FaultPlane::probe_period() const {
 FaultPlane::Counters FaultPlane::read_counters() const {
   const auto& s = pipeline_.stats();
   return Counters{s.watchdog_drops, s.reorder_timeout_drops,
-                  s.admission_drops};
+                  s.admission_drops, s.island_restart_drops};
 }
 
 void FaultPlane::arm(const FaultSchedule& schedule) {
-  const unsigned workers = pipeline_.config().num_workers;
+  const np::NpConfig& cfg = pipeline_.config();
+  const unsigned workers = cfg.num_workers;
   for (const FaultEvent& src : schedule) {
     auto holder = std::make_unique<ActiveFault>();
     ActiveFault* f = holder.get();
@@ -251,7 +461,9 @@ void FaultPlane::arm(const FaultSchedule& schedule) {
     if (f->ev.duration <= 0 && needs_duration_floor(f->ev.kind))
       f->ev.duration = sim::milliseconds(1);
     if (f->ev.kind == FaultKind::kWorkerStall ||
-        f->ev.kind == FaultKind::kWorkerCrash) {
+        f->ev.kind == FaultKind::kWorkerCrash ||
+        f->ev.kind == FaultKind::kFlappingWorker ||
+        f->ev.kind == FaultKind::kCtrlPartition) {
       f->ev.worker = std::min(f->ev.worker, workers - 1);
       f->ev.worker_count =
           std::min(f->ev.worker_count, workers - f->ev.worker);
@@ -261,12 +473,17 @@ void FaultPlane::arm(const FaultSchedule& schedule) {
         f->ev.worker_count = workers - 1;
       if (f->ev.worker_count == 0) continue;
     }
+    if (f->ev.kind == FaultKind::kIslandBlackout)
+      f->ev.worker = std::min(f->ev.worker, cfg.effective_islands() - 1);
     active_.push_back(std::move(holder));
     sim_.schedule_at(std::max<sim::SimTime>(f->ev.at, 0),
                      [this, f] { inject(*f); });
-    if (f->ev.duration > 0)
-      sim_.schedule_at(std::max<sim::SimTime>(f->ev.at, 0) + f->ev.duration,
-                       [this, f] { clear(*f); });
+    if (f->ev.duration > 0) {
+      const sim::SimTime clear_at =
+          std::max<sim::SimTime>(f->ev.at, 0) + f->ev.duration;
+      last_scheduled_clear_ = std::max(last_scheduled_clear_, clear_at);
+      sim_.schedule_at(clear_at, [this, f] { clear(*f); });
+    }
   }
 }
 
@@ -350,7 +567,53 @@ void FaultPlane::inject(ActiveFault& f) {
       if (reconfig_)
         reconfig_->storm(ev.period > 0 ? static_cast<unsigned>(ev.period) : 8u);
       break;
+    case FaultKind::kIslandBlackout:
+      // Snapshot the scheduler/meter runtime BEFORE the crash wipes the
+      // island: the restart reconstructs from this, not from whatever the
+      // dead workers left mid-update (DESIGN.md §16).
+      if (engine_) {
+        f.tree_snapshot = engine_->tree().snapshot_runtime();
+        f.has_snapshot = true;
+      }
+      pipeline_.fault_blackout_island(ev.worker);
+      break;
+    case FaultKind::kFlappingWorker: {
+      for (unsigned w = ev.worker; w < ev.worker + ev.worker_count; ++w)
+        pipeline_.fault_crash_worker(w);
+      f.flap_down = true;
+      sim::SimDuration half =
+          (ev.period > 0 ? ev.period : ev.duration / 6) / 2;
+      half = std::max<sim::SimDuration>(half, sim::microseconds(20));
+      flap_tick(&f, sim_.now() + ev.duration, half);
+      break;
+    }
+    case FaultKind::kCtrlPartition:
+      // Each partitioned worker stops acking epoch cutovers; any rollout
+      // including one of them stalls at the ack wave and must take the
+      // probation/rollback path. No-op without a control plane to lose.
+      if (reconfig_)
+        for (unsigned w = ev.worker; w < ev.worker + ev.worker_count; ++w)
+          reconfig_->fault_stale_worker(w);
+      break;
   }
+}
+
+void FaultPlane::flap_tick(ActiveFault* f, sim::SimTime end,
+                           sim::SimDuration half) {
+  const sim::SimTime next = sim_.now() + half;
+  if (next >= end) return;  // clear() performs the final repair
+  sim_.schedule_at(next, [this, f, end, half] {
+    const FaultEvent& ev = f->ev;
+    if (f->flap_down) {
+      for (unsigned w = ev.worker; w < ev.worker + ev.worker_count; ++w)
+        pipeline_.repair_worker(w);
+    } else {
+      for (unsigned w = ev.worker; w < ev.worker + ev.worker_count; ++w)
+        pipeline_.fault_crash_worker(w);
+    }
+    f->flap_down = !f->flap_down;
+    flap_tick(f, end, half);
+  });
 }
 
 void FaultPlane::storm_action(ActiveFault& f, std::uint64_t tick) {
@@ -451,6 +714,29 @@ void FaultPlane::clear(ActiveFault& f) {
       break;
     case FaultKind::kUpdateStorm:
       break;  // the storm is instantaneous; nothing to un-latch
+    case FaultKind::kIslandBlackout:
+      // Crash-recovery restart: reconstruct scheduler/meter runtime from
+      // the injection-time snapshot (buckets conservatively drained, Γ and
+      // activity restored, θ/lendable re-derived by the refresh_theta
+      // sweep), flush the EMC so labels re-warm lazily through the honest
+      // rule-walk fallback, then re-admit the island's workers — under
+      // admission probation when configured.
+      if (engine_) {
+        if (f.has_snapshot)
+          engine_->tree().restore_runtime(f.tree_snapshot, sim_.now());
+        engine_->classifier().cache_for_fault().invalidate_all();
+      }
+      pipeline_.restart_island(ev.worker);
+      break;
+    case FaultKind::kFlappingWorker:
+      // The oscillator chain stopped before `end`; whatever half-cycle it
+      // parked in, the final repair is idempotent per worker.
+      for (unsigned w = ev.worker; w < ev.worker + ev.worker_count; ++w)
+        pipeline_.repair_worker(w);
+      break;
+    case FaultKind::kCtrlPartition:
+      if (reconfig_) reconfig_->repair_stale_workers();
+      break;
   }
   f.at_last_probe = read_counters();
   ActiveFault* fp = &f;
@@ -462,7 +748,8 @@ void FaultPlane::probe(ActiveFault& f) {
   const Counters now_c = read_counters();
   const bool quiescent = now_c.watchdog_drops == f.at_last_probe.watchdog_drops &&
                          now_c.timeout_drops == f.at_last_probe.timeout_drops &&
-                         now_c.admission_drops == f.at_last_probe.admission_drops;
+                         now_c.admission_drops == f.at_last_probe.admission_drops &&
+                         now_c.restart_drops == f.at_last_probe.restart_drops;
   const bool cache_healthy =
       engine_ == nullptr ||
       engine_->classifier().cache().health() ==
@@ -473,7 +760,13 @@ void FaultPlane::probe(ActiveFault& f) {
     return;
   }
   f.at_last_probe = now_c;
-  if (sim_.now() - f.rec.cleared_at >= options_.probe_deadline) {
+  // In a compound campaign this fault's probe window can overlap other
+  // still-active faults, during which health is unreachable through no
+  // fault of this episode's recovery — so the give-up clock anchors at the
+  // campaign's LAST scheduled clearing, not this fault's own.
+  const sim::SimTime quiet_at =
+      std::max(f.rec.cleared_at, last_scheduled_clear_);
+  if (sim_.now() - quiet_at >= options_.probe_deadline) {
     close(f, -1);  // the pipeline never probed healthy: recorded as such
     return;
   }
@@ -487,6 +780,7 @@ void FaultPlane::close(ActiveFault& f, sim::SimTime recovered_at) {
   f.rec.lost_watchdog = now_c.watchdog_drops - f.at_inject.watchdog_drops;
   f.rec.lost_timeout = now_c.timeout_drops - f.at_inject.timeout_drops;
   f.rec.lost_admission = now_c.admission_drops - f.at_inject.admission_drops;
+  f.rec.lost_restart = now_c.restart_drops - f.at_inject.restart_drops;
   f.closed = true;
   if (tracker_) tracker_->record(f.rec);
 }

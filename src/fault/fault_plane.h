@@ -68,6 +68,7 @@ class FaultPlane {
     std::uint64_t watchdog_drops = 0;
     std::uint64_t timeout_drops = 0;
     std::uint64_t admission_drops = 0;
+    std::uint64_t restart_drops = 0;
   };
   struct ActiveFault {
     FaultEvent ev;
@@ -75,6 +76,13 @@ class FaultPlane {
     Counters at_inject;
     Counters at_last_probe;
     bool closed = false;
+    // kIslandBlackout: scheduler/meter runtime captured at injection; the
+    // clearing restores from it (crash-recovery state reconstruction).
+    core::SchedulingTree::RuntimeSnapshot tree_snapshot;
+    bool has_snapshot = false;
+    // kFlappingWorker: true while the targets are in the crashed half of
+    // the flap cycle (the clearing only needs to repair in that case).
+    bool flap_down = false;
   };
 
   Counters read_counters() const;
@@ -87,6 +95,10 @@ class FaultPlane {
   void storm_action(ActiveFault& f, std::uint64_t tick);
   void storm_tick(ActiveFault* f, sim::SimTime end, sim::SimDuration period,
                   std::uint64_t tick);
+  /// kFlappingWorker's crash/heal oscillator: every half-period the targets
+  /// toggle between crashed and repaired, until the final clear() repairs
+  /// them for good.
+  void flap_tick(ActiveFault* f, sim::SimTime end, sim::SimDuration half);
   sim::SimDuration probe_period() const;
 
   sim::Simulator& sim_;
@@ -96,6 +108,11 @@ class FaultPlane {
   ctrl::ReconfigManager* reconfig_ = nullptr;
   Options options_;
   std::vector<std::unique_ptr<ActiveFault>> active_;
+  // Under a compound campaign one fault's probe window can overlap another
+  // still-active fault; health is only reachable once the LAST scheduled
+  // clearing has run, so the give-up deadline anchors there, not at each
+  // fault's own clear.
+  sim::SimTime last_scheduled_clear_ = 0;
 };
 
 }  // namespace flowvalve::fault

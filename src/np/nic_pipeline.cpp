@@ -28,6 +28,7 @@ const char* drop_reason_name(DropReason reason) {
     case DropReason::kReorderTimeout: return "reorder-timeout";
     case DropReason::kWatchdogAbort: return "watchdog-abort";
     case DropReason::kAdmission: return "admission";
+    case DropReason::kIslandRestart: return "island-restart";
   }
   return "unknown";
 }
@@ -106,6 +107,7 @@ void NicPipeline::drop(const net::Packet& pkt, DropReason reason) {
     case DropReason::kReorderTimeout: ++stats_.reorder_timeout_drops; break;
     case DropReason::kWatchdogAbort: ++stats_.watchdog_drops; break;
     case DropReason::kAdmission: ++stats_.admission_drops; break;
+    case DropReason::kIslandRestart: ++stats_.island_restart_drops; break;
   }
   if (observer_) observer_->on_drop(pkt, reason, sim_.now());
   if (on_dropped_detailed_) on_dropped_detailed_(pkt, reason);
@@ -752,6 +754,9 @@ void NicPipeline::watchdog_abort(unsigned worker) {
 
 void NicPipeline::control_force_admission(std::uint64_t modulus) {
   if (modulus == 0) return;
+  // A caller taking the valve supersedes island-restart probation: the
+  // probation's timed release must not later drop a hold it doesn't own.
+  restart_probation_active_ = false;
   admission_forced_ = true;
   admission_active_ = true;
   admission_modulus_ = modulus;
@@ -760,6 +765,7 @@ void NicPipeline::control_force_admission(std::uint64_t modulus) {
 
 void NicPipeline::control_release_admission() {
   if (!admission_forced_) return;
+  restart_probation_active_ = false;
   admission_forced_ = false;
   admission_active_ = false;
   admission_modulus_ = 0;
@@ -857,6 +863,74 @@ void NicPipeline::repair_worker(unsigned w) {
     ++stats_.workers_repaired;
     try_dispatch();
   }
+}
+
+void NicPipeline::fault_blackout_island(unsigned island) {
+  const auto [first, last] = config_.island_range(island);
+  for (unsigned w = first; w < last; ++w) {
+    WorkerCtx& ctx = workers_[w];
+    ctx.fault_frozen = true;
+    if (ctx.state == WorkerCtx::State::kBusy) {
+      // Crash-only: the burst dies with the island. Unlike a single-worker
+      // crash there is no waiting for watchdog salvage — the blackout knows
+      // every occupant is gone, so each is dropped now and its sequence
+      // committed as a gap so the reorder window never waits on a dead
+      // worker. Doomed items were already dropped by an earlier flush.
+      ctx.completion.cancel();
+      stats_.worker_busy_ns +=
+          static_cast<std::uint64_t>(sim_.now() - ctx.busy_start);
+      for (BurstItem& item : ctx.burst) {
+        if (item.doomed) continue;
+        --in_flight_;
+        drop(item.pkt, DropReason::kIslandRestart);
+        if (config_.enforce_reorder) reorder_commit_gap(item.seq);
+      }
+      ctx.burst.clear();
+      ctx.state = WorkerCtx::State::kHung;
+    } else if (ctx.state == WorkerCtx::State::kIdle) {
+      idle_workers_.erase(
+          std::remove(idle_workers_.begin(), idle_workers_.end(), w),
+          idle_workers_.end());
+      ctx.state = WorkerCtx::State::kHung;
+    }
+    // kHung already: an earlier fault took this worker; the blackout
+    // subsumes it and the island restart will bring it back.
+  }
+  maybe_arm_watchdog();
+}
+
+void NicPipeline::restart_island(unsigned island) {
+  const auto [first, last] = config_.island_range(island);
+  bool any = false;
+  for (unsigned w = first; w < last; ++w) {
+    WorkerCtx& ctx = workers_[w];
+    if (!ctx.fault_frozen && ctx.state != WorkerCtx::State::kHung) continue;
+    ctx.fault_frozen = false;
+    if (ctx.state == WorkerCtx::State::kHung) {
+      ctx.state = WorkerCtx::State::kIdle;
+      idle_workers_.push_back(w);
+      ++stats_.workers_repaired;
+      any = true;
+    }
+  }
+  ++stats_.islands_restarted;
+  const auto& rec = config_.recovery;
+  if (rec.restart_probation_modulus >= 2 && rec.restart_probation > 0 &&
+      !admission_forced_) {
+    control_force_admission(rec.restart_probation_modulus);
+    restart_probation_active_ = true;
+    // Timed auto-release, token-guarded: if another restart re-arms
+    // probation or src/ctrl takes/releases the valve meanwhile, this
+    // release belongs to a superseded probation and must do nothing.
+    const std::uint64_t token = ++probation_token_;
+    sim_.schedule_after(rec.restart_probation, [this, token] {
+      if (restart_probation_active_ && probation_token_ == token) {
+        restart_probation_active_ = false;
+        control_release_admission();
+      }
+    });
+  }
+  if (any) try_dispatch();
 }
 
 void NicPipeline::fault_set_wire_factor(double factor) {

@@ -76,6 +76,7 @@ enum class DropReason : std::uint8_t {
   kReorderTimeout,  // head-of-line hole aged out; occupants declared lost
   kWatchdogAbort,   // salvaged off a stuck worker, retry budget exhausted
   kAdmission,       // graceful-degradation proportional drop under overload
+  kIslandRestart,   // in-flight occupant of an island that blacked out
 };
 
 const char* drop_reason_name(DropReason reason);
@@ -193,6 +194,8 @@ class NicPipeline final : public net::EgressDevice {
     std::uint64_t reorder_timeout_drops = 0;    // occupants of aged-out holes
     std::uint64_t admission_drops = 0;          // degradation-mode tail drops
     std::uint64_t workers_repaired = 0;         // hung workers rejoining
+    std::uint64_t island_restart_drops = 0;     // doomed by an island blackout
+    std::uint64_t islands_restarted = 0;        // completed blackout restarts
   };
   const Stats& stats() const { return stats_; }
   const NpConfig& config() const { return config_; }
@@ -241,6 +244,10 @@ class NicPipeline final : public net::EgressDevice {
   void control_release_admission();
 
   bool admission_forced() const { return admission_forced_; }
+  /// True while a restarted island holds the forced-admission valve as
+  /// post-restart probation (a legitimate non-reconfig use of the valve —
+  /// the swap-conservation checker must not attribute its drops to a swap).
+  bool restart_probation_active() const { return restart_probation_active_; }
 
   // --- Fault hooks (src/fault) -------------------------------------------
   // All hooks are deterministic and inert until called. Worker faults mark
@@ -259,6 +266,25 @@ class NicPipeline final : public net::EgressDevice {
 
   /// Clear a stall/crash on worker `w`; a hung worker rejoins the pool.
   void repair_worker(unsigned w);
+
+  // --- Island failure domains (DESIGN.md §16) ----------------------------
+  // Islands are NpConfig::island_range groups; they die and restart as a
+  // unit. Blackout is crash-only: every in-flight occupant of the island is
+  // dropped immediately (DropReason::kIslandRestart) with its reorder slot
+  // committed as a gap, so conservation holds across the boundary and the
+  // window never waits on a dead worker. Restart re-admits the island's
+  // workers and, when configured, runs them under admission probation.
+
+  /// Black out island `island` (clamped to the last island): each of its
+  /// workers drops its whole burst, is removed from the idle pool, and is
+  /// marked fault-frozen until restart_island()/repair_worker().
+  void fault_blackout_island(unsigned island);
+
+  /// Restart island `island`: every frozen/hung worker of the island
+  /// rejoins the pool, and — if recovery.restart_probation_modulus > 0 and
+  /// no one else holds the admission valve — forced admission shedding
+  /// engages for recovery.restart_probation before auto-releasing.
+  void restart_island(unsigned island);
 
   /// Scale the Tx drain rate by `factor` ∈ [0, 1]; 0 pauses the wire (the
   /// frame currently serializing still finishes). 1 restores full rate.
@@ -438,6 +464,11 @@ class NicPipeline final : public net::EgressDevice {
   // Graceful-degradation admission state.
   bool admission_active_ = false;
   bool admission_forced_ = false;  // control-plane override (src/ctrl)
+  // Island-restart probation: restart_island() forced the valve and armed a
+  // timed release. The token invalidates a pending release when probation
+  // is superseded (another restart, or src/ctrl taking the valve).
+  bool restart_probation_active_ = false;
+  std::uint64_t probation_token_ = 0;
   std::uint64_t admission_modulus_ = 0;
   std::uint64_t admission_seq_ = 0;     // submissions seen while active
   unsigned admission_over_ticks_ = 0;   // consecutive ticks over watermark

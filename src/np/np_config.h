@@ -9,9 +9,11 @@
 // separately (ClassifierCosts / SchedulerCosts).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 #include "core/scheduler_backend.h"
 #include "sim/time.h"
@@ -28,6 +30,13 @@ struct NpConfig {
 
   /// Micro-engine clock. Agilio CX islands run at 1.2 GHz (§IV-D).
   double freq_ghz = 1.2;
+
+  /// NP islands: contiguous worker groups that share power/memory rails and
+  /// fail as a unit (the NFP-4000 packs MEs into islands; SuperNIC makes
+  /// the same groups the tenant failure-domain boundary). Worker w belongs
+  /// to island w / island_size(). Clamped to num_workers; 5 islands of 10
+  /// workers on the default 50-worker Agilio model.
+  unsigned num_islands = 5;
 
   /// Wire-side port rate (the single physical port we model).
   Rate wire_rate = Rate::gigabits_per_sec(40);
@@ -140,6 +149,16 @@ struct NpConfig {
     unsigned admission_escalation_ticks = 4;
     std::uint64_t admission_start_modulus = 8;
     std::uint64_t admission_min_modulus = 2;
+
+    /// Island-restart probation (DESIGN.md §16): workers restarted after an
+    /// island blackout re-enter behind a forced admission modulus (drop
+    /// every Nth submission) for `restart_probation`, instead of
+    /// cold-starting the refilled island at full offered rate while its
+    /// scheduler state and flow cache are still re-warming. 0 modulus
+    /// disables probation. Only engages when no one else (control plane,
+    /// overload escalation) already holds the admission valve.
+    std::uint64_t restart_probation_modulus = 8;
+    SimDuration restart_probation = sim::microseconds(500);
   };
   Recovery recovery;
 
@@ -177,6 +196,31 @@ struct NpConfig {
       reject("recovery.admission_start_modulus must be >= min_modulus");
     if (recovery.admission_escalation_ticks == 0)
       reject("recovery.admission_escalation_ticks must be >= 1");
+    if (num_islands == 0) reject("num_islands must be >= 1");
+    if (recovery.restart_probation_modulus == 1)
+      reject("recovery.restart_probation_modulus must be 0 (off) or >= 2");
+    if (recovery.restart_probation < 0)
+      reject("recovery.restart_probation must be >= 0");
+  }
+
+  /// Failure-domain geometry. Islands partition [0, num_workers) into
+  /// contiguous ranges of island_size() workers; the last island absorbs
+  /// the remainder when the division is uneven.
+  unsigned effective_islands() const {
+    return std::max(1u, std::min(num_islands, num_workers));
+  }
+  unsigned island_size() const { return num_workers / effective_islands(); }
+  unsigned island_of(unsigned worker) const {
+    return std::min(worker / island_size(), effective_islands() - 1);
+  }
+  /// Workers [first, second) of island i (i clamped to the last island).
+  std::pair<unsigned, unsigned> island_range(unsigned island) const {
+    const unsigned n = effective_islands();
+    if (island >= n) island = n - 1;
+    const unsigned first = island * island_size();
+    const unsigned last =
+        (island + 1 == n) ? num_workers : first + island_size();
+    return {first, last};
   }
 
   SimDuration cycles_to_ns(std::uint64_t cycles) const {

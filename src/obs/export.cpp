@@ -105,6 +105,8 @@ void snapshot_json(JsonWriter& w, const CounterSnapshot& s) {
       .key("reorder_timeout_drops").value(s.nic.reorder_timeout_drops)
       .key("admission_drops").value(s.nic.admission_drops)
       .key("workers_repaired").value(s.nic.workers_repaired)
+      .key("island_restart_drops").value(s.nic.island_restart_drops)
+      .key("islands_restarted").value(s.nic.islands_restarted)
       .end_object();
   if (s.have_sched) {
     w.key("sched").begin_object()
@@ -171,6 +173,7 @@ void recovery_json(JsonWriter& w, const RecoveryTracker& t) {
         .key("lost_watchdog").value(r.lost_watchdog)
         .key("lost_timeout").value(r.lost_timeout)
         .key("lost_admission").value(r.lost_admission)
+        .key("lost_restart").value(r.lost_restart)
         .end_object();
   }
   w.end_array();

@@ -9,6 +9,7 @@
 // the BENCH JSON shape.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -28,8 +29,9 @@ struct FaultRecord {
   std::uint64_t lost_watchdog = 0;   // retry budget exhausted
   std::uint64_t lost_timeout = 0;    // reorder-window timeout flushes
   std::uint64_t lost_admission = 0;  // degradation-mode tail drops
+  std::uint64_t lost_restart = 0;    // doomed by an island blackout
   std::uint64_t packets_lost() const {
-    return lost_watchdog + lost_timeout + lost_admission;
+    return lost_watchdog + lost_timeout + lost_admission + lost_restart;
   }
 
   bool cleared() const { return cleared_at >= 0; }
@@ -63,6 +65,30 @@ class RecoveryTracker {
     for (const FaultRecord& r : records_)
       if (r.recovered() && r.recovery_time() > worst) worst = r.recovery_time();
     return worst;
+  }
+
+  /// All recorded clear→healthy intervals (MTTR samples), sorted ascending.
+  /// Episodes that never recovered are excluded — report them via
+  /// injected() − recovered(), never averaged away.
+  std::vector<sim::SimDuration> recovery_times() const {
+    std::vector<sim::SimDuration> out;
+    for (const FaultRecord& r : records_)
+      if (r.recovered() && r.recovery_time() >= 0)
+        out.push_back(r.recovery_time());
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  /// Nearest-rank percentile over recovery_times(); -1 with no samples.
+  static sim::SimDuration percentile(
+      const std::vector<sim::SimDuration>& sorted, double p) {
+    if (sorted.empty()) return -1;
+    const double clamped = p < 0.0 ? 0.0 : (p > 1.0 ? 1.0 : p);
+    std::size_t rank = static_cast<std::size_t>(
+        clamped * static_cast<double>(sorted.size()) + 0.5);
+    if (rank > 0) --rank;
+    if (rank >= sorted.size()) rank = sorted.size() - 1;
+    return sorted[rank];
   }
 
  private:

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <vector>
 
 #include "check/fuzzer.h"
 #include "check/runner.h"
@@ -82,7 +83,10 @@ INSTANTIATE_TEST_SUITE_P(
                       fault::FaultKind::kCacheStorm,
                       fault::FaultKind::kCachePoison,
                       fault::FaultKind::kHashCollisionStorm,
-                      fault::FaultKind::kChurnStorm),
+                      fault::FaultKind::kChurnStorm,
+                      fault::FaultKind::kIslandBlackout,
+                      fault::FaultKind::kFlappingWorker,
+                      fault::FaultKind::kCtrlPartition),
     [](const ::testing::TestParamInfo<fault::FaultKind>& info) {
       std::string name = fault::fault_kind_name(info.param);
       for (char& c : name)
@@ -141,6 +145,140 @@ TEST(FaultRecovery, ReorderTimeoutUnwedgesTheWindow) {
   // the hole must have been released and delivered.
   EXPECT_EQ(delivered + dropped, 8);
   EXPECT_GE(delivered, 7);
+}
+
+/// 4 slow workers in 2 islands: blackout must drop the doomed in-flight
+/// work of exactly its own island, and restart must bring every frozen
+/// worker back with conservation intact.
+TEST(FaultRecovery, IslandBlackoutDropsInFlightAndRestartsCleanly) {
+  sim::Simulator sim;
+  np::NpConfig cfg = slow_worker_config();
+  cfg.num_workers = 4;
+  cfg.num_islands = 2;
+  cfg.recovery.restart_probation_modulus = 0;  // probation tested separately
+  np::NullProcessor proc;
+  np::NicPipeline pipe(sim, cfg, proc);
+  int delivered = 0, dropped = 0;
+  pipe.set_on_delivered([&](const net::Packet&) { ++delivered; });
+  pipe.set_on_dropped([&](const net::Packet&) { ++dropped; });
+  for (std::uint64_t i = 0; i < 12; ++i) pipe.submit(packet_on(0, i));
+  // All four workers are busy at t=10µs; island 0 = workers {0,1}.
+  sim.schedule_at(sim::microseconds(10),
+                  [&] { pipe.fault_blackout_island(0); });
+  sim.schedule_at(sim::milliseconds(5), [&] { pipe.restart_island(0); });
+  sim.run_all();
+  EXPECT_EQ(pipe.stats().island_restart_drops, 2u);  // one per island-0 worker
+  EXPECT_EQ(pipe.stats().islands_restarted, 1u);
+  EXPECT_EQ(pipe.stats().workers_repaired, 2u);
+  EXPECT_EQ(pipe.in_flight(), 0u);
+  EXPECT_EQ(pipe.hung_workers(), 0u);
+  EXPECT_EQ(delivered, 10);
+  EXPECT_EQ(dropped, 2);
+}
+
+TEST(FaultRecovery, IslandRestartProbationEngagesAndAutoReleases) {
+  sim::Simulator sim;
+  np::NpConfig cfg = slow_worker_config();
+  cfg.num_workers = 4;
+  cfg.num_islands = 2;
+  cfg.recovery.restart_probation_modulus = 8;
+  cfg.recovery.restart_probation = sim::microseconds(500);
+  np::NullProcessor proc;
+  np::NicPipeline pipe(sim, cfg, proc);
+  sim.schedule_at(sim::microseconds(10),
+                  [&] { pipe.fault_blackout_island(0); });
+  sim.schedule_at(sim::microseconds(100), [&] { pipe.restart_island(0); });
+  // Mid-probation the valve is held by the restart, not a reconfig swap.
+  sim.schedule_at(sim::microseconds(300), [&] {
+    EXPECT_TRUE(pipe.admission_forced());
+    EXPECT_TRUE(pipe.restart_probation_active());
+  });
+  // Probation self-releases 500µs after the restart.
+  sim.schedule_at(sim::microseconds(700), [&] {
+    EXPECT_FALSE(pipe.admission_forced());
+    EXPECT_FALSE(pipe.restart_probation_active());
+  });
+  sim.run_all();
+}
+
+/// A reconfig taking the admission valve mid-probation must supersede the
+/// probation cleanly: the timed release becomes a no-op instead of yanking
+/// the valve out from under the control plane.
+TEST(FaultRecovery, ControlPlaneSupersedesRestartProbation) {
+  sim::Simulator sim;
+  np::NpConfig cfg = slow_worker_config();
+  cfg.num_workers = 4;
+  cfg.num_islands = 2;
+  cfg.recovery.restart_probation_modulus = 8;
+  cfg.recovery.restart_probation = sim::microseconds(500);
+  np::NullProcessor proc;
+  np::NicPipeline pipe(sim, cfg, proc);
+  sim.schedule_at(sim::microseconds(10),
+                  [&] { pipe.fault_blackout_island(0); });
+  sim.schedule_at(sim::microseconds(100), [&] { pipe.restart_island(0); });
+  sim.schedule_at(sim::microseconds(200), [&] {
+    pipe.control_force_admission(4);  // reconfig swap takes over the valve
+    EXPECT_FALSE(pipe.restart_probation_active());
+  });
+  // Past the probation deadline, the stale timed release must NOT have
+  // released the control plane's hold.
+  sim.schedule_at(sim::microseconds(900), [&] {
+    EXPECT_TRUE(pipe.admission_forced());
+    pipe.control_release_admission();
+  });
+  sim.run_all();
+  EXPECT_FALSE(pipe.admission_forced());
+}
+
+/// Satellite regression: overlapping same-worker faults — a stall whose
+/// watchdog deadline is pending, then a crash (and repair) of the same
+/// worker mid-stall — must not let the stale watchdog epoch double-requeue
+/// the packet or break ingress_seq delivery order.
+TEST(FaultRecovery, WatchdogEpochGuardSurvivesOverlappingWorkerFaults) {
+  sim::Simulator sim;
+  np::NpConfig cfg = slow_worker_config();
+  cfg.enforce_reorder = true;
+  cfg.recovery.watchdog_budget = sim::microseconds(400);
+  np::NullProcessor proc;
+  np::NicPipeline pipe(sim, cfg, proc);
+  std::vector<std::uint64_t> order;
+  int dropped = 0;
+  pipe.set_on_delivered([&](const net::Packet& p) { order.push_back(p.id); });
+  pipe.set_on_dropped([&](const net::Packet&) { ++dropped; });
+  for (std::uint64_t i = 0; i < 8; ++i) pipe.submit(packet_on(0, i));
+  // Stall worker 0 long enough to arm its watchdog deadline, then crash the
+  // same worker before the stall clears, then repair. The watchdog entry
+  // armed for the stall epoch is stale by the time it fires.
+  sim.schedule_at(sim::microseconds(10),
+                  [&] { pipe.fault_stall_worker(0, sim::milliseconds(2)); });
+  sim.schedule_at(sim::microseconds(200), [&] { pipe.fault_crash_worker(0); });
+  sim.schedule_at(sim::milliseconds(5), [&] { pipe.repair_worker(0); });
+  sim.run_all();
+  EXPECT_EQ(pipe.in_flight(), 0u);
+  EXPECT_EQ(pipe.hung_workers(), 0u);
+  // Conservation: every packet resolved exactly once.
+  EXPECT_EQ(order.size() + static_cast<std::size_t>(dropped), 8u);
+  // No duplicate delivery and no ingress_seq inversion past the reorder
+  // window: delivered ids must be strictly increasing.
+  for (std::size_t i = 1; i < order.size(); ++i)
+    EXPECT_LT(order[i - 1], order[i]) << "delivery order inverted at " << i;
+}
+
+/// kCtrlPartition against a live control plane: stale workers must be
+/// repaired when the partition heals, and the run must stay clean.
+TEST(FaultRecovery, CtrlPartitionWithLiveReconfigHeals) {
+  FuzzScenario sc = generate_differential_scenario(1);
+  sc.nic.recovery.admission_enabled = true;
+  RunOptions opts;
+  opts.differential = true;
+  opts.reconfig_updates = 2;
+  opts.faults = fault::single_fault(fault::FaultKind::kCtrlPartition,
+                                    sc.horizon * 2 / 5, sc.horizon / 5,
+                                    sc.nic);
+  const CheckReport report = run_scenario(sc, opts);
+  EXPECT_TRUE(report.ok()) << report.summary() << "\n"
+                           << first_violation(report);
+  EXPECT_GE(report.faults_recovered, 1u);
 }
 
 TEST(FaultRecovery, RecoveryTimeIsBoundedByProbeDeadline) {
